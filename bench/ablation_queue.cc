@@ -1,0 +1,40 @@
+// Ablation (ours): the §3.2 queue heuristics — strong-boolean dependents
+// jumping to the queue front — measured by recomputation counts.
+
+#include <iostream>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace recon;
+  bench::PrintHeader("Ablation: queue discipline",
+                     "paper §3.2 recomputation-order heuristics");
+
+  datagen::PimConfig config = datagen::PimConfigA();
+  config = datagen::ScaleConfig(config, 0.2 * bench::BenchScale());
+  const Dataset dataset = datagen::GeneratePim(config);
+  const int person = dataset.schema().RequireClass("Person");
+  std::cout << dataset.num_references() << " references.\n\n";
+
+  TablePrinter table({"Variant", "Recomputations", "Merges", "Solve s",
+                      "Person P/R"});
+  for (const bool jump : {true, false}) {
+    ReconcilerOptions options = ReconcilerOptions::DepGraph();
+    options.strong_neighbors_jump_queue = jump;
+    const Reconciler reconciler(options);
+    const ReconcileResult result = reconciler.Run(dataset);
+    const PairMetrics m = EvaluateClass(dataset, result.cluster, person);
+    table.AddRow({jump ? "strong to front (paper)" : "FIFO only",
+                  std::to_string(result.stats.num_recomputations),
+                  std::to_string(result.stats.num_merges),
+                  TablePrinter::Num(result.stats.solve_seconds, 3),
+                  TablePrinter::PrecRecall(m.precision, m.recall)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nExpected shape: identical accuracy (the fixed point does "
+               "not depend on order under monotone similarities); the "
+               "front-insertion heuristic reduces recomputations by "
+               "resolving implied merges before dependent pairs are "
+               "(re)considered.\n";
+  return 0;
+}

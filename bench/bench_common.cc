@@ -1,0 +1,53 @@
+#include "bench_common.h"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace recon::bench {
+
+std::vector<datagen::PimConfig> AllPimConfigs() {
+  return {datagen::PimConfigA(), datagen::PimConfigB(),
+          datagen::PimConfigC(), datagen::PimConfigD()};
+}
+
+double BenchScale() {
+  const char* env = std::getenv("RECON_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  const double scale = std::atof(env);
+  if (scale <= 0.0 || scale > 1.0) return 1.0;
+  return scale;
+}
+
+std::vector<datagen::PimConfig> ScaledPimConfigs() {
+  std::vector<datagen::PimConfig> configs = AllPimConfigs();
+  const double scale = BenchScale();
+  if (scale < 1.0) {
+    for (auto& config : configs) {
+      config = datagen::ScaleConfig(config, scale);
+    }
+  }
+  return configs;
+}
+
+Comparison CompareOnClass(const Dataset& dataset, int class_id) {
+  Comparison out;
+  const IndepDec indep;
+  out.indep = EvaluateClass(dataset, indep.Run(dataset).cluster, class_id);
+  const Reconciler depgraph(ReconcilerOptions::DepGraph());
+  out.depgraph =
+      EvaluateClass(dataset, depgraph.Run(dataset).cluster, class_id);
+  return out;
+}
+
+void PrintHeader(const std::string& title, const std::string& paper_ref) {
+  std::cout << "\n=== " << title << " ===\n";
+  std::cout << "Reproduces: " << paper_ref << "\n";
+  const double scale = BenchScale();
+  if (scale < 1.0) {
+    std::cout << "(RECON_BENCH_SCALE=" << scale
+              << ": datasets scaled down; shapes, not sizes, apply)\n";
+  }
+  std::cout << "\n";
+}
+
+}  // namespace recon::bench

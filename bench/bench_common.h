@@ -1,0 +1,42 @@
+// Shared helpers for the table-reproduction harnesses.
+
+#ifndef RECON_BENCH_BENCH_COMMON_H_
+#define RECON_BENCH_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "baseline/indep_dec.h"
+#include "core/reconciler.h"
+#include "datagen/cora_generator.h"
+#include "datagen/pim_generator.h"
+#include "eval/metrics.h"
+#include "eval/report.h"
+#include "model/dataset.h"
+
+namespace recon::bench {
+
+/// The four PIM configurations in order (A, B, C, D).
+std::vector<datagen::PimConfig> AllPimConfigs();
+
+/// Reads RECON_BENCH_SCALE (a float in (0, 1], default 1) so slow machines
+/// can shrink the datasets while keeping the shapes.
+double BenchScale();
+
+/// AllPimConfigs() scaled by BenchScale().
+std::vector<datagen::PimConfig> ScaledPimConfigs();
+
+/// Runs DepGraph and IndepDec on `dataset` and returns the metrics for
+/// `class_id`.
+struct Comparison {
+  PairMetrics indep;
+  PairMetrics depgraph;
+};
+Comparison CompareOnClass(const Dataset& dataset, int class_id);
+
+/// Prints a standard header naming the experiment.
+void PrintHeader(const std::string& title, const std::string& paper_ref);
+
+}  // namespace recon::bench
+
+#endif  // RECON_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,62 @@
+// End-to-end reconciliation throughput at several dataset scales, plus the
+// cost split between graph construction and the fixed point.
+
+#include <benchmark/benchmark.h>
+
+#include "core/premerge.h"
+#include "core/reconciler.h"
+#include "datagen/pim_generator.h"
+
+namespace {
+
+recon::Dataset MakeDataset(double scale) {
+  recon::datagen::PimConfig config = recon::datagen::PimConfigA();
+  config = recon::datagen::ScaleConfig(config, scale);
+  return recon::datagen::GeneratePim(config);
+}
+
+void BM_DepGraphReconcile(benchmark::State& state) {
+  const double scale = static_cast<double>(state.range(0)) / 100.0;
+  const recon::Dataset dataset = MakeDataset(scale);
+  const recon::Reconciler reconciler(recon::ReconcilerOptions::DepGraph());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reconciler.Run(dataset));
+  }
+  state.counters["refs"] = dataset.num_references();
+}
+BENCHMARK(BM_DepGraphReconcile)->Arg(2)->Arg(5)->Arg(10)
+    ->Unit(benchmark::kMillisecond);
+
+// Raw graph construction *without* the key-attribute pre-merge — this is
+// why it costs more than the full Run() above, which condenses the
+// dataset first (see bench/ablation_blocking for the full comparison).
+void BM_GraphBuildOnly(benchmark::State& state) {
+  const double scale = static_cast<double>(state.range(0)) / 100.0;
+  const recon::Dataset dataset = MakeDataset(scale);
+  const recon::ReconcilerOptions options;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        recon::BuildDependencyGraph(dataset, options));
+  }
+  state.counters["refs"] = dataset.num_references();
+}
+BENCHMARK(BM_GraphBuildOnly)->Arg(2)->Arg(5)->Arg(10)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PremergeOnly(benchmark::State& state) {
+  const double scale = static_cast<double>(state.range(0)) / 100.0;
+  const recon::Dataset dataset = MakeDataset(scale);
+  const recon::SchemaBinding binding =
+      recon::SchemaBinding::Resolve(dataset.schema());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        recon::PremergeEqualEmails(dataset, binding));
+  }
+  state.counters["refs"] = dataset.num_references();
+}
+BENCHMARK(BM_PremergeOnly)->Arg(2)->Arg(10)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// Microbenchmarks for the string-similarity substrate.
+
+#include <benchmark/benchmark.h>
+
+#include "sim/comparators.h"
+#include "strsim/edit_distance.h"
+#include "strsim/jaro_winkler.h"
+#include "strsim/person_name.h"
+#include "strsim/tokens.h"
+#include "strsim/venue.h"
+
+namespace {
+
+void BM_Levenshtein(benchmark::State& state) {
+  const std::string a = "Distributed query processing in a relational data base system";
+  const std::string b = "Distributed query procesing in relational database systems";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(recon::strsim::LevenshteinDistance(a, b));
+  }
+}
+BENCHMARK(BM_Levenshtein);
+
+void BM_JaroWinkler(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        recon::strsim::JaroWinklerSimilarity("stonebraker", "stonebaker"));
+  }
+}
+BENCHMARK(BM_JaroWinkler);
+
+void BM_PersonNameParse(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        recon::strsim::ParsePersonName("Epstein, R.S."));
+  }
+}
+BENCHMARK(BM_PersonNameParse);
+
+void BM_PersonNameFieldSimilarity(benchmark::State& state) {
+  const std::string a = "Robert S. Epstein";
+  const std::string b = "Epstein, R.S.";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(recon::PersonNameFieldSimilarity(a, b));
+  }
+}
+BENCHMARK(BM_PersonNameFieldSimilarity);
+
+void BM_NameEmailSimilarity(benchmark::State& state) {
+  const std::string name = "Stonebraker, M.";
+  const std::string email = "stonebraker@csail.mit.edu";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(recon::NameEmailFieldSimilarity(name, email));
+  }
+}
+BENCHMARK(BM_NameEmailSimilarity);
+
+void BM_VenueNameSimilarity(benchmark::State& state) {
+  const std::string a = "ACM SIGMOD";
+  const std::string b = "ACM Conference on Management of Data";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(recon::VenueNameFieldSimilarity(a, b));
+  }
+}
+BENCHMARK(BM_VenueNameSimilarity);
+
+void BM_NgramSimilarity(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(recon::strsim::NgramSimilarity(
+        "approximate query answering", "approximate query processing"));
+  }
+}
+BENCHMARK(BM_NgramSimilarity);
+
+}  // namespace
+
+BENCHMARK_MAIN();

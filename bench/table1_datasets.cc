@@ -1,0 +1,39 @@
+// Table 1: dataset properties — #references, #entities, ratio.
+
+#include <iostream>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace recon;
+  bench::PrintHeader("Table 1: dataset properties",
+                     "Dong, Halevy, Madhavan (SIGMOD'05), Table 1");
+
+  TablePrinter table({"Dataset", "#(References)", "#(Entities)",
+                      "#Ref/#Entity"});
+  double ratio_sum = 0;
+  int rows = 0;
+  auto add_row = [&](const std::string& name, const Dataset& dataset) {
+    int entities = 0;
+    for (int c = 0; c < dataset.schema().num_classes(); ++c) {
+      entities += dataset.NumEntitiesOfClass(c);
+    }
+    const double ratio =
+        static_cast<double>(dataset.num_references()) / entities;
+    table.AddRow({name, std::to_string(dataset.num_references()),
+                  std::to_string(entities), TablePrinter::Num(ratio, 1)});
+    ratio_sum += ratio;
+    ++rows;
+  };
+
+  for (const auto& config : bench::ScaledPimConfigs()) {
+    add_row(config.name, datagen::GeneratePim(config));
+  }
+  add_row("Cora", datagen::GenerateCora(datagen::CoraConfig()));
+
+  table.Print(std::cout);
+  std::cout << "\nAverage reference-to-entity ratio: "
+            << TablePrinter::Num(ratio_sum / rows, 1)
+            << " (paper: 11.8)\n";
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Table 2: average precision/recall/F per class over the four PIM
+// datasets, IndepDec vs DepGraph.
+
+#include <iostream>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace recon;
+  bench::PrintHeader("Table 2: average P/R/F per class (PIM A-D)",
+                     "SIGMOD'05 Table 2");
+
+  const std::vector<std::string> class_names = {"Person", "Article", "Venue"};
+  std::vector<std::vector<PairMetrics>> indep(3), dep(3);
+
+  for (const auto& config : bench::ScaledPimConfigs()) {
+    const Dataset dataset = datagen::GeneratePim(config);
+    const IndepDec baseline;
+    const Reconciler depgraph(ReconcilerOptions::DepGraph());
+    const auto indep_clusters = baseline.Run(dataset).cluster;
+    const auto dep_clusters = depgraph.Run(dataset).cluster;
+    for (int c = 0; c < 3; ++c) {
+      const int class_id = dataset.schema().RequireClass(class_names[c]);
+      indep[c].push_back(EvaluateClass(dataset, indep_clusters, class_id));
+      dep[c].push_back(EvaluateClass(dataset, dep_clusters, class_id));
+    }
+  }
+
+  TablePrinter table({"Class", "IndepDec P/R", "F-msre", "DepGraph P/R",
+                      "F-msre"});
+  for (int c = 0; c < 3; ++c) {
+    const PairMetrics i = AverageMetrics(indep[c]);
+    const PairMetrics d = AverageMetrics(dep[c]);
+    table.AddRow({class_names[c],
+                  TablePrinter::PrecRecall(i.precision, i.recall),
+                  TablePrinter::Num(i.f1),
+                  TablePrinter::PrecRecall(d.precision, d.recall),
+                  TablePrinter::Num(d.f1)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nPaper (Table 2): Person 0.967/0.926 -> 0.995/0.976; "
+               "Article 0.997/0.977 -> 0.999/0.976; "
+               "Venue 0.935/0.790 -> 0.987/0.937.\n"
+               "Expected shape: DepGraph >= IndepDec on every class; largest "
+               "recall gain on Venue, then Person; Article about tied.\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Table 3: Person reconciliation on the full datasets and on the PArticle
+// (bibliography-derived) and PEmail (email-derived) subsets.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "model/subset.h"
+
+int main() {
+  using namespace recon;
+  bench::PrintHeader("Table 3: Person references, Full / PArticle / PEmail",
+                     "SIGMOD'05 Table 3");
+
+  std::vector<PairMetrics> indep[3], dep[3];  // full, particle, pemail
+  for (const auto& config : bench::ScaledPimConfigs()) {
+    const Dataset full = datagen::GeneratePim(config);
+    const int person = full.schema().RequireClass("Person");
+    const int article = full.schema().RequireClass("Article");
+    const int venue = full.schema().RequireClass("Venue");
+
+    // PArticle: persons extracted from bibliographies, plus the articles
+    // and venues they are associated with.
+    const Dataset particle = FilterDataset(full, [&](RefId id) {
+      const int c = full.reference(id).class_id();
+      if (c == article || c == venue) return true;
+      return c == person && full.provenance(id) == Provenance::kBibtex;
+    });
+    // PEmail: a single-class information space of email-derived persons.
+    const Dataset pemail = FilterDataset(full, [&](RefId id) {
+      return full.reference(id).class_id() == person &&
+             full.provenance(id) == Provenance::kEmail;
+    });
+
+    const Dataset* datasets[3] = {&full, &particle, &pemail};
+    for (int s = 0; s < 3; ++s) {
+      const bench::Comparison cmp =
+          bench::CompareOnClass(*datasets[s], person);
+      indep[s].push_back(cmp.indep);
+      dep[s].push_back(cmp.depgraph);
+    }
+  }
+
+  TablePrinter table({"Dataset", "IndepDec P/R", "F-msre", "DepGraph P/R",
+                      "F-msre"});
+  const char* names[3] = {"Full", "PArticle", "PEmail"};
+  for (int s : {0, 1, 2}) {
+    const PairMetrics i = AverageMetrics(indep[s]);
+    const PairMetrics d = AverageMetrics(dep[s]);
+    table.AddRow({names[s], TablePrinter::PrecRecall(i.precision, i.recall),
+                  TablePrinter::Num(i.f1),
+                  TablePrinter::PrecRecall(d.precision, d.recall),
+                  TablePrinter::Num(d.f1)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nPaper (Table 3): Full 0.967/0.926 -> 0.995/0.976; "
+               "PArticle 0.999/0.761 -> 0.997/0.994; "
+               "PEmail 0.999/0.905 -> 0.995/0.974.\n"
+               "Expected shape: the largest recall gain on PArticle "
+               "(name-only references), a solid gain on PEmail, and an "
+               "intermediate gain on Full.\n";
+  return 0;
+}

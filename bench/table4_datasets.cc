@@ -1,0 +1,44 @@
+// Table 4: per-dataset Person performance and partition counts.
+
+#include <iostream>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace recon;
+  bench::PrintHeader("Table 4: Person results per PIM dataset",
+                     "SIGMOD'05 Table 4");
+
+  TablePrinter table({"PIM dataset (#Persons/#Refs)", "IndepDec P/R",
+                      "F-msre", "#(Par)", "DepGraph P/R", "F-msre",
+                      "#(Par)"});
+  for (const auto& config : bench::ScaledPimConfigs()) {
+    const Dataset dataset = datagen::GeneratePim(config);
+    const int person = dataset.schema().RequireClass("Person");
+    const bench::Comparison cmp = bench::CompareOnClass(dataset, person);
+    const int person_refs =
+        static_cast<int>(dataset.ReferencesOfClass(person).size());
+    table.AddRow(
+        {config.name + " (" + std::to_string(cmp.indep.num_entities) + "/" +
+             std::to_string(person_refs) + ")",
+         TablePrinter::PrecRecall(cmp.indep.precision, cmp.indep.recall),
+         TablePrinter::Num(cmp.indep.f1),
+         std::to_string(cmp.indep.num_partitions),
+         TablePrinter::PrecRecall(cmp.depgraph.precision,
+                                  cmp.depgraph.recall),
+         TablePrinter::Num(cmp.depgraph.f1),
+         std::to_string(cmp.depgraph.num_partitions)});
+  }
+  table.Print(std::cout);
+  std::cout
+      << "\nPaper (Table 4): A 0.999/0.741 (3159) -> 0.999/0.999 (1873); "
+         "B 0.974/0.998 (2154) -> 0.999/0.999 (2068); "
+         "C 0.999/0.967 (1660) -> 0.982/0.987 (1596); "
+         "D 0.894/0.998 (1579) -> 0.999/0.920 (1546).\n"
+         "Expected shape: DepGraph produces fewer partitions everywhere; "
+         "the largest recall gain on A (highest name variety); a recall "
+         "*drop* with higher precision on D (owner split by the "
+         "unique-account constraint); the lowest DepGraph precision on C "
+         "(short overlapping names).\n";
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Table 5 + Figure 6: component contributions on PIM dataset A.
+//
+// Two orthogonal dimensions: evidence (Attr-wise -> Name&Email -> Article
+// -> Contact, cumulative) and mode (Traditional / Propagation / Merge /
+// Full). Each cell reports the number of Person partitions produced; the
+// "Reduction" column/row reports the recall improvement measured as the
+// percentage reduction of (partitions - entities), exactly as the paper
+// defines it.
+
+#include <iostream>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace recon;
+  bench::PrintHeader(
+      "Table 5 / Figure 6: component contributions (Person, PIM A)",
+      "SIGMOD'05 Table 5 and Figure 6");
+
+  datagen::PimConfig config = datagen::PimConfigA();
+  const double scale = bench::BenchScale();
+  if (scale < 1.0) config = datagen::ScaleConfig(config, scale);
+  const Dataset dataset = datagen::GeneratePim(config);
+  const int person = dataset.schema().RequireClass("Person");
+  const int entities = dataset.NumEntitiesOfClass(person);
+  const int person_refs =
+      static_cast<int>(dataset.ReferencesOfClass(person).size());
+  std::cout << dataset.num_references() << " references, " << person_refs
+            << " Person references, " << entities
+            << " real-world persons.\n\n";
+
+  const EvidenceLevel levels[] = {EvidenceLevel::kAttrWise,
+                                  EvidenceLevel::kNameEmail,
+                                  EvidenceLevel::kArticle,
+                                  EvidenceLevel::kContact};
+  struct Mode {
+    const char* name;
+    bool propagation;
+    bool enrichment;
+  };
+  const Mode modes[] = {{"Traditional", false, false},
+                        {"Propagation", true, false},
+                        {"Merge", false, true},
+                        {"Full", true, true}};
+
+  int partitions[4][4];
+  for (int m = 0; m < 4; ++m) {
+    for (int l = 0; l < 4; ++l) {
+      ReconcilerOptions options;
+      options.evidence_level = levels[l];
+      options.propagation = modes[m].propagation;
+      options.enrichment = modes[m].enrichment;
+      options.constraints = true;
+      const Reconciler reconciler(options);
+      const ReconcileResult result = reconciler.Run(dataset);
+      partitions[m][l] = result.NumPartitionsOfClass(dataset, person);
+    }
+  }
+
+  auto reduction = [&](int from, int to) {
+    const double gap_from = from - entities;
+    const double gap_to = to - entities;
+    if (gap_from <= 0) return 0.0;
+    return 100.0 * (gap_from - gap_to) / gap_from;
+  };
+
+  TablePrinter table({"Mode", "Attr-wise", "Name&Email", "Article",
+                      "Contact", "Reduction(%)"});
+  for (int m = 0; m < 4; ++m) {
+    table.AddRow({modes[m].name, std::to_string(partitions[m][0]),
+                  std::to_string(partitions[m][1]),
+                  std::to_string(partitions[m][2]),
+                  std::to_string(partitions[m][3]),
+                  TablePrinter::Num(reduction(partitions[m][0],
+                                              partitions[m][3]), 1)});
+  }
+  std::vector<std::string> last_row = {"Reduction(%)", "-"};
+  for (int l = 1; l < 4; ++l) {
+    last_row.push_back(
+        TablePrinter::Num(reduction(partitions[0][0], partitions[3][l]), 1));
+  }
+  last_row.push_back(
+      TablePrinter::Num(reduction(partitions[0][0], partitions[3][3]), 1));
+  table.AddRow(last_row);
+  table.Print(std::cout);
+
+  std::cout << "\nFigure 6 series (partitions per evidence level):\n";
+  for (int m = 0; m < 4; ++m) {
+    std::cout << "  " << modes[m].name << ":";
+    for (int l = 0; l < 4; ++l) std::cout << " " << partitions[m][l];
+    std::cout << "\n";
+  }
+  std::cout << "\nPaper (Table 5): Traditional 3159 2169 2169 2096 (75.4%); "
+               "Propagation 3159 2146 2135 2022 (80.7%); "
+               "Merge 3169 2036 2036 1910 (88.7%); "
+               "Full 3169 2002 1990 1873 (91.3%).\n"
+               "Expected shape: partitions fall monotonically with more "
+               "evidence and richer modes; Merge beats Propagation; Full is "
+               "best; IndepDec = Traditional x Attr-wise, DepGraph = Full x "
+               "Contact.\n";
+  return 0;
+}

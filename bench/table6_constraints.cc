@@ -1,0 +1,42 @@
+// Table 6: effect of constraint enforcement on PIM dataset A — precision /
+// recall, number of entities involved in false positives, and graph size.
+
+#include <iostream>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace recon;
+  bench::PrintHeader("Table 6: effect of constraints (Person, PIM A)",
+                     "SIGMOD'05 Table 6");
+
+  datagen::PimConfig config = datagen::PimConfigA();
+  const double scale = bench::BenchScale();
+  if (scale < 1.0) config = datagen::ScaleConfig(config, scale);
+  const Dataset dataset = datagen::GeneratePim(config);
+  const int person = dataset.schema().RequireClass("Person");
+
+  TablePrinter table({"Method", "Prec/Recall", "#(Entities w/ FP)",
+                      "#(Nodes)"});
+  for (const bool with_constraints : {true, false}) {
+    ReconcilerOptions options = ReconcilerOptions::DepGraph();
+    options.constraints = with_constraints;
+    const Reconciler reconciler(options);
+    const ReconcileResult result = reconciler.Run(dataset);
+    const PairMetrics m = EvaluateClass(dataset, result.cluster, person);
+    table.AddRow({with_constraints ? "DepGraph" : "Non-Constraint",
+                  TablePrinter::PrecRecall(m.precision, m.recall),
+                  std::to_string(
+                      EntitiesWithFalsePositives(dataset, result.cluster,
+                                                 person)),
+                  std::to_string(result.stats.num_nodes)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nPaper (Table 6): DepGraph 0.999/0.9994, 13 entities w/ FP, "
+               "692030 nodes; Non-Constraint 0.947/0.9996, 61 entities, "
+               "590438 nodes.\n"
+               "Expected shape: constraints sharply reduce false positives "
+               "at essentially no recall cost; they add nodes without "
+               "blowing up the graph.\n";
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Table 7: precision / recall / F-measure per class on the Cora citation
+// benchmark, IndepDec vs DepGraph, with the literature comparators quoted.
+
+#include <iostream>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace recon;
+  bench::PrintHeader("Table 7: the Cora dataset", "SIGMOD'05 Table 7");
+
+  const Dataset dataset = datagen::GenerateCora(datagen::CoraConfig());
+  std::cout << dataset.num_references() << " references extracted from "
+            << "synthetic citations.\n\n";
+
+  TablePrinter table({"Class", "IndepDec P/R", "F-msre", "DepGraph P/R",
+                      "F-msre"});
+  for (const char* class_name : {"Person", "Article", "Venue"}) {
+    const int class_id = dataset.schema().RequireClass(class_name);
+    const bench::Comparison cmp = bench::CompareOnClass(dataset, class_id);
+    table.AddRow({class_name,
+                  TablePrinter::PrecRecall(cmp.indep.precision,
+                                           cmp.indep.recall),
+                  TablePrinter::Num(cmp.indep.f1),
+                  TablePrinter::PrecRecall(cmp.depgraph.precision,
+                                           cmp.depgraph.recall),
+                  TablePrinter::Num(cmp.depgraph.f1)});
+  }
+  table.Print(std::cout);
+  std::cout
+      << "\nPaper (Table 7): Person 0.994/0.985 -> 1/0.987; "
+         "Article 0.985/0.913 -> 0.985/0.924; "
+         "Venue 0.982/0.362 -> 0.837/0.714.\n"
+         "Literature on the same benchmark (quoted, not reimplemented): "
+         "Parag&Domingos'04 0.842/0.909; Bilenko&Mooney'03 F=0.867; "
+         "Cohen&Richman'02 0.99/0.925.\n"
+         "Expected shape: DepGraph F >= IndepDec F on all classes; the "
+         "venue recall jumps sharply while venue *precision drops* "
+         "(article-to-venue propagation both reconciles true variants and "
+         "glues wrongly-cited venues).\n";
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Citation de-duplication: the Citeseer/Cora scenario of the paper's
+// introduction. Generates a noisy citation corpus, reconciles it, and
+// prints a cleaned bibliography with citation counts per paper — including
+// the venue consolidation that single-class approaches miss.
+
+#include <algorithm>
+#include <iostream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/reconciler.h"
+#include "datagen/cora_generator.h"
+#include "eval/metrics.h"
+
+int main() {
+  using namespace recon;
+
+  datagen::CoraConfig config;
+  config.num_papers = 40;
+  config.num_citations = 420;
+  const Dataset data = datagen::GenerateCora(config);
+
+  const Schema& schema = data.schema();
+  const int kArticle = schema.RequireClass("Article");
+  const int kVenue = schema.RequireClass("Venue");
+  const int kPerson = schema.RequireClass("Person");
+  const int kTitle = schema.RequireAttribute(kArticle, "title");
+  const int kPublishedIn = schema.RequireAttribute(kArticle, "publishedIn");
+  const int kVenueName = schema.RequireAttribute(kVenue, "name");
+
+  std::cout << "Reconciling " << data.num_references()
+            << " references from " << config.num_citations
+            << " noisy citations of " << config.num_papers
+            << " papers...\n\n";
+  const Reconciler reconciler(ReconcilerOptions::DepGraph());
+  const ReconcileResult result = reconciler.Run(data);
+
+  // Cleaned bibliography: one entry per article cluster.
+  struct Entry {
+    std::set<std::string> titles;
+    std::set<std::string> venue_names;
+    int citations = 0;
+  };
+  std::map<int, Entry> bibliography;
+  for (RefId id = 0; id < data.num_references(); ++id) {
+    const Reference& ref = data.reference(id);
+    if (ref.class_id() != kArticle) continue;
+    Entry& entry = bibliography[result.cluster[id]];
+    ++entry.citations;
+    for (const auto& title : ref.atomic_values(kTitle)) {
+      entry.titles.insert(title);
+    }
+    for (const RefId venue : ref.associations(kPublishedIn)) {
+      for (const auto& name :
+           data.reference(venue).atomic_values(kVenueName)) {
+        entry.venue_names.insert(name);
+      }
+    }
+  }
+
+  std::vector<std::pair<int, int>> ranked;  // (citations, cluster)
+  for (const auto& [cluster, entry] : bibliography) {
+    ranked.emplace_back(entry.citations, cluster);
+  }
+  std::sort(ranked.rbegin(), ranked.rend());
+
+  std::cout << "Cleaned bibliography: " << bibliography.size()
+            << " distinct papers (top 5 by citation count):\n";
+  for (int i = 0; i < std::min<int>(5, static_cast<int>(ranked.size()));
+       ++i) {
+    const Entry& entry = bibliography[ranked[i].second];
+    std::cout << "  [" << entry.citations << " citations] "
+              << *entry.titles.begin() << "\n";
+    if (entry.titles.size() > 1) {
+      std::cout << "      (+" << entry.titles.size() - 1
+                << " title variants reconciled)\n";
+    }
+    std::cout << "      venue mentions:";
+    int count = 0;
+    for (const auto& v : entry.venue_names) {
+      if (count++ == 4) { std::cout << " ..."; break; }
+      std::cout << " \"" << v << "\"";
+    }
+    std::cout << "\n";
+  }
+
+  std::cout << "\nAccuracy against ground truth:\n";
+  for (const auto& [name, class_id] :
+       std::map<std::string, int>{{"Person", kPerson},
+                                  {"Article", kArticle},
+                                  {"Venue", kVenue}}) {
+    const PairMetrics m = EvaluateClass(data, result.cluster, class_id);
+    std::cout << "  " << name << ": P=" << m.precision << " R=" << m.recall
+              << " F=" << m.f1 << " (" << m.num_partitions
+              << " partitions / " << m.num_entities << " entities)\n";
+  }
+  return 0;
+}

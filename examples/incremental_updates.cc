@@ -1,0 +1,78 @@
+// Incremental reconciliation (the paper's §7 future work): a PIM system
+// does not re-reconcile the whole desktop when mail arrives. This example
+// reconciles an initial personal dataset, then streams additional
+// "days" of references into the IncrementalReconciler, reporting how the
+// partition evolves and what each batch cost.
+
+#include <algorithm>
+#include <iostream>
+
+#include "core/incremental.h"
+#include "datagen/pim_generator.h"
+#include "eval/metrics.h"
+#include "model/subset.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace recon;
+
+  datagen::PimConfig config = datagen::PimConfigA();
+  config = datagen::ScaleConfig(config, 0.10);
+  const Dataset full = datagen::GeneratePim(config);
+  const int person = full.schema().RequireClass("Person");
+
+  // The first 40% of the references form the already-reconciled state;
+  // the rest arrives in four batches. (PIM generator references are
+  // grouped by extraction unit — message or BibTeX entry — and
+  // association links never cross units, so prefix cuts are safe.)
+  const RefId initial_cut = full.num_references() * 4 / 10;
+  const Dataset head =
+      FilterDataset(full, [&](RefId id) { return id < initial_cut; });
+
+  ReconcilerOptions options = ReconcilerOptions::DepGraph();
+  options.premerge_equal_emails = false;  // Batch-only optimization.
+  IncrementalReconciler reconciler(head, options);
+
+  Timer timer;
+  reconciler.Flush();
+  std::cout << "Initial load: " << head.num_references() << " references, "
+            << reconciler.result().stats.num_merges << " merges, "
+            << timer.ElapsedMillis() << " ms\n";
+
+  const int num_batches = 4;
+  const RefId remaining = full.num_references() - initial_cut;
+  for (int batch = 0; batch < num_batches; ++batch) {
+    const RefId from = initial_cut + remaining * batch / num_batches;
+    const RefId to = initial_cut + remaining * (batch + 1) / num_batches;
+    for (RefId id = from; id < to; ++id) {
+      const Reference& ref = full.reference(id);
+      Reference copy(ref.class_id(), ref.num_attributes());
+      for (int attr = 0; attr < ref.num_attributes(); ++attr) {
+        for (const auto& v : ref.atomic_values(attr)) {
+          copy.AddAtomicValue(attr, v);
+        }
+        for (const RefId target : ref.associations(attr)) {
+          copy.AddAssociation(attr, target);
+        }
+      }
+      reconciler.AddReference(std::move(copy), full.gold_entity(id),
+                              full.provenance(id));
+    }
+    timer.Restart();
+    reconciler.Flush();
+    const double ms = timer.ElapsedMillis();
+    const PairMetrics metrics = EvaluateClass(
+        reconciler.dataset(), reconciler.clusters(), person);
+    std::cout << "Batch " << (batch + 1) << ": +" << (to - from)
+              << " refs in " << ms << " ms; persons now "
+              << metrics.num_partitions << " partitions / "
+              << metrics.num_entities << " entities (P=" << metrics.precision
+              << " R=" << metrics.recall << ")\n";
+  }
+
+  std::cout << "\nFinal stats: "
+            << reconciler.result().stats.num_nodes << " graph nodes, "
+            << reconciler.result().stats.num_merges << " merges, "
+            << reconciler.result().stats.num_folds << " enrichment folds.\n";
+  return 0;
+}

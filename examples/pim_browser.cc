@@ -1,0 +1,106 @@
+// PIM browser: the paper's motivating application. Generates a personal
+// information space, reconciles it with DepGraph, and then answers
+// association-browsing queries over the *reconciled* view: a person's
+// email addresses, name variants, co-authors, and publications — the
+// experience a PIM system like Semex would offer.
+
+#include <algorithm>
+#include <iostream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/reconciler.h"
+#include "datagen/pim_generator.h"
+
+namespace {
+
+using recon::Dataset;
+using recon::RefId;
+
+/// A reconciled person: all values pooled across the partition.
+struct PersonView {
+  std::set<std::string> names;
+  std::set<std::string> emails;
+  std::set<int> coauthor_clusters;
+  std::set<int> article_clusters;
+  int num_references = 0;
+};
+
+}  // namespace
+
+int main() {
+  // A small personal dataset: a few hundred entities, a few thousand refs.
+  recon::datagen::PimConfig config = recon::datagen::PimConfigA();
+  config = recon::datagen::ScaleConfig(config, 0.08);
+  const Dataset data = recon::datagen::GeneratePim(config);
+
+  const recon::Schema& schema = data.schema();
+  const int kPerson = schema.RequireClass("Person");
+  const int kArticle = schema.RequireClass("Article");
+  const int kName = schema.RequireAttribute(kPerson, "name");
+  const int kEmail = schema.RequireAttribute(kPerson, "email");
+  const int kCoAuthor = schema.RequireAttribute(kPerson, "coAuthor");
+  const int kAuthors = schema.RequireAttribute(kArticle, "authoredBy");
+
+  std::cout << "Reconciling " << data.num_references()
+            << " references extracted from simulated email and BibTeX...\n";
+  const recon::Reconciler reconciler(recon::ReconcilerOptions::DepGraph());
+  const recon::ReconcileResult result = reconciler.Run(data);
+
+  // Build the browsable person views.
+  std::map<int, PersonView> persons;
+  for (RefId id = 0; id < data.num_references(); ++id) {
+    const recon::Reference& ref = data.reference(id);
+    if (ref.class_id() != kPerson) continue;
+    PersonView& view = persons[result.cluster[id]];
+    ++view.num_references;
+    for (const auto& name : ref.atomic_values(kName)) view.names.insert(name);
+    for (const auto& email : ref.atomic_values(kEmail)) {
+      view.emails.insert(email);
+    }
+    for (const RefId co : ref.associations(kCoAuthor)) {
+      view.coauthor_clusters.insert(result.cluster[co]);
+    }
+  }
+  for (RefId id = 0; id < data.num_references(); ++id) {
+    const recon::Reference& ref = data.reference(id);
+    if (ref.class_id() != kArticle) continue;
+    for (const RefId author : ref.associations(kAuthors)) {
+      persons[result.cluster[author]].article_clusters.insert(
+          result.cluster[id]);
+    }
+  }
+
+  std::cout << "Found " << persons.size() << " distinct persons.\n\n";
+
+  // Show the three most-referenced persons, Semex style.
+  std::vector<std::pair<int, int>> by_popularity;
+  for (const auto& [cluster, view] : persons) {
+    by_popularity.emplace_back(view.num_references, cluster);
+  }
+  std::sort(by_popularity.rbegin(), by_popularity.rend());
+  const int show = std::min<int>(3, static_cast<int>(by_popularity.size()));
+  for (int i = 0; i < show; ++i) {
+    const PersonView& view = persons[by_popularity[i].second];
+    std::cout << "Person #" << (i + 1) << "  (" << view.num_references
+              << " references reconciled)\n";
+    std::cout << "  Known as:";
+    int count = 0;
+    for (const auto& name : view.names) {
+      if (count++ == 6) { std::cout << " ..."; break; }
+      std::cout << " \"" << name << "\"";
+    }
+    std::cout << "\n  Addresses:";
+    for (const auto& email : view.emails) std::cout << " <" << email << ">";
+    std::cout << "\n  Co-authors: " << view.coauthor_clusters.size()
+              << " persons;  publications: " << view.article_clusters.size()
+              << "\n\n";
+  }
+  std::cout << "Graph: " << result.stats.num_nodes << " nodes, "
+            << result.stats.num_merges << " merges, build "
+            << result.stats.build_seconds << "s, solve "
+            << result.stats.solve_seconds << "s.\n";
+  return 0;
+}

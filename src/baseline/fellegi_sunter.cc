@@ -1,0 +1,222 @@
+#include "baseline/fellegi_sunter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/candidates.h"
+#include "core/schema_binding.h"
+#include "sim/comparators.h"
+#include "util/logging.h"
+#include "util/timer.h"
+#include "util/union_find.h"
+
+namespace recon {
+
+namespace {
+
+/// Comparison outcomes per field.
+enum Outcome : uint8_t {
+  kDisagree = 0,
+  kPartial = 1,
+  kAgree = 2,
+  kMissing = 3,
+  kNumOutcomes = 4,
+};
+
+using Comparator = double (*)(const std::string&, const std::string&);
+
+/// One comparable field of a class.
+struct FieldSpec {
+  int attr;
+  Comparator comparator;
+};
+
+/// The fields compared per class, mirroring IndepDec's attribute set.
+std::vector<FieldSpec> FieldsFor(const SchemaBinding& binding,
+                                 int class_id) {
+  std::vector<FieldSpec> fields;
+  if (class_id == binding.person) {
+    if (binding.person_name >= 0) {
+      fields.push_back({binding.person_name, PersonNameFieldSimilarity});
+    }
+    if (binding.person_email >= 0) {
+      fields.push_back({binding.person_email, EmailFieldSimilarity});
+    }
+  } else if (class_id == binding.article) {
+    if (binding.article_title >= 0) {
+      fields.push_back({binding.article_title, TitleFieldSimilarity});
+    }
+    if (binding.article_year >= 0) {
+      fields.push_back({binding.article_year, YearFieldSimilarity});
+    }
+    if (binding.article_pages >= 0) {
+      fields.push_back({binding.article_pages, PagesFieldSimilarity});
+    }
+  } else if (class_id == binding.venue) {
+    if (binding.venue_name >= 0) {
+      fields.push_back({binding.venue_name, VenueNameFieldSimilarity});
+    }
+    if (binding.venue_year >= 0) {
+      fields.push_back({binding.venue_year, YearFieldSimilarity});
+    }
+    if (binding.venue_location >= 0) {
+      fields.push_back({binding.venue_location, LocationFieldSimilarity});
+    }
+  }
+  return fields;
+}
+
+Outcome CompareField(const Reference& a, const Reference& b,
+                     const FieldSpec& field,
+                     const FellegiSunterOptions& options) {
+  const auto& values_a = a.atomic_values(field.attr);
+  const auto& values_b = b.atomic_values(field.attr);
+  if (values_a.empty() || values_b.empty()) return kMissing;
+  double best = 0;
+  for (const auto& va : values_a) {
+    for (const auto& vb : values_b) {
+      best = std::max(best, field.comparator(va, vb));
+    }
+  }
+  if (best >= options.agree_threshold) return kAgree;
+  if (best >= options.partial_threshold) return kPartial;
+  return kDisagree;
+}
+
+/// The comparison vectors of all candidate pairs of one class.
+struct ClassVectors {
+  std::vector<std::pair<RefId, RefId>> pairs;
+  /// pairs.size() x fields.size(), row-major.
+  std::vector<uint8_t> outcomes;
+  int num_fields = 0;
+};
+
+ClassVectors BuildVectors(const Dataset& dataset,
+                          const SchemaBinding& binding, int class_id,
+                          const std::vector<FieldSpec>& fields,
+                          const CandidateList& candidates,
+                          const FellegiSunterOptions& options) {
+  ClassVectors out;
+  out.num_fields = static_cast<int>(fields.size());
+  for (const auto& [r1, r2] : candidates) {
+    const Reference& a = dataset.reference(r1);
+    if (a.class_id() != class_id) continue;
+    const Reference& b = dataset.reference(r2);
+    out.pairs.emplace_back(r1, r2);
+    for (const FieldSpec& field : fields) {
+      out.outcomes.push_back(CompareField(a, b, field, options));
+    }
+  }
+  (void)binding;
+  return out;
+}
+
+/// EM for the two-class naive-Bayes mixture over outcome vectors.
+FellegiSunterModel FitEm(const ClassVectors& vectors,
+                         const FellegiSunterOptions& options,
+                         std::vector<double>* posteriors) {
+  FellegiSunterModel model;
+  const int fields = vectors.num_fields;
+  const size_t n = vectors.pairs.size();
+  model.m_probabilities.assign(fields, {0.05, 0.15, 0.75, 0.05});
+  model.u_probabilities.assign(fields, {0.70, 0.20, 0.05, 0.05});
+  model.match_prior = options.initial_match_prior;
+  posteriors->assign(n, 0.0);
+  if (n == 0 || fields == 0) return model;
+
+  for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
+    ++model.iterations;
+    // E step.
+    double gamma_sum = 0;
+    for (size_t i = 0; i < n; ++i) {
+      double log_m = std::log(model.match_prior);
+      double log_u = std::log(1.0 - model.match_prior);
+      for (int f = 0; f < fields; ++f) {
+        const uint8_t outcome = vectors.outcomes[i * fields + f];
+        log_m += std::log(model.m_probabilities[f][outcome]);
+        log_u += std::log(model.u_probabilities[f][outcome]);
+      }
+      const double gamma = 1.0 / (1.0 + std::exp(log_u - log_m));
+      (*posteriors)[i] = gamma;
+      gamma_sum += gamma;
+    }
+    // M step with light smoothing so no outcome probability hits zero.
+    const double new_prior =
+        std::clamp(gamma_sum / static_cast<double>(n), 1e-6, 0.5);
+    constexpr double kSmooth = 1e-3;
+    for (int f = 0; f < fields; ++f) {
+      std::array<double, 4> m_count{kSmooth, kSmooth, kSmooth, kSmooth};
+      std::array<double, 4> u_count{kSmooth, kSmooth, kSmooth, kSmooth};
+      for (size_t i = 0; i < n; ++i) {
+        const uint8_t outcome = vectors.outcomes[i * fields + f];
+        m_count[outcome] += (*posteriors)[i];
+        u_count[outcome] += 1.0 - (*posteriors)[i];
+      }
+      const double m_total =
+          m_count[0] + m_count[1] + m_count[2] + m_count[3];
+      const double u_total =
+          u_count[0] + u_count[1] + u_count[2] + u_count[3];
+      for (int k = 0; k < 4; ++k) {
+        model.m_probabilities[f][k] = m_count[k] / m_total;
+        model.u_probabilities[f][k] = u_count[k] / u_total;
+      }
+    }
+    const bool converged =
+        std::abs(new_prior - model.match_prior) < options.tolerance;
+    model.match_prior = new_prior;
+    if (converged) break;
+  }
+  return model;
+}
+
+}  // namespace
+
+FellegiSunterModel FellegiSunter::FitClass(const Dataset& dataset,
+                                           int class_id) const {
+  const SchemaBinding binding = SchemaBinding::Resolve(dataset.schema());
+  const std::vector<FieldSpec> fields = FieldsFor(binding, class_id);
+  const CandidateList candidates =
+      GenerateCandidates(dataset, binding, options_.blocking);
+  const ClassVectors vectors = BuildVectors(dataset, binding, class_id,
+                                            fields, candidates, options_);
+  std::vector<double> posteriors;
+  return FitEm(vectors, options_, &posteriors);
+}
+
+ReconcileResult FellegiSunter::Run(const Dataset& dataset) const {
+  Timer timer;
+  const SchemaBinding binding = SchemaBinding::Resolve(dataset.schema());
+  const CandidateList candidates =
+      GenerateCandidates(dataset, binding, options_.blocking);
+
+  ReconcileResult result;
+  result.stats.num_candidates = static_cast<int>(candidates.size());
+  UnionFind closure(dataset.num_references());
+
+  for (int class_id = 0; class_id < dataset.schema().num_classes();
+       ++class_id) {
+    const std::vector<FieldSpec> fields = FieldsFor(binding, class_id);
+    if (fields.empty()) continue;
+    const ClassVectors vectors = BuildVectors(dataset, binding, class_id,
+                                              fields, candidates, options_);
+    std::vector<double> posteriors;
+    FitEm(vectors, options_, &posteriors);
+    for (size_t i = 0; i < vectors.pairs.size(); ++i) {
+      ++result.stats.num_recomputations;
+      if (posteriors[i] >= options_.match_posterior_threshold) {
+        closure.Union(vectors.pairs[i].first, vectors.pairs[i].second);
+        result.merged_pairs.push_back(vectors.pairs[i]);
+        ++result.stats.num_merges;
+      }
+    }
+  }
+
+  result.cluster.resize(dataset.num_references());
+  for (int i = 0; i < dataset.num_references(); ++i) {
+    result.cluster[i] = closure.Find(i);
+  }
+  result.stats.solve_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace recon

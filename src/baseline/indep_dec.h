@@ -1,0 +1,38 @@
+// IndepDec: the standard reference-reconciliation baseline of §5.2.
+//
+// Compares each candidate reference pair attribute-wise with the *same*
+// similarity functions and thresholds as DepGraph, makes every decision
+// independently (no propagation, no enrichment, no cross-attribute or
+// association evidence, no constraints), then computes the transitive
+// closure. This is a standalone implementation — it does not build a
+// dependency graph — and doubles as a differential-testing oracle for
+// Reconciler(ReconcilerOptions::IndepDec()).
+
+#ifndef RECON_BASELINE_INDEP_DEC_H_
+#define RECON_BASELINE_INDEP_DEC_H_
+
+#include "core/options.h"
+#include "core/reconciler.h"
+#include "model/dataset.h"
+
+namespace recon {
+
+/// Attribute-wise independent-decision reconciliation.
+class IndepDec {
+ public:
+  explicit IndepDec(ReconcilerOptions options = ReconcilerOptions::IndepDec())
+      : options_(std::move(options)) {}
+
+  /// Partitions the dataset's references.
+  ReconcileResult Run(const Dataset& dataset) const;
+
+ private:
+  /// The core attribute-wise pass (after key-attribute pre-merging).
+  ReconcileResult RunCondensed(const Dataset& dataset) const;
+
+  ReconcilerOptions options_;
+};
+
+}  // namespace recon
+
+#endif  // RECON_BASELINE_INDEP_DEC_H_

@@ -1,0 +1,243 @@
+#include "core/candidates.h"
+
+#include "core/canopy.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "strsim/email.h"
+#include "strsim/person_name.h"
+#include "strsim/venue.h"
+#include "util/string_util.h"
+
+namespace recon {
+
+namespace {
+
+// Key namespaces. Person name tokens and email account cores share the
+// "n:" namespace on purpose: that is what lets "Stonebraker, M." land in
+// the same block as "stonebraker@csail.mit.edu".
+constexpr char kNameSpace[] = "n:";
+constexpr char kEmailSpace[] = "e:";
+constexpr char kTitleSpace[] = "t:";
+// Typo-tolerant prefix keys: last names and account cores share 4-char
+// prefix blocks so a mid-word typo still lands next to its original.
+constexpr char kPrefixSpace[] = "p4:";
+constexpr char kVenueSpace[] = "v:";
+
+std::string StripAccountCore(const std::string& account) {
+  std::string core;
+  for (char c : account) {
+    if (c == '.' || c == '_' || c == '-') continue;
+    core.push_back(c);
+  }
+  while (!core.empty() && core.back() >= '0' && core.back() <= '9') {
+    core.pop_back();
+  }
+  return core;
+}
+
+void AppendPersonKeys(const Dataset& dataset, RefId ref,
+                      const SchemaBinding& binding,
+                      std::vector<std::string>& keys) {
+  const Reference& r = dataset.reference(ref);
+  if (binding.person_name >= 0) {
+    for (const std::string& raw : r.atomic_values(binding.person_name)) {
+      const strsim::PersonName name = strsim::ParsePersonName(raw);
+      if (!name.last.empty()) {
+        // Last names are the discriminative key; adding first-name keys for
+        // structured names would put every "Robert *" in one giant block.
+        keys.push_back(kNameSpace + name.last);
+        if (name.last.size() >= 4) {
+          keys.push_back(kPrefixSpace + name.last.substr(0, 4));
+        }
+      } else {
+        // Bare first names / nicknames ("mike"): key on the canonical
+        // given name so they meet matching email account cores.
+        for (const auto& given : name.given) {
+          if (given.is_initial || given.text.size() < 2) continue;
+          keys.push_back(kNameSpace +
+                         strsim::CanonicalGivenName(given.text));
+        }
+      }
+    }
+  }
+  if (binding.person_email >= 0) {
+    for (const std::string& raw : r.atomic_values(binding.person_email)) {
+      const strsim::EmailAddress email = strsim::ParseEmail(raw);
+      if (email.account.empty()) continue;
+      keys.push_back(kEmailSpace + email.ToString());
+      const std::string core = StripAccountCore(email.account);
+      if (core.size() >= 3) {
+        keys.push_back(kNameSpace + core);
+        if (core.size() >= 4) {
+          keys.push_back(kPrefixSpace + core.substr(0, 4));
+        }
+        const std::string canonical = strsim::CanonicalGivenName(core);
+        if (canonical != core) keys.push_back(kNameSpace + canonical);
+        // Initial-pattern accounts ("repstein", "epsteinr") land in the
+        // last-name block once the leading/trailing letter is stripped.
+        if (core.size() >= 5) {
+          keys.push_back(kNameSpace + core.substr(1));
+          keys.push_back(kNameSpace + core.substr(0, core.size() - 1));
+        }
+      }
+      // Separator-delimited parts ("robert.epstein") meet both last-name
+      // and bare-first-name blocks.
+      std::string part;
+      for (const char c : email.account + ".") {
+        if (c == '.' || c == '_' || c == '-' || c == '@') {
+          if (part.size() >= 3 && part != core) {
+            keys.push_back(kNameSpace + part);
+            if (part.size() >= 4) {
+              keys.push_back(kPrefixSpace + part.substr(0, 4));
+            }
+          }
+          part.clear();
+        } else if (c < '0' || c > '9') {
+          part.push_back(c);
+        }
+      }
+    }
+  }
+}
+
+void AppendArticleKeys(const Dataset& dataset, RefId ref,
+                       const SchemaBinding& binding,
+                       std::vector<std::string>& keys) {
+  if (binding.article_title < 0) return;
+  const Reference& r = dataset.reference(ref);
+  for (const std::string& title : r.atomic_values(binding.article_title)) {
+    for (const std::string& token : Tokenize(title)) {
+      if (token.size() < 3 || IsDigits(token)) continue;
+      keys.push_back(kTitleSpace + token);
+    }
+  }
+}
+
+void AppendVenueKeys(const Dataset& dataset, RefId ref,
+                     const SchemaBinding& binding,
+                     std::vector<std::string>& keys) {
+  if (binding.venue_name < 0) return;
+  const Reference& r = dataset.reference(ref);
+  for (const std::string& name : r.atomic_values(binding.venue_name)) {
+    for (const std::string& token : strsim::VenueContentTokens(name)) {
+      keys.push_back(kVenueSpace + token);
+    }
+    const std::string acronym = strsim::VenueAcronym(name);
+    if (acronym.size() >= 3) keys.push_back(kVenueSpace + acronym);
+  }
+}
+
+uint64_t PackPair(RefId a, RefId b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
+         static_cast<uint32_t>(b);
+}
+
+}  // namespace
+
+std::vector<std::string> BlockingKeys(const Dataset& dataset, RefId ref,
+                                      const SchemaBinding& binding) {
+  std::vector<std::string> keys;
+  const int class_id = dataset.reference(ref).class_id();
+  if (class_id == binding.person) {
+    AppendPersonKeys(dataset, ref, binding, keys);
+  } else if (class_id == binding.article) {
+    AppendArticleKeys(dataset, ref, binding, keys);
+  } else if (class_id == binding.venue) {
+    AppendVenueKeys(dataset, ref, binding, keys);
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  return keys;
+}
+
+CandidateList GenerateCandidates(const Dataset& dataset,
+                                 const SchemaBinding& binding,
+                                 const ReconcilerOptions& options) {
+  CandidateList out;
+
+  if (options.use_blocking && options.use_canopies) {
+    CanopyOptions canopy;
+    canopy.loose_threshold = options.canopy_loose_threshold;
+    canopy.tight_threshold = options.canopy_tight_threshold;
+    canopy.max_canopy_size = options.max_canopy_size;
+    return GenerateCanopyCandidates(dataset, binding, canopy);
+  }
+
+  if (!options.use_blocking) {
+    // All same-class pairs, for small datasets and ablations.
+    for (int class_id = 0; class_id < dataset.schema().num_classes();
+         ++class_id) {
+      const std::vector<RefId> refs = dataset.ReferencesOfClass(class_id);
+      for (size_t i = 0; i < refs.size(); ++i) {
+        for (size_t j = i + 1; j < refs.size(); ++j) {
+          out.emplace_back(refs[i], refs[j]);
+        }
+      }
+    }
+    return out;
+  }
+
+  std::unordered_map<std::string, std::vector<RefId>> blocks;
+  for (RefId ref = 0; ref < dataset.num_references(); ++ref) {
+    for (std::string& key : BlockingKeys(dataset, ref, binding)) {
+      blocks[std::move(key)].push_back(ref);
+    }
+  }
+
+  std::unordered_set<uint64_t> seen;
+  for (const auto& [key, members] : blocks) {
+    if (static_cast<int>(members.size()) > options.max_block_size) continue;
+    for (size_t i = 0; i < members.size(); ++i) {
+      for (size_t j = i + 1; j < members.size(); ++j) {
+        if (seen.insert(PackPair(members[i], members[j])).second) {
+          out.emplace_back(std::min(members[i], members[j]),
+                           std::max(members[i], members[j]));
+        }
+      }
+    }
+  }
+  // Deterministic order regardless of hash iteration.
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+CandidateList CandidateIndex::AddReferences(const Dataset& dataset,
+                                            RefId first) {
+  // Index the new references, remembering which blocks they joined.
+  std::vector<std::string> touched;
+  for (RefId ref = first; ref < dataset.num_references(); ++ref) {
+    for (std::string& key : BlockingKeys(dataset, ref, binding_)) {
+      auto [it, inserted] = blocks_.try_emplace(std::move(key));
+      it->second.push_back(ref);
+      touched.push_back(it->first);
+    }
+  }
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+
+  // Pairs: each new member against every other member of its blocks.
+  std::unordered_set<uint64_t> seen;
+  CandidateList out;
+  for (const std::string& key : touched) {
+    const std::vector<RefId>& members = blocks_.at(key);
+    if (static_cast<int>(members.size()) > options_.max_block_size) continue;
+    for (const RefId a : members) {
+      if (a < first) continue;  // Old members pair only with new ones.
+      for (const RefId b : members) {
+        if (b >= a) break;  // Members are in insertion (= id) order.
+        if (seen.insert(PackPair(a, b)).second) {
+          out.emplace_back(std::min(a, b), std::max(a, b));
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace recon

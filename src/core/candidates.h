@@ -1,0 +1,58 @@
+// Candidate pair generation (blocking), in the spirit of the canopy
+// mechanism the paper borrows from McCallum et al.: a dependency-graph node
+// is only built for reference pairs that share at least one blocking key
+// (a name token, an email account, a rare title token, ...).
+
+#ifndef RECON_CORE_CANDIDATES_H_
+#define RECON_CORE_CANDIDATES_H_
+
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/options.h"
+#include "core/schema_binding.h"
+#include "model/dataset.h"
+
+namespace recon {
+
+/// Same-class reference pairs worth comparing, deduplicated, each with
+/// first < second.
+using CandidateList = std::vector<std::pair<RefId, RefId>>;
+
+/// Generates candidate pairs for all classes of `dataset`.
+/// With options.use_blocking == false, returns all same-class pairs.
+CandidateList GenerateCandidates(const Dataset& dataset,
+                                 const SchemaBinding& binding,
+                                 const ReconcilerOptions& options);
+
+/// Blocking keys of one reference (exposed for tests): lowercased name
+/// tokens (nickname-canonicalized), parsed last names, email account cores,
+/// title tokens, venue content tokens and acronyms, depending on class.
+std::vector<std::string> BlockingKeys(const Dataset& dataset, RefId ref,
+                                      const SchemaBinding& binding);
+
+/// Incrementally maintained blocking index: add batches of references and
+/// get back the candidate pairs each batch introduces. Used by the
+/// incremental reconciler.
+class CandidateIndex {
+ public:
+  CandidateIndex(SchemaBinding binding, const ReconcilerOptions& options)
+      : binding_(binding), options_(options) {}
+
+  /// Indexes references [first, dataset.num_references()) and returns the
+  /// deduplicated candidate pairs involving at least one of them. Blocks
+  /// over options.max_block_size contribute no pairs (consistent with
+  /// GenerateCandidates).
+  CandidateList AddReferences(const Dataset& dataset, RefId first);
+
+ private:
+  SchemaBinding binding_;
+  ReconcilerOptions options_;  // Copy: blocking knobs only.
+  std::unordered_map<std::string, std::vector<RefId>> blocks_;
+};
+
+}  // namespace recon
+
+#endif  // RECON_CORE_CANDIDATES_H_

@@ -1,0 +1,135 @@
+#include "core/canopy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace recon {
+
+namespace {
+
+uint64_t PackPair(RefId a, RefId b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
+         static_cast<uint32_t>(b);
+}
+
+/// Per-class cheap-feature index: references as sets of token ids with
+/// IDF weights, plus an inverted index for sparse similarity queries.
+struct FeatureIndex {
+  std::vector<RefId> refs;                     // Class members, id order.
+  std::vector<std::vector<int>> tokens_of;     // Parallel to refs.
+  std::vector<std::vector<int>> refs_of_token; // Inverted (local indices).
+  std::vector<double> idf;                     // Per token id.
+  std::vector<double> norm;                    // Per ref: sum of idf.
+};
+
+FeatureIndex BuildIndex(const Dataset& dataset,
+                        const SchemaBinding& binding, int class_id) {
+  FeatureIndex index;
+  std::unordered_map<std::string, int> token_ids;
+  for (RefId id = 0; id < dataset.num_references(); ++id) {
+    if (dataset.reference(id).class_id() != class_id) continue;
+    std::vector<int> tokens;
+    for (const std::string& key : BlockingKeys(dataset, id, binding)) {
+      auto [it, inserted] =
+          token_ids.try_emplace(key, static_cast<int>(token_ids.size()));
+      tokens.push_back(it->second);
+    }
+    std::sort(tokens.begin(), tokens.end());
+    tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+    index.refs.push_back(id);
+    index.tokens_of.push_back(std::move(tokens));
+  }
+
+  const int num_tokens = static_cast<int>(token_ids.size());
+  std::vector<int> df(num_tokens, 0);
+  index.refs_of_token.resize(num_tokens);
+  for (size_t local = 0; local < index.refs.size(); ++local) {
+    for (const int token : index.tokens_of[local]) {
+      ++df[token];
+      index.refs_of_token[token].push_back(static_cast<int>(local));
+    }
+  }
+  index.idf.resize(num_tokens);
+  const double n = std::max<size_t>(1, index.refs.size());
+  for (int t = 0; t < num_tokens; ++t) {
+    index.idf[t] = std::log(1.0 + n / (1.0 + df[t]));
+  }
+  index.norm.resize(index.refs.size());
+  for (size_t local = 0; local < index.refs.size(); ++local) {
+    double total = 0;
+    for (const int token : index.tokens_of[local]) total += index.idf[token];
+    index.norm[local] = total;
+  }
+  return index;
+}
+
+}  // namespace
+
+CandidateList GenerateCanopyCandidates(const Dataset& dataset,
+                                       const SchemaBinding& binding,
+                                       const CanopyOptions& options) {
+  RECON_CHECK_GE(options.tight_threshold, options.loose_threshold);
+  CandidateList out;
+  std::unordered_set<uint64_t> seen;
+
+  for (int class_id = 0; class_id < dataset.schema().num_classes();
+       ++class_id) {
+    const FeatureIndex index = BuildIndex(dataset, binding, class_id);
+    const size_t n = index.refs.size();
+    std::vector<char> removed(n, 0);  // Within tight threshold of a center.
+    std::vector<double> shared(n, 0.0);
+    std::vector<int> touched;
+
+    for (size_t center = 0; center < n; ++center) {
+      if (removed[center]) continue;
+      // Sparse IDF-weighted overlap with every reference sharing a token.
+      touched.clear();
+      for (const int token : index.tokens_of[center]) {
+        for (const int other : index.refs_of_token[token]) {
+          if (shared[other] == 0.0) touched.push_back(other);
+          shared[other] += index.idf[token];
+        }
+      }
+      // Collect the canopy.
+      std::vector<int> canopy;
+      for (const int other : touched) {
+        // Overlap coefficient in IDF mass: shared / min(norms).
+        const double denom =
+            std::max(1e-9, std::min(index.norm[center], index.norm[other]));
+        const double sim = shared[other] / denom;
+        shared[other] = 0.0;
+        if (static_cast<size_t>(other) == center) {
+          continue;
+        }
+        if (sim >= options.loose_threshold) {
+          canopy.push_back(other);
+          if (sim >= options.tight_threshold) removed[other] = 1;
+        }
+      }
+      removed[center] = 1;
+      if (static_cast<int>(canopy.size()) + 1 > options.max_canopy_size) {
+        continue;  // Ubiquitous-feature canopy: skip, like huge blocks.
+      }
+      // Pairs: center with members, and members among themselves.
+      canopy.push_back(static_cast<int>(center));
+      for (size_t i = 0; i < canopy.size(); ++i) {
+        for (size_t j = i + 1; j < canopy.size(); ++j) {
+          const RefId a = index.refs[canopy[i]];
+          const RefId b = index.refs[canopy[j]];
+          if (seen.insert(PackPair(a, b)).second) {
+            out.emplace_back(std::min(a, b), std::max(a, b));
+          }
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace recon

@@ -1,0 +1,41 @@
+// Canopy clustering for candidate generation — McCallum, Nigam & Ungar
+// (KDD 2000), the paper's reference [27] and the stated inspiration for
+// its dependency-graph pruning ("we follow the spirit of the canopy
+// mechanism to reduce the size of our dependency graph").
+//
+// A cheap IDF-weighted token similarity places references into overlapping
+// canopies: each unprocessed reference seeds a canopy; everything within
+// the *loose* threshold joins it; everything within the *tight* threshold
+// stops seeding canopies of its own. Only pairs sharing a canopy are
+// compared by the expensive machinery. An alternative to the default
+// inverted-index blocking; `bench/ablation_blocking` compares them.
+
+#ifndef RECON_CORE_CANOPY_H_
+#define RECON_CORE_CANOPY_H_
+
+#include "core/candidates.h"
+#include "core/options.h"
+#include "core/schema_binding.h"
+#include "model/dataset.h"
+
+namespace recon {
+
+/// Canopy thresholds over the cheap similarity (IDF-weighted overlap of
+/// blocking-key tokens, in [0, 1]). Requires tight >= loose.
+struct CanopyOptions {
+  double loose_threshold = 0.15;
+  double tight_threshold = 0.55;
+  /// Canopies larger than this contribute no pairs (ubiquitous-token
+  /// safety valve, like max_block_size for blocking).
+  int max_canopy_size = 2000;
+};
+
+/// Generates candidate pairs via canopy clustering, per class,
+/// deterministically (canopy centers are picked in reference-id order).
+CandidateList GenerateCanopyCandidates(const Dataset& dataset,
+                                       const SchemaBinding& binding,
+                                       const CanopyOptions& options);
+
+}  // namespace recon
+
+#endif  // RECON_CORE_CANOPY_H_

@@ -1,0 +1,585 @@
+#include "core/graph_builder.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/candidates.h"
+#include "sim/comparators.h"
+#include "sim/evidence.h"
+#include "strsim/email.h"
+#include "strsim/person_name.h"
+#include "util/logging.h"
+
+namespace recon {
+
+namespace {
+
+/// Evidence staged for one candidate reference pair before its node is
+/// created (the node is only created when some evidence exists).
+struct StagedEvidence {
+  struct ValueNodeSpec {
+    ValueId v1;
+    ValueId v2;
+    double sim;
+    int evidence;
+    /// Reference-pair merge marks this value pair merged (venue names).
+    bool propagate_merge;
+  };
+  std::vector<ValueNodeSpec> value_nodes;
+  std::vector<std::pair<int, double>> statics;  // (evidence, sim)
+  bool empty() const { return value_nodes.empty() && statics.empty(); }
+};
+
+class GraphBuilder {
+ public:
+  GraphBuilder(const Dataset& dataset, const ReconcilerOptions& options)
+      : dataset_(dataset),
+        options_(options),
+        binding_(SchemaBinding::Resolve(dataset.schema())) {}
+
+  BuiltGraph Build() {
+    BuiltGraph out;
+    out.binding = binding_;
+    out.graph = std::make_unique<DependencyGraph>(dataset_.num_references());
+    graph_ = out.graph.get();
+    values_ = &out.values;
+
+    const CandidateList candidates =
+        GenerateCandidates(dataset_, binding_, options_);
+    out.num_candidates = static_cast<int>(candidates.size());
+
+    // Step 1 (§3.1): atomic-attribute comparison, node seeding, and
+    // constraint marking.
+    for (const auto& [r1, r2] : candidates) {
+      SeedPair(r1, r2);
+    }
+    // Constraint 1: authors of one article are distinct persons. Creates
+    // non-merge nodes even where no atomic similarity exists (§3.4).
+    if (options_.constraints) MarkCoAuthorConstraints(/*first_ref=*/0);
+
+    // User feedback (§7): confirmed matches and non-matches become forced
+    // and non-merge nodes respectively.
+    ApplyFeedback();
+
+    // Step 2 (§3.1): association dependencies between existing nodes.
+    WireAssociations(/*start_node=*/0);
+
+    // Initial queue: venues, then persons, then articles, then the rest.
+    BuildInitialQueue(/*start_node=*/0, &out.initial_queue);
+
+    // Class similarity functions.
+    out.class_sims.resize(dataset_.schema().num_classes());
+    if (binding_.person >= 0) {
+      out.class_sims[binding_.person] =
+          MakeClassSimilarity("Person", options_.params);
+    }
+    if (binding_.article >= 0) {
+      out.class_sims[binding_.article] =
+          MakeClassSimilarity("Article", options_.params);
+    }
+    if (binding_.venue >= 0) {
+      out.class_sims[binding_.venue] =
+          MakeClassSimilarity("Venue", options_.params);
+    }
+    return out;
+  }
+
+  /// Incremental extension: seeds `pairs` into `built`, applies co-author
+  /// constraints for references >= first_new_ref, wires associations of
+  /// the new nodes, and returns them in processing order.
+  std::vector<NodeId> Extend(
+      const std::vector<std::pair<RefId, RefId>>& pairs, RefId first_new_ref,
+      BuiltGraph& built) {
+    graph_ = built.graph.get();
+    values_ = &built.values;
+    binding_ = built.binding;
+    built.num_candidates += static_cast<int>(pairs.size());
+
+    const NodeId start_node = graph_->num_nodes();
+    for (const auto& [r1, r2] : pairs) {
+      SeedPair(r1, r2);
+    }
+    if (options_.constraints) MarkCoAuthorConstraints(first_new_ref);
+    WireAssociations(start_node);
+
+    std::vector<NodeId> new_queue;
+    BuildInitialQueue(start_node, &new_queue);
+    return new_queue;
+  }
+
+ private:
+  // ---- Step 1: atomic comparisons ---------------------------------------
+
+  void SeedPair(RefId r1, RefId r2) {
+    const int class_id = dataset_.reference(r1).class_id();
+    StagedEvidence staged;
+    bool non_merge = false;
+    if (class_id == binding_.person) {
+      StagePerson(r1, r2, &staged, &non_merge);
+    } else if (class_id == binding_.article) {
+      StageArticle(r1, r2, &staged);
+    } else if (class_id == binding_.venue) {
+      StageVenue(r1, r2, &staged);
+    }
+    if (staged.empty() && !non_merge) return;
+
+    const NodeId m = graph_->AddRefPairNode(class_id, r1, r2);
+    Node& node = graph_->mutable_node(m);
+    if (non_merge) {
+      // The evidence nodes are still attached below — the paper keeps
+      // constrained pairs in the graph with their similarities ("we also
+      // include nodes whose elements are ensured to be distinct"), which
+      // is why Table 6 reports *more* nodes with constraints on. The
+      // non-merge state keeps the pair out of the queue regardless.
+      node.state = NodeState::kNonMerge;
+    }
+    for (const auto& [evidence, sim] : staged.statics) {
+      node.AddStaticReal(evidence, sim);
+    }
+    for (const auto& spec : staged.value_nodes) {
+      const NodeState state = (spec.sim >= options_.params.value_merge_threshold)
+                                  ? NodeState::kMerged
+                                  : NodeState::kInactive;
+      const NodeId n =
+          graph_->AddValuePairNode(spec.v1, spec.v2, spec.sim, state);
+      graph_->AddEdge(n, m, DependencyKind::kRealValued, spec.evidence);
+      if (spec.propagate_merge) {
+        graph_->AddEdge(m, n, DependencyKind::kStrongBoolean, spec.evidence);
+      }
+    }
+  }
+
+  /// Compares the cross product of two value sets with `comparator`,
+  /// staging static evidence for equal values and value nodes for pairs at
+  /// or above `seed`.
+  template <typename Comparator>
+  void StageAtomic(const std::vector<std::string>& values1,
+                   const std::vector<std::string>& values2,
+                   ValueDomain domain1, ValueDomain domain2, int evidence,
+                   double seed, bool propagate_merge, Comparator comparator,
+                   StagedEvidence* staged) {
+    for (const std::string& raw1 : values1) {
+      const ValueId v1 = values_->Intern(domain1, raw1);
+      for (const std::string& raw2 : values2) {
+        const ValueId v2 = values_->Intern(domain2, raw2);
+        if (v1 == v2) {
+          staged->statics.emplace_back(evidence, comparator(raw1, raw2));
+          continue;
+        }
+        const double sim = CachedSim(evidence, v1, v2, raw1, raw2, comparator);
+        if (sim >= seed) {
+          staged->value_nodes.push_back(
+              {v1, v2, sim, evidence, propagate_merge});
+        }
+      }
+    }
+  }
+
+  void StagePerson(RefId r1, RefId r2, StagedEvidence* staged,
+                   bool* non_merge) {
+    const Reference& a = dataset_.reference(r1);
+    const Reference& b = dataset_.reference(r2);
+    const SimParams& p = options_.params;
+
+    const ValueDomain name_domain{binding_.person, binding_.person_name};
+    const ValueDomain email_domain{binding_.person, binding_.person_email};
+
+    bool shared_email = false;
+    if (binding_.person_name >= 0) {
+      StageAtomic(a.atomic_values(binding_.person_name),
+                  b.atomic_values(binding_.person_name), name_domain,
+                  name_domain, kEvPersonName, p.person_name_seed,
+                  /*propagate_merge=*/false, PersonNameFieldSimilarity,
+                  staged);
+      // Both sides carry names but none were even seed-similar: record
+      // explicit zero evidence. Dissimilar names are soft negative
+      // evidence — the name channel must not read as "unknown".
+      const bool both_have_names =
+          !a.atomic_values(binding_.person_name).empty() &&
+          !b.atomic_values(binding_.person_name).empty();
+      if (both_have_names) {
+        bool any_name_evidence = false;
+        for (const auto& [evidence, sim] : staged->statics) {
+          if (evidence == kEvPersonName) any_name_evidence = true;
+        }
+        for (const auto& spec : staged->value_nodes) {
+          if (spec.evidence == kEvPersonName) any_name_evidence = true;
+        }
+        if (!any_name_evidence) {
+          staged->statics.emplace_back(kEvPersonName, 0.0);
+        }
+      }
+    }
+    if (binding_.person_email >= 0) {
+      const auto& emails1 = a.atomic_values(binding_.person_email);
+      const auto& emails2 = b.atomic_values(binding_.person_email);
+      StageAtomic(emails1, emails2, email_domain, email_domain,
+                  kEvPersonEmail, p.person_email_seed,
+                  /*propagate_merge=*/false, EmailFieldSimilarity, staged);
+      for (const std::string& e1 : emails1) {
+        for (const std::string& e2 : emails2) {
+          if (EmailFieldSimilarity(e1, e2) >= 1.0) shared_email = true;
+        }
+      }
+    }
+    if (options_.evidence_level >= EvidenceLevel::kNameEmail &&
+        binding_.person_name >= 0 && binding_.person_email >= 0) {
+      StageAtomic(a.atomic_values(binding_.person_name),
+                  b.atomic_values(binding_.person_email), name_domain,
+                  email_domain, kEvPersonNameEmail, p.name_email_seed,
+                  /*propagate_merge=*/false, NameEmailFieldSimilarity,
+                  staged);
+      StageAtomic(b.atomic_values(binding_.person_name),
+                  a.atomic_values(binding_.person_email), name_domain,
+                  email_domain, kEvPersonNameEmail, p.name_email_seed,
+                  /*propagate_merge=*/false, NameEmailFieldSimilarity,
+                  staged);
+    }
+
+    if (options_.constraints && !shared_email) {
+      *non_merge = ViolatesNameConstraint(a, b) ||
+                   ViolatesAccountConstraint(a, b);
+    }
+  }
+
+  /// Constraint 2: same first name with a completely different last name
+  /// (or vice versa) means distinct persons — unless an email is shared.
+  bool ViolatesNameConstraint(const Reference& a, const Reference& b) {
+    if (binding_.person_name < 0) return false;
+    const auto& names1 = a.atomic_values(binding_.person_name);
+    const auto& names2 = b.atomic_values(binding_.person_name);
+    if (names1.empty() || names2.empty()) return false;
+    bool any_contradiction = false;
+    for (const std::string& n1 : names1) {
+      const strsim::PersonName pa = ParsedName(n1);
+      for (const std::string& n2 : names2) {
+        const strsim::PersonName pb = ParsedName(n2);
+        if (strsim::NamesContradict(pa, pb)) {
+          any_contradiction = true;
+        } else if (!pa.last.empty() && !pb.last.empty() &&
+                   strsim::NamesCompatible(pa, pb)) {
+          // Some *structured* value pair is fully consistent: no
+          // constraint. (Bare first names are compatible with anything and
+          // must not neutralize a contradiction between full names.)
+          return false;
+        }
+      }
+    }
+    return any_contradiction;
+  }
+
+  /// Constraint 3: a person has a unique account per email server, so two
+  /// references with different accounts on the same server are distinct.
+  bool ViolatesAccountConstraint(const Reference& a, const Reference& b) {
+    if (binding_.person_email < 0) return false;
+    for (const std::string& e1 : a.atomic_values(binding_.person_email)) {
+      const strsim::EmailAddress ea = strsim::ParseEmail(e1);
+      if (ea.server.empty()) continue;
+      for (const std::string& e2 : b.atomic_values(binding_.person_email)) {
+        const strsim::EmailAddress eb = strsim::ParseEmail(e2);
+        if (ea.server == eb.server && ea.account != eb.account) return true;
+      }
+    }
+    return false;
+  }
+
+  void StageArticle(RefId r1, RefId r2, StagedEvidence* staged) {
+    const Reference& a = dataset_.reference(r1);
+    const Reference& b = dataset_.reference(r2);
+    const SimParams& p = options_.params;
+    if (binding_.article_title >= 0) {
+      const ValueDomain domain{binding_.article, binding_.article_title};
+      StageAtomic(a.atomic_values(binding_.article_title),
+                  b.atomic_values(binding_.article_title), domain, domain,
+                  kEvArticleTitle, p.article_title_seed,
+                  /*propagate_merge=*/false, TitleFieldSimilarity, staged);
+    }
+    // Titles are required evidence for articles: without a title match the
+    // pair is not worth a node.
+    if (staged->empty()) return;
+    if (binding_.article_year >= 0) {
+      const ValueDomain domain{binding_.article, binding_.article_year};
+      StageAtomic(a.atomic_values(binding_.article_year),
+                  b.atomic_values(binding_.article_year), domain, domain,
+                  kEvArticleYear, p.year_seed, /*propagate_merge=*/false,
+                  YearFieldSimilarity, staged);
+    }
+    if (binding_.article_pages >= 0) {
+      const ValueDomain domain{binding_.article, binding_.article_pages};
+      StageAtomic(a.atomic_values(binding_.article_pages),
+                  b.atomic_values(binding_.article_pages), domain, domain,
+                  kEvArticlePages, p.pages_seed, /*propagate_merge=*/false,
+                  PagesFieldSimilarity, staged);
+    }
+  }
+
+  void StageVenue(RefId r1, RefId r2, StagedEvidence* staged) {
+    const Reference& a = dataset_.reference(r1);
+    const Reference& b = dataset_.reference(r2);
+    const SimParams& p = options_.params;
+    if (binding_.venue_name >= 0) {
+      const ValueDomain domain{binding_.venue, binding_.venue_name};
+      // Venue names propagate merges: reconciling two venues certifies
+      // their names denote the same venue (Fig. 2's n6), which then feeds
+      // every other venue pair carrying these names.
+      StageAtomic(a.atomic_values(binding_.venue_name),
+                  b.atomic_values(binding_.venue_name), domain, domain,
+                  kEvVenueName, p.venue_name_seed, /*propagate_merge=*/true,
+                  VenueNameFieldSimilarity, staged);
+    }
+    if (staged->empty()) return;  // Venue name evidence is required.
+    if (binding_.venue_year >= 0) {
+      const ValueDomain domain{binding_.venue, binding_.venue_year};
+      StageAtomic(a.atomic_values(binding_.venue_year),
+                  b.atomic_values(binding_.venue_year), domain, domain,
+                  kEvVenueYear, p.year_seed, /*propagate_merge=*/false,
+                  YearFieldSimilarity, staged);
+    }
+    if (binding_.venue_location >= 0) {
+      const ValueDomain domain{binding_.venue, binding_.venue_location};
+      StageAtomic(a.atomic_values(binding_.venue_location),
+                  b.atomic_values(binding_.venue_location), domain, domain,
+                  kEvVenueLocation, p.location_seed,
+                  /*propagate_merge=*/false, LocationFieldSimilarity, staged);
+    }
+  }
+
+  // ---- Constraint 1 ------------------------------------------------------
+
+  void MarkCoAuthorConstraints(RefId first_ref) {
+    if (binding_.article < 0 || binding_.article_authors < 0) return;
+    for (RefId id = first_ref; id < dataset_.num_references(); ++id) {
+      const Reference& ref = dataset_.reference(id);
+      if (ref.class_id() != binding_.article) continue;
+      const auto& authors = ref.associations(binding_.article_authors);
+      for (size_t i = 0; i < authors.size(); ++i) {
+        for (size_t j = i + 1; j < authors.size(); ++j) {
+          NodeId node = graph_->FindRefPair(authors[i], authors[j]);
+          if (node == kInvalidNode) {
+            node = graph_->AddRefPairNode(binding_.person, authors[i],
+                                          authors[j]);
+          }
+          graph_->mutable_node(node).state = NodeState::kNonMerge;
+        }
+      }
+    }
+  }
+
+  void ApplyFeedback() {
+    auto valid_pair = [&](RefId a, RefId b) {
+      return a >= 0 && b >= 0 && a != b && a < dataset_.num_references() &&
+             b < dataset_.num_references() &&
+             dataset_.reference(a).class_id() ==
+                 dataset_.reference(b).class_id();
+    };
+    for (const auto& [a, b] : options_.feedback.same) {
+      if (!valid_pair(a, b)) continue;
+      const NodeId node = graph_->AddRefPairNode(
+          dataset_.reference(a).class_id(), a, b);
+      Node& n = graph_->mutable_node(node);
+      n.forced_merge = true;
+      n.state = NodeState::kInactive;  // Overrides an earlier non-merge.
+    }
+    for (const auto& [a, b] : options_.feedback.distinct) {
+      if (!valid_pair(a, b)) continue;
+      const NodeId node = graph_->AddRefPairNode(
+          dataset_.reference(a).class_id(), a, b);
+      Node& n = graph_->mutable_node(node);
+      n.forced_merge = false;
+      n.state = NodeState::kNonMerge;
+    }
+  }
+
+  // ---- Step 2: association wiring ---------------------------------------
+
+  void WireAssociations(NodeId start_node) {
+    if (options_.evidence_level < EvidenceLevel::kArticle) return;
+    const int total = graph_->num_nodes();
+    for (NodeId m = start_node; m < total; ++m) {
+      const Node& node = graph_->node(m);
+      if (!node.IsRefPair() || node.dead) continue;
+      if (node.state == NodeState::kNonMerge) continue;
+      if (node.class_id == binding_.article) {
+        WireArticlePair(m);
+      } else if (node.class_id == binding_.person &&
+                 options_.evidence_level >= EvidenceLevel::kContact) {
+        WirePersonContacts(m);
+      }
+    }
+  }
+
+  void WireArticlePair(NodeId m) {
+    const Node& node = graph_->node(m);
+    const Reference& a1 = dataset_.reference(node.a);
+    const Reference& a2 = dataset_.reference(node.b);
+
+    if (binding_.article_authors >= 0) {
+      const auto& authors1 = a1.associations(binding_.article_authors);
+      const auto& authors2 = a2.associations(binding_.article_authors);
+      for (const RefId p : authors1) {
+        for (const RefId q : authors2) {
+          if (p == q) {
+            // The same extracted person reference authors both: identity
+            // evidence for the articles (the paper's self node (a, a)).
+            graph_->mutable_node(m).AddStaticReal(kEvArticleAuthors, 1.0);
+            continue;
+          }
+          const NodeId n = graph_->FindRefPair(p, q);
+          if (n == kInvalidNode) continue;
+          if (graph_->node(n).state == NodeState::kNonMerge) continue;
+          // Author similarity feeds the article comparison; an article
+          // merge (almost) implies its aligned authors merge.
+          graph_->AddEdge(n, m, DependencyKind::kRealValued,
+                          kEvArticleAuthors);
+          graph_->AddEdge(m, n, DependencyKind::kStrongBoolean,
+                          kEvPersonArticle);
+        }
+      }
+    }
+
+    if (binding_.article_venue >= 0) {
+      const auto& venues1 = a1.associations(binding_.article_venue);
+      const auto& venues2 = a2.associations(binding_.article_venue);
+      for (const RefId v1 : venues1) {
+        for (const RefId v2 : venues2) {
+          if (v1 == v2) {
+            graph_->mutable_node(m).AddStaticReal(kEvArticleVenue, 1.0);
+            continue;
+          }
+          const NodeId n = graph_->FindRefPair(v1, v2);
+          if (n == kInvalidNode) continue;
+          if (graph_->node(n).state == NodeState::kNonMerge) continue;
+          graph_->AddEdge(n, m, DependencyKind::kRealValued,
+                          kEvArticleVenue);
+          graph_->AddEdge(m, n, DependencyKind::kStrongBoolean,
+                          kEvVenueArticle);
+        }
+      }
+    }
+  }
+
+  void WirePersonContacts(NodeId m) {
+    const Node& node = graph_->node(m);
+    const std::vector<RefId> contacts1 = ContactsOf(node.a);
+    const std::vector<RefId> contacts2 = ContactsOf(node.b);
+    if (contacts1.empty() || contacts2.empty()) return;
+    const int64_t cross = static_cast<int64_t>(contacts1.size()) *
+                          static_cast<int64_t>(contacts2.size());
+    if (cross > options_.max_assoc_cross) return;
+
+    int shared = 0;
+    for (const RefId c1 : contacts1) {
+      for (const RefId c2 : contacts2) {
+        if (c1 == c2) {
+          ++shared;
+          continue;
+        }
+        const NodeId n = graph_->FindRefPair(c1, c2);
+        if (n == kInvalidNode || n == m) continue;
+        if (graph_->node(n).state == NodeState::kNonMerge) continue;
+        // Bidirectional weak dependency (Fig. 2b: m6 <-> m7).
+        graph_->AddEdge(n, m, DependencyKind::kWeakBoolean,
+                        kEvPersonContact);
+        graph_->AddEdge(m, n, DependencyKind::kWeakBoolean,
+                        kEvPersonContact);
+      }
+    }
+    if (shared > 0) {
+      Node& mutable_m = graph_->mutable_node(m);
+      mutable_m.static_weak =
+          static_cast<int16_t>(std::min(32000, mutable_m.static_weak + shared));
+    }
+  }
+
+  std::vector<RefId> ContactsOf(RefId ref) {
+    std::vector<RefId> contacts;
+    const Reference& r = dataset_.reference(ref);
+    if (binding_.person_coauthor >= 0) {
+      const auto& coauthors = r.associations(binding_.person_coauthor);
+      contacts.insert(contacts.end(), coauthors.begin(), coauthors.end());
+    }
+    if (binding_.person_contact >= 0) {
+      const auto& mail = r.associations(binding_.person_contact);
+      contacts.insert(contacts.end(), mail.begin(), mail.end());
+    }
+    std::sort(contacts.begin(), contacts.end());
+    contacts.erase(std::unique(contacts.begin(), contacts.end()),
+                   contacts.end());
+    return contacts;
+  }
+
+  // ---- Queue and helpers -------------------------------------------------
+
+  void BuildInitialQueue(NodeId start_node, std::vector<NodeId>* queue) {
+    auto append_class = [&](int class_id) {
+      if (class_id < 0) return;
+      for (NodeId id = start_node; id < graph_->num_nodes(); ++id) {
+        const Node& node = graph_->node(id);
+        if (node.IsRefPair() && !node.dead &&
+            node.state != NodeState::kNonMerge &&
+            node.class_id == class_id) {
+          queue->push_back(id);
+        }
+      }
+    };
+    append_class(binding_.venue);
+    append_class(binding_.person);
+    append_class(binding_.article);
+    for (int c = 0; c < dataset_.schema().num_classes(); ++c) {
+      if (c == binding_.venue || c == binding_.person || c == binding_.article) {
+        continue;
+      }
+      append_class(c);
+    }
+  }
+
+  const strsim::PersonName& ParsedName(const std::string& raw) {
+    auto [it, inserted] = name_cache_.try_emplace(raw);
+    if (inserted) it->second = strsim::ParsePersonName(raw);
+    return it->second;
+  }
+
+  template <typename Comparator>
+  double CachedSim(int evidence, ValueId v1, ValueId v2,
+                   const std::string& raw1, const std::string& raw2,
+                   Comparator comparator) {
+    uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(
+                        std::min(v1, v2)))
+                    << 32) |
+                   static_cast<uint32_t>(std::max(v1, v2));
+    key ^= static_cast<uint64_t>(evidence) << 58;
+    // Same-attribute comparators are symmetric and cross-attribute pairs
+    // always arrive in (name, email) order, so the unordered key is safe.
+    auto [it, inserted] = sim_cache_.try_emplace(key, 0.0f);
+    if (inserted) {
+      it->second = static_cast<float>(comparator(raw1, raw2));
+    }
+    return it->second;
+  }
+
+  const Dataset& dataset_;
+  const ReconcilerOptions& options_;
+  SchemaBinding binding_;
+  DependencyGraph* graph_ = nullptr;
+  ValuePool* values_ = nullptr;
+  std::unordered_map<std::string, strsim::PersonName> name_cache_;
+  std::unordered_map<uint64_t, float> sim_cache_;
+};
+
+}  // namespace
+
+BuiltGraph BuildDependencyGraph(const Dataset& dataset,
+                                const ReconcilerOptions& options) {
+  return GraphBuilder(dataset, options).Build();
+}
+
+std::vector<NodeId> ExtendDependencyGraph(
+    const Dataset& dataset, const ReconcilerOptions& options,
+    const std::vector<std::pair<RefId, RefId>>& pairs, RefId first_new_ref,
+    BuiltGraph& built) {
+  return GraphBuilder(dataset, options).Extend(pairs, first_new_ref, built);
+}
+
+}  // namespace recon

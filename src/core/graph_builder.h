@@ -1,0 +1,52 @@
+// Dependency-graph construction (paper §3.1): seeds value-pair nodes from
+// atomic-attribute comparisons (step 1), wires association dependencies
+// between existing nodes (step 2), and marks constraint-mandated non-merge
+// nodes (§3.4).
+
+#ifndef RECON_CORE_GRAPH_BUILDER_H_
+#define RECON_CORE_GRAPH_BUILDER_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/options.h"
+#include "core/schema_binding.h"
+#include "graph/dep_graph.h"
+#include "graph/value_pool.h"
+#include "model/dataset.h"
+#include "sim/class_sim.h"
+
+namespace recon {
+
+/// Everything the reconciler needs to run the fixed point.
+struct BuiltGraph {
+  std::unique_ptr<DependencyGraph> graph;
+  ValuePool values;
+  /// Reference-pair nodes in initial processing order: venues before
+  /// persons before articles, so that a node tends to precede its outgoing
+  /// real-valued neighbors (§3.2's queue invariant).
+  std::vector<NodeId> initial_queue;
+  /// Per class id; null for classes with no similarity function.
+  std::vector<std::unique_ptr<ClassSimilarity>> class_sims;
+  SchemaBinding binding;
+  int num_candidates = 0;
+};
+
+/// Builds the dependency graph for `dataset` under `options`.
+BuiltGraph BuildDependencyGraph(const Dataset& dataset,
+                                const ReconcilerOptions& options);
+
+/// Extends an existing graph with nodes for `pairs` (candidate pairs that
+/// involve references added after the graph was built) and wires their
+/// association dependencies; co-author constraints are applied for article
+/// references with id >= `first_new_ref`. Call graph->AddReferences()
+/// before this. Returns the new reference-pair nodes in processing order
+/// (venues, persons, articles) for the solver to enqueue.
+std::vector<NodeId> ExtendDependencyGraph(
+    const Dataset& dataset, const ReconcilerOptions& options,
+    const std::vector<std::pair<RefId, RefId>>& pairs, RefId first_new_ref,
+    BuiltGraph& built);
+
+}  // namespace recon
+
+#endif  // RECON_CORE_GRAPH_BUILDER_H_

@@ -1,0 +1,77 @@
+#include "core/incremental.h"
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace recon {
+
+IncrementalReconciler::IncrementalReconciler(Dataset initial,
+                                             ReconcilerOptions options)
+    : dataset_(std::move(initial)), options_(std::move(options)) {
+  // Start from an empty graph over the right schema; the initial
+  // references flow through the same incremental path as later batches,
+  // so both are reconciled by identical code.
+  const Dataset empty(dataset_.schema());
+  built_ = BuildDependencyGraph(empty, options_);
+  built_.graph->AddReferences(dataset_.num_references());
+  index_ = std::make_unique<CandidateIndex>(built_.binding, options_);
+  solver_ = std::make_unique<FixedPointSolver>(dataset_, built_, options_,
+                                               &stats_);
+}
+
+IncrementalReconciler::~IncrementalReconciler() = default;
+
+RefId IncrementalReconciler::AddReference(Reference ref, int gold_entity,
+                                          Provenance provenance) {
+  const RefId id = dataset_.AddReference(std::move(ref), gold_entity,
+                                         provenance);
+  built_.graph->AddReferences(1);
+  return id;
+}
+
+void IncrementalReconciler::Flush() {
+  const RefId total = dataset_.num_references();
+  if (flushed_until_ >= total) return;
+
+  Timer timer;
+  const int new_refs = total - solver_->refs().size();
+  if (new_refs > 0) solver_->GrowReferences(new_refs);
+
+  const CandidateList pairs = index_->AddReferences(dataset_, flushed_until_);
+  const std::vector<NodeId> new_nodes =
+      ExtendDependencyGraph(dataset_, options_, pairs, flushed_until_, built_);
+  stats_.build_seconds += timer.ElapsedSeconds();
+
+  timer.Restart();
+  solver_->EnqueueNodes(new_nodes);
+  solver_->Run();
+  if (options_.constraints) solver_->PropagateNegativeEvidence();
+  stats_.solve_seconds += timer.ElapsedSeconds();
+
+  flushed_until_ = total;
+  closure_valid_ = false;
+}
+
+const std::vector<int>& IncrementalReconciler::clusters() {
+  Flush();
+  if (!closure_valid_) {
+    merged_pairs_.clear();
+    clusters_ = solver_->Closure(&merged_pairs_);
+    closure_valid_ = true;
+  }
+  return clusters_;
+}
+
+ReconcileResult IncrementalReconciler::result() {
+  ReconcileResult out;
+  out.cluster = clusters();  // Flushes and refreshes the closure.
+  out.merged_pairs = merged_pairs_;
+  out.stats = stats_;
+  out.stats.num_candidates = built_.num_candidates;
+  out.stats.num_nodes = built_.graph->num_nodes();
+  out.stats.num_live_nodes = built_.graph->num_live_nodes();
+  out.stats.num_edges = built_.graph->num_edges();
+  return out;
+}
+
+}  // namespace recon

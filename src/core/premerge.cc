@@ -1,0 +1,79 @@
+#include "core/premerge.h"
+
+#include <string>
+#include <unordered_map>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/union_find.h"
+
+namespace recon {
+
+PremergeResult PremergeEqualEmails(const Dataset& dataset,
+                                   const SchemaBinding& binding) {
+  const int n = dataset.num_references();
+  UnionFind groups(n);
+
+  if (binding.person >= 0 && binding.person_email >= 0) {
+    std::unordered_map<std::string, RefId> first_with_email;
+    for (RefId id = 0; id < n; ++id) {
+      const Reference& ref = dataset.reference(id);
+      if (ref.class_id() != binding.person) continue;
+      for (const std::string& email :
+           ref.atomic_values(binding.person_email)) {
+        auto [it, inserted] =
+            first_with_email.try_emplace(ToLower(email), id);
+        if (!inserted) groups.Union(it->second, id);
+      }
+    }
+  }
+
+  PremergeResult out{Dataset(dataset.schema()), {}, {}};
+  out.condensed_of.assign(n, kInvalidRef);
+
+  // Assign condensed ids in order of each group's smallest member so the
+  // result is deterministic and ids stay correlated with input order.
+  for (RefId id = 0; id < n; ++id) {
+    const int root = groups.Find(id);
+    if (out.condensed_of[root] == kInvalidRef) {
+      const Reference& ref = dataset.reference(id);
+      out.condensed_of[root] = out.condensed.NewReference(
+          ref.class_id(), dataset.gold_entity(id), dataset.provenance(id));
+      out.original_rep.push_back(id);
+    }
+    out.condensed_of[id] = out.condensed_of[root];
+  }
+
+  // Union atomic values; remap and union associations.
+  for (RefId id = 0; id < n; ++id) {
+    const Reference& ref = dataset.reference(id);
+    Reference& condensed =
+        out.condensed.mutable_reference(out.condensed_of[id]);
+    for (int attr = 0; attr < ref.num_attributes(); ++attr) {
+      for (const std::string& value : ref.atomic_values(attr)) {
+        condensed.AddAtomicValue(attr, value);
+      }
+      for (const RefId target : ref.associations(attr)) {
+        const RefId mapped = out.condensed_of[target];
+        if (mapped != out.condensed_of[id]) {
+          condensed.AddAssociation(attr, mapped);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<int> ExpandClusters(const PremergeResult& premerge,
+                                const std::vector<int>& condensed_clusters) {
+  RECON_CHECK_EQ(condensed_clusters.size(), premerge.original_rep.size());
+  std::vector<int> clusters(premerge.condensed_of.size());
+  for (size_t id = 0; id < clusters.size(); ++id) {
+    const int condensed_cluster =
+        condensed_clusters[premerge.condensed_of[id]];
+    clusters[id] = premerge.original_rep[condensed_cluster];
+  }
+  return clusters;
+}
+
+}  // namespace recon

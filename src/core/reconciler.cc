@@ -1,0 +1,125 @@
+#include "core/reconciler.h"
+
+#include <algorithm>
+#include <map>
+
+#include "core/premerge.h"
+#include "core/solver.h"
+#include "util/timer.h"
+
+namespace recon {
+
+namespace {
+
+/// Lifts a condensed-space result back to the original references,
+/// including the key merges the premerge itself performed.
+ReconcileResult ExpandResult(const PremergeResult& premerge,
+                             ReconcileResult condensed) {
+  ReconcileResult result;
+  result.stats = condensed.stats;
+  result.cluster = ExpandClusters(premerge, condensed.cluster);
+  for (const auto& [a, b] : condensed.merged_pairs) {
+    result.merged_pairs.emplace_back(premerge.original_rep[a],
+                                     premerge.original_rep[b]);
+  }
+  for (RefId id = 0;
+       id < static_cast<RefId>(premerge.condensed_of.size()); ++id) {
+    const RefId rep = premerge.original_rep[premerge.condensed_of[id]];
+    if (rep != id) result.merged_pairs.emplace_back(rep, id);
+  }
+  return result;
+}
+
+}  // namespace
+
+int ReconcileResult::NumPartitionsOfClass(const Dataset& dataset,
+                                          int class_id) const {
+  std::map<int, int> seen;
+  int count = 0;
+  for (RefId id = 0; id < dataset.num_references(); ++id) {
+    if (dataset.reference(id).class_id() != class_id) continue;
+    if (seen.emplace(cluster[id], 1).second) ++count;
+  }
+  return count;
+}
+
+std::vector<std::vector<RefId>> ReconcileResult::PartitionsOfClass(
+    const Dataset& dataset, int class_id) const {
+  std::map<int, std::vector<RefId>> by_cluster;
+  for (RefId id = 0; id < dataset.num_references(); ++id) {
+    if (dataset.reference(id).class_id() != class_id) continue;
+    by_cluster[cluster[id]].push_back(id);
+  }
+  std::vector<std::vector<RefId>> partitions;
+  partitions.reserve(by_cluster.size());
+  for (auto& [rep, members] : by_cluster) {
+    partitions.push_back(std::move(members));
+  }
+  std::sort(partitions.begin(), partitions.end(),
+            [](const auto& x, const auto& y) { return x.front() < y.front(); });
+  return partitions;
+}
+
+ReconcileResult Reconciler::Run(const Dataset& dataset) const {
+  if (options_.premerge_equal_emails) {
+    const SchemaBinding binding = SchemaBinding::Resolve(dataset.schema());
+    PremergeResult premerge = PremergeEqualEmails(dataset, binding);
+    if (premerge.condensed.num_references() < dataset.num_references()) {
+      // Feedback pairs are in original-reference space; remap them.
+      ReconcilerOptions condensed_options = options_;
+      condensed_options.feedback = Feedback{};
+      auto remap = [&](const std::vector<std::pair<int32_t, int32_t>>& in,
+                       std::vector<std::pair<int32_t, int32_t>>& out) {
+        for (const auto& [a, b] : in) {
+          if (a < 0 || b < 0 ||
+              a >= static_cast<int32_t>(premerge.condensed_of.size()) ||
+              b >= static_cast<int32_t>(premerge.condensed_of.size())) {
+            continue;
+          }
+          const RefId ca = premerge.condensed_of[a];
+          const RefId cb = premerge.condensed_of[b];
+          if (ca != cb) out.emplace_back(ca, cb);
+        }
+      };
+      remap(options_.feedback.same, condensed_options.feedback.same);
+      remap(options_.feedback.distinct,
+            condensed_options.feedback.distinct);
+
+      Timer build_timer;
+      BuiltGraph built =
+          BuildDependencyGraph(premerge.condensed, condensed_options);
+      const double build_seconds = build_timer.ElapsedSeconds();
+      const Reconciler condensed_reconciler(condensed_options);
+      ReconcileResult condensed =
+          condensed_reconciler.RunOnGraph(premerge.condensed, built);
+      condensed.stats.build_seconds = build_seconds;
+      return ExpandResult(premerge, std::move(condensed));
+    }
+  }
+  Timer build_timer;
+  BuiltGraph built = BuildDependencyGraph(dataset, options_);
+  const double build_seconds = build_timer.ElapsedSeconds();
+  ReconcileResult result = RunOnGraph(dataset, built);
+  result.stats.build_seconds = build_seconds;
+  return result;
+}
+
+ReconcileResult Reconciler::RunOnGraph(const Dataset& dataset,
+                                       BuiltGraph& built) const {
+  ReconcileResult result;
+  result.stats.num_candidates = built.num_candidates;
+  result.stats.num_nodes = built.graph->num_nodes();
+
+  Timer solve_timer;
+  FixedPointSolver solver(dataset, built, options_, &result.stats);
+  solver.EnqueueNodes(built.initial_queue);
+  solver.Run();
+  if (options_.constraints) solver.PropagateNegativeEvidence();
+  result.cluster = solver.Closure(&result.merged_pairs);
+  result.stats.solve_seconds = solve_timer.ElapsedSeconds();
+  result.stats.num_live_nodes = built.graph->num_live_nodes();
+  result.stats.num_edges = built.graph->num_edges();
+  return result;
+}
+
+}  // namespace recon

@@ -1,0 +1,24 @@
+// Run statistics shared by the reconciler and the fixed-point solver.
+
+#ifndef RECON_CORE_RECONCILER_STATS_H_
+#define RECON_CORE_RECONCILER_STATS_H_
+
+namespace recon {
+
+/// Counters for one reconciliation run (graph size feeds Table 6; timings
+/// feed the perf bench).
+struct ReconcileStats {
+  int num_candidates = 0;
+  int num_nodes = 0;       ///< Nodes ever created.
+  int num_live_nodes = 0;  ///< Nodes remaining after enrichment folding.
+  int num_edges = 0;
+  int num_recomputations = 0;
+  int num_merges = 0;
+  int num_folds = 0;
+  double build_seconds = 0;
+  double solve_seconds = 0;
+};
+
+}  // namespace recon
+
+#endif  // RECON_CORE_RECONCILER_STATS_H_

@@ -1,0 +1,35 @@
+#include "core/schema_binding.h"
+
+namespace recon {
+
+SchemaBinding SchemaBinding::Resolve(const Schema& schema) {
+  SchemaBinding b;
+  b.person = schema.FindClass("Person");
+  b.article = schema.FindClass("Article");
+  b.venue = schema.FindClass("Venue");
+
+  if (b.person >= 0) {
+    const ClassDef& person = schema.class_def(b.person);
+    b.person_name = person.FindAttribute("name");
+    b.person_email = person.FindAttribute("email");
+    b.person_coauthor = person.FindAttribute("coAuthor");
+    b.person_contact = person.FindAttribute("emailContact");
+  }
+  if (b.article >= 0) {
+    const ClassDef& article = schema.class_def(b.article);
+    b.article_title = article.FindAttribute("title");
+    b.article_year = article.FindAttribute("year");
+    b.article_pages = article.FindAttribute("pages");
+    b.article_authors = article.FindAttribute("authoredBy");
+    b.article_venue = article.FindAttribute("publishedIn");
+  }
+  if (b.venue >= 0) {
+    const ClassDef& venue = schema.class_def(b.venue);
+    b.venue_name = venue.FindAttribute("name");
+    b.venue_year = venue.FindAttribute("year");
+    b.venue_location = venue.FindAttribute("location");
+  }
+  return b;
+}
+
+}  // namespace recon

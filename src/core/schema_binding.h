@@ -1,0 +1,39 @@
+// Resolves the well-known classes/attributes of the PIM and Cora schemas
+// to ids, tolerating absent attributes (Cora has no Person.email).
+
+#ifndef RECON_CORE_SCHEMA_BINDING_H_
+#define RECON_CORE_SCHEMA_BINDING_H_
+
+#include "model/schema.h"
+
+namespace recon {
+
+/// Attribute/class ids for the personal-information domain. Absent classes
+/// and attributes are -1; wiring code checks before use.
+struct SchemaBinding {
+  int person = -1;
+  int article = -1;
+  int venue = -1;
+
+  int person_name = -1;
+  int person_email = -1;
+  int person_coauthor = -1;
+  int person_contact = -1;
+
+  int article_title = -1;
+  int article_year = -1;
+  int article_pages = -1;
+  int article_authors = -1;
+  int article_venue = -1;
+
+  int venue_name = -1;
+  int venue_year = -1;
+  int venue_location = -1;
+
+  /// Looks up every known name; missing entries stay -1.
+  static SchemaBinding Resolve(const Schema& schema);
+};
+
+}  // namespace recon
+
+#endif  // RECON_CORE_SCHEMA_BINDING_H_

@@ -1,0 +1,215 @@
+#include "core/solver.h"
+
+#include <algorithm>
+
+#include "sim/class_sim.h"
+#include "util/logging.h"
+
+namespace recon {
+
+FixedPointSolver::FixedPointSolver(const Dataset& dataset, BuiltGraph& built,
+                                   const ReconcilerOptions& options,
+                                   ReconcileStats* stats)
+    : dataset_(dataset),
+      built_(built),
+      graph_(*built.graph),
+      options_(options),
+      stats_(stats),
+      refs_(dataset.num_references()) {}
+
+void FixedPointSolver::EnqueueNodes(const std::vector<NodeId>& nodes) {
+  for (const NodeId id : nodes) {
+    Node& node = graph_.mutable_node(id);
+    if (node.dead || node.queued || node.state == NodeState::kNonMerge) {
+      continue;
+    }
+    if (node.state == NodeState::kInactive) node.state = NodeState::kActive;
+    node.queued = true;
+    queue_.push_back(id);
+  }
+}
+
+void FixedPointSolver::Run() {
+  const int64_t max_iterations =
+      500LL * std::max(1, graph_.num_nodes()) + 1000;
+  int64_t iterations = 0;
+  while (!queue_.empty()) {
+    RECON_CHECK_LT(iterations++, max_iterations)
+        << "Reconciliation failed to converge";
+    const NodeId id = queue_.front();
+    queue_.pop_front();
+    Step(id);
+  }
+}
+
+void FixedPointSolver::Step(NodeId id) {
+  Node& node = graph_.mutable_node(id);
+  node.queued = false;
+  if (node.dead || node.state == NodeState::kNonMerge) return;
+  if (node.state == NodeState::kActive) node.state = NodeState::kInactive;
+
+  const double old_sim = node.sim;
+  const double computed = ComputeSimilarity(node);
+  ++stats_->num_recomputations;
+  // Similarities are monotone non-decreasing (§3.2 termination).
+  if (computed > node.sim) node.sim = static_cast<float>(computed);
+  const bool increased = node.sim > old_sim + options_.params.epsilon;
+
+  if (increased && options_.propagation) {
+    for (const Edge& e : node.out) {
+      if (e.kind == DependencyKind::kRealValued) Enqueue(e.node, false);
+    }
+  }
+
+  const double threshold = node.IsRefPair()
+                               ? options_.params.merge_threshold
+                               : options_.params.value_merge_threshold;
+  if (node.sim >= threshold && node.state != NodeState::kMerged) {
+    node.state = NodeState::kMerged;
+    ++stats_->num_merges;
+    if (options_.propagation) {
+      // Strong-boolean dependents jump the queue (§3.2 heuristics).
+      for (const Edge& e : node.out) {
+        if (e.kind == DependencyKind::kStrongBoolean) {
+          Enqueue(e.node, options_.strong_neighbors_jump_queue);
+        }
+      }
+      for (const Edge& e : node.out) {
+        if (e.kind == DependencyKind::kWeakBoolean) Enqueue(e.node, false);
+      }
+    }
+    if (node.IsRefPair() && options_.enrichment) {
+      EnrichReferences(id);
+    }
+  }
+}
+
+void FixedPointSolver::EnrichReferences(NodeId id) {
+  // Capture the pair first; MergeReferences does not add nodes but the
+  // node reference would alias mutable graph state.
+  const RefId a = static_cast<RefId>(graph_.node(id).a);
+  const RefId b = static_cast<RefId>(graph_.node(id).b);
+  const int keep = refs_.Union(a, b);
+  const RefId gone = (keep == a) ? b : a;
+  MergeRefsResult result = graph_.MergeReferences(keep, gone);
+  stats_->num_folds += static_cast<int>(result.folded.size());
+  for (const NodeId m : result.gained_inputs) Enqueue(m, false);
+}
+
+void FixedPointSolver::Enqueue(NodeId id, bool front) {
+  Node& node = graph_.mutable_node(id);
+  if (node.dead || node.queued || node.state == NodeState::kNonMerge) {
+    return;
+  }
+  if (node.sim >= 1.0f) return;  // Cannot increase further (§3.2).
+  node.queued = true;
+  if (node.state == NodeState::kInactive) node.state = NodeState::kActive;
+  if (front) {
+    queue_.push_front(id);
+  } else {
+    queue_.push_back(id);
+  }
+}
+
+double FixedPointSolver::ComputeSimilarity(const Node& node) const {
+  if (node.forced_merge) return 1.0;  // User-confirmed match.
+  if (!node.IsRefPair()) {
+    // Value pairs: initial string similarity, lifted to 1 when a merged
+    // strong-boolean neighbor certifies the values denote one entity
+    // (Fig. 2's n6 after the venues merge).
+    double sim = node.sim;
+    for (const Edge& e : node.in) {
+      if (e.kind == DependencyKind::kStrongBoolean &&
+          graph_.node(e.node).state == NodeState::kMerged) {
+        sim = 1.0;
+        break;
+      }
+    }
+    return sim;
+  }
+
+  EvidenceSummary evidence;
+  for (const auto& [type, sim] : node.static_real) {
+    evidence.Offer(type, sim);
+  }
+  evidence.strong_merged = node.static_strong;
+  evidence.weak_merged = node.static_weak;
+  for (const Edge& e : node.in) {
+    const Node& src = graph_.node(e.node);
+    if (src.dead) continue;
+    switch (e.kind) {
+      case DependencyKind::kRealValued:
+        if (src.state != NodeState::kNonMerge) {
+          evidence.Offer(e.evidence, src.sim);
+        }
+        break;
+      case DependencyKind::kStrongBoolean:
+        if (src.state == NodeState::kMerged) ++evidence.strong_merged;
+        break;
+      case DependencyKind::kWeakBoolean:
+        if (src.state == NodeState::kMerged) ++evidence.weak_merged;
+        break;
+    }
+  }
+  const ClassSimilarity* sim_fn = built_.class_sims[node.class_id].get();
+  RECON_CHECK(sim_fn != nullptr)
+      << "No similarity function for class " << node.class_id;
+  return sim_fn->Compute(evidence);
+}
+
+void FixedPointSolver::PropagateNegativeEvidence() {
+  std::vector<NodeId> non_merge_nodes;
+  for (NodeId id = 0; id < graph_.num_nodes(); ++id) {
+    const Node& node = graph_.node(id);
+    if (!node.dead && node.IsRefPair() &&
+        node.state == NodeState::kNonMerge) {
+      non_merge_nodes.push_back(id);
+    }
+  }
+  for (const NodeId lid : non_merge_nodes) {
+    const Node& l = graph_.node(lid);
+    const RefId r1 = static_cast<RefId>(l.a);
+    const RefId r2 = static_cast<RefId>(l.b);
+    // Copy: we only flip states, but keep iteration order stable.
+    const std::vector<NodeId> around = graph_.NodesOfRef(r1);
+    for (const NodeId mid : around) {
+      if (mid == lid) continue;
+      const Node& m = graph_.node(mid);
+      if (m.dead || !m.IsRefPair()) continue;
+      const RefId r3 = static_cast<RefId>(m.Other(r1));
+      if (r3 == r2) continue;
+      const NodeId nid = graph_.FindRefPair(r2, r3);
+      if (nid == kInvalidNode) continue;
+      const Node& n = graph_.node(nid);
+      if (n.dead) continue;
+      // Demote the weaker side so r1 and r2 cannot be glued through r3
+      // (deterministic tie-break on node id).
+      const NodeId lower =
+          (m.sim > n.sim || (m.sim == n.sim && mid < nid)) ? nid : mid;
+      graph_.mutable_node(lower).state = NodeState::kNonMerge;
+    }
+  }
+}
+
+std::vector<int> FixedPointSolver::Closure(
+    std::vector<std::pair<RefId, RefId>>* merged_pairs) const {
+  UnionFind closure(dataset_.num_references());
+  for (NodeId id = 0; id < graph_.num_nodes(); ++id) {
+    const Node& node = graph_.node(id);
+    if (node.dead || !node.IsRefPair()) continue;
+    if (node.state == NodeState::kMerged) {
+      closure.Union(node.a, node.b);
+      if (merged_pairs != nullptr) {
+        merged_pairs->emplace_back(static_cast<RefId>(node.a),
+                                   static_cast<RefId>(node.b));
+      }
+    }
+  }
+  std::vector<int> cluster(dataset_.num_references());
+  for (int i = 0; i < dataset_.num_references(); ++i) {
+    cluster[i] = closure.Find(i);
+  }
+  return cluster;
+}
+
+}  // namespace recon

@@ -1,0 +1,75 @@
+// The queue-driven fixed-point solver at the heart of Figure 4. Exposed
+// (rather than buried in reconciler.cc) so that incremental reconciliation
+// can keep one solver alive across batches of new references.
+
+#ifndef RECON_CORE_SOLVER_H_
+#define RECON_CORE_SOLVER_H_
+
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "core/graph_builder.h"
+#include "core/options.h"
+#include "core/reconciler_stats.h"
+#include "model/dataset.h"
+#include "util/union_find.h"
+
+namespace recon {
+
+/// Runs the reconciliation fixed point over a built dependency graph.
+///
+/// The solver owns the active-node queue and the reference union-find that
+/// canonicalizes merged references for enrichment. It may be re-entered:
+/// enqueue more nodes (e.g. for newly added references) and call Run()
+/// again; merged state, non-merge constraints, and cluster canonicalization
+/// carry over.
+class FixedPointSolver {
+ public:
+  /// `dataset`, `built` and `stats` must outlive the solver.
+  FixedPointSolver(const Dataset& dataset, BuiltGraph& built,
+                   const ReconcilerOptions& options, ReconcileStats* stats);
+
+  FixedPointSolver(const FixedPointSolver&) = delete;
+  FixedPointSolver& operator=(const FixedPointSolver&) = delete;
+
+  /// Marks `nodes` active and appends them to the queue (dead, non-merge,
+  /// and already-queued nodes are skipped).
+  void EnqueueNodes(const std::vector<NodeId>& nodes);
+
+  /// Drains the queue to the fixed point (§3.2).
+  void Run();
+
+  /// §3.4 step 3: post-fixpoint propagation of negative evidence. Called
+  /// by the reconciler after Run() when constraints are enabled.
+  void PropagateNegativeEvidence();
+
+  /// Transitive closure over merged pairs. Also reports the directly
+  /// merged pairs when `merged_pairs` is non-null.
+  std::vector<int> Closure(
+      std::vector<std::pair<RefId, RefId>>* merged_pairs) const;
+
+  /// Grows the reference universe (call after Dataset/graph grew).
+  void GrowReferences(int count) { refs_.Grow(count); }
+
+  /// The union-find over references maintained by enrichment.
+  UnionFind& refs() { return refs_; }
+
+ private:
+  void Step(NodeId id);
+  void EnrichReferences(NodeId id);
+  void Enqueue(NodeId id, bool front);
+  double ComputeSimilarity(const Node& node) const;
+
+  const Dataset& dataset_;
+  BuiltGraph& built_;
+  DependencyGraph& graph_;
+  const ReconcilerOptions& options_;
+  ReconcileStats* stats_;
+  UnionFind refs_;
+  std::deque<NodeId> queue_;
+};
+
+}  // namespace recon
+
+#endif  // RECON_CORE_SOLVER_H_

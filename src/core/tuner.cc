@@ -1,0 +1,100 @@
+#include "core/tuner.h"
+
+#include <algorithm>
+
+#include "core/reconciler.h"
+#include "eval/metrics.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace recon {
+
+namespace {
+
+/// The tunable fields of SimParams, with clamping bounds.
+struct Tunable {
+  double SimParams::* field;
+  double lo;
+  double hi;
+};
+
+const std::vector<Tunable>& Tunables() {
+  static const auto* tunables = new std::vector<Tunable>{
+      {&SimParams::person_w_name_with_email, 0.2, 0.8},
+      {&SimParams::person_w_email_with_name, 0.2, 0.8},
+      {&SimParams::person_w_name_full, 0.2, 0.7},
+      {&SimParams::person_w_email_full, 0.1, 0.6},
+      {&SimParams::person_w_ne_full, 0.05, 0.5},
+      {&SimParams::person_email_only_scale, 0.6, 1.0},
+      {&SimParams::person_ne_only_scale, 0.5, 1.0},
+      {&SimParams::person_w_name_ne, 0.3, 0.8},
+      {&SimParams::person_w_ne_ne, 0.2, 0.7},
+      {&SimParams::article_w_title, 0.4, 0.9},
+      {&SimParams::article_title_only_scale, 0.7, 1.0},
+      {&SimParams::venue_w_name, 0.5, 0.95},
+      {&SimParams::venue_year_mismatch_penalty, 0.2, 0.9},
+  };
+  return *tunables;
+}
+
+double BetaGammaMutate(double value, double scale, double lo, double hi,
+                       Random& rng) {
+  const double factor = 1.0 + scale * (2.0 * rng.NextDouble() - 1.0);
+  return std::clamp(value * factor, lo, hi);
+}
+
+double Score(const Dataset& train, const ReconcilerOptions& options,
+             int class_id) {
+  const Reconciler reconciler(options);
+  const ReconcileResult result = reconciler.Run(train);
+  return EvaluateClass(train, result.cluster, class_id).f1;
+}
+
+}  // namespace
+
+TunerReport TuneParams(const Dataset& train, const ReconcilerOptions& base,
+                       const TunerOptions& tuner_options) {
+  const int class_id = train.schema().FindClass(tuner_options.target_class);
+  RECON_CHECK_GE(class_id, 0)
+      << "Unknown tuning class " << tuner_options.target_class;
+
+  Random rng(tuner_options.seed);
+  TunerReport report;
+  report.best_params = base.params;
+  report.initial_f1 = Score(train, base, class_id);
+  report.best_f1 = report.initial_f1;
+
+  for (int iteration = 0; iteration < tuner_options.iterations; ++iteration) {
+    SimParams candidate = report.best_params;
+    // Perturb a random non-empty subset of the tunables.
+    const auto& tunables = Tunables();
+    const int changes = 1 + static_cast<int>(rng.NextBounded(3));
+    for (int c = 0; c < changes; ++c) {
+      const Tunable& t = tunables[rng.NextBounded(tunables.size())];
+      candidate.*(t.field) = BetaGammaMutate(
+          candidate.*(t.field), tuner_options.mutation_scale, t.lo, t.hi,
+          rng);
+    }
+    // Occasionally nudge the boolean-evidence rewards too.
+    if (rng.NextBool(0.4)) {
+      candidate.person.gamma = BetaGammaMutate(
+          candidate.person.gamma, tuner_options.mutation_scale, 0.0, 0.2,
+          rng);
+      candidate.person.beta = BetaGammaMutate(
+          candidate.person.beta, tuner_options.mutation_scale, 0.0, 0.4,
+          rng);
+    }
+
+    ReconcilerOptions options = base;
+    options.params = candidate;
+    const double f1 = Score(train, options, class_id);
+    if (f1 > report.best_f1) {
+      report.best_f1 = f1;
+      report.best_params = candidate;
+    }
+    report.history.push_back(report.best_f1);
+  }
+  return report;
+}
+
+}  // namespace recon

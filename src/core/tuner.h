@@ -1,0 +1,51 @@
+// Similarity-parameter tuning from labeled data (paper §4: "training
+// data, when available, can be used to learn or tune similarity functions
+// for specific classes", and §7's learning direction).
+//
+// A seeded local random search over the SimParams leaf weights and
+// boolean-evidence parameters, scored by pairwise F-measure on a labeled
+// training dataset. Deliberately simple: the dependency-graph framework is
+// the contribution; the tuner shows the parameters are learnable, not that
+// search is clever.
+
+#ifndef RECON_CORE_TUNER_H_
+#define RECON_CORE_TUNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/options.h"
+#include "model/dataset.h"
+
+namespace recon {
+
+/// Search configuration.
+struct TunerOptions {
+  uint64_t seed = 1;
+  /// Candidate evaluations (each is a full reconciliation run).
+  int iterations = 25;
+  /// Relative perturbation magnitude per tunable.
+  double mutation_scale = 0.20;
+  /// Class whose pairwise F-measure is maximized.
+  std::string target_class = "Person";
+};
+
+/// Search outcome.
+struct TunerReport {
+  SimParams best_params;
+  double initial_f1 = 0;
+  double best_f1 = 0;
+  /// Best-so-far F after each evaluation (length == iterations).
+  std::vector<double> history;
+};
+
+/// Tunes `base.params` on `train` (which must carry gold labels) and
+/// returns the best parameters found. `base`'s algorithm switches
+/// (evidence level, propagation, ...) are held fixed.
+TunerReport TuneParams(const Dataset& train, const ReconcilerOptions& base,
+                       const TunerOptions& tuner_options);
+
+}  // namespace recon
+
+#endif  // RECON_CORE_TUNER_H_

@@ -1,0 +1,143 @@
+#include "datagen/cora_generator.h"
+
+#include "datagen/variants.h"
+#include "util/logging.h"
+
+namespace recon::datagen {
+
+namespace {
+
+struct CoraAttrs {
+  int person;
+  int article;
+  int venue;
+  int p_name, p_coauthor;
+  int a_title, a_pages, a_authors, a_venue;
+  int v_name, v_year, v_location;
+
+  explicit CoraAttrs(const Schema& s)
+      : person(s.RequireClass("Person")),
+        article(s.RequireClass("Article")),
+        venue(s.RequireClass("Venue")),
+        p_name(s.RequireAttribute(person, "name")),
+        p_coauthor(s.RequireAttribute(person, "coAuthor")),
+        a_title(s.RequireAttribute(article, "title")),
+        a_pages(s.RequireAttribute(article, "pages")),
+        a_authors(s.RequireAttribute(article, "authoredBy")),
+        a_venue(s.RequireAttribute(article, "publishedIn")),
+        v_name(s.RequireAttribute(venue, "name")),
+        v_year(s.RequireAttribute(venue, "year")),
+        v_location(s.RequireAttribute(venue, "location")) {}
+};
+
+}  // namespace
+
+Dataset GenerateCora(const CoraConfig& config) {
+  return GenerateCora(config, nullptr);
+}
+
+Dataset GenerateCora(const CoraConfig& config, Universe* universe_out) {
+  Random rng(config.seed);
+
+  UniverseConfig uc;
+  uc.num_persons = config.num_authors;
+  uc.num_articles = config.num_papers;
+  uc.num_venue_series = config.num_venue_series;
+  uc.years_per_series = config.years_per_series;
+  uc.min_authors = 1;
+  uc.max_authors = 4;
+  uc.indian_fraction = 0.15;
+  uc.chinese_fraction = 0.10;
+  uc.author_zipf = 0.7;
+  Universe universe = BuildUniverse(uc, rng);
+
+  Dataset dataset(BuildCoraSchema());
+  const CoraAttrs attrs(dataset.schema());
+
+  // Each author has a habitual rendering that most citations copy.
+  std::vector<NameStyle> habitual_style;
+  habitual_style.reserve(universe.persons.size());
+  for (size_t i = 0; i < universe.persons.size(); ++i) {
+    habitual_style.push_back(SampleBibNameStyle(config.style_variety, rng));
+  }
+
+  const ZipfSampler papers(static_cast<int>(universe.articles.size()),
+                           config.citation_zipf);
+  for (int c = 0; c < config.num_citations; ++c) {
+    const int article_id = papers.Sample(rng);
+    const ArticleSpec& article = universe.articles[article_id];
+
+    // Author references (name only, usually abbreviated).
+    std::vector<RefId> author_refs;
+    for (const int author_id : article.author_ids) {
+      const PersonSpec& person = universe.persons[author_id];
+      const RefId id =
+          dataset.NewReference(attrs.person, universe.PersonGold(author_id),
+                               Provenance::kBibtex);
+      const NameStyle style =
+          rng.NextBool(config.p_habitual_style)
+              ? habitual_style[author_id]
+              : SampleBibNameStyle(config.style_variety, rng);
+      dataset.mutable_reference(id).AddAtomicValue(
+          attrs.p_name,
+          RenderName(person, /*era=*/0, style, config.typo_rate, rng));
+      author_refs.push_back(id);
+    }
+    for (size_t i = 0; i < author_refs.size(); ++i) {
+      for (size_t j = 0; j < author_refs.size(); ++j) {
+        if (i == j) continue;
+        dataset.mutable_reference(author_refs[i])
+            .AddAssociation(attrs.p_coauthor, author_refs[j]);
+      }
+    }
+
+    // Venue reference: sometimes sloppily written, sometimes a different
+    // venue entirely ("citations of the same paper may mention different
+    // venues", §5.4). A wrong mention is labeled with the venue its string
+    // denotes.
+    int venue_id = article.venue_id;
+    if (rng.NextBool(config.p_wrong_venue)) {
+      venue_id = static_cast<int>(rng.NextBounded(universe.venues.size()));
+    }
+    const VenueSpec& venue = universe.venues[venue_id];
+    // Cora's hand-labeled gold identifies venues at *series* granularity
+    // ("POPL", not "POPL 1994"): citations rarely pin the instance.
+    const int venue_gold = static_cast<int>(universe.persons.size()) +
+                           venue.series_id;
+    const RefId venue_ref =
+        dataset.NewReference(attrs.venue, venue_gold, Provenance::kBibtex);
+    {
+      Reference& ref = dataset.mutable_reference(venue_ref);
+      const VenueStyle style = SampleVenueStyle(config.venue_sloppiness, rng);
+      ref.AddAtomicValue(attrs.v_name,
+                         RenderVenue(venue, style, config.typo_rate, rng));
+      if (rng.NextBool(config.p_venue_year)) {
+        ref.AddAtomicValue(attrs.v_year, venue.year);
+      }
+      if (rng.NextBool(config.p_venue_location)) {
+        ref.AddAtomicValue(attrs.v_location, venue.location);
+      }
+    }
+
+    // Article reference.
+    const RefId article_ref = dataset.NewReference(
+        attrs.article, universe.ArticleGold(article_id), Provenance::kBibtex);
+    {
+      Reference& ref = dataset.mutable_reference(article_ref);
+      ref.AddAtomicValue(attrs.a_title,
+                         RenderTitle(article.title, config.title_noise, rng));
+      if (rng.NextBool(config.p_pages)) {
+        ref.AddAtomicValue(attrs.a_pages, article.pages);
+      }
+      for (const RefId author : author_refs) {
+        ref.AddAssociation(attrs.a_authors, author);
+      }
+      ref.AddAssociation(attrs.a_venue, venue_ref);
+    }
+  }
+
+  if (universe_out != nullptr) *universe_out = std::move(universe);
+  return dataset;
+}
+
+}  // namespace recon::datagen

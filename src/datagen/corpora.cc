@@ -1,0 +1,386 @@
+#include "datagen/corpora.h"
+
+namespace recon::datagen {
+
+const std::vector<FirstNameSeed>& WesternFirstNames() {
+  // Nicknames agree with strsim::CanonicalGivenName so that generated
+  // variants are resolvable by the comparators.
+  static const auto* names = new std::vector<FirstNameSeed>{
+      {"Michael", "Mike"},   {"Robert", "Bob"},     {"William", "Bill"},
+      {"Richard", "Rick"},   {"James", "Jim"},      {"Thomas", "Tom"},
+      {"David", "Dave"},     {"Daniel", "Dan"},     {"Joseph", "Joe"},
+      {"Christopher", "Chris"}, {"Katherine", "Kate"}, {"Elizabeth", "Liz"},
+      {"Susan", "Sue"},      {"Andrew", "Andy"},    {"Anthony", "Tony"},
+      {"Steven", "Steve"},   {"Edward", "Ed"},      {"Theodore", "Ted"},
+      {"Frederick", "Fred"}, {"Samuel", "Sam"},     {"Alexander", "Alex"},
+      {"Benjamin", "Ben"},   {"Matthew", "Matt"},   {"Nicholas", "Nick"},
+      {"Peter", "Pete"},     {"Ronald", "Ron"},     {"Kenneth", "Ken"},
+      {"Gregory", "Greg"},   {"Jeffrey", "Jeff"},   {"Jennifer", "Jen"},
+      {"Margaret", "Peggy"}, {"Eugene", "Gene"},    {"Lawrence", "Larry"},
+      {"Harold", "Harry"},   {"John", "Jack"},      {"Donald", "Don"},
+      {"Raymond", "Ray"},    {"Victoria", "Vicky"}, {"Patricia", "Trish"},
+      {"Alice", ""},         {"Brian", ""},         {"Carol", ""},
+      {"Diane", ""},         {"Eric", ""},          {"Frank", ""},
+      {"George", ""},        {"Helen", ""},         {"Irene", ""},
+      {"Karen", ""},         {"Laura", ""},         {"Mary", ""},
+      {"Nancy", ""},         {"Oscar", ""},         {"Paul", ""},
+      {"Rachel", ""},        {"Sandra", ""},        {"Walter", ""},
+      {"Martin", ""},        {"Philip", ""},        {"Simon", ""},
+      {"Julia", ""},         {"Albert", ""},        {"Gordon", ""},
+      {"Howard", ""},        {"Norman", ""},        {"Stanley", ""},
+      {"Marvin", ""},        {"Leonard", ""},       {"Vincent", ""},
+      {"Arthur", ""},        {"Gerald", ""},        {"Roger", ""},
+      {"Russell", ""},       {"Wayne", ""},         {"Louise", ""},
+      {"Monica", ""},        {"Sharon", ""},        {"Joan", ""},
+      {"Emily", ""},         {"Hannah", ""},        {"Olivia", ""},
+      {"Sophia", ""},        {"Grace", ""},         {"Claire", ""},
+  };
+  return *names;
+}
+
+const std::vector<std::string>& WesternLastNames() {
+  static const auto* names = new std::vector<std::string>{
+      "Smith",      "Johnson",   "Brown",      "Taylor",    "Anderson",
+      "Wilson",     "Mercado",   "Thompson",   "Garcia",    "Martinez",
+      "Robinson",   "Clark",     "Rodriguez",  "Lewis",     "Walker",
+      "Hall",       "Allen",     "Young",      "Hernandez", "King",
+      "Wright",     "Lopez",     "Hill",       "Scott",     "Green",
+      "Adams",      "Baker",     "Gonzalez",   "Nelson",    "Carter",
+      "Mitchell",   "Perez",     "Roberts",    "Turner",    "Phillips",
+      "Campbell",   "Parker",    "Evans",      "Edwards",   "Collins",
+      "Stewart",    "Morris",    "Rogers",     "Reed",      "Cook",
+      "Morgan",     "Bell",      "Murphy",     "Bailey",    "Rivera",
+      "Cooper",     "Richardson","Cox",        "Abernathy",    "Ward",
+      "Peterson",   "Gray",      "Ramirez",    "Watson",    "Brooks",
+      "Kelly",      "Sanders",   "Price",      "Bennett",   "Wood",
+      "Barnes",     "Ross",      "Henderson",  "Coleman",   "Jenkins",
+      "Perry",      "Powell",    "Long",       "Patterson", "Hughes",
+      "Flores",     "Washington","Butler",     "Simmons",   "Foster",
+      "Stonebraker","Epstein",   "Halevy",     "Widom",     "Ullman",
+      "Gehrke",     "Hellerstein","DeWitt",    "Bernstein", "Abiteboul",
+      "Ioannidis",  "Franklin",  "Carey",      "Naughton",  "Stoica",
+      "Zaharia",    "Dean",      "Ghemawat",   "Lamport",   "Liskov",
+      "Abbott", "Ackerman", "Aldrich", "Alvarez", "Archer",
+      "Armstrong", "Atkinson", "Bancroft", "Barker", "Barlow",
+      "Barrett", "Bauer", "Beasley", "Becker", "Beckman",
+      "Bentley", "Berger", "Bishop", "Blackburn", "Blair",
+      "Blake", "Bowman", "Boyd", "Bradford", "Bradley",
+      "Brennan", "Bridges", "Briggs", "Brock", "Bryant",
+      "Buchanan", "Burgess", "Burke", "Burnett", "Byrne",
+      "Caldwell", "Calhoun", "Cameron", "Cannon", "Cardenas",
+      "Carlson", "Carmichael", "Carpenter", "Carrillo", "Carson",
+      "Castillo", "Chambers", "Chandler", "Chapman", "Christensen",
+      "Clarke", "Clayton", "Clements", "Cochran", "Coffey",
+      "Colby", "Compton", "Conley", "Connolly", "Conrad",
+      "Conway", "Copeland", "Cortez", "Costello", "Crawford",
+      "Crosby", "Cunningham", "Curran", "Curtis", "Dalton",
+      "Daniels", "Davenport", "Dawson", "Delaney", "Delgado",
+      "Dickson", "Dillon", "Dixon", "Donaldson", "Donovan",
+      "Dougherty", "Douglas", "Doyle", "Drake", "Dudley",
+      "Duffy", "Duncan", "Dunlap", "Durham", "Eaton",
+      "Elliott", "Ellison", "Emerson", "Erickson", "Espinoza",
+      "Everett", "Farley", "Farrell", "Ferguson", "Fernandez",
+      "Fischer", "Fitzgerald", "Fleming", "Fletcher", "Flynn",
+      "Forbes", "Fowler", "Francis", "Fraser", "Freeman",
+      "Frost", "Fuller", "Gallagher", "Galloway", "Gardner",
+      "Garrett", "Garrison", "Gibbs", "Gibson", "Gilbert",
+      "Gilmore", "Glover", "Goodman", "Goodwin", "Graham",
+      "Grant", "Graves", "Griffin", "Griffith", "Grimes",
+      "Gross", "Guthrie", "Hahn", "Hale", "Haley",
+      "Hamilton", "Hammond", "Hampton", "Hancock", "Hanson",
+      "Hardin", "Harmon", "Harper", "Harrington", "Hartman",
+      "Harvey", "Hayden", "Haynes", "Heath", "Hebert",
+      "Hendricks", "Hendrix", "Henson", "Herring", "Hickman",
+      "Higgins", "Hinton", "Hobbs", "Hodges", "Hoffman",
+      "Hogan", "Holcomb", "Holden", "Holland", "Holloway",
+      "Holmes", "Hooper", "Hopkins", "Horton", "Houston",
+      "Hubbard", "Huber", "Huffman", "Humphrey", "Hutchinson",
+      "Ingram", "Irwin", "Jacobs", "Jarvis", "Jennings",
+      "Jensen", "Jimenez", "Joyner", "Keller", "Kendall",
+      "Kennedy", "Kerr", "Kirby", "Kirkland", "Klein",
+      "Kline", "Knapp", "Knight", "Knox", "Kramer",
+      "Lambert", "Lancaster", "Landry", "Langley", "Larsen",
+      "Latham", "Lawson", "Leach", "Leblanc", "Lindgren",
+      "Levine", "Lindsey", "Livingston", "Lockhart", "Logan",
+      "Lowery", "Lucas", "Lynch", "Macdonald", "Macias",
+      "Mackenzie", "Madden", "Maldonado", "Malone", "Manning",
+      "Marsh", "Marshall", "Mathews", "Maxwell", "Maynard",
+      "Mcbride", "Mccall", "Mccarthy", "Mcclain", "Mcconnell",
+      "Mcdaniel", "Mcdowell", "Mcfadden", "Mcgee", "Mcguire",
+      "Mcintyre", "Mckay", "Mckee", "Mcknight", "Mclaughlin",
+      "Mcleod", "Mcneil", "Meadows", "Melton", "Mercer",
+      "Merritt", "Meyer", "Middleton", "Molina", "Monroe",
+      "Montgomery", "Moody", "Mooney", "Morrow", "Morton",
+      "Moses", "Mosley", "Mueller", "Mullins", "Munoz",
+      "Murdock", "Murray", "Myers", "Nash", "Navarro",
+      "Newman", "Newton", "Nichols", "Nielsen", "Nixon",
+      "Noble", "Nolan", "Norris", "Norton", "Nunez",
+      "Obrien", "Oconnor", "Odonnell", "Oliver", "Olsen",
+      "Oneal", "Orr", "Osborne", "Owens", "Pacheco",
+      "Palmer", "Parrish", "Paterson", "Patton", "Paxton",
+      "Pearson", "Pennington", "Peralta", "Perkins", "Petersen",
+      "Pham", "Pierce", "Pittman", "Pollard", "Poole",
+      "Porter", "Potter", "Pratt", "Prescott", "Preston",
+      "Pruitt", "Quinn", "Ramsey", "Randall", "Rasmussen",
+      "Radcliffe", "Reeves", "Reilly", "Reyes", "Reynolds",
+      "Rhodes", "Richmond", "Riddle", "Riggs", "Riley",
+      "Ritter", "Roach", "Robbins", "Rocha", "Rollins",
+      "Romero", "Rosales", "Rosario", "Rowe", "Rowland",
+      "Rubio", "Rutledge", "Salazar", "Salinas", "Sampson",
+      "Sanchez", "Sandoval", "Santiago", "Santos", "Sargent",
+      "Saunders", "Savage", "Sawyer", "Schaefer", "Schmidt",
+      "Schneider", "Schroeder", "Schultz", "Schwartz", "Sellers",
+      "Sexton", "Shaffer", "Shannon", "Sharpe", "Shelton",
+      "Shepard", "Sheppard", "Sherman", "Shields", "Short",
+      "Sinclair", "Singleton", "Skinner", "Sloan", "Snider",
+      "Snyder", "Solomon", "Sparks", "Spears", "Spencer",
+      "Stafford", "Stratton", "Stanton", "Stark", "Steele",
+      "Stephens", "Stevenson", "Stokes", "Stout", "Strickland",
+      "Strong", "Stuart", "Suarez", "Sullivan", "Summers",
+      "Sutton", "Sweeney", "Talley", "Tanner", "Tate",
+      "Terrell", "Thornton", "Tillman", "Todd", "Townsend",
+      "Tran", "Travis", "Trevino", "Tucker", "Tyler",
+      "Underwood", "Valencia", "Valentine", "Vance", "Vargas",
+      "Vaughn", "Vazquez", "Velasquez", "Vandenberg", "Vinson",
+      "Wade", "Wagner", "Walden", "Wallace", "Walsh",
+      "Walton", "Warner", "Warren", "Waters", "Watkins",
+      "Weaver", "Webb", "Weber", "Webster", "Welch",
+      "Wells", "West", "Wheeler", "Whitaker", "Whitfield",
+      "Whitley", "Whitney", "Wiggins", "Wilcox", "Wilder",
+      "Wiley", "Wilkins", "Wilkinson", "Williamson", "Willis",
+      "Winters", "Wise", "Witt", "Wolfe", "Woodard",
+      "Woodward", "Wooten", "Workman", "Wyatt", "Yates",
+      "York", "Zamora", "Zimmerman", "Zuniga", "Sheridan",
+  };
+  return *names;
+}
+
+const std::vector<std::string>& IndianFirstNames() {
+  static const auto* names = new std::vector<std::string>{
+      "Anil",    "Arun",    "Ashok",  "Deepak",  "Ganesh",  "Gopal",
+      "Harish",  "Jayant",  "Kiran",  "Manish",  "Mohan",   "Naveen",
+      "Prakash", "Rajesh",  "Rakesh", "Ramesh",  "Sanjay",  "Suresh",
+      "Vijay",   "Vinod",   "Amit",   "Ankur",   "Gaurav",  "Nikhil",
+      "Pranav",  "Rahul",   "Rohit",  "Sachin",  "Tarun",   "Varun",
+      "Anita",   "Asha",    "Divya",  "Kavita",  "Lakshmi", "Meena",
+      "Neha",    "Pooja",   "Priya",  "Radha",   "Rekha",   "Shweta",
+      "Sunita",  "Usha",    "Anjali", "Swati",
+  };
+  return *names;
+}
+
+const std::vector<std::string>& IndianLastNames() {
+  static const auto* names = new std::vector<std::string>{
+      "Agarwal",  "Banerjee", "Bhatt",    "Chopra",   "Desai",
+      "Gupta",    "Iyer",     "Jain",     "Joshi",    "Kapoor",
+      "Kulkarni", "Kumar",    "Madhavan", "Mehta",    "Menon",
+      "Mishra",   "Nair",     "Patel",    "Rao",      "Reddy",
+      "Saxena",   "Sharma",   "Singh",    "Sinha",    "Srivastava",
+      "Verma",    "Chaudhuri","Ramakrishnan", "Krishnamurthy", "Venkatesh",
+      "Acharya", "Bose", "Chandra", "Chatterjee", "Dutta",
+      "Ghosh", "Gokhale", "Hegde", "Kamath", "Khanna",
+      "Malhotra", "Mathur", "Mukherjee", "Narayanan", "Pandey",
+      "Pillai", "Raghavan", "Rajan", "Sen", "Shah",
+      "Subramanian", "Tripathi", "Vaidya", "Varma", "Yadav",
+      "Bhattacharya", "Deshpande", "Ganguly", "Kaul", "Mahajan",
+  };
+  return *names;
+}
+
+const std::vector<std::string>& ChineseFirstNames() {
+  static const auto* names = new std::vector<std::string>{
+      "Wei",  "Fang", "Min",  "Jun",  "Hong", "Lei",  "Yan",  "Jing",
+      "Li",   "Na",   "Xin",  "Yu",   "Mei",  "Ling", "Bo",   "Chen",
+      "Hao",  "Ying", "Qing", "Feng", "Gang", "Hui",  "Jie",  "Juan",
+      "Kai",  "Lan",  "Ming", "Ning", "Ping", "Qiang","Rui",  "Tao",
+      "Xia",  "Yang", "Yong", "Zhen",
+  };
+  return *names;
+}
+
+const std::vector<std::string>& ChineseLastNames() {
+  static const auto* names = new std::vector<std::string>{
+      "Li",   "Wang", "Zhang", "Chen", "Liu", "Yang", "Huang", "Zhao",
+      "Wu",   "Zhou", "Xu",    "Sun",  "Ma",  "Zhu",  "Hu",    "Guo",
+      "He",   "Lin",  "Gao",   "Luo",  "Zheng", "Liang", "Xie", "Tang",
+  };
+  return *names;
+}
+
+const std::vector<std::string>& TitleTopicWords() {
+  static const auto* words = new std::vector<std::string>{
+      "query",        "optimization", "distributed",  "relational",
+      "database",     "transaction",  "concurrency",  "recovery",
+      "indexing",     "caching",      "replication",  "consistency",
+      "streaming",    "adaptive",     "parallel",     "scalable",
+      "incremental",  "approximate",  "probabilistic","declarative",
+      "semantic",     "schema",       "integration",  "warehousing",
+      "mining",       "clustering",   "classification","learning",
+      "reconciliation","deduplication","linkage",     "matching",
+      "extraction",   "retrieval",    "ranking",      "sampling",
+      "compression",  "partitioning", "sharding",     "logging",
+      "buffering",    "prefetching",  "materialized", "views",
+      "joins",        "aggregation",  "histograms",   "cardinality",
+      "estimation",   "workload",     "tuning",       "benchmark",
+      "storage",      "memory",       "disk",         "network",
+      "protocol",     "consensus",    "gossip",       "epidemic",
+      "locality",     "elasticity",   "federation",   "provenance",
+      "lineage",      "versioning",   "snapshot",     "isolation",
+      "serializable", "latch",        "lock",         "wait",
+  };
+  return *words;
+}
+
+const std::vector<std::string>& TitleConnectors() {
+  static const auto* words = new std::vector<std::string>{
+      "for", "in", "over", "with", "under", "towards", "beyond", "using",
+  };
+  return *words;
+}
+
+const std::vector<VenueSeed>& VenueSeeds() {
+  static const auto* venues = new std::vector<VenueSeed>{
+      {"ACM Conference on Management of Data", "SIGMOD"},
+      {"International Conference on Very Large Data Bases", "VLDB"},
+      {"Symposium on Principles of Database Systems", "PODS"},
+      {"International Conference on Data Engineering", "ICDE"},
+      {"Conference on Knowledge Discovery and Data Mining", "KDD"},
+      {"Conference on Information and Knowledge Management", "CIKM"},
+      {"International Conference on Machine Learning", "ICML"},
+      {"Conference on Neural Information Processing Systems", "NIPS"},
+      {"National Conference on Artificial Intelligence", "AAAI"},
+      {"Symposium on Operating Systems Principles", "SOSP"},
+      {"Symposium on Operating Systems Design and Implementation", "OSDI"},
+      {"International World Wide Web Conference", "WWW"},
+      {"Conference on Research and Development in Information Retrieval",
+       "SIGIR"},
+      {"Symposium on Theory of Computing", "STOC"},
+      {"Symposium on Foundations of Computer Science", "FOCS"},
+      {"Symposium on Discrete Algorithms", "SODA"},
+      {"Conference on Innovative Data Systems Research", "CIDR"},
+      {"International Conference on Extending Database Technology", "EDBT"},
+      {"International Conference on Database Systems for Advanced "
+       "Applications",
+       "DASFAA"},
+      {"Transactions on Database Systems", "TODS"},
+      {"Transactions on Knowledge and Data Engineering", "TKDE"},
+      {"Conference on Programming Language Design and Implementation",
+       "PLDI"},
+      {"Symposium on Principles of Programming Languages", "POPL"},
+      {"International Joint Conference on Artificial Intelligence", "IJCAI"},
+      {"International Conference on Database Theory", "ICDT"},
+      {"Conference on Scientific and Statistical Database Management", "SSDBM"},
+      {"International Conference on Conceptual Modeling", "ER"},
+      {"Conference on Object-Oriented Programming Systems and Languages", "OOPSLA"},
+      {"European Conference on Object-Oriented Programming", "ECOOP"},
+      {"International Conference on Software Engineering", "ICSE"},
+      {"Symposium on the Foundations of Software Engineering", "FSE"},
+      {"Conference on Automated Software Engineering", "ASE"},
+      {"Symposium on Software Testing and Analysis", "ISSTA"},
+      {"Conference on Computer Aided Verification", "CAV"},
+      {"Symposium on Logic in Computer Science", "LICS"},
+      {"Conference on Automated Deduction", "CADE"},
+      {"International Conference on Logic Programming", "ICLP"},
+      {"European Conference on Artificial Intelligence", "ECAI"},
+      {"European Conference on Machine Learning", "ECML"},
+      {"Conference on Computational Learning Theory", "COLT"},
+      {"Conference on Uncertainty in Artificial Intelligence", "UAI"},
+      {"International Conference on Data Mining", "ICDM"},
+      {"SIAM Conference on Data Mining", "SDM"},
+      {"Conference on Web Search and Data Mining", "WSDM"},
+      {"Symposium on High Performance Computer Architecture", "HPCA"},
+      {"International Symposium on Computer Architecture", "ISCA"},
+      {"Symposium on Microarchitecture", "MICRO"},
+      {"Conference on Architectural Support for Programming Languages and Operating Systems", "ASPLOS"},
+      {"Symposium on Principles and Practice of Parallel Programming", "PPOPP"},
+      {"Symposium on Parallelism in Algorithms and Architectures", "SPAA"},
+      {"Symposium on Principles of Distributed Computing", "PODC"},
+      {"Symposium on Distributed Computing", "DISC"},
+      {"Conference on Computer Communications", "INFOCOM"},
+      {"Conference on Network Protocols", "ICNP"},
+      {"Symposium on Networked Systems Design and Implementation", "NSDI"},
+      {"Internet Measurement Conference", "IMC"},
+      {"Conference on Mobile Computing and Networking", "MOBICOM"},
+      {"Conference on Embedded Networked Sensor Systems", "SENSYS"},
+      {"European Conference on Computer Systems", "EUROSYS"},
+      {"USENIX Annual Technical Conference", "ATC"},
+      {"Conference on File and Storage Technologies", "FAST"},
+      {"Symposium on Security and Privacy", "OAKLAND"},
+      {"USENIX Security Symposium", "USESEC"},
+      {"Conference on Computer and Communications Security", "CCS"},
+      {"Network and Distributed System Security Symposium", "NDSS"},
+      {"Conference on Human Factors in Computing Systems", "CHI"},
+      {"Symposium on User Interface Software and Technology", "UIST"},
+      {"Conference on Computer Supported Cooperative Work", "CSCW"},
+      {"Conference on Empirical Methods in Natural Language Processing", "EMNLP"},
+      {"Annual Meeting of the Association for Computational Linguistics", "ACL"},
+      {"Conference on Computational Natural Language Learning", "CONLL"},
+      {"International Conference on Computational Linguistics", "COLING"},
+      {"Conference on Computer Vision and Pattern Recognition", "CVPR"},
+      {"International Conference on Computer Vision", "ICCV"},
+      {"European Conference on Computer Vision", "ECCV"},
+      {"Conference on Genetic and Evolutionary Computation", "GECCO"},
+      {"Congress on Evolutionary Computation", "CEC"},
+      {"International Conference on Parallel Processing", "ICPP"},
+      {"International Parallel and Distributed Processing Symposium", "IPDPS"},
+      {"Conference on Supercomputing", "SC"},
+      {"Symposium on Computational Geometry", "SOCG"},
+      {"International Colloquium on Automata Languages and Programming", "ICALP"},
+      {"Symposium on Theoretical Aspects of Computer Science", "STACS"},
+      {"European Symposium on Algorithms", "ESA"},
+      {"Conference on Integer Programming and Combinatorial Optimization", "IPCO"},
+      {"International Conference on Robotics and Automation", "ICRA"},
+      {"Conference on Intelligent Robots and Systems", "IROS"},
+      {"Pacific Symposium on Biocomputing", "PSB"},
+  };
+  return *venues;
+}
+
+const std::vector<std::string>& PublisherPool() {
+  static const auto* publishers = new std::vector<std::string>{
+      "MIT Press",      "Morgan Kaufmann",       "ACM Press",
+      "Springer Verlag","IEEE Computer Society", "Elsevier Science",
+      "Cambridge University Press",
+  };
+  return *publishers;
+}
+
+const std::vector<std::string>& LocationPool() {
+  static const auto* locations = new std::vector<std::string>{
+      "Austin, Texas",      "San Francisco, California",
+      "Seattle, Washington","Boston, Massachusetts",
+      "San Diego, California", "Chicago, Illinois",
+      "Baltimore, Maryland","Portland, Oregon",
+      "Madison, Wisconsin", "Atlanta, Georgia",
+      "Paris, France",      "Cairo, Egypt",
+      "Rome, Italy",        "Edinburgh, Scotland",
+      "Toronto, Canada",    "Vancouver, Canada",
+      "Hong Kong, China",   "Beijing, China",
+      "Tokyo, Japan",       "Sydney, Australia",
+      "Berlin, Germany",    "Vienna, Austria",
+      "Santiago, Chile",    "Mumbai, India",
+  };
+  return *locations;
+}
+
+const std::vector<std::string>& EmailServerPool() {
+  static const auto* servers = new std::vector<std::string>{
+      "cs.washington.edu", "csail.mit.edu",  "cs.berkeley.edu",
+      "cs.wisc.edu",       "cs.stanford.edu","cs.cmu.edu",
+      "research.microsoft.com", "almaden.ibm.com", "bell-labs.com",
+      "gmail.com",         "yahoo.com",      "hotmail.com",
+      "cs.cornell.edu",    "cs.umd.edu",     "cse.iitb.ac.in",
+      "tsinghua.edu.cn",   "fudan.edu.cn",   "cs.toronto.edu",
+  };
+  return *servers;
+}
+
+const std::vector<std::string>& MailingListNames() {
+  static const auto* lists = new std::vector<std::string>{
+      "dbgroup",   "seminar-announce", "faculty-all", "grads",
+      "sysreading","theory-lunch",     "colloquium",  "students",
+  };
+  return *lists;
+}
+
+}  // namespace recon::datagen

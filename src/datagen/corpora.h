@@ -1,0 +1,49 @@
+// Word pools for synthetic dataset generation: person names (US / Indian /
+// romanized-Chinese, per the paper's note that its dataset owners span
+// countries with very different name characteristics), CS title vocabulary,
+// venues with acronyms, locations, and email servers.
+
+#ifndef RECON_DATAGEN_CORPORA_H_
+#define RECON_DATAGEN_CORPORA_H_
+
+#include <string>
+#include <vector>
+
+namespace recon::datagen {
+
+/// A first name and its common short form ("" when none).
+struct FirstNameSeed {
+  std::string name;
+  std::string nickname;
+};
+
+/// A venue with its long form and acronym.
+struct VenueSeed {
+  std::string full_name;
+  std::string acronym;
+};
+
+const std::vector<FirstNameSeed>& WesternFirstNames();
+const std::vector<std::string>& WesternLastNames();
+const std::vector<std::string>& IndianFirstNames();
+const std::vector<std::string>& IndianLastNames();
+/// Romanized Chinese pools: short, heavily overlapping (dataset C).
+const std::vector<std::string>& ChineseFirstNames();
+const std::vector<std::string>& ChineseLastNames();
+
+/// Content words for article titles (CS research vocabulary).
+const std::vector<std::string>& TitleTopicWords();
+/// Connective patterns like "for", "in", "over".
+const std::vector<std::string>& TitleConnectors();
+
+const std::vector<VenueSeed>& VenueSeeds();
+/// Publisher strings appended to sloppy venue mentions.
+const std::vector<std::string>& PublisherPool();
+const std::vector<std::string>& LocationPool();
+const std::vector<std::string>& EmailServerPool();
+/// Mailing-list style account names ("dbgroup", "seminar-announce", ...).
+const std::vector<std::string>& MailingListNames();
+
+}  // namespace recon::datagen
+
+#endif  // RECON_DATAGEN_CORPORA_H_

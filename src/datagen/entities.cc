@@ -1,0 +1,244 @@
+#include "datagen/entities.h"
+
+#include <algorithm>
+#include <set>
+
+#include "datagen/corpora.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace recon::datagen {
+
+namespace {
+
+std::string MakeAccount(const PersonSpec& person, int flavor, Random& rng) {
+  const std::string first = ToLower(person.first);
+  const std::string last = ToLower(person.last);
+  switch (flavor) {
+    case 0:
+      return last;
+    case 1:
+      return first + "." + last;
+    case 2:
+      return first.substr(0, 1) + last;
+    case 3:
+      return last + first.substr(0, 1);
+    case 4:
+      return person.nickname.empty() ? first : ToLower(person.nickname);
+    case 5:
+      return first;
+    default:
+      return last + std::to_string(rng.NextInt(1, 99));
+  }
+}
+
+void AssignEmails(PersonSpec& person, const UniverseConfig& config,
+                  std::set<std::string>& used_emails, Random& rng) {
+  const auto& servers = EmailServerPool();
+  // Servers enforce account uniqueness (that fact is the paper's
+  // constraint 3); resolve collisions by appending digits, as servers do.
+  auto claim = [&](int flavor, const std::string& server) -> std::string {
+    std::string account = MakeAccount(person, flavor, rng);
+    std::string email = account + "@" + server;
+    while (!used_emails.insert(email).second) {
+      email = account + std::to_string(rng.NextInt(1, 99)) + "@" + server;
+    }
+    return email;
+  };
+
+  const std::string& home_server = rng.Choice(servers);
+  person.emails.push_back(claim(static_cast<int>(rng.NextInt(0, 4)),
+                                home_server));
+  if (rng.NextBool(config.p_multi_account)) {
+    // A second account, usually on a different server (an old institution
+    // or a webmail provider).
+    person.emails.push_back(claim(static_cast<int>(rng.NextInt(0, 6)),
+                                  rng.Choice(servers)));
+  }
+  if (rng.NextBool(config.p_third_account)) {
+    person.emails.push_back(claim(6, rng.Choice(servers)));
+  }
+}
+
+PersonSpec MakePerson(const UniverseConfig& config,
+                      std::set<std::string>& used_names,
+                      std::set<std::string>& used_emails, Random& rng) {
+  PersonSpec person;
+  // Real populations rarely collide on (first, last); retry a bounded
+  // number of times for a fresh combination. Small pools under pressure —
+  // notably the short romanized-Chinese pool — exhaust the retries and
+  // produce genuinely ambiguous same-name persons, which is exactly the
+  // paper's dataset-C phenomenon.
+  for (int attempt = 0; attempt < 40; ++attempt) {
+    person.nickname.clear();
+    const double ethnicity = rng.NextDouble();
+    if (ethnicity < config.chinese_fraction) {
+      // Romanized Chinese given names are often two syllables ("Weiming");
+      // single-syllable names collide outright, two-syllable ones collide
+      // approximately ("Weiming" vs "Weimin") — both fuel the paper's
+      // dataset-C difficulty.
+      person.first = rng.Choice(ChineseFirstNames());
+      if (rng.NextBool(0.7)) {
+        const std::string& second = rng.Choice(ChineseFirstNames());
+        person.first += ToLower(second);
+      }
+      person.last = rng.Choice(ChineseLastNames());
+    } else if (ethnicity < config.chinese_fraction + config.indian_fraction) {
+      person.first = rng.Choice(IndianFirstNames());
+      person.last = rng.Choice(IndianLastNames());
+    } else {
+      const FirstNameSeed& seed = rng.Choice(WesternFirstNames());
+      person.first = seed.name;
+      person.nickname = seed.nickname;
+      person.last = rng.Choice(WesternLastNames());
+    }
+    if (used_names.insert(person.first + " " + person.last).second) break;
+  }
+  if (rng.NextBool(config.p_middle_initial)) {
+    person.middle_initial = std::string(1, static_cast<char>('A' + rng.NextBounded(26)));
+  }
+  AssignEmails(person, config, used_emails, rng);
+  return person;
+}
+
+void MaybeSplitEra(PersonSpec& person, bool force_account_change,
+                   Random& rng) {
+  person.has_second_era = true;
+  // New last name from the same broad pool.
+  std::string new_last = rng.Choice(WesternLastNames());
+  while (new_last == person.last) new_last = rng.Choice(WesternLastNames());
+  person.second_last = new_last;
+  if (force_account_change) {
+    // Same server, new account: the unique-account-per-server constraint
+    // will mark the two eras distinct (dataset D's owner).
+    const std::string& old_email = person.emails[0];
+    const size_t at = old_email.find('@');
+    RECON_CHECK_NE(at, std::string::npos);
+    const std::string server = old_email.substr(at + 1);
+    PersonSpec renamed = person;
+    renamed.last = new_last;
+    std::string account = MakeAccount(renamed, 2, rng);
+    person.second_emails.push_back(account + "@" + server);
+  } else {
+    // Keeps the old addresses: email continuity lets the reconciler bridge
+    // the name change (the paper's two other owners).
+    person.second_emails = person.emails;
+  }
+}
+
+std::string MakeTitle(Random& rng, std::set<std::string>& used) {
+  const auto& topics = TitleTopicWords();
+  const auto& connectors = TitleConnectors();
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    const int num_words = static_cast<int>(rng.NextInt(3, 6));
+    std::vector<std::string> words;
+    for (int i = 0; i < num_words; ++i) {
+      words.push_back(rng.Choice(topics));
+    }
+    std::sort(words.begin(), words.end());
+    words.erase(std::unique(words.begin(), words.end()), words.end());
+    rng.Shuffle(words);
+    if (static_cast<int>(words.size()) < 3) continue;
+    // Capitalize the first word; insert a connector near the middle.
+    std::string title = ToUpper(words[0].substr(0, 1)) + words[0].substr(1);
+    for (size_t i = 1; i < words.size(); ++i) {
+      if (i == words.size() / 2) {
+        title += " " + rng.Choice(connectors);
+      }
+      title += " " + words[i];
+    }
+    if (used.insert(title).second) return title;
+  }
+  // Extremely unlikely; fall back to a unique suffix.
+  std::string title = "Untitled manuscript " +
+                      std::to_string(rng.NextInt(100000, 999999));
+  used.insert(title);
+  return title;
+}
+
+}  // namespace
+
+Universe BuildUniverse(const UniverseConfig& config, Random& rng) {
+  RECON_CHECK_GT(config.num_persons, 0);
+  Universe universe;
+
+  // Persons.
+  universe.persons.reserve(config.num_persons + config.num_mailing_lists);
+  std::set<std::string> used_names;
+  std::set<std::string> used_emails;
+  for (int i = 0; i < config.num_persons; ++i) {
+    universe.persons.push_back(
+        MakePerson(config, used_names, used_emails, rng));
+  }
+  if (config.owner_changes_name_and_account) {
+    MaybeSplitEra(universe.persons[0], /*force_account_change=*/true, rng);
+  }
+  for (int i = 1; i < config.num_persons; ++i) {
+    if (rng.NextBool(config.p_era_split)) {
+      MaybeSplitEra(universe.persons[i], /*force_account_change=*/false,
+                    rng);
+    }
+  }
+  // Mailing lists are modeled as person entities with a list-style name
+  // and address (they really do show up in extraction output).
+  for (int i = 0; i < config.num_mailing_lists; ++i) {
+    PersonSpec list;
+    list.is_mailing_list = true;
+    list.list_display_name = rng.Choice(MailingListNames());
+    list.first = list.list_display_name;
+    list.last = "";
+    std::string email = list.list_display_name + "@" +
+                        rng.Choice(EmailServerPool());
+    while (!used_emails.insert(email).second) {
+      email = list.list_display_name + "@" + rng.Choice(EmailServerPool());
+    }
+    list.emails.push_back(std::move(email));
+    universe.persons.push_back(std::move(list));
+  }
+
+  // Venues: each series has several yearly instances.
+  std::vector<VenueSeed> series(VenueSeeds());
+  rng.Shuffle(series);
+  const int num_series =
+      std::min<int>(config.num_venue_series, static_cast<int>(series.size()));
+  for (int s = 0; s < num_series; ++s) {
+    const int base_year = static_cast<int>(rng.NextInt(1995, 2002));
+    for (int y = 0; y < config.years_per_series; ++y) {
+      VenueSpec venue;
+      venue.full_name = series[s].full_name;
+      venue.acronym = series[s].acronym;
+      venue.year = std::to_string(base_year + y);
+      venue.location = rng.Choice(LocationPool());
+      venue.series_id = s;
+      universe.venues.push_back(std::move(venue));
+    }
+  }
+  RECON_CHECK(!universe.venues.empty());
+
+  // Articles: authors drawn with Zipf popularity over the (non-list)
+  // persons, so a core research community emerges.
+  std::set<std::string> used_titles;
+  const ZipfSampler author_sampler(config.num_persons, config.author_zipf);
+  universe.articles.reserve(config.num_articles);
+  for (int a = 0; a < config.num_articles; ++a) {
+    ArticleSpec article;
+    article.title = MakeTitle(rng, used_titles);
+    const int num_authors =
+        static_cast<int>(rng.NextInt(config.min_authors, config.max_authors));
+    std::set<int> authors;
+    while (static_cast<int>(authors.size()) < num_authors) {
+      authors.insert(author_sampler.Sample(rng));
+    }
+    article.author_ids.assign(authors.begin(), authors.end());
+    article.venue_id = static_cast<int>(rng.NextBounded(universe.venues.size()));
+    article.year = universe.venues[article.venue_id].year;
+    const int first_page = static_cast<int>(rng.NextInt(1, 600));
+    const int last_page = first_page + static_cast<int>(rng.NextInt(8, 24));
+    article.pages = std::to_string(first_page) + "-" +
+                    std::to_string(last_page);
+    universe.articles.push_back(std::move(article));
+  }
+  return universe;
+}
+
+}  // namespace recon::datagen

@@ -1,0 +1,108 @@
+// Ground-truth entity universe for the synthetic generators: the real-world
+// persons, venues, and articles that references will (noisily) denote.
+
+#ifndef RECON_DATAGEN_ENTITIES_H_
+#define RECON_DATAGEN_ENTITIES_H_
+
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace recon::datagen {
+
+/// A real-world person. Persons may have two "eras" (e.g. a last-name
+/// change upon marriage, paper §5.3's dataset D discussion) with different
+/// names and possibly different email accounts.
+struct PersonSpec {
+  std::string first;
+  std::string middle_initial;  ///< Single letter or empty.
+  std::string last;
+  std::string nickname;  ///< "" when none.
+  std::vector<std::string> emails;  ///< Full addresses, era 0.
+
+  bool has_second_era = false;
+  std::string second_last;
+  std::vector<std::string> second_emails;  ///< May repeat era-0 emails.
+
+  bool is_mailing_list = false;
+  std::string list_display_name;  ///< Mailing lists only.
+
+  /// Last name in `era` (0 or 1).
+  const std::string& LastIn(int era) const {
+    return (era == 1 && has_second_era) ? second_last : last;
+  }
+  /// Email addresses usable in `era`.
+  const std::vector<std::string>& EmailsIn(int era) const {
+    return (era == 1 && has_second_era && !second_emails.empty())
+               ? second_emails
+               : emails;
+  }
+};
+
+/// A venue entity: one year's instance of a conference/journal series.
+struct VenueSpec {
+  std::string full_name;
+  std::string acronym;
+  std::string year;
+  std::string location;
+  /// Index of the series this instance belongs to (all years of "VLDB"
+  /// share one series id). Cora labels venues at series granularity.
+  int series_id = -1;
+};
+
+/// An article entity.
+struct ArticleSpec {
+  std::string title;
+  std::string year;
+  std::string pages;
+  std::vector<int> author_ids;  ///< Person entity indices.
+  int venue_id = -1;            ///< Venue entity index.
+};
+
+/// The complete ground truth of one synthetic world.
+struct Universe {
+  std::vector<PersonSpec> persons;
+  std::vector<VenueSpec> venues;
+  std::vector<ArticleSpec> articles;
+
+  /// Gold entity ids are globally unique across classes.
+  int PersonGold(int person_id) const { return person_id; }
+  int VenueGold(int venue_id) const {
+    return static_cast<int>(persons.size()) + venue_id;
+  }
+  int ArticleGold(int article_id) const {
+    return static_cast<int>(persons.size() + venues.size()) + article_id;
+  }
+};
+
+/// Parameters for universe construction (shared by PIM and Cora).
+struct UniverseConfig {
+  int num_persons = 300;
+  int num_mailing_lists = 0;
+  int num_venue_series = 12;
+  int years_per_series = 3;
+  int num_articles = 150;
+  int min_authors = 1;
+  int max_authors = 4;
+  double indian_fraction = 0.15;
+  double chinese_fraction = 0.0;
+  double p_middle_initial = 0.35;
+  double p_multi_account = 0.25;
+  double p_third_account = 0.05;
+  /// Fraction of persons (besides a possibly-forced owner) whose last name
+  /// changes mid-history; they keep their email account.
+  double p_era_split = 0.0;
+  /// Person 0 changes both last name and email account on the *same*
+  /// server (triggers the unique-account constraint; dataset D's owner).
+  bool owner_changes_name_and_account = false;
+  /// Zipf exponent for author popularity when assigning articles.
+  double author_zipf = 0.8;
+};
+
+/// Builds a ground-truth universe. Deterministic given `rng` state.
+Universe BuildUniverse(const UniverseConfig& config, Random& rng);
+
+}  // namespace recon::datagen
+
+#endif  // RECON_DATAGEN_ENTITIES_H_

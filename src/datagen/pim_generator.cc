@@ -1,0 +1,378 @@
+#include "datagen/pim_generator.h"
+
+#include <algorithm>
+#include <set>
+
+#include "datagen/variants.h"
+#include "util/logging.h"
+
+namespace recon::datagen {
+
+namespace {
+
+/// Resolved attribute ids of the PIM schema.
+struct PimAttrs {
+  int person;
+  int article;
+  int venue;
+  int p_name, p_email, p_coauthor, p_contact;
+  int a_title, a_year, a_pages, a_authors, a_venue;
+  int v_name, v_year, v_location;
+
+  explicit PimAttrs(const Schema& s)
+      : person(s.RequireClass("Person")),
+        article(s.RequireClass("Article")),
+        venue(s.RequireClass("Venue")),
+        p_name(s.RequireAttribute(person, "name")),
+        p_email(s.RequireAttribute(person, "email")),
+        p_coauthor(s.RequireAttribute(person, "coAuthor")),
+        p_contact(s.RequireAttribute(person, "emailContact")),
+        a_title(s.RequireAttribute(article, "title")),
+        a_year(s.RequireAttribute(article, "year")),
+        a_pages(s.RequireAttribute(article, "pages")),
+        a_authors(s.RequireAttribute(article, "authoredBy")),
+        a_venue(s.RequireAttribute(article, "publishedIn")),
+        v_name(s.RequireAttribute(venue, "name")),
+        v_year(s.RequireAttribute(venue, "year")),
+        v_location(s.RequireAttribute(venue, "location")) {}
+};
+
+class PimBuilder {
+ public:
+  PimBuilder(const PimConfig& config, Universe universe, Dataset* dataset)
+      : config_(config),
+        universe_(std::move(universe)),
+        dataset_(dataset),
+        attrs_(dataset->schema()),
+        rng_(config.seed ^ 0x5bd1e995u) {
+    email_style_.reserve(universe_.persons.size());
+    bib_style_.reserve(universe_.persons.size());
+    for (size_t i = 0; i < universe_.persons.size(); ++i) {
+      email_style_.push_back(
+          SampleEmailNameStyle(config_.style_variety, rng_));
+      bib_style_.push_back(SampleBibNameStyle(config_.style_variety, rng_));
+    }
+  }
+
+  void Generate() {
+    GenerateMessages();
+    GenerateBibtex();
+  }
+
+  Universe TakeUniverse() { return std::move(universe_); }
+
+ private:
+  /// Name era of a person at time t in [0, 1): second-era persons switch
+  /// halfway through the dataset's history.
+  int EraAt(const PersonSpec& person, double t) const {
+    return (person.has_second_era && t >= 0.5) ? 1 : 0;
+  }
+
+  /// Email era lags the name change slightly: right after the change there
+  /// is a transition window where messages carry the new name but still
+  /// the old address. These bridge references are what let a
+  /// constraint-free reconciler glue the two eras (paper §5.3, dataset D).
+  int EmailEraAt(const PersonSpec& person, double t) const {
+    return (person.has_second_era && t >= 0.58) ? 1 : 0;
+  }
+
+  RefId MakeEmailPersonRef(int person_id, double t, bool is_sender) {
+    const PersonSpec& person = universe_.persons[person_id];
+    const int era = EraAt(person, t);
+    const RefId id = dataset_->NewReference(
+        attrs_.person, universe_.PersonGold(person_id), Provenance::kEmail);
+    Reference& ref = dataset_->mutable_reference(id);
+
+    const bool with_email =
+        is_sender || rng_.NextBool(config_.p_recipient_email);
+    bool with_name = rng_.NextBool(is_sender ? config_.p_sender_name
+                                             : config_.p_recipient_name);
+    if (!with_email) with_name = true;  // Never emit an empty reference.
+    if (with_email) {
+      ref.AddAtomicValue(attrs_.p_email,
+                         PickEmail(person, EmailEraAt(person, t), rng_));
+    }
+    if (with_name) {
+      const NameStyle style =
+          rng_.NextBool(config_.p_habitual_style)
+              ? email_style_[person_id]
+              : SampleEmailNameStyle(config_.style_variety, rng_);
+      ref.AddAtomicValue(
+          attrs_.p_name,
+          RenderName(person, era, style, config_.typo_rate, rng_));
+    }
+    return id;
+  }
+
+  void GenerateMessages() {
+    const int num_real_persons = config_.universe.num_persons;
+    const ZipfSampler participants(num_real_persons,
+                                   config_.participant_zipf);
+    const int num_lists = config_.universe.num_mailing_lists;
+
+    // Community structure: person i belongs to community i % k, which
+    // spreads the popular (low-rank) persons across communities. Each
+    // community's member list keeps global popularity order so a Zipf
+    // sampler over it preserves the within-community skew.
+    const int num_communities = std::max(
+        1, num_real_persons / std::max(1, config_.community_size));
+    std::vector<std::vector<int>> community_members(num_communities);
+    for (int p = 0; p < num_real_persons; ++p) {
+      community_members[p % num_communities].push_back(p);
+    }
+    std::vector<ZipfSampler> community_sampler;
+    community_sampler.reserve(num_communities);
+    for (int c = 0; c < num_communities; ++c) {
+      community_sampler.emplace_back(
+          static_cast<int>(community_members[c].size()),
+          config_.participant_zipf);
+    }
+
+    for (int m = 0; m < config_.num_messages; ++m) {
+      const double t = rng_.NextDouble();
+      const int sender = participants.Sample(rng_);
+      const int community = sender % num_communities;
+      std::set<int> recipient_set;
+      const int num_recipients = static_cast<int>(rng_.NextInt(1, 3));
+      int attempts = 0;
+      while (static_cast<int>(recipient_set.size()) < num_recipients &&
+             attempts++ < 64) {
+        int r;
+        if (rng_.NextBool(config_.p_recipient_in_community)) {
+          const auto& members = community_members[community];
+          r = members[community_sampler[community].Sample(rng_)];
+        } else {
+          r = participants.Sample(rng_);
+        }
+        if (r != sender) recipient_set.insert(r);
+      }
+      if (recipient_set.empty()) continue;
+      std::vector<int> participants_ids(recipient_set.begin(),
+                                        recipient_set.end());
+      if (num_lists > 0 && rng_.NextBool(config_.p_mailing_list_recipient)) {
+        participants_ids.push_back(
+            num_real_persons + static_cast<int>(rng_.NextBounded(num_lists)));
+      }
+      participants_ids.push_back(sender);
+
+      // One reference per participant, then pairwise emailContact links.
+      std::vector<RefId> refs;
+      refs.reserve(participants_ids.size());
+      for (size_t i = 0; i < participants_ids.size(); ++i) {
+        const bool is_sender = (i + 1 == participants_ids.size());
+        refs.push_back(MakeEmailPersonRef(participants_ids[i], t, is_sender));
+      }
+      for (size_t i = 0; i < refs.size(); ++i) {
+        for (size_t j = 0; j < refs.size(); ++j) {
+          if (i == j) continue;
+          dataset_->mutable_reference(refs[i]).AddAssociation(
+              attrs_.p_contact, refs[j]);
+        }
+      }
+    }
+  }
+
+  void GenerateBibtex() {
+    if (universe_.articles.empty() || config_.num_bibtex == 0) return;
+    const ZipfSampler citations(
+        static_cast<int>(universe_.articles.size()), config_.citation_zipf);
+
+    for (int b = 0; b < config_.num_bibtex; ++b) {
+      const double t = rng_.NextDouble();
+      const int article_id = citations.Sample(rng_);
+      const ArticleSpec& article = universe_.articles[article_id];
+
+      // Author references: name only (the paper: "a person reference
+      // extracted from a citation contains only a name").
+      std::vector<RefId> author_refs;
+      for (const int author_id : article.author_ids) {
+        const PersonSpec& person = universe_.persons[author_id];
+        const RefId id = dataset_->NewReference(
+            attrs_.person, universe_.PersonGold(author_id),
+            Provenance::kBibtex);
+        const NameStyle style =
+            rng_.NextBool(config_.p_habitual_style)
+                ? bib_style_[author_id]
+                : SampleBibNameStyle(config_.style_variety, rng_);
+        dataset_->mutable_reference(id).AddAtomicValue(
+            attrs_.p_name, RenderName(person, EraAt(person, t), style,
+                                      config_.typo_rate, rng_));
+        author_refs.push_back(id);
+      }
+      for (size_t i = 0; i < author_refs.size(); ++i) {
+        for (size_t j = 0; j < author_refs.size(); ++j) {
+          if (i == j) continue;
+          dataset_->mutable_reference(author_refs[i])
+              .AddAssociation(attrs_.p_coauthor, author_refs[j]);
+        }
+      }
+
+      // Venue reference.
+      const VenueSpec& venue = universe_.venues[article.venue_id];
+      const RefId venue_ref = dataset_->NewReference(
+          attrs_.venue, universe_.VenueGold(article.venue_id),
+          Provenance::kBibtex);
+      {
+        Reference& ref = dataset_->mutable_reference(venue_ref);
+        const VenueStyle style =
+            SampleVenueStyle(config_.venue_sloppiness, rng_);
+        ref.AddAtomicValue(attrs_.v_name, RenderVenue(venue, style,
+                                                      config_.typo_rate,
+                                                      rng_));
+        ref.AddAtomicValue(attrs_.v_year, venue.year);
+        if (rng_.NextBool(config_.p_venue_location)) {
+          ref.AddAtomicValue(attrs_.v_location, venue.location);
+        }
+      }
+
+      // Article reference.
+      const RefId article_ref = dataset_->NewReference(
+          attrs_.article, universe_.ArticleGold(article_id),
+          Provenance::kBibtex);
+      {
+        Reference& ref = dataset_->mutable_reference(article_ref);
+        ref.AddAtomicValue(
+            attrs_.a_title,
+            RenderTitle(article.title, config_.title_noise, rng_));
+        if (rng_.NextBool(config_.p_bib_year)) {
+          ref.AddAtomicValue(attrs_.a_year, article.year);
+        }
+        if (rng_.NextBool(config_.p_bib_pages)) {
+          ref.AddAtomicValue(attrs_.a_pages, article.pages);
+        }
+        for (const RefId author : author_refs) {
+          ref.AddAssociation(attrs_.a_authors, author);
+        }
+        ref.AddAssociation(attrs_.a_venue, venue_ref);
+      }
+    }
+  }
+
+  const PimConfig& config_;
+  Universe universe_;
+  Dataset* dataset_;
+  PimAttrs attrs_;
+  Random rng_;
+  /// Habitual name styles per person entity.
+  std::vector<NameStyle> email_style_;
+  std::vector<NameStyle> bib_style_;
+};
+
+}  // namespace
+
+PimConfig PimConfigA() {
+  PimConfig config;
+  config.name = "PIM A";
+  config.seed = 1001;
+  config.universe.num_persons = 2100;
+  config.universe.num_mailing_lists = 6;
+  config.universe.num_articles = 950;
+  config.universe.num_venue_series = 14;
+  config.universe.years_per_series = 3;
+  config.universe.indian_fraction = 0.10;
+  config.universe.chinese_fraction = 0.05;
+  config.universe.p_multi_account = 0.35;
+  config.universe.p_era_split = 0.001;
+  config.num_messages = 6200;
+  config.num_bibtex = 1650;
+  // Dataset A: "the highest variety in the presentations of individual
+  // person entities".
+  config.style_variety = 0.95;
+  config.typo_rate = 0.015;
+  return config;
+}
+
+PimConfig PimConfigB() {
+  PimConfig config;
+  config.name = "PIM B";
+  config.seed = 1002;
+  config.universe.num_persons = 2350;
+  config.universe.num_mailing_lists = 5;
+  config.universe.num_articles = 1100;
+  config.universe.num_venue_series = 16;
+  config.universe.years_per_series = 3;
+  config.universe.indian_fraction = 0.30;
+  config.universe.chinese_fraction = 0.05;
+  config.universe.p_multi_account = 0.20;
+  config.num_messages = 9800;
+  config.num_bibtex = 2050;
+  config.style_variety = 0.35;
+  config.typo_rate = 0.008;
+  return config;
+}
+
+PimConfig PimConfigC() {
+  PimConfig config;
+  config.name = "PIM C";
+  config.seed = 1003;
+  config.universe.num_persons = 1900;
+  config.universe.num_mailing_lists = 4;
+  config.universe.num_articles = 800;
+  config.universe.num_venue_series = 12;
+  config.universe.years_per_series = 3;
+  // The owner is Chinese; many contacts have short, overlapping romanized
+  // names (the paper's explanation of C's lower precision).
+  config.universe.chinese_fraction = 0.55;
+  config.universe.indian_fraction = 0.05;
+  config.universe.p_multi_account = 0.20;
+  config.num_messages = 3650;
+  config.num_bibtex = 1430;
+  config.style_variety = 0.50;
+  config.typo_rate = 0.010;
+  return config;
+}
+
+PimConfig PimConfigD() {
+  PimConfig config;
+  config.name = "PIM D";
+  config.seed = 1004;
+  config.universe.num_persons = 1800;
+  config.universe.num_mailing_lists = 4;
+  config.universe.num_articles = 130;
+  config.universe.num_venue_series = 10;
+  config.universe.years_per_series = 2;
+  config.universe.indian_fraction = 0.15;
+  config.universe.chinese_fraction = 0.05;
+  config.universe.p_multi_account = 0.20;
+  // The owner changed her last name *and* her account on the same email
+  // server when she got married (paper §5.3).
+  config.universe.owner_changes_name_and_account = true;
+  config.universe.p_era_split = 0.001;
+  config.num_messages = 5300;
+  config.num_bibtex = 170;
+  // D is a mostly-email dataset with conservative naming habits: without
+  // the owner's name change it would be the easiest of the four.
+  config.style_variety = 0.30;
+  config.typo_rate = 0.006;
+  return config;
+}
+
+PimConfig ScaleConfig(PimConfig config, double factor) {
+  RECON_CHECK_GT(factor, 0);
+  auto scale = [factor](int value) {
+    return std::max(1, static_cast<int>(value * factor));
+  };
+  config.universe.num_persons = scale(config.universe.num_persons);
+  config.universe.num_articles = scale(config.universe.num_articles);
+  config.universe.num_venue_series =
+      std::max(2, static_cast<int>(config.universe.num_venue_series * factor));
+  config.num_messages = scale(config.num_messages);
+  config.num_bibtex = scale(config.num_bibtex);
+  return config;
+}
+
+Dataset GeneratePim(const PimConfig& config) {
+  return GeneratePim(config, nullptr);
+}
+
+Dataset GeneratePim(const PimConfig& config, Universe* universe_out) {
+  Random rng(config.seed);
+  Universe universe = BuildUniverse(config.universe, rng);
+  Dataset dataset(BuildPimSchema());
+  PimBuilder builder(config, std::move(universe), &dataset);
+  builder.Generate();
+  if (universe_out != nullptr) *universe_out = builder.TakeUniverse();
+  return dataset;
+}
+
+}  // namespace recon::datagen

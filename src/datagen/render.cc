@@ -1,0 +1,195 @@
+#include "datagen/render.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/schema_binding.h"
+#include "extract/bibtex_parser.h"
+#include "extract/email_parser.h"
+#include "extract/extractor.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace recon::datagen {
+
+namespace {
+
+/// "Display Name" <address>, with the display name always quoted (it may
+/// contain commas, as in "Wong, E.").
+std::string RenderMailbox(const Reference& ref, int name_attr,
+                          int email_attr) {
+  const std::string& name = ref.FirstValue(name_attr);
+  const std::string& email = ref.FirstValue(email_attr);
+  if (!name.empty() && !email.empty()) {
+    return "\"" + name + "\" <" + email + ">";
+  }
+  if (!email.empty()) return "<" + email + ">";
+  return "\"" + name + "\"";
+}
+
+/// The key under which a participant's gold label is recorded: the
+/// address when present (unique within a message), else the display name.
+std::string GoldKey(const extract::Mailbox& mailbox) {
+  return mailbox.address.empty() ? mailbox.display_name : mailbox.address;
+}
+std::string GoldKey(const Reference& ref, int name_attr, int email_attr) {
+  const std::string& email = ref.FirstValue(email_attr);
+  return email.empty() ? ref.FirstValue(name_attr) : email;
+}
+
+}  // namespace
+
+RenderedCorpus RenderPimCorpus(const Dataset& dataset) {
+  const SchemaBinding b = SchemaBinding::Resolve(dataset.schema());
+  RECON_CHECK(b.person >= 0 && b.article >= 0 && b.venue >= 0)
+      << "RenderPimCorpus requires the PIM schema";
+  RenderedCorpus corpus;
+
+  // ---- Messages: groups of email-derived person references that form an
+  // emailContact clique. The generator emits each message's references
+  // consecutively, sender last.
+  std::vector<char> rendered(dataset.num_references(), 0);
+  for (RefId id = 0; id < dataset.num_references(); ++id) {
+    if (rendered[id]) continue;
+    const Reference& ref = dataset.reference(id);
+    if (ref.class_id() != b.person ||
+        dataset.provenance(id) != Provenance::kEmail) {
+      continue;
+    }
+    std::set<RefId> group{id};
+    for (const RefId contact : ref.associations(b.person_contact)) {
+      group.insert(contact);
+    }
+    for (const RefId member : group) rendered[member] = 1;
+
+    const RefId sender = *group.rbegin();  // Generator order: sender last.
+    std::string to_list;
+    std::string gold_list;
+    for (const RefId member : group) {
+      const Reference& m = dataset.reference(member);
+      if (member != sender) {
+        if (!to_list.empty()) to_list += ", ";
+        to_list += RenderMailbox(m, b.person_name, b.person_email);
+      }
+      if (!gold_list.empty()) gold_list += "; ";
+      gold_list += GoldKey(m, b.person_name, b.person_email) + "=" +
+                   std::to_string(dataset.gold_entity(member));
+    }
+    corpus.mbox += "From generator@localhost\n";
+    corpus.mbox += "From: " +
+                   RenderMailbox(dataset.reference(sender), b.person_name,
+                                 b.person_email) +
+                   "\n";
+    if (!to_list.empty()) corpus.mbox += "To: " + to_list + "\n";
+    corpus.mbox += "Subject: (generated)\n";
+    corpus.mbox += "X-Gold: " + gold_list + "\n\n";
+  }
+
+  // ---- BibTeX entries: one per article reference.
+  for (const RefId id : dataset.ReferencesOfClass(b.article)) {
+    const Reference& article = dataset.reference(id);
+    corpus.bibtex += "@inproceedings{ref" + std::to_string(id) + ",\n";
+    corpus.bibtex +=
+        "  title = {" + article.FirstValue(b.article_title) + "},\n";
+
+    const auto& authors = article.associations(b.article_authors);
+    if (!authors.empty()) {
+      std::string author_list;
+      std::string author_gold;
+      for (const RefId author : authors) {
+        if (!author_list.empty()) author_list += " and ";
+        author_list += dataset.reference(author).FirstValue(b.person_name);
+        if (!author_gold.empty()) author_gold += " ";
+        author_gold += std::to_string(dataset.gold_entity(author));
+      }
+      corpus.bibtex += "  author = {" + author_list + "},\n";
+      corpus.bibtex += "  xgoldauthors = {" + author_gold + "},\n";
+    }
+
+    const auto& venues = article.associations(b.article_venue);
+    if (!venues.empty()) {
+      const Reference& venue = dataset.reference(venues[0]);
+      corpus.bibtex +=
+          "  booktitle = {" + venue.FirstValue(b.venue_name) + "},\n";
+      const std::string& location = venue.FirstValue(b.venue_location);
+      if (!location.empty()) {
+        corpus.bibtex += "  address = {" + location + "},\n";
+      }
+      const std::string& year = venue.FirstValue(b.venue_year);
+      if (!year.empty()) corpus.bibtex += "  year = " + year + ",\n";
+      corpus.bibtex += "  xgoldvenue = {" +
+                       std::to_string(dataset.gold_entity(venues[0])) +
+                       "},\n";
+    }
+    const std::string& pages = article.FirstValue(b.article_pages);
+    if (!pages.empty()) corpus.bibtex += "  pages = {" + pages + "},\n";
+    corpus.bibtex +=
+        "  xgoldarticle = {" + std::to_string(dataset.gold_entity(id)) +
+        "}\n}\n\n";
+  }
+  return corpus;
+}
+
+Dataset ExtractPimCorpus(const RenderedCorpus& corpus) {
+  extract::Extractor extractor;
+
+  // Messages, with gold labels recovered from the X-Gold annotation.
+  for (const extract::EmailMessage& message :
+       extract::ParseMbox(corpus.mbox)) {
+    std::map<std::string, int> gold_of;
+    for (const auto& [name, value] : message.headers) {
+      if (name != "x-gold") continue;
+      for (const std::string& item : Split(value, ';')) {
+        const size_t eq = item.rfind('=');
+        if (eq == std::string::npos) continue;
+        gold_of[Trim(item.substr(0, eq))] =
+            std::atoi(item.c_str() + eq + 1);
+      }
+    }
+    std::vector<int> gold;
+    for (const extract::Mailbox& mailbox :
+         extract::DedupParticipants(message)) {
+      auto it = gold_of.find(GoldKey(mailbox));
+      gold.push_back(it == gold_of.end() ? -1 : it->second);
+    }
+    extractor.AddMessage(message, gold);
+  }
+
+  // BibTeX entries, with gold labels from the xgold* fields.
+  Dataset* dataset = nullptr;  // Filled after extraction; labels patched.
+  std::vector<std::pair<RefId, int>> labels;
+  for (const extract::BibtexEntry& entry :
+       extract::ParseBibtexFile(corpus.bibtex)) {
+    const std::vector<RefId> refs = extractor.AddBibtexEntry(entry);
+    if (refs.empty()) continue;
+    size_t next = 0;
+    const std::string article_gold = entry.Field("xgoldarticle");
+    if (!article_gold.empty()) {
+      labels.emplace_back(refs[next], std::atoi(article_gold.c_str()));
+    }
+    ++next;
+    if (!entry.Venue().empty()) {
+      const std::string venue_gold = entry.Field("xgoldvenue");
+      if (next < refs.size() && !venue_gold.empty()) {
+        labels.emplace_back(refs[next], std::atoi(venue_gold.c_str()));
+      }
+      ++next;
+    }
+    const std::vector<std::string> author_golds =
+        SplitWhitespace(entry.Field("xgoldauthors"));
+    for (size_t i = 0; i < author_golds.size() && next + i < refs.size();
+         ++i) {
+      labels.emplace_back(refs[next + i],
+                          std::atoi(author_golds[i].c_str()));
+    }
+  }
+
+  Dataset out = extractor.TakeDataset();
+  dataset = &out;
+  for (const auto& [id, gold] : labels) dataset->SetGoldEntity(id, gold);
+  return out;
+}
+
+}  // namespace recon::datagen

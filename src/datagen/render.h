@@ -1,0 +1,36 @@
+// Rendering a generated PIM dataset back into raw desktop sources — an
+// mbox of email messages and a .bib bibliography — so the *entire* paper
+// pipeline can be exercised end to end:
+//
+//   generate -> render to text -> parse -> extract -> reconcile
+//
+// Gold entity labels travel through extension annotations (an "X-Gold"
+// header mapping each mailbox to its entity id; "xgold*" BibTeX fields)
+// that a vanilla extractor ignores but ExtractPimCorpus() consumes.
+
+#ifndef RECON_DATAGEN_RENDER_H_
+#define RECON_DATAGEN_RENDER_H_
+
+#include <string>
+
+#include "model/dataset.h"
+
+namespace recon::datagen {
+
+/// A raw-text desktop corpus.
+struct RenderedCorpus {
+  std::string mbox;    ///< Email messages, mbox-delimited.
+  std::string bibtex;  ///< One .bib file.
+};
+
+/// Renders a dataset produced by GeneratePim() (or any dataset over the
+/// PIM schema whose email-derived person references form per-message
+/// emailContact cliques) into raw text with gold annotations.
+RenderedCorpus RenderPimCorpus(const Dataset& dataset);
+
+/// Parses and extracts a rendered corpus back into a labeled dataset.
+Dataset ExtractPimCorpus(const RenderedCorpus& corpus);
+
+}  // namespace recon::datagen
+
+#endif  // RECON_DATAGEN_RENDER_H_

@@ -1,0 +1,194 @@
+#include "datagen/variants.h"
+
+#include "datagen/corpora.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace recon::datagen {
+
+namespace {
+
+std::string Initial(const std::string& name) {
+  RECON_DCHECK(!name.empty());
+  return name.substr(0, 1) + ".";
+}
+
+}  // namespace
+
+std::string InjectTypo(const std::string& s, Random& rng) {
+  if (s.size() < 3) return s;
+  std::string out = s;
+  const size_t pos = 1 + rng.NextBounded(out.size() - 2);
+  switch (rng.NextBounded(3)) {
+    case 0: {  // Substitution with a nearby letter.
+      const char c = out[pos];
+      if (c >= 'a' && c <= 'z') {
+        out[pos] = static_cast<char>('a' + (c - 'a' + 1) % 26);
+      } else if (c >= 'A' && c <= 'Z') {
+        out[pos] = static_cast<char>('A' + (c - 'A' + 1) % 26);
+      }
+      break;
+    }
+    case 1:  // Deletion.
+      out.erase(pos, 1);
+      break;
+    default:  // Transposition.
+      if (pos + 1 < out.size()) std::swap(out[pos], out[pos + 1]);
+      break;
+  }
+  return out;
+}
+
+std::string RenderName(const PersonSpec& person, int era, NameStyle style,
+                       double typo_rate, Random& rng) {
+  if (person.is_mailing_list) return person.list_display_name;
+  const std::string& first = person.first;
+  const std::string& last = person.LastIn(era);
+  const std::string& middle = person.middle_initial;
+
+  std::string name;
+  switch (style) {
+    case NameStyle::kFirstLast:
+      name = first + " " + last;
+      break;
+    case NameStyle::kFirstMiddleLast:
+      name = middle.empty() ? first + " " + last
+                            : first + " " + middle + ". " + last;
+      break;
+    case NameStyle::kLastCommaFirst:
+      name = last + ", " + first;
+      break;
+    case NameStyle::kLastCommaInitials:
+      name = middle.empty()
+                 ? last + ", " + Initial(first)
+                 : last + ", " + first.substr(0, 1) + "." + middle + ".";
+      break;
+    case NameStyle::kInitialLast:
+      name = Initial(first) + " " + last;
+      break;
+    case NameStyle::kInitialsLast:
+      name = middle.empty()
+                 ? Initial(first) + " " + last
+                 : Initial(first) + " " + middle + ". " + last;
+      break;
+    case NameStyle::kFirstOnly:
+      name = first;
+      break;
+    case NameStyle::kNickname:
+      name = person.nickname.empty() ? ToLower(first)
+                                     : ToLower(person.nickname);
+      break;
+  }
+  if (rng.NextBool(typo_rate)) name = InjectTypo(name, rng);
+  return name;
+}
+
+const std::string& PickEmail(const PersonSpec& person, int era, Random& rng) {
+  const std::vector<std::string>& emails = person.EmailsIn(era);
+  RECON_CHECK(!emails.empty());
+  // The primary address dominates; secondary accounts appear occasionally.
+  if (emails.size() > 1 && rng.NextBool(0.3)) {
+    return emails[1 + rng.NextBounded(emails.size() - 1)];
+  }
+  return emails.front();
+}
+
+std::string RenderVenue(const VenueSpec& venue, VenueStyle style,
+                        double typo_rate, Random& rng) {
+  std::string name;
+  switch (style) {
+    case VenueStyle::kFull:
+      name = venue.full_name;
+      break;
+    case VenueStyle::kAcronym:
+      name = venue.acronym;
+      break;
+    case VenueStyle::kProceedingsFull:
+      name = "Proceedings of the " + venue.full_name;
+      break;
+    case VenueStyle::kAcronymYear:
+      name = venue.acronym + " '" + venue.year.substr(venue.year.size() - 2);
+      break;
+    case VenueStyle::kAcronymConference:
+      name = venue.acronym + " Conference";
+      break;
+    case VenueStyle::kFullPublisher:
+      name = venue.full_name + ", " + rng.Choice(PublisherPool());
+      break;
+    case VenueStyle::kTruncatedFull: {
+      // Drop the trailing one or two words.
+      name = venue.full_name;
+      for (int drops = static_cast<int>(rng.NextInt(1, 2)); drops > 0;
+           --drops) {
+        const size_t space = name.rfind(' ');
+        if (space == std::string::npos || space < 12) break;
+        name = name.substr(0, space);
+      }
+      break;
+    }
+    case VenueStyle::kOrdinalFull: {
+      const int ordinal = static_cast<int>(rng.NextInt(3, 25));
+      const char* suffix = "th";
+      if (ordinal % 10 == 1 && ordinal != 11) suffix = "st";
+      if (ordinal % 10 == 2 && ordinal != 12) suffix = "nd";
+      if (ordinal % 10 == 3 && ordinal != 13) suffix = "rd";
+      name = std::to_string(ordinal) + suffix + " " + venue.full_name;
+      break;
+    }
+  }
+  if (rng.NextBool(typo_rate)) name = InjectTypo(name, rng);
+  return name;
+}
+
+VenueStyle SampleVenueStyle(double sloppiness, Random& rng) {
+  const double x = rng.NextDouble();
+  // Clean forms shrink as sloppiness grows; noisy forms expand.
+  if (x < 0.30 - 0.18 * sloppiness) return VenueStyle::kFull;
+  if (x < 0.55 - 0.30 * sloppiness) return VenueStyle::kAcronym;
+  if (x < 0.65 - 0.30 * sloppiness) return VenueStyle::kProceedingsFull;
+  if (x < 0.72 - 0.25 * sloppiness) return VenueStyle::kAcronymYear;
+  if (x < 0.78 - 0.20 * sloppiness) return VenueStyle::kAcronymConference;
+  const double y = rng.NextDouble();
+  if (y < 0.45) return VenueStyle::kFullPublisher;
+  if (y < 0.75) return VenueStyle::kTruncatedFull;
+  return VenueStyle::kOrdinalFull;
+}
+
+std::string RenderTitle(const std::string& title, double noise, Random& rng) {
+  if (!rng.NextBool(noise)) return title;
+  switch (rng.NextBounded(3)) {
+    case 0:
+      return InjectTypo(title, rng);
+    case 1: {  // Drop the trailing word.
+      const size_t space = title.rfind(' ');
+      if (space != std::string::npos && space > 8) {
+        return title.substr(0, space);
+      }
+      return title;
+    }
+    default:
+      return ToLower(title);
+  }
+}
+
+NameStyle SampleEmailNameStyle(double variety, Random& rng) {
+  // Low variety: almost always "First Last". High variety: nicknames,
+  // bare first names, comma forms.
+  const double x = rng.NextDouble();
+  if (x < 0.55 - 0.25 * variety) return NameStyle::kFirstLast;
+  if (x < 0.75 - 0.2 * variety) return NameStyle::kLastCommaFirst;
+  if (x < 0.85) return NameStyle::kFirstOnly;
+  if (x < 0.95) return NameStyle::kNickname;
+  return NameStyle::kFirstMiddleLast;
+}
+
+NameStyle SampleBibNameStyle(double variety, Random& rng) {
+  const double x = rng.NextDouble();
+  if (x < 0.40 - 0.2 * variety) return NameStyle::kFirstMiddleLast;
+  if (x < 0.55 - 0.1 * variety) return NameStyle::kFirstLast;
+  if (x < 0.80) return NameStyle::kLastCommaInitials;
+  if (x < 0.92) return NameStyle::kInitialsLast;
+  return NameStyle::kInitialLast;
+}
+
+}  // namespace recon::datagen

@@ -1,0 +1,75 @@
+// Variant emitters: render an entity as the noisy strings that extractors
+// would produce from emails, BibTeX entries, and citations.
+
+#ifndef RECON_DATAGEN_VARIANTS_H_
+#define RECON_DATAGEN_VARIANTS_H_
+
+#include <string>
+
+#include "datagen/entities.h"
+#include "util/random.h"
+
+namespace recon::datagen {
+
+/// How a person's name is written in one reference.
+enum class NameStyle {
+  kFirstLast,         ///< "Michael Stonebraker"
+  kFirstMiddleLast,   ///< "Robert S. Epstein"
+  kLastCommaFirst,    ///< "Stonebraker, Michael"
+  kLastCommaInitials, ///< "Epstein, R.S." / "Stonebraker, M."
+  kInitialLast,       ///< "M. Stonebraker"
+  kInitialsLast,      ///< "R. S. Epstein"
+  kFirstOnly,         ///< "Michael"
+  kNickname,          ///< "mike"
+};
+
+/// Renders `person`'s name in `era` with `style`. Mailing lists always
+/// render their display name. `typo_rate` is the per-string probability of
+/// one character-level typo.
+std::string RenderName(const PersonSpec& person, int era, NameStyle style,
+                       double typo_rate, Random& rng);
+
+/// Picks one of the person's era-appropriate email addresses.
+const std::string& PickEmail(const PersonSpec& person, int era, Random& rng);
+
+/// How a venue's name is written in one reference.
+enum class VenueStyle {
+  kFull,            ///< "International Conference on Very Large Data Bases"
+  kAcronym,         ///< "VLDB"
+  kProceedingsFull, ///< "Proceedings of the International Conference on ..."
+  kAcronymYear,     ///< "VLDB '99"
+  kAcronymConference, ///< "VLDB Conference"
+  kFullPublisher,   ///< "... Very Large Data Bases, Morgan Kaufmann"
+  kTruncatedFull,   ///< Full name with trailing words dropped.
+  kOrdinalFull,     ///< "12th International Conference on ..."
+};
+
+/// Renders a venue name; `typo_rate` as above.
+std::string RenderVenue(const VenueSpec& venue, VenueStyle style,
+                        double typo_rate, Random& rng);
+
+/// Samples a venue style. `sloppiness` in [0, 1]: higher values favor the
+/// noisy forms (publisher suffixes, truncations, ordinals) typical of
+/// citation corpora; low values favor the clean forms of curated BibTeX.
+VenueStyle SampleVenueStyle(double sloppiness, Random& rng);
+
+/// Renders an article title with noise: with probability `noise` the title
+/// is perturbed (typo, dropped trailing word, or lowercasing).
+std::string RenderTitle(const std::string& title, double noise, Random& rng);
+
+/// Injects one character-level typo (substitution, deletion, transposition)
+/// at a random alphabetic position.
+std::string InjectTypo(const std::string& s, Random& rng);
+
+/// Samples a name style for email-derived references ("From:" headers and
+/// address books): full names, bare first names, nicknames.
+/// `variety` in [0, 1] skews toward more diverse styles.
+NameStyle SampleEmailNameStyle(double variety, Random& rng);
+
+/// Samples a name style for bibliography-derived references: full or
+/// abbreviated scholarly forms.
+NameStyle SampleBibNameStyle(double variety, Random& rng);
+
+}  // namespace recon::datagen
+
+#endif  // RECON_DATAGEN_VARIANTS_H_

@@ -1,0 +1,36 @@
+// Fixed-width table printing for the benchmark harnesses, so every bench
+// binary prints rows in the same shape as the paper's tables.
+
+#ifndef RECON_EVAL_REPORT_H_
+#define RECON_EVAL_REPORT_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace recon {
+
+/// Accumulates rows of string cells and prints an aligned ASCII table.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Adds one row; short rows are padded with empty cells.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders to `os` with column separators and a header rule.
+  void Print(std::ostream& os) const;
+
+  /// Formats "p/r" with three decimals, e.g. "0.967/0.926".
+  static std::string PrecRecall(double precision, double recall);
+  /// Formats a number with `digits` decimals.
+  static std::string Num(double value, int digits = 3);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace recon
+
+#endif  // RECON_EVAL_REPORT_H_

@@ -1,0 +1,192 @@
+#include "extract/bibtex_parser.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace recon::extract {
+
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+         c == '-' || c == ':' || c == '.' || c == '+';
+}
+
+void SkipWhitespace(std::string_view input, size_t* pos) {
+  while (*pos < input.size() &&
+         std::isspace(static_cast<unsigned char>(input[*pos])) != 0) {
+    ++*pos;
+  }
+}
+
+/// Reads a field value starting at *pos: {braced (nested ok)}, "quoted",
+/// or a bare token (number/identifier). Returns false on malformed input.
+bool ReadValue(std::string_view input, size_t* pos, std::string* out) {
+  SkipWhitespace(input, pos);
+  if (*pos >= input.size()) return false;
+  const char open = input[*pos];
+  if (open == '{') {
+    int depth = 0;
+    std::string value;
+    for (; *pos < input.size(); ++*pos) {
+      const char c = input[*pos];
+      if (c == '{') {
+        ++depth;
+        if (depth == 1) continue;
+      } else if (c == '}') {
+        --depth;
+        if (depth == 0) {
+          ++*pos;
+          *out = value;
+          return true;
+        }
+      }
+      value.push_back(c);
+    }
+    return false;  // Unbalanced braces.
+  }
+  if (open == '"') {
+    ++*pos;
+    std::string value;
+    for (; *pos < input.size(); ++*pos) {
+      if (input[*pos] == '"') {
+        ++*pos;
+        *out = value;
+        return true;
+      }
+      value.push_back(input[*pos]);
+    }
+    return false;
+  }
+  // Bare value: up to ',' or '}' at this level.
+  std::string value;
+  while (*pos < input.size() && input[*pos] != ',' && input[*pos] != '}') {
+    value.push_back(input[*pos]);
+    ++*pos;
+  }
+  *out = Trim(value);
+  return !out->empty();
+}
+
+}  // namespace
+
+std::vector<std::string> SplitBibtexAuthors(std::string_view value) {
+  std::vector<std::string> authors;
+  std::string current;
+  const std::vector<std::string> words = SplitWhitespace(value);
+  for (const std::string& word : words) {
+    if (ToLower(word) == "and") {
+      const std::string author = Trim(current);
+      if (!author.empty()) authors.push_back(author);
+      current.clear();
+    } else {
+      if (!current.empty()) current += ' ';
+      current += word;
+    }
+  }
+  const std::string author = Trim(current);
+  if (!author.empty()) authors.push_back(author);
+  return authors;
+}
+
+std::vector<std::string> BibtexEntry::Authors() const {
+  return SplitBibtexAuthors(Field("author"));
+}
+
+std::string BibtexEntry::Venue() const {
+  const std::string booktitle = Field("booktitle");
+  return booktitle.empty() ? Field("journal") : booktitle;
+}
+
+std::string BibtexEntry::Field(const std::string& name) const {
+  auto it = fields.find(name);
+  return it == fields.end() ? std::string() : it->second;
+}
+
+StatusOr<BibtexEntry> ParseNextBibtexEntry(std::string_view input,
+                                           size_t* pos) {
+  const size_t at = input.find('@', *pos);
+  if (at == std::string_view::npos) {
+    *pos = input.size();
+    return Status::NotFound("no further BibTeX entries");
+  }
+  size_t p = at + 1;
+
+  BibtexEntry entry;
+  while (p < input.size() && IsIdentChar(input[p])) {
+    entry.type.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(input[p]))));
+    ++p;
+  }
+  SkipWhitespace(input, &p);
+  if (p >= input.size() || input[p] != '{') {
+    *pos = p;
+    return Status::InvalidArgument("expected '{' after entry type");
+  }
+  ++p;
+
+  // Citation key (up to the first comma).
+  SkipWhitespace(input, &p);
+  while (p < input.size() && input[p] != ',' && input[p] != '}') {
+    entry.key.push_back(input[p]);
+    ++p;
+  }
+  entry.key = Trim(entry.key);
+  if (p < input.size() && input[p] == ',') ++p;
+
+  // Fields.
+  for (;;) {
+    SkipWhitespace(input, &p);
+    if (p >= input.size()) {
+      *pos = p;
+      return Status::InvalidArgument("unterminated entry");
+    }
+    if (input[p] == '}') {
+      ++p;
+      break;
+    }
+    if (input[p] == ',') {
+      ++p;
+      continue;
+    }
+    std::string name;
+    while (p < input.size() && IsIdentChar(input[p])) {
+      name.push_back(static_cast<char>(
+          std::tolower(static_cast<unsigned char>(input[p]))));
+      ++p;
+    }
+    SkipWhitespace(input, &p);
+    if (name.empty() || p >= input.size() || input[p] != '=') {
+      *pos = p + 1;
+      return Status::InvalidArgument("malformed field in entry " + entry.key);
+    }
+    ++p;  // '='.
+    std::string value;
+    if (!ReadValue(input, &p, &value)) {
+      *pos = p;
+      return Status::InvalidArgument("malformed value in entry " + entry.key);
+    }
+    // Normalize internal whitespace (values may span lines).
+    entry.fields[name] = Join(SplitWhitespace(value), " ");
+  }
+  *pos = p;
+  return entry;
+}
+
+std::vector<BibtexEntry> ParseBibtexFile(std::string_view input) {
+  std::vector<BibtexEntry> entries;
+  size_t pos = 0;
+  while (pos < input.size()) {
+    StatusOr<BibtexEntry> entry = ParseNextBibtexEntry(input, &pos);
+    if (entry.ok()) {
+      entries.push_back(std::move(entry).value());
+    } else if (entry.status().code() == StatusCode::kNotFound) {
+      break;
+    }
+    // Malformed entries are skipped; pos has advanced past the problem.
+  }
+  return entries;
+}
+
+}  // namespace recon::extract

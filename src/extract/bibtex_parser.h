@@ -1,0 +1,57 @@
+// Parsing of BibTeX entries — the other half of the paper's extraction
+// substrate ("references obtained from ... Latex and Bibtex files").
+//
+// Supports the common entry shape:
+//   @inproceedings{key,
+//     author    = {Robert S. Epstein and Michael Stonebraker and Wong, E.},
+//     title     = "Distributed query processing ...",
+//     booktitle = {ACM SIGMOD},
+//     year      = 1978,
+//     pages     = {169--180},
+//     address   = {Austin, Texas},
+//   }
+// with brace- or quote-delimited values (nested braces allowed), numeric
+// bare values, and "and"-separated author lists.
+
+#ifndef RECON_EXTRACT_BIBTEX_PARSER_H_
+#define RECON_EXTRACT_BIBTEX_PARSER_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace recon::extract {
+
+/// One parsed BibTeX entry.
+struct BibtexEntry {
+  std::string type;  ///< "inproceedings", "article", ... (lowercased).
+  std::string key;
+  /// Field name (lowercased) -> raw value with delimiters stripped.
+  std::map<std::string, std::string> fields;
+
+  /// "and"-split author list from the `author` field (empty if absent).
+  std::vector<std::string> Authors() const;
+  /// The venue field: `booktitle` for proceedings, else `journal`.
+  std::string Venue() const;
+  /// Field accessor; "" when absent.
+  std::string Field(const std::string& name) const;
+};
+
+/// Splits a BibTeX author value on the word "and" (case-insensitive,
+/// token-delimited): "A. Smith and Wong, E." -> {"A. Smith", "Wong, E."}.
+std::vector<std::string> SplitBibtexAuthors(std::string_view value);
+
+/// Parses the first entry found at or after `*pos`; advances `*pos` past
+/// it. Returns NotFound when no further '@' exists.
+StatusOr<BibtexEntry> ParseNextBibtexEntry(std::string_view input,
+                                           size_t* pos);
+
+/// Parses every entry in a .bib file, skipping malformed ones.
+std::vector<BibtexEntry> ParseBibtexFile(std::string_view input);
+
+}  // namespace recon::extract
+
+#endif  // RECON_EXTRACT_BIBTEX_PARSER_H_

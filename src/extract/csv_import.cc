@@ -1,0 +1,120 @@
+#include "extract/csv_import.h"
+
+#include "util/string_util.h"
+
+namespace recon::extract {
+
+std::vector<std::vector<std::string>> ParseCsv(std::string_view text,
+                                               char delimiter) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+
+  auto end_field = [&] {
+    row.push_back(field);
+    field.clear();
+    field_started = false;
+  };
+  auto end_row = [&] {
+    end_field();
+    // Skip rows that are entirely empty (e.g. a trailing newline).
+    bool all_empty = true;
+    for (const std::string& f : row) {
+      if (!f.empty()) all_empty = false;
+    }
+    if (!all_empty || row.size() > 1) rows.push_back(row);
+    row.clear();
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');  // Doubled quote.
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      continue;
+    }
+    if (c == '"' && !field_started) {
+      in_quotes = true;
+      field_started = true;
+    } else if (c == delimiter) {
+      end_field();
+    } else if (c == '\n') {
+      if (!field.empty() || !row.empty() || field_started) end_row();
+    } else if (c == '\r') {
+      // Swallow (CRLF).
+    } else {
+      field.push_back(c);
+      field_started = true;
+    }
+  }
+  if (!field.empty() || !row.empty() || field_started) end_row();
+  return rows;
+}
+
+StatusOr<int> ImportCsv(std::string_view text, const CsvImportSpec& spec,
+                        Dataset* dataset) {
+  if (dataset == nullptr) {
+    return Status::InvalidArgument("null dataset");
+  }
+  const Schema& schema = dataset->schema();
+  if (spec.class_id < 0 || spec.class_id >= schema.num_classes()) {
+    return Status::InvalidArgument("bad class id");
+  }
+  const ClassDef& cls = schema.class_def(spec.class_id);
+  for (const int attr : spec.column_to_attribute) {
+    if (attr < 0) continue;
+    if (attr >= cls.num_attributes()) {
+      return Status::InvalidArgument("attribute index out of range");
+    }
+    if (cls.attributes[attr].kind != AttrKind::kAtomic) {
+      return Status::InvalidArgument(
+          "CSV import targets atomic attributes only (" +
+          cls.attributes[attr].name + ")");
+    }
+  }
+
+  const std::vector<std::vector<std::string>> rows =
+      ParseCsv(text, spec.delimiter);
+  int added = 0;
+  for (size_t r = spec.has_header ? 1 : 0; r < rows.size(); ++r) {
+    const std::vector<std::string>& row = rows[r];
+    int gold = -1;
+    if (spec.gold_column >= 0) {
+      if (spec.gold_column >= static_cast<int>(row.size()) ||
+          !IsDigits(Trim(row[spec.gold_column]))) {
+        return Status::InvalidArgument(
+            "row " + std::to_string(r + 1) + ": bad gold label");
+      }
+      gold = std::atoi(row[spec.gold_column].c_str());
+    }
+    const RefId id = dataset->NewReference(spec.class_id, gold);
+    Reference& ref = dataset->mutable_reference(id);
+    for (size_t col = 0;
+         col < row.size() && col < spec.column_to_attribute.size(); ++col) {
+      const int attr = spec.column_to_attribute[col];
+      if (attr < 0) continue;
+      if (spec.multi_value_separator != '\0') {
+        for (const std::string& value :
+             Split(row[col], spec.multi_value_separator)) {
+          ref.AddAtomicValue(attr, Trim(value));
+        }
+      } else {
+        ref.AddAtomicValue(attr, Trim(row[col]));
+      }
+    }
+    ++added;
+  }
+  return added;
+}
+
+}  // namespace recon::extract

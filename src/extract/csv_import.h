@@ -1,0 +1,49 @@
+// CSV import: the adapter most real reconciliation jobs start from. Each
+// row becomes one reference of a fixed class; columns map onto atomic
+// attributes. RFC-4180 quoting (embedded delimiters, quotes, newlines) is
+// supported, plus multi-valued cells and an optional gold-label column.
+
+#ifndef RECON_EXTRACT_CSV_IMPORT_H_
+#define RECON_EXTRACT_CSV_IMPORT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "model/dataset.h"
+#include "util/status.h"
+
+namespace recon::extract {
+
+/// Parses RFC-4180 CSV text into rows of fields. Handles quoted fields
+/// with embedded delimiters, doubled quotes, and newlines. A trailing
+/// newline does not produce an empty row.
+std::vector<std::vector<std::string>> ParseCsv(std::string_view text,
+                                               char delimiter = ',');
+
+/// Column mapping for one CSV import.
+struct CsvImportSpec {
+  /// Class the rows instantiate.
+  int class_id = -1;
+  char delimiter = ',';
+  /// Skip the first row.
+  bool has_header = true;
+  /// column index -> attribute index within the class; -1 ignores the
+  /// column. Shorter than the row = remaining columns ignored.
+  std::vector<int> column_to_attribute;
+  /// Column holding an integer gold label; -1 when unlabeled.
+  int gold_column = -1;
+  /// Cells are split on this into multiple attribute values; '\0' keeps
+  /// cells whole.
+  char multi_value_separator = ';';
+};
+
+/// Imports CSV rows as references into `dataset` (whose schema must
+/// contain spec.class_id). Returns the number of references added, or an
+/// error naming the offending row. Empty rows are skipped.
+StatusOr<int> ImportCsv(std::string_view text, const CsvImportSpec& spec,
+                        Dataset* dataset);
+
+}  // namespace recon::extract
+
+#endif  // RECON_EXTRACT_CSV_IMPORT_H_

@@ -1,0 +1,138 @@
+#include "extract/email_parser.h"
+
+#include "util/string_util.h"
+
+namespace recon::extract {
+
+namespace {
+
+/// Splits on top-level commas: commas inside double quotes or angle
+/// brackets do not split.
+std::vector<std::string> SplitAddresses(std::string_view value) {
+  std::vector<std::string> items;
+  std::string current;
+  bool in_quotes = false;
+  bool in_angle = false;
+  for (const char c : value) {
+    if (c == '"') {
+      in_quotes = !in_quotes;
+      current.push_back(c);
+    } else if (c == '<' && !in_quotes) {
+      in_angle = true;
+      current.push_back(c);
+    } else if (c == '>' && !in_quotes) {
+      in_angle = false;
+      current.push_back(c);
+    } else if (c == ',' && !in_quotes && !in_angle) {
+      items.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  items.push_back(current);
+  return items;
+}
+
+/// Strips one layer of surrounding double quotes.
+std::string Unquote(std::string_view s) {
+  s = TrimView(s);
+  if (s.size() >= 2 && s.front() == '"' && s.back() == '"') {
+    s = s.substr(1, s.size() - 2);
+  }
+  return Trim(s);
+}
+
+}  // namespace
+
+std::vector<Mailbox> ParseAddressList(std::string_view value) {
+  std::vector<Mailbox> mailboxes;
+  for (const std::string& item : SplitAddresses(value)) {
+    const std::string_view trimmed = TrimView(item);
+    if (trimmed.empty()) continue;
+    Mailbox mailbox;
+    const size_t open = trimmed.find('<');
+    if (open != std::string_view::npos) {
+      const size_t close = trimmed.find('>', open);
+      const size_t end =
+          (close == std::string_view::npos) ? trimmed.size() : close;
+      mailbox.address = Trim(trimmed.substr(open + 1, end - open - 1));
+      mailbox.display_name = Unquote(trimmed.substr(0, open));
+    } else if (trimmed.find('@') != std::string_view::npos) {
+      mailbox.address = Trim(trimmed);
+    } else {
+      mailbox.display_name = Unquote(trimmed);
+    }
+    if (!mailbox.display_name.empty() || !mailbox.address.empty()) {
+      mailboxes.push_back(std::move(mailbox));
+    }
+  }
+  return mailboxes;
+}
+
+StatusOr<EmailMessage> ParseEmailMessage(std::string_view raw) {
+  EmailMessage message;
+  bool any_header = false;
+
+  // Unfold headers: a line starting with whitespace continues the
+  // previous header value.
+  std::vector<std::pair<std::string, std::string>> headers;
+  for (const std::string& line : Split(raw, '\n')) {
+    if (TrimView(line).empty()) break;  // End of headers.
+    if ((line.starts_with(" ") || line.starts_with("\t")) &&
+        !headers.empty()) {
+      headers.back().second += " " + Trim(line);
+      continue;
+    }
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;  // Not a header; skip.
+    headers.emplace_back(ToLower(Trim(line.substr(0, colon))),
+                         Trim(line.substr(colon + 1)));
+  }
+
+  message.headers = headers;
+  for (const auto& [name, value] : headers) {
+    if (name == "from") {
+      message.from = ParseAddressList(value);
+      any_header = true;
+    } else if (name == "to") {
+      message.to = ParseAddressList(value);
+      any_header = true;
+    } else if (name == "cc") {
+      message.cc = ParseAddressList(value);
+      any_header = true;
+    } else if (name == "subject") {
+      message.subject = value;
+      any_header = true;
+    }
+  }
+  if (!any_header) {
+    return Status::InvalidArgument("no recognizable email headers");
+  }
+  return message;
+}
+
+std::vector<EmailMessage> ParseMbox(std::string_view raw) {
+  std::vector<EmailMessage> messages;
+  std::vector<std::string> chunks;
+  std::string current;
+  for (const std::string& line : Split(raw, '\n')) {
+    if (line.starts_with("From ") && !current.empty()) {
+      chunks.push_back(current);
+      current.clear();
+      continue;
+    }
+    if (line.starts_with("From ")) continue;  // Leading delimiter.
+    current += line;
+    current += '\n';
+  }
+  if (!TrimView(current).empty()) chunks.push_back(current);
+
+  for (const std::string& chunk : chunks) {
+    StatusOr<EmailMessage> parsed = ParseEmailMessage(chunk);
+    if (parsed.ok()) messages.push_back(std::move(parsed).value());
+  }
+  return messages;
+}
+
+}  // namespace recon::extract

@@ -1,0 +1,61 @@
+// Parsing of simplified RFC-2822 email messages.
+//
+// The paper's information space starts from "data from a variety of
+// sources on the desktop (e.g., mails, contacts, files)" processed by an
+// extractor; this module is that substrate's email half. It parses the
+// headers a PIM extractor cares about (From/To/Cc) with the address forms
+// found in real mailboxes:
+//   "Eugene Wong" <eugene@berkeley.edu>
+//   Eugene Wong <eugene@berkeley.edu>
+//   eugene@berkeley.edu
+//   mike <stonebraker@csail.mit.edu>, Wong, E. <ew@b.edu>
+
+#ifndef RECON_EXTRACT_EMAIL_PARSER_H_
+#define RECON_EXTRACT_EMAIL_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace recon::extract {
+
+/// One mailbox: an optional display name and an optional address (at
+/// least one is non-empty after successful parsing).
+struct Mailbox {
+  std::string display_name;
+  std::string address;
+
+  friend bool operator==(const Mailbox&, const Mailbox&) = default;
+};
+
+/// One parsed message.
+struct EmailMessage {
+  std::vector<Mailbox> from;  ///< Usually exactly one.
+  std::vector<Mailbox> to;
+  std::vector<Mailbox> cc;
+  std::string subject;
+  /// Every header as (lowercased name, raw value), in order — including
+  /// extension headers the extractor does not interpret itself.
+  std::vector<std::pair<std::string, std::string>> headers;
+};
+
+/// Parses a single address-list header value ("a <x@y>, b@c") into
+/// mailboxes. Tolerates quoted display names with commas ("Wong, E.").
+std::vector<Mailbox> ParseAddressList(std::string_view value);
+
+/// Parses one message in simplified RFC-2822 form: header lines
+/// ("Header: value", with continuation lines starting with whitespace)
+/// terminated by an empty line; the body is ignored. Returns an error only
+/// for structurally hopeless input (no headers at all).
+StatusOr<EmailMessage> ParseEmailMessage(std::string_view raw);
+
+/// Splits an mbox-style concatenation (messages delimited by lines
+/// starting with "From ") into messages and parses each, skipping
+/// unparseable ones.
+std::vector<EmailMessage> ParseMbox(std::string_view raw);
+
+}  // namespace recon::extract
+
+#endif  // RECON_EXTRACT_EMAIL_PARSER_H_

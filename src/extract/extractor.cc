@@ -1,0 +1,140 @@
+#include "extract/extractor.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace recon::extract {
+
+Extractor::Extractor() : dataset_(BuildPimSchema()) {
+  const Schema& s = dataset_.schema();
+  person_ = s.RequireClass("Person");
+  article_ = s.RequireClass("Article");
+  venue_ = s.RequireClass("Venue");
+  p_name_ = s.RequireAttribute(person_, "name");
+  p_email_ = s.RequireAttribute(person_, "email");
+  p_coauthor_ = s.RequireAttribute(person_, "coAuthor");
+  p_contact_ = s.RequireAttribute(person_, "emailContact");
+  a_title_ = s.RequireAttribute(article_, "title");
+  a_year_ = s.RequireAttribute(article_, "year");
+  a_pages_ = s.RequireAttribute(article_, "pages");
+  a_authors_ = s.RequireAttribute(article_, "authoredBy");
+  a_venue_ = s.RequireAttribute(article_, "publishedIn");
+  v_name_ = s.RequireAttribute(venue_, "name");
+  v_year_ = s.RequireAttribute(venue_, "year");
+  v_location_ = s.RequireAttribute(venue_, "location");
+}
+
+std::vector<Mailbox> DedupParticipants(const EmailMessage& message) {
+  // Deduplicate participants within the message (the same mailbox often
+  // appears in both To and Cc).
+  std::vector<Mailbox> participants;
+  auto add = [&](const Mailbox& mailbox) {
+    if (mailbox.display_name.empty() && mailbox.address.empty()) return;
+    if (std::find(participants.begin(), participants.end(), mailbox) ==
+        participants.end()) {
+      participants.push_back(mailbox);
+    }
+  };
+  for (const Mailbox& m : message.from) add(m);
+  for (const Mailbox& m : message.to) add(m);
+  for (const Mailbox& m : message.cc) add(m);
+  return participants;
+}
+
+std::vector<RefId> Extractor::AddMessage(const EmailMessage& message,
+                                         const std::vector<int>& gold) {
+  const std::vector<Mailbox> participants = DedupParticipants(message);
+
+  std::vector<RefId> refs;
+  refs.reserve(participants.size());
+  for (size_t i = 0; i < participants.size(); ++i) {
+    const int label = i < gold.size() ? gold[i] : -1;
+    const RefId id =
+        dataset_.NewReference(person_, label, Provenance::kEmail);
+    Reference& ref = dataset_.mutable_reference(id);
+    if (!participants[i].display_name.empty()) {
+      ref.AddAtomicValue(p_name_, participants[i].display_name);
+    }
+    if (!participants[i].address.empty()) {
+      ref.AddAtomicValue(p_email_, participants[i].address);
+    }
+    refs.push_back(id);
+  }
+  for (size_t i = 0; i < refs.size(); ++i) {
+    for (size_t j = 0; j < refs.size(); ++j) {
+      if (i == j) continue;
+      dataset_.mutable_reference(refs[i]).AddAssociation(p_contact_,
+                                                         refs[j]);
+    }
+  }
+  return refs;
+}
+
+std::vector<RefId> Extractor::AddBibtexEntry(const BibtexEntry& entry) {
+  const std::string title = entry.Field("title");
+  if (title.empty()) return {};
+
+  std::vector<RefId> author_refs;
+  for (const std::string& author : entry.Authors()) {
+    const RefId id =
+        dataset_.NewReference(person_, -1, Provenance::kBibtex);
+    dataset_.mutable_reference(id).AddAtomicValue(p_name_, author);
+    author_refs.push_back(id);
+  }
+  for (size_t i = 0; i < author_refs.size(); ++i) {
+    for (size_t j = 0; j < author_refs.size(); ++j) {
+      if (i == j) continue;
+      dataset_.mutable_reference(author_refs[i])
+          .AddAssociation(p_coauthor_, author_refs[j]);
+    }
+  }
+
+  const std::string venue_name = entry.Venue();
+  RefId venue_ref = kInvalidRef;
+  if (!venue_name.empty()) {
+    venue_ref = dataset_.NewReference(venue_, -1, Provenance::kBibtex);
+    Reference& ref = dataset_.mutable_reference(venue_ref);
+    ref.AddAtomicValue(v_name_, venue_name);
+    ref.AddAtomicValue(v_year_, entry.Field("year"));
+    ref.AddAtomicValue(v_location_, entry.Field("address"));
+  }
+
+  const RefId article_ref =
+      dataset_.NewReference(article_, -1, Provenance::kBibtex);
+  {
+    Reference& ref = dataset_.mutable_reference(article_ref);
+    ref.AddAtomicValue(a_title_, title);
+    ref.AddAtomicValue(a_year_, entry.Field("year"));
+    ref.AddAtomicValue(a_pages_, entry.Field("pages"));
+    for (const RefId author : author_refs) {
+      ref.AddAssociation(a_authors_, author);
+    }
+    if (venue_ref != kInvalidRef) {
+      ref.AddAssociation(a_venue_, venue_ref);
+    }
+  }
+
+  std::vector<RefId> out{article_ref};
+  if (venue_ref != kInvalidRef) out.push_back(venue_ref);
+  out.insert(out.end(), author_refs.begin(), author_refs.end());
+  return out;
+}
+
+int Extractor::AddMbox(std::string_view raw) {
+  int count = 0;
+  for (const EmailMessage& message : ParseMbox(raw)) {
+    count += static_cast<int>(AddMessage(message).size());
+  }
+  return count;
+}
+
+int Extractor::AddBibtexFile(std::string_view raw) {
+  int count = 0;
+  for (const BibtexEntry& entry : ParseBibtexFile(raw)) {
+    count += static_cast<int>(AddBibtexEntry(entry).size());
+  }
+  return count;
+}
+
+}  // namespace recon::extract

@@ -1,0 +1,61 @@
+// The extractor: turns parsed emails and BibTeX entries into a Dataset of
+// references over the PIM schema, with exactly the association structure
+// of the paper's Figure 1 — person references per message participant
+// linked by emailContact, and article/venue/author references per BibTeX
+// entry linked by authoredBy / publishedIn / coAuthor.
+
+#ifndef RECON_EXTRACT_EXTRACTOR_H_
+#define RECON_EXTRACT_EXTRACTOR_H_
+
+#include <string_view>
+#include <vector>
+
+#include "extract/bibtex_parser.h"
+#include "extract/email_parser.h"
+#include "model/dataset.h"
+
+namespace recon::extract {
+
+/// The distinct participants of a message in extraction order (From, To,
+/// Cc; duplicates removed). Exposed so label pipelines can align
+/// per-participant annotations with AddMessage's output.
+std::vector<Mailbox> DedupParticipants(const EmailMessage& message);
+
+/// Builds a PIM dataset from raw desktop sources. References it produces
+/// are unlabeled (gold -1) unless the caller supplies labels.
+class Extractor {
+ public:
+  /// Creates an extractor over its own empty PIM dataset.
+  Extractor();
+
+  /// Extracts references from one message: one Person reference per
+  /// distinct participant, pairwise emailContact links. Returns the new
+  /// reference ids. `gold` optionally labels each participant (parallel to
+  /// the deduplicated participant order); pass {} when unknown.
+  std::vector<RefId> AddMessage(const EmailMessage& message,
+                                const std::vector<int>& gold = {});
+
+  /// Extracts references from one BibTeX entry: author Person references
+  /// (name only, coAuthor-linked), a Venue reference, and an Article
+  /// reference. Returns {article, venue, authors...} ids, or an empty
+  /// vector for entries without a title.
+  std::vector<RefId> AddBibtexEntry(const BibtexEntry& entry);
+
+  /// Convenience: parses and extracts an entire mbox / .bib text.
+  int AddMbox(std::string_view raw);
+  int AddBibtexFile(std::string_view raw);
+
+  const Dataset& dataset() const { return dataset_; }
+  Dataset TakeDataset() { return std::move(dataset_); }
+
+ private:
+  Dataset dataset_;
+  int person_, article_, venue_;
+  int p_name_, p_email_, p_coauthor_, p_contact_;
+  int a_title_, a_year_, a_pages_, a_authors_, a_venue_;
+  int v_name_, v_year_, v_location_;
+};
+
+}  // namespace recon::extract
+
+#endif  // RECON_EXTRACT_EXTRACTOR_H_

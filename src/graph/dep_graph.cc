@@ -1,0 +1,215 @@
+#include "graph/dep_graph.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace recon {
+
+DependencyGraph::DependencyGraph(int num_references)
+    : nodes_of_ref_(num_references) {
+  RECON_CHECK_GE(num_references, 0);
+}
+
+NodeId DependencyGraph::AddRefPairNode(int class_id, RefId r1, RefId r2) {
+  RECON_CHECK_NE(r1, r2);
+  RECON_CHECK(r1 >= 0 && r1 < static_cast<int>(nodes_of_ref_.size()));
+  RECON_CHECK(r2 >= 0 && r2 < static_cast<int>(nodes_of_ref_.size()));
+  const uint64_t key = PairKey(r1, r2);
+  auto [it, inserted] =
+      ref_pair_index_.try_emplace(key, static_cast<NodeId>(nodes_.size()));
+  if (!inserted) return it->second;
+
+  Node node;
+  node.kind = NodeKind::kReferencePair;
+  node.class_id = static_cast<int16_t>(class_id);
+  node.a = std::min(r1, r2);
+  node.b = std::max(r1, r2);
+  node.sim = 0.0f;
+  node.state = NodeState::kInactive;
+  nodes_.push_back(std::move(node));
+  ++num_live_nodes_;
+
+  const NodeId id = it->second;
+  nodes_of_ref_[r1].push_back(id);
+  nodes_of_ref_[r2].push_back(id);
+  return id;
+}
+
+NodeId DependencyGraph::AddValuePairNode(ValueId v1, ValueId v2, double sim,
+                                         NodeState state) {
+  RECON_CHECK_NE(v1, v2);
+  const uint64_t key = PairKey(v1, v2);
+  auto [it, inserted] =
+      value_pair_index_.try_emplace(key, static_cast<NodeId>(nodes_.size()));
+  if (!inserted) return it->second;
+
+  Node node;
+  node.kind = NodeKind::kValuePair;
+  node.a = std::min(v1, v2);
+  node.b = std::max(v1, v2);
+  node.sim = static_cast<float>(sim);
+  node.state = state;
+  nodes_.push_back(std::move(node));
+  ++num_live_nodes_;
+  return it->second;
+}
+
+void DependencyGraph::AddEdge(NodeId from, NodeId to, DependencyKind kind,
+                              int evidence) {
+  RECON_CHECK_NE(from, to);
+  Node& src = nodes_[from];
+  const int16_t ev = static_cast<int16_t>(evidence);
+  for (const Edge& e : src.out) {
+    if (e.node == to && e.kind == kind && e.evidence == ev) return;
+  }
+  src.out.push_back(Edge{to, kind, ev});
+  nodes_[to].in.push_back(Edge{from, kind, ev});
+  ++num_edges_;
+}
+
+NodeId DependencyGraph::FindRefPair(RefId r1, RefId r2) const {
+  if (r1 == r2) return kInvalidNode;
+  auto it = ref_pair_index_.find(PairKey(r1, r2));
+  return it == ref_pair_index_.end() ? kInvalidNode : it->second;
+}
+
+NodeId DependencyGraph::FindValuePair(ValueId v1, ValueId v2) const {
+  if (v1 == v2) return kInvalidNode;
+  auto it = value_pair_index_.find(PairKey(v1, v2));
+  return it == value_pair_index_.end() ? kInvalidNode : it->second;
+}
+
+void DependencyGraph::DetachEdge(NodeId source, NodeId target,
+                                 DependencyKind kind, int16_t evidence) {
+  auto& out = nodes_[source].out;
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (out[i].node == target && out[i].kind == kind &&
+        out[i].evidence == evidence) {
+      out[i] = out.back();
+      out.pop_back();
+      --num_edges_;
+      return;
+    }
+  }
+  RECON_LOG(Fatal) << "DetachEdge: edge " << source << " -> " << target
+                   << " not found";
+}
+
+bool DependencyGraph::FoldInto(NodeId from, NodeId into) {
+  RECON_CHECK_NE(from, into);
+  Node& src = nodes_[from];
+  Node& dst = nodes_[into];
+  RECON_CHECK(!src.dead && !dst.dead);
+
+  bool gained = false;
+  // Reconnect incoming dependencies: x -> from becomes x -> into.
+  for (const Edge& e : src.in) {
+    DetachEdge(e.node, from, e.kind, e.evidence);
+    if (e.node == into) continue;  // Would be a self loop.
+    const size_t before = dst.in.size();
+    AddEdge(e.node, into, e.kind, e.evidence);
+    if (dst.in.size() > before) gained = true;
+  }
+  src.in.clear();
+
+  // Reconnect outgoing dependencies: from -> y becomes into -> y.
+  for (const Edge& e : src.out) {
+    // Remove the y.in record for `from`.
+    auto& target_in = nodes_[e.node].in;
+    for (size_t i = 0; i < target_in.size(); ++i) {
+      if (target_in[i].node == from && target_in[i].kind == e.kind &&
+          target_in[i].evidence == e.evidence) {
+        target_in[i] = target_in.back();
+        target_in.pop_back();
+        --num_edges_;
+        break;
+      }
+    }
+    if (e.node == into) continue;
+    AddEdge(into, e.node, e.kind, e.evidence);
+  }
+  src.out.clear();
+
+  // Static evidence accumulates: the surviving node represents the union
+  // of both pairs' information.
+  for (const auto& [evidence, sim] : src.static_real) {
+    dst.AddStaticReal(evidence, sim);
+  }
+  dst.static_strong = std::max(dst.static_strong, src.static_strong);
+  dst.static_weak = std::max(dst.static_weak, src.static_weak);
+
+  // Negative evidence survives folding: a cluster may not merge with a
+  // reference constrained apart from any of its members. An already-merged
+  // destination is left merged (decisions are monotone; the §3.4
+  // post-fixpoint pass arbitrates genuine conflicts).
+  if (src.state == NodeState::kNonMerge) {
+    if (dst.state != NodeState::kMerged) dst.state = NodeState::kNonMerge;
+  } else if (dst.state != NodeState::kNonMerge) {
+    // Evidence is now a superset of both nodes'; a monotone similarity
+    // function will produce at least max of the two on recomputation.
+    dst.sim = std::max(dst.sim, src.sim);
+  }
+
+  src.dead = true;
+  --num_live_nodes_;
+  return gained;
+}
+
+void DependencyGraph::RemoveFromRefLists(NodeId id) {
+  const Node& node = nodes_[id];
+  for (const RefId r : {static_cast<RefId>(node.a),
+                        static_cast<RefId>(node.b)}) {
+    auto& list = nodes_of_ref_[r];
+    for (size_t i = 0; i < list.size(); ++i) {
+      if (list[i] == id) {
+        list[i] = list.back();
+        list.pop_back();
+        break;
+      }
+    }
+  }
+}
+
+MergeRefsResult DependencyGraph::MergeReferences(RefId keep, RefId gone) {
+  RECON_CHECK_NE(keep, gone);
+  MergeRefsResult result;
+
+  // Copy: folding mutates nodes_of_ref_.
+  const std::vector<NodeId> affected = nodes_of_ref_[gone];
+  for (const NodeId n : affected) {
+    Node& node = nodes_[n];
+    if (node.dead) continue;
+    if (!node.IsRefPair()) continue;
+    const RefId other = static_cast<RefId>(node.Other(gone));
+    if (other == keep) continue;  // The (keep, gone) pair node itself.
+    // Merged nodes are markers of earlier merges within this cluster; they
+    // stay in place as evidence sources and must not be renamed or folded.
+    if (node.state == NodeState::kMerged) continue;
+
+    ref_pair_index_.erase(PairKey(node.a, node.b));
+    const NodeId target = FindRefPair(keep, other);
+    if (target != kInvalidNode && target != n && !nodes_[target].dead) {
+      // Fold (gone, other) into (keep, other).
+      RemoveFromRefLists(n);
+      const bool gained = FoldInto(n, target);
+      result.folded.push_back(n);
+      if (gained) result.gained_inputs.push_back(target);
+    } else {
+      // Rename (gone, other) to (keep, other).
+      RemoveFromRefLists(n);
+      node.a = std::min(keep, other);
+      node.b = std::max(keep, other);
+      ref_pair_index_[PairKey(keep, other)] = n;
+      nodes_of_ref_[keep].push_back(n);
+      nodes_of_ref_[other].push_back(n);
+      // The renamed node now compares enriched elements; it should be
+      // reconsidered even though its edge set did not change.
+      result.gained_inputs.push_back(n);
+    }
+  }
+  nodes_of_ref_[gone].clear();
+  return result;
+}
+
+}  // namespace recon

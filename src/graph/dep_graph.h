@@ -1,0 +1,121 @@
+// The dependency graph (paper §3.1): unique similarity nodes per element
+// pair, typed directed dependency edges, and the local node-folding
+// operation that implements reference enrichment (§3.3).
+
+#ifndef RECON_GRAPH_DEP_GRAPH_H_
+#define RECON_GRAPH_DEP_GRAPH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/node.h"
+#include "graph/value_pool.h"
+#include "model/reference.h"
+
+namespace recon {
+
+/// Result of folding the pair nodes of a merged reference (enrichment).
+struct MergeRefsResult {
+  /// Nodes that gained new incoming dependencies and should be re-queued.
+  std::vector<NodeId> gained_inputs;
+  /// Nodes removed from the graph (their pairs now covered by survivors).
+  std::vector<NodeId> folded;
+};
+
+/// Similarity dependency graph over references and attribute values.
+///
+/// The graph owns node/edge storage and the pair -> node indexes. It is
+/// policy-free: which nodes and edges exist, and how similarities are
+/// computed, is decided by the graph builder and the reconciler.
+class DependencyGraph {
+ public:
+  /// `num_references` fixes the RefId universe (for per-reference node
+  /// lists); grow it later with AddReferences.
+  explicit DependencyGraph(int num_references);
+
+  /// Extends the RefId universe by `count` references (incremental
+  /// reconciliation adds references to an existing graph).
+  void AddReferences(int count) {
+    RECON_CHECK_GE(count, 0);
+    nodes_of_ref_.resize(nodes_of_ref_.size() + count);
+  }
+
+  DependencyGraph(const DependencyGraph&) = delete;
+  DependencyGraph& operator=(const DependencyGraph&) = delete;
+
+  // ---- Construction -----------------------------------------------------
+
+  /// Adds the node for reference pair (r1, r2); returns the existing node
+  /// if already present. References must differ.
+  NodeId AddRefPairNode(int class_id, RefId r1, RefId r2);
+
+  /// Adds the node for value pair (v1, v2) with an initial similarity and
+  /// state; returns the existing node if present (initial values are then
+  /// left untouched). Values must differ.
+  NodeId AddValuePairNode(ValueId v1, ValueId v2, double sim,
+                          NodeState state);
+
+  /// Adds a directed dependency edge `from -> to` (to's similarity depends
+  /// on from's). Duplicate (from, to, kind, evidence) edges are ignored.
+  void AddEdge(NodeId from, NodeId to, DependencyKind kind, int evidence);
+
+  // ---- Lookup -----------------------------------------------------------
+
+  NodeId FindRefPair(RefId r1, RefId r2) const;
+  NodeId FindValuePair(ValueId v1, ValueId v2) const;
+
+  const Node& node(NodeId id) const { return nodes_[id]; }
+  Node& mutable_node(NodeId id) { return nodes_[id]; }
+
+  /// Live reference-pair nodes containing reference `r`.
+  const std::vector<NodeId>& NodesOfRef(RefId r) const {
+    return nodes_of_ref_[r];
+  }
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  /// Nodes not yet folded away (Table 6 reports this).
+  int num_live_nodes() const { return num_live_nodes_; }
+  int num_edges() const { return num_edges_; }
+
+  // ---- Enrichment (§3.3) ------------------------------------------------
+
+  /// Reference enrichment after merging `gone` into `keep`: every pair node
+  /// (gone, x) is folded into (keep, x) — neighbors reconnected, the node
+  /// removed — or renamed to (keep, x) if no such node exists. The node for
+  /// the pair (keep, gone) itself is left in place (it records the merge).
+  ///
+  /// If a folded-away node was in state kNonMerge, the surviving node
+  /// becomes kNonMerge (a cluster cannot merge with a reference that is
+  /// constrained apart from one of its members).
+  MergeRefsResult MergeReferences(RefId keep, RefId gone);
+
+ private:
+  static uint64_t PairKey(int32_t a, int32_t b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
+           static_cast<uint32_t>(b);
+  }
+
+  /// Moves all of `from`'s edges onto `into` (dropping would-be self
+  /// loops), marks `from` dead. Returns true if `into` gained at least one
+  /// new incoming edge.
+  bool FoldInto(NodeId from, NodeId into);
+
+  /// Removes the (source -> target) entry from source.out and target.in.
+  void DetachEdge(NodeId source, NodeId target, DependencyKind kind,
+                  int16_t evidence);
+
+  void RemoveFromRefLists(NodeId id);
+
+  std::vector<Node> nodes_;
+  std::unordered_map<uint64_t, NodeId> ref_pair_index_;
+  std::unordered_map<uint64_t, NodeId> value_pair_index_;
+  std::vector<std::vector<NodeId>> nodes_of_ref_;
+  int num_live_nodes_ = 0;
+  int num_edges_ = 0;
+};
+
+}  // namespace recon
+
+#endif  // RECON_GRAPH_DEP_GRAPH_H_

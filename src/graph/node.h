@@ -1,0 +1,100 @@
+// Dependency-graph node and edge types (paper Definition 3.1 and §3.1's
+// edge refinement into real-valued / strong-boolean / weak-boolean
+// dependencies).
+
+#ifndef RECON_GRAPH_NODE_H_
+#define RECON_GRAPH_NODE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace recon {
+
+/// Dense id of a node within a DependencyGraph.
+using NodeId = int32_t;
+inline constexpr NodeId kInvalidNode = -1;
+
+/// What a node's element pair is.
+enum class NodeKind : uint8_t {
+  kReferencePair,  ///< Similarity of two references of the same class.
+  kValuePair,      ///< Similarity of two (comparable) attribute values.
+};
+
+/// Processing state of a node (§3.2 plus the §3.4 non-merge state).
+enum class NodeState : uint8_t {
+  kInactive,  ///< Similarity up to date; not queued.
+  kActive,    ///< Queued for (re)computation.
+  kMerged,    ///< Similarity reached the merge threshold.
+  kNonMerge,  ///< Constraint: the two elements are guaranteed distinct.
+};
+
+/// How a neighbor's similarity influences a node (§3.1, second refinement).
+enum class DependencyKind : uint8_t {
+  kRealValued,    ///< The actual similarity value matters.
+  kStrongBoolean, ///< Neighbor merge (almost) implies this pair merges.
+  kWeakBoolean,   ///< Neighbor merge increases this pair's similarity.
+};
+
+/// A directed dependency. In a node's `out` list, `node` is the target
+/// whose similarity depends on this node; in the `in` list, `node` is the
+/// source this node's similarity depends on.
+struct Edge {
+  NodeId node;
+  DependencyKind kind;
+  /// Evidence type (see sim/evidence.h): tags which term of the per-class
+  /// similarity function this dependency feeds.
+  int16_t evidence;
+};
+
+/// One similarity node. Element ids are RefIds for kReferencePair nodes and
+/// ValueIds for kValuePair nodes, stored with a < b.
+struct Node {
+  int32_t a = 0;
+  int32_t b = 0;
+  float sim = 0.0f;
+  NodeKind kind = NodeKind::kReferencePair;
+  NodeState state = NodeState::kInactive;
+  /// Class id for reference pairs; unused (-1) for value pairs.
+  int16_t class_id = -1;
+  /// True once the node has been folded away by reference enrichment.
+  bool dead = false;
+  /// True while the node sits in the reconciler's active queue.
+  bool queued = false;
+  /// User feedback: this pair is a confirmed match; its similarity
+  /// computes to 1 regardless of evidence.
+  bool forced_merge = false;
+
+  std::vector<Edge> in;
+  std::vector<Edge> out;
+
+  /// Static evidence needs no neighbor node: it is fixed at build time and
+  /// merged (max / or) when nodes fold during reference enrichment.
+  /// Real-valued evidence from *equal* attribute values (evidence type ->
+  /// comparator score on the shared value), kept sorted by evidence type.
+  std::vector<std::pair<int16_t, float>> static_real;
+  /// Count of identical shared association targets acting as merged
+  /// strong-/weak-boolean neighbors (paper: the self node (a, a)).
+  int16_t static_strong = 0;
+  int16_t static_weak = 0;
+
+  /// Records `sim` as static evidence for `evidence`, keeping the max.
+  void AddStaticReal(int evidence, double sim);
+
+  bool IsRefPair() const { return kind == NodeKind::kReferencePair; }
+  int32_t Other(int32_t element) const { return element == a ? b : a; }
+};
+
+inline void Node::AddStaticReal(int evidence, double sim) {
+  const int16_t ev = static_cast<int16_t>(evidence);
+  for (auto& [type, value] : static_real) {
+    if (type == ev) {
+      if (sim > value) value = static_cast<float>(sim);
+      return;
+    }
+  }
+  static_real.emplace_back(ev, static_cast<float>(sim));
+}
+
+}  // namespace recon
+
+#endif  // RECON_GRAPH_NODE_H_

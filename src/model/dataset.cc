@@ -1,0 +1,91 @@
+#include "model/dataset.h"
+
+#include <set>
+
+namespace recon {
+
+RefId Dataset::AddReference(Reference ref, int gold_entity,
+                            Provenance provenance) {
+  RECON_CHECK(ref.class_id() >= 0 && ref.class_id() < schema_.num_classes());
+  RECON_CHECK_EQ(ref.num_attributes(),
+                 schema_.class_def(ref.class_id()).num_attributes());
+  refs_.push_back(std::move(ref));
+  gold_.push_back(gold_entity);
+  provenance_.push_back(provenance);
+  return static_cast<RefId>(refs_.size()) - 1;
+}
+
+RefId Dataset::NewReference(int class_id, int gold_entity,
+                            Provenance provenance) {
+  RECON_CHECK(class_id >= 0 && class_id < schema_.num_classes());
+  return AddReference(
+      Reference(class_id, schema_.class_def(class_id).num_attributes()),
+      gold_entity, provenance);
+}
+
+std::vector<RefId> Dataset::ReferencesOfClass(int class_id) const {
+  std::vector<RefId> out;
+  for (RefId id = 0; id < num_references(); ++id) {
+    if (refs_[id].class_id() == class_id) out.push_back(id);
+  }
+  return out;
+}
+
+int Dataset::NumEntitiesOfClass(int class_id) const {
+  std::set<int> entities;
+  for (RefId id = 0; id < num_references(); ++id) {
+    if (refs_[id].class_id() == class_id && gold_[id] >= 0) {
+      entities.insert(gold_[id]);
+    }
+  }
+  return static_cast<int>(entities.size());
+}
+
+Schema BuildPimSchema() {
+  Schema schema;
+  const int person = schema.AddClass("Person");
+  const int article = schema.AddClass("Article");
+  const int venue = schema.AddClass("Venue");
+
+  schema.AddAtomicAttribute(person, "name");
+  schema.AddAtomicAttribute(person, "email");
+  schema.AddAssociationAttribute(person, "coAuthor", "Person");
+  schema.AddAssociationAttribute(person, "emailContact", "Person");
+
+  schema.AddAtomicAttribute(article, "title");
+  schema.AddAtomicAttribute(article, "year");
+  schema.AddAtomicAttribute(article, "pages");
+  schema.AddAssociationAttribute(article, "authoredBy", "Person");
+  schema.AddAssociationAttribute(article, "publishedIn", "Venue");
+
+  schema.AddAtomicAttribute(venue, "name");
+  schema.AddAtomicAttribute(venue, "year");
+  schema.AddAtomicAttribute(venue, "location");
+
+  RECON_CHECK(schema.Finalize().ok());
+  return schema;
+}
+
+Schema BuildCoraSchema() {
+  Schema schema;
+  const int person = schema.AddClass("Person");
+  const int article = schema.AddClass("Article");
+  const int venue = schema.AddClass("Venue");
+
+  schema.AddAtomicAttribute(person, "name");
+  schema.AddAssociationAttribute(person, "coAuthor", "Person");
+
+  schema.AddAtomicAttribute(article, "title");
+  schema.AddAtomicAttribute(article, "pages");
+  schema.AddAssociationAttribute(article, "authoredBy", "Person");
+  schema.AddAssociationAttribute(article, "publishedIn", "Venue");
+
+  schema.AddAtomicAttribute(venue, "name");
+  schema.AddAtomicAttribute(venue, "year");
+  schema.AddAtomicAttribute(venue, "location");
+
+  RECON_CHECK(schema.Finalize().ok());
+  return schema;
+}
+
+}  // namespace recon

@@ -1,0 +1,85 @@
+// Dataset: a schema, its references, provenance, and the gold standard.
+
+#ifndef RECON_MODEL_DATASET_H_
+#define RECON_MODEL_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "model/reference.h"
+#include "model/schema.h"
+
+namespace recon {
+
+/// Where a reference was extracted from. Drives the PArticle / PEmail
+/// subset experiments (Table 3) and provenance-specific behaviour.
+enum class Provenance { kEmail, kBibtex, kOther };
+
+/// A reconciliation input: references of multiple classes with association
+/// links between them, plus the gold entity label of each reference.
+class Dataset {
+ public:
+  explicit Dataset(Schema schema) : schema_(std::move(schema)) {
+    RECON_CHECK(schema_.finalized()) << "Dataset requires finalized schema";
+  }
+
+  /// Appends a reference; `gold_entity` is the ground-truth entity id
+  /// (unique across the dataset; use -1 when unknown). Returns the RefId.
+  RefId AddReference(Reference ref, int gold_entity,
+                     Provenance provenance = Provenance::kOther);
+
+  /// Creates an empty reference of `class_id` and appends it.
+  RefId NewReference(int class_id, int gold_entity,
+                     Provenance provenance = Provenance::kOther);
+
+  const Schema& schema() const { return schema_; }
+  int num_references() const { return static_cast<int>(refs_.size()); }
+
+  const Reference& reference(RefId id) const {
+    RECON_DCHECK(id >= 0 && id < num_references());
+    return refs_[id];
+  }
+  Reference& mutable_reference(RefId id) {
+    RECON_DCHECK(id >= 0 && id < num_references());
+    return refs_[id];
+  }
+
+  int gold_entity(RefId id) const { return gold_[id]; }
+  /// Attaches (or overrides) a ground-truth label after the fact — used
+  /// when labels arrive separately from extraction.
+  void SetGoldEntity(RefId id, int gold_entity) {
+    RECON_DCHECK(id >= 0 && id < num_references());
+    gold_[id] = gold_entity;
+  }
+  Provenance provenance(RefId id) const { return provenance_[id]; }
+
+  /// All reference ids of a class, in id order.
+  std::vector<RefId> ReferencesOfClass(int class_id) const;
+
+  /// Number of distinct gold entities among references of `class_id`
+  /// (ignoring unlabeled references).
+  int NumEntitiesOfClass(int class_id) const;
+
+ private:
+  Schema schema_;
+  std::vector<Reference> refs_;
+  std::vector<int> gold_;
+  std::vector<Provenance> provenance_;
+};
+
+/// Builds the paper's personal-information schema (Fig. 1a, with Conference
+/// and Journal merged into Venue as in §5.1):
+///   Person(name, email, *coAuthor, *emailContact)
+///   Article(title, year, pages, *authoredBy, *publishedIn)
+///   Venue(name, year, location)
+Schema BuildPimSchema();
+
+/// Builds the Cora schema (Fig. 5):
+///   Person(name, *coAuthor)
+///   Article(title, pages, *authoredBy, *publishedIn)
+///   Venue(name, year, location)
+Schema BuildCoraSchema();
+
+}  // namespace recon
+
+#endif  // RECON_MODEL_DATASET_H_

@@ -1,0 +1,44 @@
+#include "model/reference.h"
+
+#include <algorithm>
+
+namespace recon {
+
+namespace {
+const std::string kEmptyString;
+}  // namespace
+
+void Reference::AddAtomicValue(int attr, std::string value) {
+  RECON_CHECK(attr >= 0 && attr < num_attributes());
+  if (value.empty()) return;
+  auto& values = atomic_[attr];
+  if (std::find(values.begin(), values.end(), value) == values.end()) {
+    values.push_back(std::move(value));
+  }
+}
+
+void Reference::AddAssociation(int attr, RefId target) {
+  RECON_CHECK(attr >= 0 && attr < num_attributes());
+  RECON_CHECK_GE(target, 0);
+  auto& targets = associations_[attr];
+  if (std::find(targets.begin(), targets.end(), target) == targets.end()) {
+    targets.push_back(target);
+  }
+}
+
+const std::string& Reference::FirstValue(int attr) const {
+  RECON_CHECK(attr >= 0 && attr < num_attributes());
+  return atomic_[attr].empty() ? kEmptyString : atomic_[attr].front();
+}
+
+bool Reference::IsEmpty() const {
+  for (const auto& values : atomic_) {
+    if (!values.empty()) return false;
+  }
+  for (const auto& targets : associations_) {
+    if (!targets.empty()) return false;
+  }
+  return true;
+}
+
+}  // namespace recon

@@ -1,0 +1,62 @@
+// Reference: a partial instance of a schema class (paper §2.1). Every
+// attribute is multi-valued (possibly empty); association attributes hold
+// links to other references by id.
+
+#ifndef RECON_MODEL_REFERENCE_H_
+#define RECON_MODEL_REFERENCE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace recon {
+
+/// Dense id of a reference within a Dataset.
+using RefId = int32_t;
+inline constexpr RefId kInvalidRef = -1;
+
+/// A reference to a real-world entity: a set of values per attribute.
+class Reference {
+ public:
+  /// Creates an empty reference of `class_id` with `num_attributes` slots.
+  Reference(int class_id, int num_attributes)
+      : class_id_(class_id),
+        atomic_(num_attributes),
+        associations_(num_attributes) {}
+
+  int class_id() const { return class_id_; }
+  int num_attributes() const { return static_cast<int>(atomic_.size()); }
+
+  /// Adds an atomic value; duplicate values are kept out.
+  void AddAtomicValue(int attr, std::string value);
+
+  /// Adds an association link; duplicate targets are kept out.
+  void AddAssociation(int attr, RefId target);
+
+  const std::vector<std::string>& atomic_values(int attr) const {
+    RECON_DCHECK(attr >= 0 && attr < num_attributes());
+    return atomic_[attr];
+  }
+  const std::vector<RefId>& associations(int attr) const {
+    RECON_DCHECK(attr >= 0 && attr < num_attributes());
+    return associations_[attr];
+  }
+
+  /// First atomic value of `attr`, or "" when absent. Convenience accessor
+  /// for mostly-single-valued attributes.
+  const std::string& FirstValue(int attr) const;
+
+  /// True if the reference has no atomic values and no associations.
+  bool IsEmpty() const;
+
+ private:
+  int class_id_;
+  std::vector<std::vector<std::string>> atomic_;
+  std::vector<std::vector<RefId>> associations_;
+};
+
+}  // namespace recon
+
+#endif  // RECON_MODEL_REFERENCE_H_

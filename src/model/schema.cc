@@ -1,0 +1,86 @@
+#include "model/schema.h"
+
+#include "util/logging.h"
+
+namespace recon {
+
+int ClassDef::FindAttribute(std::string_view name) const {
+  for (size_t i = 0; i < attributes.size(); ++i) {
+    if (attributes[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int Schema::AddClass(std::string name) {
+  RECON_CHECK(!finalized_) << "Schema already finalized";
+  RECON_CHECK_EQ(FindClass(name), -1) << "Duplicate class: " << name;
+  classes_.push_back(ClassDef{std::move(name), {}});
+  return static_cast<int>(classes_.size()) - 1;
+}
+
+int Schema::AddAtomicAttribute(int class_id, std::string name) {
+  RECON_CHECK(!finalized_);
+  RECON_CHECK(class_id >= 0 && class_id < num_classes());
+  ClassDef& cls = classes_[class_id];
+  RECON_CHECK_EQ(cls.FindAttribute(name), -1)
+      << "Duplicate attribute " << name << " in class " << cls.name;
+  cls.attributes.push_back(
+      AttributeDef{std::move(name), AttrKind::kAtomic, "", -1});
+  return cls.num_attributes() - 1;
+}
+
+int Schema::AddAssociationAttribute(int class_id, std::string name,
+                                    std::string target_class) {
+  RECON_CHECK(!finalized_);
+  RECON_CHECK(class_id >= 0 && class_id < num_classes());
+  ClassDef& cls = classes_[class_id];
+  RECON_CHECK_EQ(cls.FindAttribute(name), -1)
+      << "Duplicate attribute " << name << " in class " << cls.name;
+  cls.attributes.push_back(AttributeDef{std::move(name),
+                                        AttrKind::kAssociation,
+                                        std::move(target_class), -1});
+  return cls.num_attributes() - 1;
+}
+
+Status Schema::Finalize() {
+  for (ClassDef& cls : classes_) {
+    for (AttributeDef& attr : cls.attributes) {
+      if (attr.kind != AttrKind::kAssociation) continue;
+      attr.target_class_id = FindClass(attr.target_class);
+      if (attr.target_class_id < 0) {
+        return Status::InvalidArgument("Unknown association target class '" +
+                                       attr.target_class + "' in " +
+                                       cls.name + "." + attr.name);
+      }
+    }
+  }
+  finalized_ = true;
+  return Status::Ok();
+}
+
+const ClassDef& Schema::class_def(int class_id) const {
+  RECON_CHECK(class_id >= 0 && class_id < num_classes());
+  return classes_[class_id];
+}
+
+int Schema::FindClass(std::string_view name) const {
+  for (size_t i = 0; i < classes_.size(); ++i) {
+    if (classes_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int Schema::RequireAttribute(int class_id, std::string_view attr) const {
+  const int index = class_def(class_id).FindAttribute(attr);
+  RECON_CHECK_GE(index, 0) << "Missing attribute " << attr << " in class "
+                           << class_def(class_id).name;
+  return index;
+}
+
+int Schema::RequireClass(std::string_view name) const {
+  const int id = FindClass(name);
+  RECON_CHECK_GE(id, 0) << "Missing class " << name;
+  return id;
+}
+
+}  // namespace recon

@@ -1,0 +1,78 @@
+// Schema: classes with atomic and association attributes (paper §2.1).
+
+#ifndef RECON_MODEL_SCHEMA_H_
+#define RECON_MODEL_SCHEMA_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace recon {
+
+/// Attribute kinds: atomic values are strings; association values are links
+/// to other references.
+enum class AttrKind { kAtomic, kAssociation };
+
+/// One attribute of a class.
+struct AttributeDef {
+  std::string name;
+  AttrKind kind = AttrKind::kAtomic;
+  /// For association attributes: the referenced class (resolved by
+  /// Schema::Finalize()).
+  std::string target_class;
+  int target_class_id = -1;
+};
+
+/// One class of the schema.
+struct ClassDef {
+  std::string name;
+  std::vector<AttributeDef> attributes;
+
+  /// Index of the attribute named `name`, or -1.
+  int FindAttribute(std::string_view name) const;
+  int num_attributes() const { return static_cast<int>(attributes.size()); }
+};
+
+/// A set of classes. Build with AddClass/Add*Attribute, then Finalize() to
+/// resolve association targets. Immutable afterwards by convention.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Adds a class and returns its id. Duplicate names abort.
+  int AddClass(std::string name);
+
+  /// Adds an atomic attribute to `class_id`; returns the attribute index.
+  int AddAtomicAttribute(int class_id, std::string name);
+
+  /// Adds an association attribute targeting `target_class` (which may be
+  /// declared later); returns the attribute index.
+  int AddAssociationAttribute(int class_id, std::string name,
+                              std::string target_class);
+
+  /// Resolves association target class names. Fails on unknown targets.
+  Status Finalize();
+
+  int num_classes() const { return static_cast<int>(classes_.size()); }
+  const ClassDef& class_def(int class_id) const;
+
+  /// Id of the class named `name`, or -1.
+  int FindClass(std::string_view name) const;
+
+  /// Attribute index of `attr` in class `class_id`; aborts if missing.
+  /// Convenience for wiring code that knows the schema statically.
+  int RequireAttribute(int class_id, std::string_view attr) const;
+  int RequireClass(std::string_view name) const;
+
+  bool finalized() const { return finalized_; }
+
+ private:
+  std::vector<ClassDef> classes_;
+  bool finalized_ = false;
+};
+
+}  // namespace recon
+
+#endif  // RECON_MODEL_SCHEMA_H_

@@ -1,0 +1,39 @@
+#include "model/subset.h"
+
+#include <vector>
+
+namespace recon {
+
+Dataset FilterDataset(const Dataset& dataset,
+                      const std::function<bool(RefId)>& keep) {
+  std::vector<RefId> remap(dataset.num_references(), kInvalidRef);
+  Dataset out(dataset.schema());
+  for (RefId id = 0; id < dataset.num_references(); ++id) {
+    if (!keep(id)) continue;
+    const Reference& ref = dataset.reference(id);
+    Reference copy(ref.class_id(), ref.num_attributes());
+    for (int attr = 0; attr < ref.num_attributes(); ++attr) {
+      for (const std::string& value : ref.atomic_values(attr)) {
+        copy.AddAtomicValue(attr, value);
+      }
+    }
+    remap[id] = out.AddReference(std::move(copy), dataset.gold_entity(id),
+                                 dataset.provenance(id));
+  }
+  // Second pass: remap association links among kept references.
+  for (RefId id = 0; id < dataset.num_references(); ++id) {
+    if (remap[id] == kInvalidRef) continue;
+    const Reference& ref = dataset.reference(id);
+    Reference& copy = out.mutable_reference(remap[id]);
+    for (int attr = 0; attr < ref.num_attributes(); ++attr) {
+      for (const RefId target : ref.associations(attr)) {
+        if (remap[target] != kInvalidRef) {
+          copy.AddAssociation(attr, remap[target]);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace recon

@@ -1,0 +1,22 @@
+// Dataset filtering: extracts sub-datasets (e.g. the PEmail / PArticle
+// person subsets of Table 3) while remapping association links.
+
+#ifndef RECON_MODEL_SUBSET_H_
+#define RECON_MODEL_SUBSET_H_
+
+#include <functional>
+
+#include "model/dataset.h"
+
+namespace recon {
+
+/// Returns a new dataset containing exactly the references for which
+/// `keep(id)` is true, with the same schema. Association links to dropped
+/// references are removed; kept links are remapped to the new ids. Gold
+/// labels and provenance are preserved.
+Dataset FilterDataset(const Dataset& dataset,
+                      const std::function<bool(RefId)>& keep);
+
+}  // namespace recon
+
+#endif  // RECON_MODEL_SUBSET_H_

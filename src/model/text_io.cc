@@ -1,0 +1,248 @@
+#include "model/text_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace recon {
+
+namespace {
+
+constexpr char kMagic[] = "# recon dataset v1";
+
+std::string Escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string Unescape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\' || i + 1 >= s.size()) {
+      out.push_back(s[i]);
+      continue;
+    }
+    ++i;
+    switch (s[i]) {
+      case 't':
+        out.push_back('\t');
+        break;
+      case 'n':
+        out.push_back('\n');
+        break;
+      default:
+        out.push_back(s[i]);
+    }
+  }
+  return out;
+}
+
+const char* ProvenanceTag(Provenance p) {
+  switch (p) {
+    case Provenance::kEmail:
+      return "email";
+    case Provenance::kBibtex:
+      return "bibtex";
+    case Provenance::kOther:
+      return "other";
+  }
+  return "other";
+}
+
+StatusOr<Provenance> ParseProvenance(std::string_view tag) {
+  if (tag == "email") return Provenance::kEmail;
+  if (tag == "bibtex") return Provenance::kBibtex;
+  if (tag == "other") return Provenance::kOther;
+  return Status::InvalidArgument("unknown provenance '" + std::string(tag) +
+                                 "'");
+}
+
+}  // namespace
+
+std::string SerializeDataset(const Dataset& dataset) {
+  std::ostringstream out;
+  out << kMagic << "\n";
+
+  const Schema& schema = dataset.schema();
+  for (int c = 0; c < schema.num_classes(); ++c) {
+    out << "class\t" << Escape(schema.class_def(c).name) << "\n";
+  }
+  for (int c = 0; c < schema.num_classes(); ++c) {
+    const ClassDef& cls = schema.class_def(c);
+    for (const AttributeDef& attr : cls.attributes) {
+      if (attr.kind == AttrKind::kAtomic) {
+        out << "attr\t" << Escape(cls.name) << "\t" << Escape(attr.name)
+            << "\n";
+      } else {
+        out << "attr\t" << Escape(cls.name) << "\t*" << Escape(attr.name)
+            << "\t" << Escape(attr.target_class) << "\n";
+      }
+    }
+  }
+
+  for (RefId id = 0; id < dataset.num_references(); ++id) {
+    const Reference& ref = dataset.reference(id);
+    const ClassDef& cls = schema.class_def(ref.class_id());
+    out << "ref\t" << Escape(cls.name) << "\t" << dataset.gold_entity(id)
+        << "\t" << ProvenanceTag(dataset.provenance(id)) << "\n";
+    for (int attr = 0; attr < ref.num_attributes(); ++attr) {
+      const std::string& attr_name = cls.attributes[attr].name;
+      for (const std::string& value : ref.atomic_values(attr)) {
+        out << "a\t" << Escape(attr_name) << "\t" << Escape(value) << "\n";
+      }
+      for (const RefId target : ref.associations(attr)) {
+        out << "l\t" << Escape(attr_name) << "\t" << target << "\n";
+      }
+    }
+  }
+  return out.str();
+}
+
+StatusOr<Dataset> ParseDataset(std::string_view text) {
+  const std::vector<std::string> lines = Split(text, '\n');
+  size_t line_number = 0;
+  auto error = [&line_number](const std::string& message) {
+    return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                   ": " + message);
+  };
+
+  if (lines.empty() || Trim(lines[0]) != kMagic) {
+    return Status::InvalidArgument("missing magic header '" +
+                                   std::string(kMagic) + "'");
+  }
+
+  // Pass 1: schema.
+  Schema schema;
+  for (const std::string& raw : lines) {
+    ++line_number;
+    const std::vector<std::string> fields = Split(raw, '\t');
+    if (fields.empty()) continue;
+    if (fields[0] == "class") {
+      if (fields.size() != 2) return error("class needs a name");
+      if (schema.FindClass(Unescape(fields[1])) >= 0) {
+        return error("duplicate class " + fields[1]);
+      }
+      schema.AddClass(Unescape(fields[1]));
+    } else if (fields[0] == "attr") {
+      if (fields.size() < 3) return error("attr needs class and name");
+      const int class_id = schema.FindClass(Unescape(fields[1]));
+      if (class_id < 0) return error("unknown class " + fields[1]);
+      std::string name = Unescape(fields[2]);
+      const std::string bare =
+          (!name.empty() && name[0] == '*') ? name.substr(1) : name;
+      if (schema.class_def(class_id).FindAttribute(bare) >= 0) {
+        return error("duplicate attribute " + bare);
+      }
+      if (!name.empty() && name[0] == '*') {
+        if (fields.size() != 4) {
+          return error("association attr needs a target class");
+        }
+        schema.AddAssociationAttribute(class_id, name.substr(1),
+                                       Unescape(fields[3]));
+      } else {
+        if (fields.size() != 3) return error("atomic attr takes no target");
+        schema.AddAtomicAttribute(class_id, std::move(name));
+      }
+    }
+  }
+  RECON_RETURN_IF_ERROR(schema.Finalize());
+  Dataset dataset(std::move(schema));
+
+  // Pass 2: references. Association targets may be forward references, so
+  // collect links and apply them afterwards.
+  struct PendingLink {
+    RefId source;
+    int attr;
+    RefId target;
+    size_t line;
+  };
+  std::vector<PendingLink> links;
+  RefId current = kInvalidRef;
+  int current_class = -1;
+  line_number = 0;
+  for (const std::string& raw : lines) {
+    ++line_number;
+    const std::vector<std::string> fields = Split(raw, '\t');
+    if (fields.empty() || fields[0].empty()) continue;
+    if (fields[0] == "ref") {
+      if (fields.size() != 4) return error("ref needs class, gold, source");
+      current_class = dataset.schema().FindClass(Unescape(fields[1]));
+      if (current_class < 0) return error("unknown class " + fields[1]);
+      StatusOr<Provenance> provenance = ParseProvenance(fields[3]);
+      if (!provenance.ok()) return error(provenance.status().message());
+      current = dataset.NewReference(current_class, std::atoi(fields[2].c_str()),
+                                     provenance.value());
+    } else if (fields[0] == "a" || fields[0] == "l") {
+      if (current == kInvalidRef) return error("value before any ref");
+      if (fields.size() != 3) return error("value needs attr and payload");
+      const int attr = dataset.schema()
+                           .class_def(current_class)
+                           .FindAttribute(Unescape(fields[1]));
+      if (attr < 0) return error("unknown attribute " + fields[1]);
+      const AttributeDef& def =
+          dataset.schema().class_def(current_class).attributes[attr];
+      if (fields[0] == "a") {
+        if (def.kind != AttrKind::kAtomic) {
+          return error("'a' on association attribute " + fields[1]);
+        }
+        dataset.mutable_reference(current).AddAtomicValue(
+            attr, Unescape(fields[2]));
+      } else {
+        if (def.kind != AttrKind::kAssociation) {
+          return error("'l' on atomic attribute " + fields[1]);
+        }
+        links.push_back({current, attr,
+                         static_cast<RefId>(std::atoi(fields[2].c_str())),
+                         line_number});
+      }
+    }
+  }
+
+  for (const PendingLink& link : links) {
+    line_number = link.line;
+    if (link.target < 0 || link.target >= dataset.num_references()) {
+      return error("link target out of range");
+    }
+    dataset.mutable_reference(link.source).AddAssociation(link.attr,
+                                                          link.target);
+  }
+  return dataset;
+}
+
+Status SaveDatasetToFile(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open " + path + " for writing");
+  out << SerializeDataset(dataset);
+  out.close();
+  if (!out) return Status::Internal("write to " + path + " failed");
+  return Status::Ok();
+}
+
+StatusOr<Dataset> LoadDatasetFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseDataset(buffer.str());
+}
+
+}  // namespace recon

@@ -1,0 +1,37 @@
+// Plain-text (de)serialization of datasets, so reconciliation inputs and
+// gold standards can be stored in files, versioned, and exchanged.
+//
+// Format (UTF-8, line-oriented, tab-separated; '\\', '\t', '\n' escaped):
+//   # recon dataset v1
+//   class <name>
+//   attr <class> <name>                       # atomic
+//   attr <class> *<name> <target-class>      # association
+//   ref <class> <gold> <email|bibtex|other>
+//   a <attr-name> <value>                     # atomic value of last ref
+//   l <attr-name> <target-ref-index>          # association of last ref
+
+#ifndef RECON_MODEL_TEXT_IO_H_
+#define RECON_MODEL_TEXT_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "model/dataset.h"
+#include "util/status.h"
+
+namespace recon {
+
+/// Serializes the dataset (schema + references + labels + provenance).
+std::string SerializeDataset(const Dataset& dataset);
+
+/// Parses a dataset serialized by SerializeDataset. Returns a descriptive
+/// error (with line number) on malformed input.
+StatusOr<Dataset> ParseDataset(std::string_view text);
+
+/// File convenience wrappers.
+Status SaveDatasetToFile(const Dataset& dataset, const std::string& path);
+StatusOr<Dataset> LoadDatasetFromFile(const std::string& path);
+
+}  // namespace recon
+
+#endif  // RECON_MODEL_TEXT_IO_H_

@@ -1,0 +1,63 @@
+#include "sim/comparators.h"
+
+#include <algorithm>
+
+#include "strsim/email.h"
+#include "strsim/person_name.h"
+#include "strsim/title.h"
+#include "strsim/venue.h"
+#include "util/string_util.h"
+
+namespace recon {
+
+double PersonNameFieldSimilarity(const std::string& a, const std::string& b) {
+  const strsim::PersonName pa = strsim::ParsePersonName(a);
+  const strsim::PersonName pb = strsim::ParsePersonName(b);
+  double sim = strsim::PersonNameSimilarity(pa, pb);
+  if (pa.last.empty() || pb.last.empty()) {
+    // A bare first name or nickname, even repeated verbatim, is too weak
+    // to identify a person.
+    sim = std::min(sim, kBareNameCap);
+  } else if (!pa.IsFullName() || !pb.IsFullName()) {
+    // An abbreviated scholarly form ("Wong, E.") repeated verbatim is an
+    // equal attribute value and strong evidence; different abbreviated
+    // forms need corroboration.
+    if (ToLower(a) == ToLower(b)) {
+      sim = kEqualAbbreviatedNameSim;
+    } else {
+      sim = std::min(sim, kAbbreviatedNameCap);
+    }
+  }
+  return sim;
+}
+
+double EmailFieldSimilarity(const std::string& a, const std::string& b) {
+  return strsim::EmailSimilarity(a, b);
+}
+
+double NameEmailFieldSimilarity(const std::string& name,
+                                const std::string& email) {
+  return strsim::NameEmailSimilarity(name, email);
+}
+
+double TitleFieldSimilarity(const std::string& a, const std::string& b) {
+  return strsim::TitleSimilarity(a, b);
+}
+
+double VenueNameFieldSimilarity(const std::string& a, const std::string& b) {
+  return strsim::VenueNameSimilarity(a, b);
+}
+
+double YearFieldSimilarity(const std::string& a, const std::string& b) {
+  return strsim::YearSimilarity(a, b);
+}
+
+double PagesFieldSimilarity(const std::string& a, const std::string& b) {
+  return strsim::PagesSimilarity(a, b);
+}
+
+double LocationFieldSimilarity(const std::string& a, const std::string& b) {
+  return strsim::LocationSimilarity(a, b);
+}
+
+}  // namespace recon

@@ -1,0 +1,40 @@
+#include "sim/evidence.h"
+
+namespace recon {
+
+const char* EvidenceName(int evidence) {
+  switch (evidence) {
+    case kEvPersonName:
+      return "person.name";
+    case kEvPersonEmail:
+      return "person.email";
+    case kEvPersonNameEmail:
+      return "person.name~email";
+    case kEvPersonContact:
+      return "person.contact";
+    case kEvPersonArticle:
+      return "person.article";
+    case kEvArticleTitle:
+      return "article.title";
+    case kEvArticleYear:
+      return "article.year";
+    case kEvArticlePages:
+      return "article.pages";
+    case kEvArticleAuthors:
+      return "article.authors";
+    case kEvArticleVenue:
+      return "article.venue";
+    case kEvVenueName:
+      return "venue.name";
+    case kEvVenueYear:
+      return "venue.year";
+    case kEvVenueLocation:
+      return "venue.location";
+    case kEvVenueArticle:
+      return "venue.article";
+    default:
+      return "unknown";
+  }
+}
+
+}  // namespace recon

@@ -1,0 +1,40 @@
+// Evidence types: tags on dependency edges naming which term of a class's
+// similarity function a neighbor feeds (paper §4, the "types of real-valued
+// neighbors" T_i of Equation 1, plus boolean evidence channels).
+
+#ifndef RECON_SIM_EVIDENCE_H_
+#define RECON_SIM_EVIDENCE_H_
+
+namespace recon {
+
+/// All evidence channels across the PIM / Cora schemas.
+enum Evidence : int {
+  // Person-pair evidence.
+  kEvPersonName = 0,   ///< name vs name (real-valued)
+  kEvPersonEmail,      ///< email vs email (real-valued; equality is a key)
+  kEvPersonNameEmail,  ///< name vs email account (real-valued, cross-attr)
+  kEvPersonContact,    ///< common coAuthor/emailContact (weak-boolean)
+  kEvPersonArticle,    ///< merged authored-article pair (strong-boolean)
+
+  // Article-pair evidence.
+  kEvArticleTitle,   ///< title vs title (real-valued)
+  kEvArticleYear,    ///< year vs year (real-valued)
+  kEvArticlePages,   ///< pages vs pages (real-valued)
+  kEvArticleAuthors, ///< similarity of author pairs (real-valued, MAX)
+  kEvArticleVenue,   ///< similarity of the venue pair (real-valued)
+
+  // Venue-pair evidence.
+  kEvVenueName,     ///< name vs name (real-valued)
+  kEvVenueYear,     ///< year vs year (real-valued)
+  kEvVenueLocation, ///< location vs location (real-valued)
+  kEvVenueArticle,  ///< merged published-article pair (strong-boolean)
+
+  kNumEvidence
+};
+
+/// Short printable name for diagnostics.
+const char* EvidenceName(int evidence);
+
+}  // namespace recon
+
+#endif  // RECON_SIM_EVIDENCE_H_

@@ -1,0 +1,65 @@
+#include "strsim/edit_distance.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+namespace recon::strsim {
+
+int LevenshteinDistance(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  const int n = static_cast<int>(a.size());
+  const int m = static_cast<int>(b.size());
+  if (n == 0) return m;
+
+  // Single-row DP; `row[j]` holds the distance between a-prefix (current i)
+  // and b-prefix of length j.
+  std::vector<int> row(n + 1);
+  for (int j = 0; j <= n; ++j) row[j] = j;
+  for (int i = 1; i <= m; ++i) {
+    int diagonal = row[0];  // row[i-1][0]
+    row[0] = i;
+    for (int j = 1; j <= n; ++j) {
+      int above = row[j];
+      int cost = (b[i - 1] == a[j - 1]) ? 0 : 1;
+      row[j] = std::min({above + 1, row[j - 1] + 1, diagonal + cost});
+      diagonal = above;
+    }
+  }
+  return row[n];
+}
+
+int BoundedLevenshteinDistance(std::string_view a, std::string_view b,
+                               int bound) {
+  if (a.size() > b.size()) std::swap(a, b);
+  const int n = static_cast<int>(a.size());
+  const int m = static_cast<int>(b.size());
+  if (m - n > bound) return bound + 1;
+  if (n == 0) return m;
+
+  std::vector<int> row(n + 1);
+  for (int j = 0; j <= n; ++j) row[j] = j;
+  for (int i = 1; i <= m; ++i) {
+    int diagonal = row[0];
+    row[0] = i;
+    int row_min = row[0];
+    for (int j = 1; j <= n; ++j) {
+      int above = row[j];
+      int cost = (b[i - 1] == a[j - 1]) ? 0 : 1;
+      row[j] = std::min({above + 1, row[j - 1] + 1, diagonal + cost});
+      diagonal = above;
+      row_min = std::min(row_min, row[j]);
+    }
+    if (row_min > bound) return bound + 1;
+  }
+  return std::min(row[n], bound + 1);
+}
+
+double EditSimilarity(std::string_view a, std::string_view b) {
+  const size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return 1.0;
+  return 1.0 - static_cast<double>(LevenshteinDistance(a, b)) /
+                   static_cast<double>(longest);
+}
+
+}  // namespace recon::strsim

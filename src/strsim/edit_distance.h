@@ -1,0 +1,24 @@
+// Levenshtein edit distance and derived normalized similarity.
+
+#ifndef RECON_STRSIM_EDIT_DISTANCE_H_
+#define RECON_STRSIM_EDIT_DISTANCE_H_
+
+#include <string_view>
+
+namespace recon::strsim {
+
+/// Levenshtein distance (unit-cost insert / delete / substitute).
+int LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// Levenshtein distance with early exit: returns `bound + 1` as soon as the
+/// distance provably exceeds `bound`. Useful for candidate filtering.
+int BoundedLevenshteinDistance(std::string_view a, std::string_view b,
+                               int bound);
+
+/// Normalized edit similarity: 1 - distance / max(|a|, |b|); 1.0 when both
+/// strings are empty. Always in [0, 1].
+double EditSimilarity(std::string_view a, std::string_view b);
+
+}  // namespace recon::strsim
+
+#endif  // RECON_STRSIM_EDIT_DISTANCE_H_

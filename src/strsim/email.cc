@@ -1,0 +1,173 @@
+#include "strsim/email.h"
+
+#include <algorithm>
+
+#include "strsim/edit_distance.h"
+#include "strsim/jaro_winkler.h"
+#include "util/string_util.h"
+
+namespace recon::strsim {
+
+namespace {
+
+// Strips separator characters from an account for pattern matching:
+// "robert.epstein" -> "robertepstein".
+std::string StripSeparators(std::string_view account) {
+  std::string out;
+  for (char c : account) {
+    if (c != '.' && c != '_' && c != '-') out.push_back(c);
+  }
+  return out;
+}
+
+bool Contains(std::string_view haystack, std::string_view needle) {
+  return !needle.empty() &&
+         haystack.find(needle) != std::string_view::npos;
+}
+
+}  // namespace
+
+EmailAddress ParseEmail(std::string_view raw) {
+  EmailAddress email;
+  const std::string lowered = ToLower(TrimView(raw));
+  const size_t at = lowered.find('@');
+  if (at == std::string::npos) {
+    email.account = lowered;
+  } else {
+    email.account = lowered.substr(0, at);
+    email.server = lowered.substr(at + 1);
+  }
+  return email;
+}
+
+double EmailSimilarity(const EmailAddress& a, const EmailAddress& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  if (a.account == b.account) {
+    if (a.server == b.server) return 1.0;
+    // Same account, different server: strong when the servers are related
+    // ("mit.edu" vs "csail.mit.edu"); only moderate otherwise — unrelated
+    // servers routinely hand out the same account name.
+    const bool related_server = Contains(a.server, b.server) ||
+                                Contains(b.server, a.server);
+    return related_server ? 0.95 : 0.70;
+  }
+  // Near-equal accounts: typos only. The band is deliberately tight —
+  // "huang" vs "jhuang" is one edit but is the different-person signature
+  // of initial-prefixed accounts, not a typo.
+  const double account_sim = EditSimilarity(a.account, b.account);
+  if (account_sim < 0.87 ||
+      std::min(a.account.size(), b.account.size()) < 6) {
+    return 0.0;
+  }
+  const double server_sim =
+      (a.server == b.server) ? 1.0 : JaroWinklerSimilarity(a.server, b.server);
+  return 0.7 * account_sim + 0.3 * server_sim;
+}
+
+double EmailSimilarity(std::string_view a, std::string_view b) {
+  return EmailSimilarity(ParseEmail(a), ParseEmail(b));
+}
+
+double NameEmailSimilarity(const PersonName& name,
+                           const EmailAddress& email) {
+  if (email.account.empty()) return 0.0;
+  const std::string account = StripSeparators(email.account);
+  // Drop trailing digits ("epstein42").
+  std::string core = account;
+  while (!core.empty() && core.back() >= '0' && core.back() <= '9') {
+    core.pop_back();
+  }
+  if (core.empty()) return 0.0;
+
+  // Separator-delimited account parts ("howard.watson" -> howard, watson),
+  // digits stripped. Name components are matched against whole parts or
+  // against the whole core — never against interior substrings, which
+  // would let "ward" match inside "howard".
+  std::vector<std::string> parts;
+  {
+    std::string part;
+    for (const char c : email.account) {
+      if (c == '.' || c == '_' || c == '-') {
+        if (!part.empty()) parts.push_back(part);
+        part.clear();
+      } else if (c < '0' || c > '9') {
+        part.push_back(c);
+      }
+    }
+    if (!part.empty()) parts.push_back(part);
+  }
+
+  const std::string& last = name.last;
+  std::string first;
+  std::string first_canonical;
+  char first_initial = '\0';
+  if (!name.given.empty()) {
+    if (!name.given[0].is_initial) {
+      first = name.given[0].text;
+      first_canonical = CanonicalGivenName(first);
+    }
+    first_initial = name.given[0].text[0];
+  }
+
+  double best = 0.0;
+  auto consider = [&best](double score) { best = std::max(best, score); };
+
+  if (!last.empty() && !first.empty()) {
+    // Full patterns: "robertepstein", "epsteinrobert".
+    if (core == first + last || core == last + first ||
+        core == first_canonical + last || core == last + first_canonical) {
+      consider(0.95);
+    }
+  }
+  if (!last.empty() && first_initial != '\0') {
+    // Initial patterns: "repstein", "epsteinr".
+    if (core == std::string(1, first_initial) + last ||
+        core == last + std::string(1, first_initial)) {
+      consider(0.9);
+    }
+  }
+  if (last.size() >= 4) {
+    if (core == last) consider(0.85);
+    // Last name at a boundary of the packed core ("repstein",
+    // "epsteinr", "epstein42") or as a separator-delimited part.
+    if (core.size() > last.size() &&
+        (StartsWith(core, last) || EndsWith(core, last))) {
+      consider(0.8);
+    }
+    for (const std::string& part : parts) {
+      if (part == last) consider(0.8);
+    }
+  }
+  // First-name-only accounts are weak identity evidence: there is an
+  // "arthur@" on every server.
+  if (!first.empty() && (core == first || core == first_canonical)) {
+    consider(0.65);
+  }
+  // Nickname accounts: "mike@..." for "Michael ..." (canonicalize the
+  // account itself).
+  if (!first_canonical.empty() && core.size() >= 3 &&
+      CanonicalGivenName(core) == first_canonical) {
+    consider(0.65);
+  }
+  if (first.size() >= 4) {
+    if (core.size() > first.size() &&
+        (StartsWith(core, first) || EndsWith(core, first))) {
+      consider(0.5);
+    }
+    for (const std::string& part : parts) {
+      if (part == first || part == first_canonical) consider(0.5);
+    }
+  }
+  // Bare-initials accounts ("rse") are weak evidence.
+  if (core.size() <= 3 && first_initial != '\0' && !last.empty() &&
+      core.front() == first_initial && core.back() == last[0]) {
+    consider(0.3);
+  }
+  return best;
+}
+
+double NameEmailSimilarity(std::string_view name, std::string_view email) {
+  return NameEmailSimilarity(ParsePersonName(name), ParseEmail(email));
+}
+
+}  // namespace recon::strsim

@@ -1,0 +1,44 @@
+// Email-address parsing, email-email similarity, and the cross-attribute
+// name-vs-email comparator central to the paper's Person reconciliation
+// ("stonebraker@csail.mit.edu" supports "Stonebraker, M.").
+
+#ifndef RECON_STRSIM_EMAIL_H_
+#define RECON_STRSIM_EMAIL_H_
+
+#include <string>
+#include <string_view>
+
+#include "strsim/person_name.h"
+
+namespace recon::strsim {
+
+/// A parsed email address, lowercased. A string without '@' is treated as a
+/// bare account with an empty server.
+struct EmailAddress {
+  std::string account;
+  std::string server;
+
+  bool empty() const { return account.empty() && server.empty(); }
+  std::string ToString() const {
+    return server.empty() ? account : account + "@" + server;
+  }
+};
+
+/// Parses `raw` into account and server, lowercasing both.
+EmailAddress ParseEmail(std::string_view raw);
+
+/// Similarity of two email addresses in [0, 1]. Exact match is 1.0; the
+/// same account on different servers scores high (people migrate servers);
+/// near-equal accounts catch typos.
+double EmailSimilarity(const EmailAddress& a, const EmailAddress& b);
+double EmailSimilarity(std::string_view a, std::string_view b);
+
+/// Evidence in [0, 1] that `email`'s account encodes `name`: contains the
+/// last name, matches first/last initial patterns ("repstein", "epstein.r",
+/// "robert.epstein"), equals a (canonicalized) first name or nickname, etc.
+double NameEmailSimilarity(const PersonName& name, const EmailAddress& email);
+double NameEmailSimilarity(std::string_view name, std::string_view email);
+
+}  // namespace recon::strsim
+
+#endif  // RECON_STRSIM_EMAIL_H_

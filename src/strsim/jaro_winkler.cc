@@ -1,0 +1,57 @@
+#include "strsim/jaro_winkler.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace recon::strsim {
+
+double JaroSimilarity(std::string_view a, std::string_view b) {
+  const int n = static_cast<int>(a.size());
+  const int m = static_cast<int>(b.size());
+  if (n == 0 && m == 0) return 1.0;
+  if (n == 0 || m == 0) return 0.0;
+
+  const int match_window = std::max(0, std::max(n, m) / 2 - 1);
+  std::vector<char> a_matched(n, 0);
+  std::vector<char> b_matched(m, 0);
+
+  int matches = 0;
+  for (int i = 0; i < n; ++i) {
+    const int lo = std::max(0, i - match_window);
+    const int hi = std::min(m - 1, i + match_window);
+    for (int j = lo; j <= hi; ++j) {
+      if (b_matched[j] || a[i] != b[j]) continue;
+      a_matched[i] = 1;
+      b_matched[j] = 1;
+      ++matches;
+      break;
+    }
+  }
+  if (matches == 0) return 0.0;
+
+  // Count transpositions between the matched subsequences.
+  int transpositions = 0;
+  int j = 0;
+  for (int i = 0; i < n; ++i) {
+    if (!a_matched[i]) continue;
+    while (!b_matched[j]) ++j;
+    if (a[i] != b[j]) ++transpositions;
+    ++j;
+  }
+  const double mm = matches;
+  return (mm / n + mm / m + (mm - transpositions / 2.0) / mm) / 3.0;
+}
+
+double JaroWinklerSimilarity(std::string_view a, std::string_view b,
+                             double prefix_scale) {
+  const double jaro = JaroSimilarity(a, b);
+  int prefix = 0;
+  const size_t limit = std::min({a.size(), b.size(), size_t{4}});
+  while (static_cast<size_t>(prefix) < limit &&
+         a[prefix] == b[prefix]) {
+    ++prefix;
+  }
+  return jaro + prefix * prefix_scale * (1.0 - jaro);
+}
+
+}  // namespace recon::strsim

@@ -1,0 +1,21 @@
+// Jaro and Jaro-Winkler string similarity, the workhorse comparators for
+// short name-like strings in record linkage.
+
+#ifndef RECON_STRSIM_JARO_WINKLER_H_
+#define RECON_STRSIM_JARO_WINKLER_H_
+
+#include <string_view>
+
+namespace recon::strsim {
+
+/// Jaro similarity in [0, 1]. 1.0 for two empty strings.
+double JaroSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro-Winkler similarity: Jaro boosted by shared prefix (up to 4 chars)
+/// with scaling factor `prefix_scale` (standard 0.1). In [0, 1].
+double JaroWinklerSimilarity(std::string_view a, std::string_view b,
+                             double prefix_scale = 0.1);
+
+}  // namespace recon::strsim
+
+#endif  // RECON_STRSIM_JARO_WINKLER_H_

@@ -1,0 +1,80 @@
+#include "strsim/phonetic.h"
+
+namespace recon::strsim {
+
+namespace {
+
+/// Soundex digit for a letter; '0' for vowels and 'w'/'y' (ignored but
+/// separating), '7' for 'h'/'w' adjacency handling (see below).
+char DigitOf(char c) {
+  switch (c) {
+    case 'b':
+    case 'f':
+    case 'p':
+    case 'v':
+      return '1';
+    case 'c':
+    case 'g':
+    case 'j':
+    case 'k':
+    case 'q':
+    case 's':
+    case 'x':
+    case 'z':
+      return '2';
+    case 'd':
+    case 't':
+      return '3';
+    case 'l':
+      return '4';
+    case 'm':
+    case 'n':
+      return '5';
+    case 'r':
+      return '6';
+    default:
+      return '0';
+  }
+}
+
+char LowerAlpha(char c) {
+  if (c >= 'A' && c <= 'Z') return static_cast<char>(c - 'A' + 'a');
+  if (c >= 'a' && c <= 'z') return c;
+  return '\0';
+}
+
+}  // namespace
+
+std::string Soundex(std::string_view name) {
+  // Collect letters only.
+  std::string letters;
+  for (const char raw : name) {
+    const char c = LowerAlpha(raw);
+    if (c != '\0') letters.push_back(c);
+  }
+  if (letters.empty()) return "";
+
+  std::string code(1, static_cast<char>(letters[0] - 'a' + 'A'));
+  char previous_digit = DigitOf(letters[0]);
+  for (size_t i = 1; i < letters.size() && code.size() < 4; ++i) {
+    const char c = letters[i];
+    const char digit = DigitOf(c);
+    if (c == 'h' || c == 'w') {
+      // 'h' and 'w' are transparent: they do not reset the previous digit.
+      continue;
+    }
+    if (digit != '0' && digit != previous_digit) {
+      code.push_back(digit);
+    }
+    previous_digit = digit;
+  }
+  code.resize(4, '0');
+  return code;
+}
+
+bool SoundexEqual(std::string_view a, std::string_view b) {
+  const std::string code_a = Soundex(a);
+  return !code_a.empty() && code_a == Soundex(b);
+}
+
+}  // namespace recon::strsim

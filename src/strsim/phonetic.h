@@ -1,0 +1,24 @@
+// Phonetic codes for name matching — Soundex, the classic record-linkage
+// device (Newcombe et al. 1959, the paper's reference [29], matched vital
+// records with it). Used as an optional blocking key and a last-resort
+// name comparator for badly misspelled names.
+
+#ifndef RECON_STRSIM_PHONETIC_H_
+#define RECON_STRSIM_PHONETIC_H_
+
+#include <string>
+#include <string_view>
+
+namespace recon::strsim {
+
+/// American Soundex: first letter + three digits ("Robert" -> "R163",
+/// "Rupert" -> "R163", "Ashcraft" -> "A261"). Returns "" for input with no
+/// ASCII letters.
+std::string Soundex(std::string_view name);
+
+/// True when both names have non-empty, equal Soundex codes.
+bool SoundexEqual(std::string_view a, std::string_view b);
+
+}  // namespace recon::strsim
+
+#endif  // RECON_STRSIM_PHONETIC_H_

@@ -1,0 +1,126 @@
+#include "strsim/tfidf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+namespace recon::strsim {
+
+void TfIdfModel::Fit(const std::vector<std::vector<std::string>>& corpus) {
+  for (const auto& doc : corpus) AddDocument(doc);
+}
+
+void TfIdfModel::AddDocument(const std::vector<std::string>& doc) {
+  ++num_documents_;
+  std::set<std::string> unique(doc.begin(), doc.end());
+  for (const auto& token : unique) {
+    auto [it, inserted] =
+        vocab_.try_emplace(token, static_cast<int>(vocab_.size()));
+    if (inserted) document_frequency_.push_back(0);
+    ++document_frequency_[it->second];
+  }
+}
+
+double TfIdfModel::IdfOf(int df) const {
+  // Smoothed IDF; df == 0 covers out-of-vocabulary tokens.
+  return std::log(1.0 + static_cast<double>(num_documents_ + 1) /
+                            static_cast<double>(df + 1));
+}
+
+TfIdfVector TfIdfModel::Vectorize(const std::vector<std::string>& doc) const {
+  // Term frequencies keyed by (vocab id | synthetic OOV id).
+  std::map<int, double> weights;
+  int next_oov_id = -1;
+  std::map<std::string, int> oov_ids;
+  for (const auto& token : doc) {
+    int id;
+    auto it = vocab_.find(token);
+    if (it != vocab_.end()) {
+      id = it->second;
+    } else {
+      auto [oov_it, inserted] = oov_ids.try_emplace(token, next_oov_id);
+      if (inserted) --next_oov_id;
+      id = oov_it->second;
+    }
+    weights[id] += 1.0;
+  }
+  TfIdfVector vec;
+  double norm_sq = 0;
+  for (auto& [id, tf] : weights) {
+    const int df = (id >= 0) ? document_frequency_[id] : 0;
+    const double w = (1.0 + std::log(tf)) * IdfOf(df);
+    vec.entries.emplace_back(id, w);
+    norm_sq += w * w;
+  }
+  if (norm_sq > 0) {
+    const double inv = 1.0 / std::sqrt(norm_sq);
+    for (auto& [id, w] : vec.entries) w *= inv;
+  }
+  return vec;
+}
+
+double TfIdfModel::Cosine(const TfIdfVector& a, const TfIdfVector& b) {
+  if (a.entries.empty() && b.entries.empty()) return 1.0;
+  double dot = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.entries.size() && j < b.entries.size()) {
+    if (a.entries[i].first < b.entries[j].first) {
+      ++i;
+    } else if (a.entries[i].first > b.entries[j].first) {
+      ++j;
+    } else {
+      dot += a.entries[i].second * b.entries[j].second;
+      ++i;
+      ++j;
+    }
+  }
+  return std::clamp(dot, 0.0, 1.0);
+}
+
+double TfIdfModel::Similarity(const std::vector<std::string>& a,
+                              const std::vector<std::string>& b) const {
+  // Note: OOV ids are per-Vectorize-call, so shared OOV tokens across the
+  // two documents would not match. Vectorize both in one id space instead.
+  std::map<int, double> wa;
+  std::map<int, double> wb;
+  std::map<std::string, int> oov_ids;
+  int next_oov_id = -1;
+  auto accumulate = [&](const std::vector<std::string>& doc,
+                        std::map<int, double>& out) {
+    for (const auto& token : doc) {
+      int id;
+      auto it = vocab_.find(token);
+      if (it != vocab_.end()) {
+        id = it->second;
+      } else {
+        auto [oov_it, inserted] = oov_ids.try_emplace(token, next_oov_id);
+        if (inserted) --next_oov_id;
+        id = oov_it->second;
+      }
+      out[id] += 1.0;
+    }
+  };
+  accumulate(a, wa);
+  accumulate(b, wb);
+
+  auto to_vector = [&](const std::map<int, double>& weights) {
+    TfIdfVector vec;
+    double norm_sq = 0;
+    for (const auto& [id, tf] : weights) {
+      const int df = (id >= 0) ? document_frequency_[id] : 0;
+      const double w = (1.0 + std::log(tf)) * IdfOf(df);
+      vec.entries.emplace_back(id, w);
+      norm_sq += w * w;
+    }
+    if (norm_sq > 0) {
+      const double inv = 1.0 / std::sqrt(norm_sq);
+      for (auto& [id, w] : vec.entries) w *= inv;
+    }
+    return vec;
+  };
+  return Cosine(to_vector(wa), to_vector(wb));
+}
+
+}  // namespace recon::strsim

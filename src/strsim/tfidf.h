@@ -1,0 +1,61 @@
+// TF-IDF weighted cosine similarity over token vectors, fitted on a corpus.
+//
+// Used for article titles, where rare tokens should dominate the comparison
+// and ubiquitous tokens ("the", "system", "data") should count little.
+
+#ifndef RECON_STRSIM_TFIDF_H_
+#define RECON_STRSIM_TFIDF_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace recon::strsim {
+
+/// A sparse TF-IDF vector: token id -> weight, pre-normalized to unit L2.
+struct TfIdfVector {
+  std::vector<std::pair<int, double>> entries;  // Sorted by token id.
+};
+
+/// Fits IDF weights on a corpus of documents and vectorizes documents for
+/// cosine comparison. Out-of-vocabulary tokens at vectorization time get the
+/// default IDF of an unseen token (log(1 + N)).
+class TfIdfModel {
+ public:
+  TfIdfModel() = default;
+
+  /// Fits document frequencies. Each document is a token vector; duplicate
+  /// tokens within one document count once toward document frequency.
+  void Fit(const std::vector<std::vector<std::string>>& corpus);
+
+  /// Adds one document to the model incrementally.
+  void AddDocument(const std::vector<std::string>& doc);
+
+  /// Converts a document to a unit-normalized sparse vector.
+  TfIdfVector Vectorize(const std::vector<std::string>& doc) const;
+
+  /// Cosine similarity of two unit vectors, in [0, 1] for non-negative
+  /// weights. Returns 1.0 when both vectors are empty.
+  static double Cosine(const TfIdfVector& a, const TfIdfVector& b);
+
+  /// Convenience: vectorizes both documents and returns their cosine.
+  double Similarity(const std::vector<std::string>& a,
+                    const std::vector<std::string>& b) const;
+
+  int num_documents() const { return num_documents_; }
+  int vocabulary_size() const { return static_cast<int>(vocab_.size()); }
+
+ private:
+  double IdfOf(int df) const;
+
+  std::unordered_map<std::string, int> vocab_;  // token -> id
+  std::vector<int> document_frequency_;         // by token id
+  int num_documents_ = 0;
+
+  // Vectorize() must map tokens to stable ids even for unseen tokens;
+  // unseen tokens get synthetic negative ids unique per call.
+};
+
+}  // namespace recon::strsim
+
+#endif  // RECON_STRSIM_TFIDF_H_

@@ -1,0 +1,71 @@
+#include "strsim/title.h"
+
+#include <algorithm>
+
+#include "strsim/edit_distance.h"
+#include "strsim/tfidf.h"
+#include "strsim/tokens.h"
+#include "util/string_util.h"
+
+namespace recon::strsim {
+
+std::string NormalizeTitle(std::string_view title) {
+  return Join(Tokenize(title), " ");
+}
+
+double TitleSimilarity(std::string_view a, std::string_view b,
+                       const TfIdfModel* model) {
+  const std::string na = NormalizeTitle(a);
+  const std::string nb = NormalizeTitle(b);
+  if (na.empty() || nb.empty()) return 0.0;
+  if (na == nb) return 1.0;
+
+  const double edit = EditSimilarity(na, nb);
+  const std::vector<std::string> ta = Tokenize(na);
+  const std::vector<std::string> tb = Tokenize(nb);
+  const double token_sim = (model != nullptr)
+                               ? model->Similarity(ta, tb)
+                               : JaccardSimilarity(ta, tb);
+  return std::clamp(std::max(edit, token_sim), 0.0, 1.0);
+}
+
+std::optional<PageRange> ParsePages(std::string_view pages) {
+  // Extract the first one or two integer runs.
+  int values[2] = {0, 0};
+  int count = 0;
+  size_t i = 0;
+  while (i < pages.size() && count < 2) {
+    while (i < pages.size() && (pages[i] < '0' || pages[i] > '9')) ++i;
+    if (i >= pages.size()) break;
+    long value = 0;
+    while (i < pages.size() && pages[i] >= '0' && pages[i] <= '9') {
+      value = value * 10 + (pages[i] - '0');
+      if (value > 1000000) value = 1000000;
+      ++i;
+    }
+    values[count++] = static_cast<int>(value);
+  }
+  if (count == 0) return std::nullopt;
+  PageRange range;
+  range.first = values[0];
+  range.last = (count == 2) ? values[1] : values[0];
+  if (range.last < range.first) std::swap(range.first, range.last);
+  return range;
+}
+
+double PagesSimilarity(std::string_view a, std::string_view b) {
+  const auto ra = ParsePages(a);
+  const auto rb = ParsePages(b);
+  if (!ra.has_value() || !rb.has_value()) {
+    const std::string ta = Trim(a);
+    const std::string tb = Trim(b);
+    if (ta.empty() || tb.empty()) return 0.0;
+    return ta == tb ? 1.0 : 0.0;
+  }
+  if (ra->first == rb->first && ra->last == rb->last) return 1.0;
+  if (ra->first == rb->first) return 0.8;
+  if (ra->first <= rb->last && rb->first <= ra->last) return 0.5;
+  return 0.0;
+}
+
+}  // namespace recon::strsim

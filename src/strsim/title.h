@@ -1,0 +1,38 @@
+// Article-title normalization and similarity, plus page-range comparison.
+
+#ifndef RECON_STRSIM_TITLE_H_
+#define RECON_STRSIM_TITLE_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace recon::strsim {
+
+class TfIdfModel;
+
+/// Lowercases, strips punctuation, and collapses whitespace.
+std::string NormalizeTitle(std::string_view title);
+
+/// Title similarity in [0, 1]: the max of normalized edit similarity and
+/// token-set similarity. When `model` is non-null, token similarity is
+/// TF-IDF-weighted cosine (rare words dominate); otherwise plain Jaccard.
+double TitleSimilarity(std::string_view a, std::string_view b,
+                       const TfIdfModel* model = nullptr);
+
+/// A parsed page range.
+struct PageRange {
+  int first = 0;
+  int last = 0;
+};
+
+/// Parses "169-180", "169--180", "pp. 169-180", or a single page "169".
+std::optional<PageRange> ParsePages(std::string_view pages);
+
+/// Page similarity: 1.0 for equal ranges, 0.8 for equal first page, 0.5 for
+/// overlapping ranges, else 0. Unparseable inputs compare as exact strings.
+double PagesSimilarity(std::string_view a, std::string_view b);
+
+}  // namespace recon::strsim
+
+#endif  // RECON_STRSIM_TITLE_H_

@@ -1,0 +1,42 @@
+// Token-set similarity measures (Jaccard, Dice, overlap, n-grams) and the
+// Monge-Elkan hybrid comparator.
+
+#ifndef RECON_STRSIM_TOKENS_H_
+#define RECON_STRSIM_TOKENS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace recon::strsim {
+
+/// Jaccard similarity |A ∩ B| / |A ∪ B| over token multiset supports
+/// (duplicates collapsed). 1.0 when both are empty.
+double JaccardSimilarity(const std::vector<std::string>& a,
+                         const std::vector<std::string>& b);
+
+/// Dice coefficient 2|A ∩ B| / (|A| + |B|) over de-duplicated tokens.
+double DiceSimilarity(const std::vector<std::string>& a,
+                      const std::vector<std::string>& b);
+
+/// Overlap coefficient |A ∩ B| / min(|A|, |B|) over de-duplicated tokens.
+double OverlapCoefficient(const std::vector<std::string>& a,
+                          const std::vector<std::string>& b);
+
+/// Character n-grams of `s` (lowercased), padded with '#'/'$' sentinels so
+/// prefixes/suffixes are weighted. Returns the empty vector when s is empty.
+std::vector<std::string> CharacterNgrams(std::string_view s, int n);
+
+/// Jaccard over character n-grams. In [0, 1].
+double NgramSimilarity(std::string_view a, std::string_view b, int n = 3);
+
+/// Monge-Elkan: mean over tokens of `a` of the best Jaro-Winkler match in
+/// `b`. Asymmetric; SymmetricMongeElkan averages both directions.
+double MongeElkanSimilarity(const std::vector<std::string>& a,
+                            const std::vector<std::string>& b);
+double SymmetricMongeElkan(const std::vector<std::string>& a,
+                           const std::vector<std::string>& b);
+
+}  // namespace recon::strsim
+
+#endif  // RECON_STRSIM_TOKENS_H_

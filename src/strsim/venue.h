@@ -1,0 +1,38 @@
+// Venue-name similarity: acronym-aware, stopword-filtered token comparison
+// for conference and journal names ("ACM SIGMOD" vs "ACM Conference on
+// Management of Data").
+
+#ifndef RECON_STRSIM_VENUE_H_
+#define RECON_STRSIM_VENUE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace recon::strsim {
+
+/// Lowercased content tokens of a venue name: stopwords and generic venue
+/// words ("proceedings", "conference", "annual", …) removed, and known
+/// acronyms (sigmod, vldb, …) expanded into their content words.
+std::vector<std::string> VenueContentTokens(std::string_view name);
+
+/// First-letter acronym of the content words of `name` *without* acronym
+/// expansion ("Management of Data" -> "md"; organization tokens like "acm"
+/// are kept as-is, not folded into the acronym).
+std::string VenueAcronym(std::string_view name);
+
+/// Venue-name similarity in [0, 1]: max of normalized edit similarity,
+/// acronym matching, and token-set similarity on expanded content tokens.
+double VenueNameSimilarity(std::string_view a, std::string_view b);
+
+/// Year similarity: 1.0 if equal, 0.5 if within one year, else 0.
+/// Non-numeric input scores by string equality.
+double YearSimilarity(std::string_view a, std::string_view b);
+
+/// Location similarity ("Austin, Texas" vs "Austin, TX"): token overlap
+/// blended with Jaro-Winkler.
+double LocationSimilarity(std::string_view a, std::string_view b);
+
+}  // namespace recon::strsim
+
+#endif  // RECON_STRSIM_VENUE_H_

@@ -1,0 +1,97 @@
+// Lightweight logging and assertion macros.
+//
+// The library does not use exceptions (per the project style); programmer
+// errors and violated invariants terminate the process through RECON_CHECK.
+
+#ifndef RECON_UTIL_LOGGING_H_
+#define RECON_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace recon {
+
+/// Severity levels for LogMessage.
+enum class LogSeverity { kInfo, kWarning, kError, kFatal };
+
+/// Accumulates a log line and emits it to stderr on destruction.
+/// kFatal messages abort the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line)
+      : severity_(severity) {
+    stream_ << SeverityTag(severity) << " " << Basename(file) << ":" << line
+            << "] ";
+  }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  ~LogMessage() {
+    std::cerr << stream_.str() << std::endl;
+    if (severity_ == LogSeverity::kFatal) {
+      std::abort();
+    }
+  }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  static const char* SeverityTag(LogSeverity severity) {
+    switch (severity) {
+      case LogSeverity::kInfo:
+        return "I";
+      case LogSeverity::kWarning:
+        return "W";
+      case LogSeverity::kError:
+        return "E";
+      case LogSeverity::kFatal:
+        return "F";
+    }
+    return "?";
+  }
+
+  static const char* Basename(const char* file) {
+    const char* slash = file;
+    for (const char* p = file; *p != '\0'; ++p) {
+      if (*p == '/') slash = p + 1;
+    }
+    return slash;
+  }
+
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+}  // namespace recon
+
+#define RECON_LOG(severity)                                              \
+  ::recon::LogMessage(::recon::LogSeverity::k##severity, __FILE__,       \
+                      __LINE__)                                          \
+      .stream()
+
+// Aborts with a message when `condition` is false. Usable as a stream:
+//   RECON_CHECK(x > 0) << "x was " << x;
+#define RECON_CHECK(condition)                                  \
+  while (!(condition))                                          \
+  ::recon::LogMessage(::recon::LogSeverity::kFatal, __FILE__,   \
+                      __LINE__)                                 \
+          .stream()                                             \
+      << "Check failed: " #condition " "
+
+#define RECON_CHECK_EQ(a, b) RECON_CHECK((a) == (b))
+#define RECON_CHECK_NE(a, b) RECON_CHECK((a) != (b))
+#define RECON_CHECK_LT(a, b) RECON_CHECK((a) < (b))
+#define RECON_CHECK_LE(a, b) RECON_CHECK((a) <= (b))
+#define RECON_CHECK_GT(a, b) RECON_CHECK((a) > (b))
+#define RECON_CHECK_GE(a, b) RECON_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define RECON_DCHECK(condition) RECON_CHECK(true || (condition))
+#else
+#define RECON_DCHECK(condition) RECON_CHECK(condition)
+#endif
+
+#endif  // RECON_UTIL_LOGGING_H_

@@ -1,0 +1,33 @@
+// Wall-clock timer for benchmarks and progress reporting.
+
+#ifndef RECON_UTIL_TIMER_H_
+#define RECON_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace recon {
+
+/// Measures elapsed wall time from construction or the last Restart().
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Resets the epoch to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since the epoch.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since the epoch.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace recon
+
+#endif  // RECON_UTIL_TIMER_H_

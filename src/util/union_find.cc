@@ -1,0 +1,65 @@
+#include "util/union_find.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/logging.h"
+
+namespace recon {
+
+UnionFind::UnionFind(int size) : num_sets_(size) {
+  RECON_CHECK_GE(size, 0);
+  parent_.resize(size);
+  size_.assign(size, 1);
+  for (int i = 0; i < size; ++i) parent_[i] = i;
+}
+
+void UnionFind::Grow(int count) {
+  RECON_CHECK_GE(count, 0);
+  const int old_size = size();
+  parent_.resize(old_size + count);
+  size_.resize(old_size + count, 1);
+  for (int i = old_size; i < old_size + count; ++i) parent_[i] = i;
+  num_sets_ += count;
+}
+
+int UnionFind::Find(int x) {
+  RECON_DCHECK(x >= 0 && x < size());
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // Path halving.
+    x = parent_[x];
+  }
+  return x;
+}
+
+int UnionFind::Union(int a, int b) {
+  int ra = Find(a);
+  int rb = Find(b);
+  if (ra == rb) return ra;
+  // Union by size; deterministic tie-break on index.
+  if (size_[ra] < size_[rb] || (size_[ra] == size_[rb] && rb < ra)) {
+    std::swap(ra, rb);
+  }
+  parent_[rb] = ra;
+  size_[ra] += size_[rb];
+  --num_sets_;
+  return ra;
+}
+
+std::vector<std::vector<int>> UnionFind::Groups() {
+  std::map<int, std::vector<int>> by_root;
+  for (int i = 0; i < size(); ++i) by_root[Find(i)].push_back(i);
+  std::vector<std::vector<int>> groups;
+  groups.reserve(by_root.size());
+  for (auto& [root, members] : by_root) groups.push_back(std::move(members));
+  // std::map iterates roots in increasing order, and Find preserves the
+  // invariant that each member list is built in increasing index order, so
+  // groups are ordered by smallest element already.
+  std::sort(groups.begin(), groups.end(),
+            [](const std::vector<int>& a, const std::vector<int>& b) {
+              return a.front() < b.front();
+            });
+  return groups;
+}
+
+}  // namespace recon

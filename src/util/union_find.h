@@ -1,0 +1,56 @@
+// Disjoint-set (union-find) with path halving and union by size.
+//
+// Used by the reconciler both for reference enrichment (canonicalizing
+// merged references) and for the final transitive closure over merge
+// decisions.
+
+#ifndef RECON_UTIL_UNION_FIND_H_
+#define RECON_UTIL_UNION_FIND_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace recon {
+
+/// Disjoint sets over the integers [0, size).
+class UnionFind {
+ public:
+  /// Creates `size` singleton sets.
+  explicit UnionFind(int size);
+
+  /// Returns the canonical representative of x's set.
+  int Find(int x);
+
+  /// Merges the sets of a and b. Returns the representative of the merged
+  /// set. The representative of the *larger* set wins ties deterministically
+  /// (smaller index wins when sizes are equal).
+  int Union(int a, int b);
+
+  /// True if a and b are in the same set.
+  bool Connected(int a, int b) { return Find(a) == Find(b); }
+
+  /// Size of x's set.
+  int SetSize(int x) { return size_[Find(x)]; }
+
+  /// Appends `count` fresh singleton elements.
+  void Grow(int count);
+
+  /// Number of disjoint sets.
+  int num_sets() const { return num_sets_; }
+
+  /// Total number of elements.
+  int size() const { return static_cast<int>(parent_.size()); }
+
+  /// Groups elements by set. Each inner vector is non-empty and sorted;
+  /// groups are ordered by their smallest element.
+  std::vector<std::vector<int>> Groups();
+
+ private:
+  std::vector<int32_t> parent_;
+  std::vector<int32_t> size_;
+  int num_sets_;
+};
+
+}  // namespace recon
+
+#endif  // RECON_UTIL_UNION_FIND_H_

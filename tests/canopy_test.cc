@@ -1,0 +1,111 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/canopy.h"
+#include "core/reconciler.h"
+#include "datagen/pim_generator.h"
+#include "eval/metrics.h"
+
+namespace recon {
+namespace {
+
+class CanopyTest : public ::testing::Test {
+ protected:
+  CanopyTest() : data_(BuildPimSchema()) {
+    binding_ = SchemaBinding::Resolve(data_.schema());
+  }
+
+  RefId Person(const std::string& name, const std::string& email = "") {
+    const RefId id = data_.NewReference(binding_.person, -1);
+    if (!name.empty()) {
+      data_.mutable_reference(id).AddAtomicValue(binding_.person_name, name);
+    }
+    if (!email.empty()) {
+      data_.mutable_reference(id).AddAtomicValue(binding_.person_email,
+                                                 email);
+    }
+    return id;
+  }
+
+  bool ArePaired(RefId a, RefId b, const CandidateList& list) {
+    return std::find(list.begin(), list.end(),
+                     std::make_pair(std::min(a, b), std::max(a, b))) !=
+           list.end();
+  }
+
+  Dataset data_;
+  SchemaBinding binding_;
+};
+
+TEST_F(CanopyTest, SimilarReferencesShareACanopy) {
+  const RefId a = Person("Robert S. Epstein", "repstein@cs.wisc.edu");
+  const RefId b = Person("Epstein, R.S.");
+  const RefId c = Person("Eugene Wong", "ew@berkeley.edu");
+  const auto list =
+      GenerateCanopyCandidates(data_, binding_, CanopyOptions{});
+  EXPECT_TRUE(ArePaired(a, b, list));
+  EXPECT_FALSE(ArePaired(a, c, list));
+}
+
+TEST_F(CanopyTest, LooseThresholdControlsCoverage) {
+  // Partial feature overlap in both directions: the shared surname tokens
+  // are a minority of either side's features. (Subset relationships score
+  // 1.0 under the overlap coefficient by design.)
+  const RefId a = Person("Alice Cooper", "alice.cooper@x.edu");
+  const RefId b = Person("Cooper, A.", "different@y.edu");
+  CanopyOptions strict;
+  strict.loose_threshold = 0.99;
+  strict.tight_threshold = 0.99;
+  EXPECT_FALSE(
+      ArePaired(a, b, GenerateCanopyCandidates(data_, binding_, strict)));
+  CanopyOptions lax;
+  lax.loose_threshold = 0.05;
+  lax.tight_threshold = 0.99;
+  EXPECT_TRUE(
+      ArePaired(a, b, GenerateCanopyCandidates(data_, binding_, lax)));
+}
+
+TEST_F(CanopyTest, PairsAreCanonicalUniqueAndDeterministic) {
+  for (int i = 0; i < 12; ++i) {
+    Person("Dana Whitcombe", "dana.whitcombe@x.edu");
+  }
+  const auto first =
+      GenerateCanopyCandidates(data_, binding_, CanopyOptions{});
+  const auto second =
+      GenerateCanopyCandidates(data_, binding_, CanopyOptions{});
+  EXPECT_EQ(first, second);
+  std::set<std::pair<RefId, RefId>> seen;
+  for (const auto& [a, b] : first) {
+    EXPECT_LT(a, b);
+    EXPECT_TRUE(seen.insert({a, b}).second);
+  }
+  EXPECT_EQ(first.size(), 12u * 11 / 2);  // One canopy, all pairs.
+}
+
+TEST_F(CanopyTest, OversizedCanopiesAreSkipped) {
+  CanopyOptions options;
+  options.max_canopy_size = 5;
+  for (int i = 0; i < 10; ++i) Person("Dana Whitcombe");
+  EXPECT_TRUE(GenerateCanopyCandidates(data_, binding_, options).empty());
+}
+
+TEST_F(CanopyTest, CanopyReconciliationMatchesBlockingQuality) {
+  datagen::PimConfig config = datagen::PimConfigA();
+  config = datagen::ScaleConfig(config, 0.03);
+  const Dataset data = datagen::GeneratePim(config);
+  const int person = data.schema().RequireClass("Person");
+
+  ReconcilerOptions blocking = ReconcilerOptions::DepGraph();
+  ReconcilerOptions canopy = ReconcilerOptions::DepGraph();
+  canopy.use_canopies = true;
+  const PairMetrics m_block =
+      EvaluateClass(data, Reconciler(blocking).Run(data).cluster, person);
+  const PairMetrics m_canopy =
+      EvaluateClass(data, Reconciler(canopy).Run(data).cluster, person);
+  EXPECT_NEAR(m_canopy.f1, m_block.f1, 0.02);
+}
+
+}  // namespace
+}  // namespace recon

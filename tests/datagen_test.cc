@@ -1,0 +1,283 @@
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "datagen/cora_generator.h"
+#include "datagen/entities.h"
+#include "datagen/pim_generator.h"
+#include "datagen/variants.h"
+#include "strsim/person_name.h"
+
+namespace recon::datagen {
+namespace {
+
+PimConfig SmallPim() {
+  PimConfig config = PimConfigA();
+  return ScaleConfig(config, 0.04);
+}
+
+TEST(UniverseTest, BuildsRequestedShape) {
+  UniverseConfig config;
+  config.num_persons = 50;
+  config.num_mailing_lists = 2;
+  config.num_articles = 20;
+  config.num_venue_series = 4;
+  config.years_per_series = 2;
+  Random rng(5);
+  const Universe universe = BuildUniverse(config, rng);
+  EXPECT_EQ(universe.persons.size(), 52u);
+  EXPECT_EQ(universe.articles.size(), 20u);
+  EXPECT_EQ(universe.venues.size(), 8u);
+  for (const auto& article : universe.articles) {
+    EXPECT_GE(article.author_ids.size(), 1u);
+    EXPECT_LE(article.author_ids.size(), 4u);
+    EXPECT_GE(article.venue_id, 0);
+    EXPECT_LT(article.venue_id, 8);
+    EXPECT_FALSE(article.title.empty());
+  }
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(universe.persons[i].emails.empty());
+  }
+  EXPECT_TRUE(universe.persons[50].is_mailing_list);
+}
+
+TEST(UniverseTest, GoldIdsAreDisjoint) {
+  UniverseConfig config;
+  config.num_persons = 10;
+  config.num_articles = 5;
+  Random rng(6);
+  const Universe universe = BuildUniverse(config, rng);
+  std::set<int> ids;
+  for (size_t i = 0; i < universe.persons.size(); ++i) {
+    ids.insert(universe.PersonGold(static_cast<int>(i)));
+  }
+  for (size_t i = 0; i < universe.venues.size(); ++i) {
+    ids.insert(universe.VenueGold(static_cast<int>(i)));
+  }
+  for (size_t i = 0; i < universe.articles.size(); ++i) {
+    ids.insert(universe.ArticleGold(static_cast<int>(i)));
+  }
+  EXPECT_EQ(ids.size(), universe.persons.size() + universe.venues.size() +
+                            universe.articles.size());
+}
+
+TEST(UniverseTest, OwnerEraSplitChangesAccountOnSameServer) {
+  UniverseConfig config;
+  config.num_persons = 5;
+  config.owner_changes_name_and_account = true;
+  Random rng(7);
+  const Universe universe = BuildUniverse(config, rng);
+  const PersonSpec& owner = universe.persons[0];
+  ASSERT_TRUE(owner.has_second_era);
+  EXPECT_NE(owner.last, owner.second_last);
+  ASSERT_FALSE(owner.second_emails.empty());
+  const auto server = [](const std::string& email) {
+    return email.substr(email.find('@') + 1);
+  };
+  EXPECT_EQ(server(owner.emails[0]), server(owner.second_emails[0]));
+  EXPECT_NE(owner.emails[0], owner.second_emails[0]);
+}
+
+TEST(VariantsTest, NameStylesRender) {
+  PersonSpec person;
+  person.first = "Robert";
+  person.middle_initial = "S";
+  person.last = "Epstein";
+  person.nickname = "Bob";
+  Random rng(8);
+  EXPECT_EQ(RenderName(person, 0, NameStyle::kFirstLast, 0, rng),
+            "Robert Epstein");
+  EXPECT_EQ(RenderName(person, 0, NameStyle::kFirstMiddleLast, 0, rng),
+            "Robert S. Epstein");
+  EXPECT_EQ(RenderName(person, 0, NameStyle::kLastCommaInitials, 0, rng),
+            "Epstein, R.S.");
+  EXPECT_EQ(RenderName(person, 0, NameStyle::kLastCommaFirst, 0, rng),
+            "Epstein, Robert");
+  EXPECT_EQ(RenderName(person, 0, NameStyle::kInitialLast, 0, rng),
+            "R. Epstein");
+  EXPECT_EQ(RenderName(person, 0, NameStyle::kNickname, 0, rng), "bob");
+}
+
+TEST(VariantsTest, RenderedVariantsParseBackConsistently) {
+  // Property: every style of the same person parses to a compatible name.
+  PersonSpec person;
+  person.first = "Katherine";
+  person.middle_initial = "J";
+  person.last = "Anderson";
+  person.nickname = "Kate";
+  Random rng(9);
+  const strsim::PersonName full = strsim::ParsePersonName(
+      RenderName(person, 0, NameStyle::kFirstMiddleLast, 0, rng));
+  for (const NameStyle style :
+       {NameStyle::kFirstLast, NameStyle::kLastCommaFirst,
+        NameStyle::kLastCommaInitials, NameStyle::kInitialLast,
+        NameStyle::kInitialsLast}) {
+    const std::string rendered = RenderName(person, 0, style, 0, rng);
+    const strsim::PersonName parsed = strsim::ParsePersonName(rendered);
+    EXPECT_TRUE(strsim::NamesCompatible(full, parsed)) << rendered;
+  }
+}
+
+TEST(VariantsTest, TypoInjectionChangesString) {
+  Random rng(10);
+  int changed = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (InjectTypo("stonebraker", rng) != "stonebraker") ++changed;
+  }
+  EXPECT_GT(changed, 40);
+}
+
+TEST(VariantsTest, VenueStylesRender) {
+  VenueSpec venue{"International Conference on Very Large Data Bases",
+                  "VLDB", "1999", "Edinburgh, Scotland"};
+  Random rng(11);
+  EXPECT_EQ(RenderVenue(venue, VenueStyle::kAcronym, 0, rng), "VLDB");
+  EXPECT_EQ(RenderVenue(venue, VenueStyle::kAcronymYear, 0, rng), "VLDB '99");
+  EXPECT_EQ(RenderVenue(venue, VenueStyle::kProceedingsFull, 0, rng),
+            "Proceedings of the International Conference on Very Large Data "
+            "Bases");
+}
+
+TEST(PimGeneratorTest, DeterministicForSeed) {
+  const Dataset d1 = GeneratePim(SmallPim());
+  const Dataset d2 = GeneratePim(SmallPim());
+  ASSERT_EQ(d1.num_references(), d2.num_references());
+  for (RefId id = 0; id < d1.num_references(); ++id) {
+    EXPECT_EQ(d1.gold_entity(id), d2.gold_entity(id));
+    const Reference& r1 = d1.reference(id);
+    const Reference& r2 = d2.reference(id);
+    ASSERT_EQ(r1.class_id(), r2.class_id());
+    for (int attr = 0; attr < r1.num_attributes(); ++attr) {
+      EXPECT_EQ(r1.atomic_values(attr), r2.atomic_values(attr));
+      EXPECT_EQ(r1.associations(attr), r2.associations(attr));
+    }
+  }
+}
+
+TEST(PimGeneratorTest, DifferentSeedsDiffer) {
+  PimConfig config = SmallPim();
+  const Dataset d1 = GeneratePim(config);
+  config.seed += 1;
+  const Dataset d2 = GeneratePim(config);
+  bool different = d1.num_references() != d2.num_references();
+  if (!different) {
+    for (RefId id = 0; id < d1.num_references() && !different; ++id) {
+      const int attr = 0;
+      different = d1.reference(id).atomic_values(attr) !=
+                  d2.reference(id).atomic_values(attr);
+    }
+  }
+  EXPECT_TRUE(different);
+}
+
+TEST(PimGeneratorTest, ReferencesAreWellFormed) {
+  const Dataset data = GeneratePim(SmallPim());
+  const Schema& schema = data.schema();
+  const int person = schema.RequireClass("Person");
+  const int article = schema.RequireClass("Article");
+  const int authors = schema.RequireAttribute(article, "authoredBy");
+  const int venue_attr = schema.RequireAttribute(article, "publishedIn");
+  const int venue = schema.RequireClass("Venue");
+
+  EXPECT_GT(data.num_references(), 100);
+  for (RefId id = 0; id < data.num_references(); ++id) {
+    const Reference& ref = data.reference(id);
+    EXPECT_FALSE(ref.IsEmpty()) << "reference " << id;
+    EXPECT_GE(data.gold_entity(id), 0);
+    if (ref.class_id() == article) {
+      EXPECT_GE(ref.associations(authors).size(), 1u);
+      ASSERT_EQ(ref.associations(venue_attr).size(), 1u);
+      // Associations point at the right classes.
+      for (const RefId author : ref.associations(authors)) {
+        EXPECT_EQ(data.reference(author).class_id(), person);
+      }
+      EXPECT_EQ(data.reference(ref.associations(venue_attr)[0]).class_id(),
+                venue);
+    }
+  }
+}
+
+TEST(PimGeneratorTest, EmailRefsHaveEmailProvenance) {
+  const Dataset data = GeneratePim(SmallPim());
+  const int person = data.schema().RequireClass("Person");
+  int email_refs = 0;
+  int bibtex_refs = 0;
+  for (RefId id = 0; id < data.num_references(); ++id) {
+    if (data.reference(id).class_id() != person) continue;
+    if (data.provenance(id) == Provenance::kEmail) ++email_refs;
+    if (data.provenance(id) == Provenance::kBibtex) ++bibtex_refs;
+  }
+  EXPECT_GT(email_refs, 0);
+  EXPECT_GT(bibtex_refs, 0);
+}
+
+TEST(PimGeneratorTest, PersonRefsDominate) {
+  const Dataset data = GeneratePim(SmallPim());
+  const int person = data.schema().RequireClass("Person");
+  const int person_refs =
+      static_cast<int>(data.ReferencesOfClass(person).size());
+  EXPECT_GT(person_refs, data.num_references() / 2);
+}
+
+TEST(PimGeneratorTest, ScaleConfigShrinks) {
+  const PimConfig full = PimConfigA();
+  const PimConfig small = ScaleConfig(full, 0.1);
+  EXPECT_LT(small.num_messages, full.num_messages);
+  EXPECT_LT(small.universe.num_persons, full.universe.num_persons);
+  EXPECT_GE(small.num_messages, 1);
+}
+
+TEST(CoraGeneratorTest, ShapeMatchesConfig) {
+  CoraConfig config;
+  config.num_papers = 30;
+  config.num_citations = 200;
+  const Dataset data = GenerateCora(config);
+  const int article = data.schema().RequireClass("Article");
+  const int venue = data.schema().RequireClass("Venue");
+  EXPECT_EQ(data.ReferencesOfClass(article).size(), 200u);
+  EXPECT_EQ(data.ReferencesOfClass(venue).size(), 200u);
+  EXPECT_LE(data.NumEntitiesOfClass(article), 30);
+  EXPECT_GT(data.NumEntitiesOfClass(article), 10);
+}
+
+TEST(CoraGeneratorTest, Deterministic) {
+  CoraConfig config;
+  config.num_papers = 20;
+  config.num_citations = 80;
+  const Dataset d1 = GenerateCora(config);
+  const Dataset d2 = GenerateCora(config);
+  ASSERT_EQ(d1.num_references(), d2.num_references());
+  for (RefId id = 0; id < d1.num_references(); ++id) {
+    EXPECT_EQ(d1.gold_entity(id), d2.gold_entity(id));
+  }
+}
+
+TEST(CoraGeneratorTest, SomeVenueMentionsAreWrong) {
+  CoraConfig config;
+  config.num_papers = 30;
+  config.num_citations = 300;
+  config.p_wrong_venue = 0.2;
+  Universe universe;
+  const Dataset data = GenerateCora(config, &universe);
+  const int article = data.schema().RequireClass("Article");
+  const int pub = data.schema().RequireAttribute(article, "publishedIn");
+
+  // For at least one paper, two citations must carry venues with different
+  // gold entities (the Cora noise the paper highlights).
+  std::map<int, std::set<int>> venues_per_paper;
+  for (const RefId id : data.ReferencesOfClass(article)) {
+    const Reference& ref = data.reference(id);
+    const RefId venue_ref = ref.associations(pub)[0];
+    venues_per_paper[data.gold_entity(id)].insert(
+        data.gold_entity(venue_ref));
+  }
+  bool any_conflict = false;
+  for (const auto& [paper, venues] : venues_per_paper) {
+    if (venues.size() > 1) any_conflict = true;
+  }
+  EXPECT_TRUE(any_conflict);
+}
+
+}  // namespace
+}  // namespace recon::datagen

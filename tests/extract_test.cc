@@ -1,0 +1,344 @@
+// Tests for the extraction substrate: email parsing, BibTeX parsing, the
+// extractor, and the full generate -> render -> parse -> extract
+// round-trip.
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/reconciler.h"
+#include "datagen/pim_generator.h"
+#include "datagen/render.h"
+#include "eval/metrics.h"
+#include "extract/bibtex_parser.h"
+#include "extract/email_parser.h"
+#include "extract/extractor.h"
+
+namespace recon::extract {
+namespace {
+
+// ---- Address-list parsing ----------------------------------------------------
+
+TEST(AddressListTest, BareAddress) {
+  const auto list = ParseAddressList("eugene@berkeley.edu");
+  ASSERT_EQ(list.size(), 1u);
+  EXPECT_EQ(list[0].address, "eugene@berkeley.edu");
+  EXPECT_TRUE(list[0].display_name.empty());
+}
+
+TEST(AddressListTest, NameAndAddress) {
+  const auto list = ParseAddressList("Eugene Wong <eugene@berkeley.edu>");
+  ASSERT_EQ(list.size(), 1u);
+  EXPECT_EQ(list[0].display_name, "Eugene Wong");
+  EXPECT_EQ(list[0].address, "eugene@berkeley.edu");
+}
+
+TEST(AddressListTest, QuotedNameWithComma) {
+  const auto list = ParseAddressList("\"Wong, E.\" <ew@berkeley.edu>");
+  ASSERT_EQ(list.size(), 1u);
+  EXPECT_EQ(list[0].display_name, "Wong, E.");
+  EXPECT_EQ(list[0].address, "ew@berkeley.edu");
+}
+
+TEST(AddressListTest, MultipleMailboxes) {
+  const auto list = ParseAddressList(
+      "\"Stonebraker, M.\" <msb@csail.mit.edu>, mike <m@x.edu>, e@y.edu");
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[0].display_name, "Stonebraker, M.");
+  EXPECT_EQ(list[1].display_name, "mike");
+  EXPECT_EQ(list[1].address, "m@x.edu");
+  EXPECT_EQ(list[2].address, "e@y.edu");
+}
+
+TEST(AddressListTest, NameOnly) {
+  const auto list = ParseAddressList("\"dbgroup\"");
+  ASSERT_EQ(list.size(), 1u);
+  EXPECT_EQ(list[0].display_name, "dbgroup");
+  EXPECT_TRUE(list[0].address.empty());
+}
+
+TEST(AddressListTest, EmptyAndWhitespace) {
+  EXPECT_TRUE(ParseAddressList("").empty());
+  EXPECT_TRUE(ParseAddressList("  , ,  ").empty());
+}
+
+TEST(AddressListTest, AngleOnlyAddress) {
+  const auto list = ParseAddressList("<a@b.c>");
+  ASSERT_EQ(list.size(), 1u);
+  EXPECT_EQ(list[0].address, "a@b.c");
+}
+
+// ---- Message parsing ------------------------------------------------------------
+
+TEST(EmailMessageTest, BasicMessage) {
+  const auto result = ParseEmailMessage(
+      "From: \"Eugene Wong\" <eugene@berkeley.edu>\n"
+      "To: <stonebraker@csail.mit.edu>, \"Epstein, R.S.\" <rse@b.edu>\n"
+      "Subject: draft\n"
+      "\n"
+      "body text ignored\n");
+  ASSERT_TRUE(result.ok());
+  const EmailMessage& m = result.value();
+  ASSERT_EQ(m.from.size(), 1u);
+  EXPECT_EQ(m.from[0].display_name, "Eugene Wong");
+  ASSERT_EQ(m.to.size(), 2u);
+  EXPECT_EQ(m.to[1].display_name, "Epstein, R.S.");
+  EXPECT_EQ(m.subject, "draft");
+}
+
+TEST(EmailMessageTest, HeaderContinuationLines) {
+  const auto result = ParseEmailMessage(
+      "From: a@x.edu\n"
+      "To: b@x.edu,\n"
+      "  c@x.edu\n"
+      "\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().to.size(), 2u);
+}
+
+TEST(EmailMessageTest, CcAndExtensionHeaders) {
+  const auto result = ParseEmailMessage(
+      "From: a@x.edu\nCc: d@x.edu\nX-Gold: a@x.edu=7\n\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().cc.size(), 1u);
+  bool found = false;
+  for (const auto& [name, value] : result.value().headers) {
+    if (name == "x-gold") {
+      EXPECT_EQ(value, "a@x.edu=7");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(EmailMessageTest, GarbageFails) {
+  EXPECT_FALSE(ParseEmailMessage("no headers here").ok());
+  EXPECT_FALSE(ParseEmailMessage("").ok());
+}
+
+TEST(MboxTest, SplitsMessages) {
+  const auto messages = ParseMbox(
+      "From generator@localhost\n"
+      "From: a@x.edu\nTo: b@x.edu\n\nbody\n"
+      "From generator@localhost\n"
+      "From: c@x.edu\nTo: d@x.edu\n\n");
+  ASSERT_EQ(messages.size(), 2u);
+  EXPECT_EQ(messages[0].from[0].address, "a@x.edu");
+  EXPECT_EQ(messages[1].from[0].address, "c@x.edu");
+}
+
+// ---- BibTeX parsing ----------------------------------------------------------------
+
+constexpr char kEntry[] = R"(
+@InProceedings{epstein78,
+  author    = {Robert S. Epstein and Michael Stonebraker and Wong, E.},
+  title     = "Distributed query processing in a relational data base system",
+  booktitle = {ACM SIGMOD},
+  year      = 1978,
+  pages     = {169--180},
+  address   = {Austin, Texas},
+}
+)";
+
+TEST(BibtexTest, ParsesEntry) {
+  size_t pos = 0;
+  const auto result = ParseNextBibtexEntry(kEntry, &pos);
+  ASSERT_TRUE(result.ok());
+  const BibtexEntry& entry = result.value();
+  EXPECT_EQ(entry.type, "inproceedings");  // Lowercased.
+  EXPECT_EQ(entry.key, "epstein78");
+  EXPECT_EQ(entry.Field("title"),
+            "Distributed query processing in a relational data base system");
+  EXPECT_EQ(entry.Field("year"), "1978");
+  EXPECT_EQ(entry.Field("pages"), "169--180");
+  EXPECT_EQ(entry.Venue(), "ACM SIGMOD");
+  const auto authors = entry.Authors();
+  ASSERT_EQ(authors.size(), 3u);
+  EXPECT_EQ(authors[0], "Robert S. Epstein");
+  EXPECT_EQ(authors[2], "Wong, E.");
+}
+
+TEST(BibtexTest, NestedBracesAndJournal) {
+  const char* input =
+      "@article{k, title = {The {SQL} standard}, journal = {TODS}}";
+  size_t pos = 0;
+  const auto result = ParseNextBibtexEntry(input, &pos);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().Field("title"), "The {SQL} standard");
+  EXPECT_EQ(result.value().Venue(), "TODS");
+}
+
+TEST(BibtexTest, MultilineValuesAreRefolded) {
+  const char* input =
+      "@article{k, title = {Line one\n      line two}}";
+  size_t pos = 0;
+  const auto result = ParseNextBibtexEntry(input, &pos);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().Field("title"), "Line one line two");
+}
+
+TEST(BibtexTest, FileWithNoiseBetweenEntries) {
+  const std::string input = std::string("% a comment\n") + kEntry +
+                            "\nstray text\n" + kEntry;
+  const auto entries = ParseBibtexFile(input);
+  EXPECT_EQ(entries.size(), 2u);
+}
+
+TEST(BibtexTest, MalformedEntriesAreSkipped) {
+  const std::string input =
+      "@article{broken, title = {unterminated\n" + std::string(kEntry);
+  const auto entries = ParseBibtexFile(input);
+  // The broken entry swallows text until it fails; at least the parse
+  // must not loop or crash, and must return only well-formed entries.
+  for (const auto& entry : entries) {
+    EXPECT_FALSE(entry.Field("title").empty());
+  }
+}
+
+TEST(BibtexTest, AuthorSplitIgnoresCase) {
+  const auto authors = SplitBibtexAuthors("A. Smith AND B. Jones and C Wu");
+  ASSERT_EQ(authors.size(), 3u);
+  EXPECT_EQ(authors[1], "B. Jones");
+}
+
+// ---- Extractor ------------------------------------------------------------------------
+
+TEST(ExtractorTest, MessageBecomesContactClique) {
+  Extractor extractor;
+  const auto message = ParseEmailMessage(
+      "From: \"Eugene Wong\" <eugene@berkeley.edu>\n"
+      "To: <stonebraker@csail.mit.edu>, mike <m@x.edu>\n\n");
+  ASSERT_TRUE(message.ok());
+  const auto refs = extractor.AddMessage(message.value());
+  ASSERT_EQ(refs.size(), 3u);
+
+  const Dataset& data = extractor.dataset();
+  const int person = data.schema().RequireClass("Person");
+  const int contact = data.schema().RequireAttribute(person, "emailContact");
+  for (const RefId id : refs) {
+    EXPECT_EQ(data.reference(id).class_id(), person);
+    EXPECT_EQ(data.provenance(id), Provenance::kEmail);
+    EXPECT_EQ(data.reference(id).associations(contact).size(), 2u);
+  }
+}
+
+TEST(ExtractorTest, DuplicateMailboxesCollapse) {
+  Extractor extractor;
+  const auto message = ParseEmailMessage(
+      "From: a@x.edu\nTo: a@x.edu, b@x.edu\nCc: b@x.edu\n\n");
+  ASSERT_TRUE(message.ok());
+  EXPECT_EQ(extractor.AddMessage(message.value()).size(), 2u);
+}
+
+TEST(ExtractorTest, BibtexEntryBecomesFigure1Structure) {
+  Extractor extractor;
+  size_t pos = 0;
+  const auto entry = ParseNextBibtexEntry(kEntry, &pos);
+  ASSERT_TRUE(entry.ok());
+  const auto refs = extractor.AddBibtexEntry(entry.value());
+  // {article, venue, 3 authors}.
+  ASSERT_EQ(refs.size(), 5u);
+
+  const Dataset& data = extractor.dataset();
+  const Schema& s = data.schema();
+  const int article = s.RequireClass("Article");
+  const int venue = s.RequireClass("Venue");
+  const int person = s.RequireClass("Person");
+  EXPECT_EQ(data.reference(refs[0]).class_id(), article);
+  EXPECT_EQ(data.reference(refs[1]).class_id(), venue);
+  EXPECT_EQ(data.reference(refs[2]).class_id(), person);
+
+  const Reference& art = data.reference(refs[0]);
+  EXPECT_EQ(
+      art.associations(s.RequireAttribute(article, "authoredBy")).size(),
+      3u);
+  EXPECT_EQ(
+      art.associations(s.RequireAttribute(article, "publishedIn"))[0],
+      refs[1]);
+  const Reference& ven = data.reference(refs[1]);
+  EXPECT_EQ(ven.FirstValue(s.RequireAttribute(venue, "name")), "ACM SIGMOD");
+  EXPECT_EQ(ven.FirstValue(s.RequireAttribute(venue, "location")),
+            "Austin, Texas");
+  // Co-author links among the three authors.
+  const int coauthor = s.RequireAttribute(person, "coAuthor");
+  EXPECT_EQ(data.reference(refs[2]).associations(coauthor).size(), 2u);
+}
+
+TEST(ExtractorTest, TitlelessEntriesAreDropped) {
+  Extractor extractor;
+  size_t pos = 0;
+  const auto entry =
+      ParseNextBibtexEntry("@misc{k, year = 1999}", &pos);
+  ASSERT_TRUE(entry.ok());
+  EXPECT_TRUE(extractor.AddBibtexEntry(entry.value()).empty());
+}
+
+// ---- Round-trip: generate -> render -> parse -> extract --------------------------------
+
+class RoundTripTest : public ::testing::Test {
+ protected:
+  RoundTripTest() {
+    datagen::PimConfig config = datagen::PimConfigA();
+    config = datagen::ScaleConfig(config, 0.03);
+    config.seed = 777;
+    original_ = datagen::GeneratePim(config);
+    corpus_ = datagen::RenderPimCorpus(original_);
+    extracted_ = datagen::ExtractPimCorpus(corpus_);
+  }
+
+  Dataset original_{BuildPimSchema()};
+  datagen::RenderedCorpus corpus_;
+  Dataset extracted_{BuildPimSchema()};
+};
+
+TEST_F(RoundTripTest, PreservesReferenceCounts) {
+  // Dedup inside the extractor may collapse a handful of identical
+  // mailboxes; everything else must survive exactly.
+  EXPECT_LE(extracted_.num_references(), original_.num_references());
+  EXPECT_GE(extracted_.num_references(),
+            original_.num_references() * 99 / 100);
+  for (const char* cls : {"Article", "Venue"}) {
+    const int id = original_.schema().RequireClass(cls);
+    EXPECT_EQ(extracted_.ReferencesOfClass(id).size(),
+              original_.ReferencesOfClass(id).size())
+        << cls;
+  }
+}
+
+TEST_F(RoundTripTest, PreservesGoldLabels) {
+  int labeled = 0;
+  for (RefId id = 0; id < extracted_.num_references(); ++id) {
+    if (extracted_.gold_entity(id) >= 0) ++labeled;
+  }
+  EXPECT_GE(labeled, extracted_.num_references() * 99 / 100);
+  // Entity counts per class match the original.
+  for (const char* cls : {"Person", "Article", "Venue"}) {
+    const int orig_class = original_.schema().RequireClass(cls);
+    const int extr_class = extracted_.schema().RequireClass(cls);
+    EXPECT_NEAR(extracted_.NumEntitiesOfClass(extr_class),
+                original_.NumEntitiesOfClass(orig_class), 2)
+        << cls;
+  }
+}
+
+TEST_F(RoundTripTest, ReconciliationQualityMatchesDirectPath) {
+  const Reconciler reconciler(ReconcilerOptions::DepGraph());
+  const int person_o = original_.schema().RequireClass("Person");
+  const int person_e = extracted_.schema().RequireClass("Person");
+  const PairMetrics direct = EvaluateClass(
+      original_, reconciler.Run(original_).cluster, person_o);
+  const PairMetrics via_text = EvaluateClass(
+      extracted_, reconciler.Run(extracted_).cluster, person_e);
+  EXPECT_NEAR(via_text.f1, direct.f1, 0.03);
+}
+
+TEST_F(RoundTripTest, CorpusLooksLikeRealText) {
+  EXPECT_NE(corpus_.mbox.find("From: "), std::string::npos);
+  EXPECT_NE(corpus_.mbox.find("X-Gold: "), std::string::npos);
+  EXPECT_NE(corpus_.bibtex.find("@inproceedings{"), std::string::npos);
+  EXPECT_NE(corpus_.bibtex.find("author = {"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace recon::extract

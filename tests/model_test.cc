@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "model/dataset.h"
+#include "model/reference.h"
+#include "model/schema.h"
+#include "model/subset.h"
+
+namespace recon {
+namespace {
+
+TEST(SchemaTest, BuildAndLookup) {
+  Schema schema;
+  const int person = schema.AddClass("Person");
+  const int name = schema.AddAtomicAttribute(person, "name");
+  const int friend_attr =
+      schema.AddAssociationAttribute(person, "friend", "Person");
+  ASSERT_TRUE(schema.Finalize().ok());
+
+  EXPECT_EQ(schema.num_classes(), 1);
+  EXPECT_EQ(schema.FindClass("Person"), person);
+  EXPECT_EQ(schema.FindClass("Nope"), -1);
+  const ClassDef& def = schema.class_def(person);
+  EXPECT_EQ(def.FindAttribute("name"), name);
+  EXPECT_EQ(def.attributes[friend_attr].kind, AttrKind::kAssociation);
+  EXPECT_EQ(def.attributes[friend_attr].target_class_id, person);
+}
+
+TEST(SchemaTest, FinalizeFailsOnUnknownTarget) {
+  Schema schema;
+  const int person = schema.AddClass("Person");
+  schema.AddAssociationAttribute(person, "wrote", "Book");
+  EXPECT_FALSE(schema.Finalize().ok());
+}
+
+TEST(SchemaTest, PimSchemaShape) {
+  const Schema schema = BuildPimSchema();
+  EXPECT_TRUE(schema.finalized());
+  EXPECT_EQ(schema.num_classes(), 3);
+  const int person = schema.RequireClass("Person");
+  EXPECT_EQ(schema.class_def(person).num_attributes(), 4);
+  const int article = schema.RequireClass("Article");
+  const ClassDef& article_def = schema.class_def(article);
+  const int authored = article_def.FindAttribute("authoredBy");
+  EXPECT_EQ(article_def.attributes[authored].target_class_id, person);
+}
+
+TEST(SchemaTest, CoraSchemaShape) {
+  const Schema schema = BuildCoraSchema();
+  const int person = schema.RequireClass("Person");
+  EXPECT_EQ(schema.class_def(person).FindAttribute("email"), -1);
+  EXPECT_GE(schema.class_def(person).FindAttribute("coAuthor"), 0);
+}
+
+TEST(ReferenceTest, MultiValuedAtomicsDeduplicate) {
+  Reference ref(0, 2);
+  ref.AddAtomicValue(0, "a@x.com");
+  ref.AddAtomicValue(0, "b@x.com");
+  ref.AddAtomicValue(0, "a@x.com");
+  ref.AddAtomicValue(0, "");  // Empty values ignored.
+  EXPECT_EQ(ref.atomic_values(0).size(), 2u);
+  EXPECT_EQ(ref.FirstValue(0), "a@x.com");
+  EXPECT_EQ(ref.FirstValue(1), "");
+}
+
+TEST(ReferenceTest, AssociationsDeduplicate) {
+  Reference ref(0, 1);
+  ref.AddAssociation(0, 5);
+  ref.AddAssociation(0, 5);
+  ref.AddAssociation(0, 7);
+  EXPECT_EQ(ref.associations(0).size(), 2u);
+}
+
+TEST(ReferenceTest, IsEmpty) {
+  Reference ref(0, 2);
+  EXPECT_TRUE(ref.IsEmpty());
+  ref.AddAtomicValue(1, "x");
+  EXPECT_FALSE(ref.IsEmpty());
+}
+
+TEST(DatasetTest, AddAndQuery) {
+  Dataset data(BuildPimSchema());
+  const int person = data.schema().RequireClass("Person");
+  const int article = data.schema().RequireClass("Article");
+  const RefId p1 = data.NewReference(person, 0, Provenance::kEmail);
+  const RefId p2 = data.NewReference(person, 0, Provenance::kBibtex);
+  const RefId a1 = data.NewReference(article, 1);
+
+  EXPECT_EQ(data.num_references(), 3);
+  EXPECT_EQ(data.gold_entity(p1), 0);
+  EXPECT_EQ(data.provenance(p2), Provenance::kBibtex);
+  EXPECT_EQ(data.ReferencesOfClass(person), (std::vector<RefId>{p1, p2}));
+  EXPECT_EQ(data.ReferencesOfClass(article), (std::vector<RefId>{a1}));
+  EXPECT_EQ(data.NumEntitiesOfClass(person), 1);
+  EXPECT_EQ(data.NumEntitiesOfClass(article), 1);
+}
+
+TEST(SubsetTest, FiltersAndRemapsAssociations) {
+  Dataset data(BuildPimSchema());
+  const int person = data.schema().RequireClass("Person");
+  const int contact = data.schema().RequireAttribute(person, "emailContact");
+  const int name = data.schema().RequireAttribute(person, "name");
+
+  const RefId a = data.NewReference(person, 0, Provenance::kEmail);
+  const RefId b = data.NewReference(person, 1, Provenance::kBibtex);
+  const RefId c = data.NewReference(person, 2, Provenance::kEmail);
+  data.mutable_reference(a).AddAtomicValue(name, "Alice");
+  data.mutable_reference(a).AddAssociation(contact, b);
+  data.mutable_reference(a).AddAssociation(contact, c);
+  data.mutable_reference(c).AddAssociation(contact, a);
+
+  const Dataset email_only = FilterDataset(data, [&](RefId id) {
+    return data.provenance(id) == Provenance::kEmail;
+  });
+  ASSERT_EQ(email_only.num_references(), 2);
+  // a -> 0, c -> 1 in the new dataset; the link a->b must be dropped.
+  EXPECT_EQ(email_only.reference(0).atomic_values(name).size(), 1u);
+  EXPECT_EQ(email_only.reference(0).associations(contact),
+            (std::vector<RefId>{1}));
+  EXPECT_EQ(email_only.reference(1).associations(contact),
+            (std::vector<RefId>{0}));
+  EXPECT_EQ(email_only.gold_entity(1), 2);
+}
+
+}  // namespace
+}  // namespace recon

@@ -1,0 +1,173 @@
+// Parameterized property tests: invariants that must hold for every
+// comparator over a broad sweep of inputs, and for the reconciler over
+// every configuration.
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/reconciler.h"
+#include "datagen/pim_generator.h"
+#include "sim/comparators.h"
+#include "strsim/edit_distance.h"
+#include "strsim/jaro_winkler.h"
+#include "strsim/tokens.h"
+
+namespace recon {
+namespace {
+
+// ---- Comparator properties over a diverse string sweep ---------------------
+
+const std::vector<std::string>& SweepStrings() {
+  static const auto* strings = new std::vector<std::string>{
+      "",
+      "a",
+      "mike",
+      "Mike",
+      "Eugene Wong",
+      "Wong, E.",
+      "Epstein, R.S.",
+      "Robert S. Epstein",
+      "stonebraker@csail.mit.edu",
+      "STONEBRAKER@MIT.EDU",
+      "ACM SIGMOD",
+      "Proceedings of the International Conference on Very Large Data Bases",
+      "169-180",
+      "1978",
+      "Austin, Texas",
+      "Distributed query processing in a relational data base system",
+      "   whitespace   padded   ",
+      "unicode-free but-weird..punctuation!!",
+      "Li Wei",
+      "van der Berg, J.",
+  };
+  return *strings;
+}
+
+using StringPair = std::tuple<std::string, std::string>;
+
+class ComparatorPropertyTest : public ::testing::TestWithParam<StringPair> {};
+
+TEST_P(ComparatorPropertyTest, AllComparatorsBoundedAndSymmetric) {
+  const auto& [a, b] = GetParam();
+  using Comparator = double (*)(const std::string&, const std::string&);
+  const Comparator comparators[] = {
+      PersonNameFieldSimilarity, EmailFieldSimilarity, TitleFieldSimilarity,
+      VenueNameFieldSimilarity,  YearFieldSimilarity,  PagesFieldSimilarity,
+      LocationFieldSimilarity,
+  };
+  for (const Comparator comparator : comparators) {
+    const double ab = comparator(a, b);
+    const double ba = comparator(b, a);
+    EXPECT_GE(ab, 0.0);
+    EXPECT_LE(ab, 1.0);
+    EXPECT_DOUBLE_EQ(ab, ba) << "'" << a << "' vs '" << b << "'";
+  }
+}
+
+TEST_P(ComparatorPropertyTest, LowLevelMeasuresBoundedAndSymmetric) {
+  const auto& [a, b] = GetParam();
+  for (const double sim : {strsim::EditSimilarity(a, b),
+                           strsim::JaroWinklerSimilarity(a, b),
+                           strsim::NgramSimilarity(a, b)}) {
+    EXPECT_GE(sim, 0.0);
+    EXPECT_LE(sim, 1.0);
+  }
+  EXPECT_DOUBLE_EQ(strsim::JaroWinklerSimilarity(a, b),
+                   strsim::JaroWinklerSimilarity(b, a));
+  EXPECT_EQ(strsim::LevenshteinDistance(a, b),
+            strsim::LevenshteinDistance(b, a));
+}
+
+TEST_P(ComparatorPropertyTest, IdentityGivesMaximalScoreOfItsClass) {
+  const auto& [a, b] = GetParam();
+  (void)b;
+  // Self-similarity must be at least as high as similarity to anything
+  // else for the generic string measures.
+  const double self = strsim::EditSimilarity(a, a);
+  EXPECT_DOUBLE_EQ(self, 1.0);
+  EXPECT_DOUBLE_EQ(strsim::JaroWinklerSimilarity(a, a), a.empty() ? 1.0 : 1.0);
+}
+
+std::vector<StringPair> AllSweepPairs() {
+  std::vector<StringPair> pairs;
+  const auto& strings = SweepStrings();
+  for (size_t i = 0; i < strings.size(); ++i) {
+    for (size_t j = i; j < strings.size(); ++j) {
+      pairs.emplace_back(strings[i], strings[j]);
+    }
+  }
+  return pairs;
+}
+
+INSTANTIATE_TEST_SUITE_P(StringSweep, ComparatorPropertyTest,
+                         ::testing::ValuesIn(AllSweepPairs()));
+
+// ---- Reconciler invariants over every configuration -------------------------
+
+struct ConfigCase {
+  EvidenceLevel level;
+  bool propagation;
+  bool enrichment;
+  bool constraints;
+};
+
+class ReconcilerConfigTest : public ::testing::TestWithParam<ConfigCase> {};
+
+TEST_P(ReconcilerConfigTest, InvariantsHoldForEveryConfiguration) {
+  const ConfigCase& c = GetParam();
+  datagen::PimConfig config = datagen::PimConfigA();
+  config = datagen::ScaleConfig(config, 0.02);
+  config.seed = 404;
+  const Dataset data = datagen::GeneratePim(config);
+
+  ReconcilerOptions options;
+  options.evidence_level = c.level;
+  options.propagation = c.propagation;
+  options.enrichment = c.enrichment;
+  options.constraints = c.constraints;
+  const Reconciler reconciler(options);
+  const ReconcileResult result = reconciler.Run(data);
+
+  // Clusters form a canonical partition that never mixes classes.
+  ASSERT_EQ(static_cast<int>(result.cluster.size()), data.num_references());
+  for (RefId id = 0; id < data.num_references(); ++id) {
+    const int rep = result.cluster[id];
+    ASSERT_GE(rep, 0);
+    ASSERT_LT(rep, data.num_references());
+    EXPECT_EQ(result.cluster[rep], rep);
+    EXPECT_EQ(data.reference(rep).class_id(), data.reference(id).class_id());
+  }
+  // Merged pairs are consistent with the closure.
+  for (const auto& [a, b] : result.merged_pairs) {
+    EXPECT_EQ(result.cluster[a], result.cluster[b]);
+    EXPECT_EQ(data.reference(a).class_id(), data.reference(b).class_id());
+  }
+  // Determinism.
+  const ReconcileResult again = reconciler.Run(data);
+  EXPECT_EQ(result.cluster, again.cluster);
+}
+
+std::vector<ConfigCase> AllConfigs() {
+  std::vector<ConfigCase> configs;
+  for (const EvidenceLevel level :
+       {EvidenceLevel::kAttrWise, EvidenceLevel::kNameEmail,
+        EvidenceLevel::kArticle, EvidenceLevel::kContact}) {
+    for (const bool propagation : {false, true}) {
+      for (const bool enrichment : {false, true}) {
+        for (const bool constraints : {false, true}) {
+          configs.push_back({level, propagation, enrichment, constraints});
+        }
+      }
+    }
+  }
+  return configs;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, ReconcilerConfigTest,
+                         ::testing::ValuesIn(AllConfigs()));
+
+}  // namespace
+}  // namespace recon

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "datagen/pim_generator.h"
+#include "model/text_io.h"
+
+namespace recon {
+namespace {
+
+Dataset SampleDataset() {
+  Dataset data(BuildPimSchema());
+  const Schema& s = data.schema();
+  const int person = s.RequireClass("Person");
+  const int article = s.RequireClass("Article");
+  const int name = s.RequireAttribute(person, "name");
+  const int email = s.RequireAttribute(person, "email");
+  const int contact = s.RequireAttribute(person, "emailContact");
+  const int title = s.RequireAttribute(article, "title");
+  const int authors = s.RequireAttribute(article, "authoredBy");
+
+  const RefId p1 = data.NewReference(person, 1, Provenance::kEmail);
+  data.mutable_reference(p1).AddAtomicValue(name, "Eugene Wong");
+  data.mutable_reference(p1).AddAtomicValue(email, "eugene@berkeley.edu");
+  const RefId p2 = data.NewReference(person, 2, Provenance::kBibtex);
+  data.mutable_reference(p2).AddAtomicValue(name, "Wong,\tE.");  // Tab!
+  data.mutable_reference(p1).AddAssociation(contact, p2);
+  data.mutable_reference(p2).AddAssociation(contact, p1);
+
+  const RefId a1 = data.NewReference(article, 3);
+  data.mutable_reference(a1).AddAtomicValue(
+      title, "Line\nbreaks \\ and backslashes");
+  data.mutable_reference(a1).AddAssociation(authors, p1);
+  data.mutable_reference(a1).AddAssociation(authors, p2);
+  return data;
+}
+
+void ExpectDatasetsEqual(const Dataset& a, const Dataset& b) {
+  ASSERT_EQ(a.num_references(), b.num_references());
+  ASSERT_EQ(a.schema().num_classes(), b.schema().num_classes());
+  for (int c = 0; c < a.schema().num_classes(); ++c) {
+    EXPECT_EQ(a.schema().class_def(c).name, b.schema().class_def(c).name);
+    ASSERT_EQ(a.schema().class_def(c).num_attributes(),
+              b.schema().class_def(c).num_attributes());
+  }
+  for (RefId id = 0; id < a.num_references(); ++id) {
+    const Reference& ra = a.reference(id);
+    const Reference& rb = b.reference(id);
+    ASSERT_EQ(ra.class_id(), rb.class_id()) << id;
+    EXPECT_EQ(a.gold_entity(id), b.gold_entity(id)) << id;
+    EXPECT_EQ(a.provenance(id), b.provenance(id)) << id;
+    for (int attr = 0; attr < ra.num_attributes(); ++attr) {
+      EXPECT_EQ(ra.atomic_values(attr), rb.atomic_values(attr)) << id;
+      EXPECT_EQ(ra.associations(attr), rb.associations(attr)) << id;
+    }
+  }
+}
+
+TEST(TextIoTest, RoundTripsSampleDataset) {
+  const Dataset original = SampleDataset();
+  const std::string text = SerializeDataset(original);
+  StatusOr<Dataset> parsed = ParseDataset(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ExpectDatasetsEqual(original, parsed.value());
+}
+
+TEST(TextIoTest, RoundTripsGeneratedDataset) {
+  datagen::PimConfig config = datagen::PimConfigA();
+  config = datagen::ScaleConfig(config, 0.02);
+  const Dataset original = datagen::GeneratePim(config);
+  StatusOr<Dataset> parsed = ParseDataset(SerializeDataset(original));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ExpectDatasetsEqual(original, parsed.value());
+}
+
+TEST(TextIoTest, EscapesSpecialCharacters) {
+  const std::string text = SerializeDataset(SampleDataset());
+  // The literal tab and newline must not survive unescaped inside values.
+  EXPECT_NE(text.find("Wong,\\tE."), std::string::npos);
+  EXPECT_NE(text.find("Line\\nbreaks \\\\ and backslashes"),
+            std::string::npos);
+}
+
+TEST(TextIoTest, RejectsMissingMagic) {
+  EXPECT_FALSE(ParseDataset("class\tPerson\n").ok());
+}
+
+TEST(TextIoTest, RejectsUnknownClass) {
+  const std::string text =
+      "# recon dataset v1\nclass\tPerson\nref\tGhost\t0\tother\n";
+  const auto result = ParseDataset(text);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("unknown class"),
+            std::string::npos);
+}
+
+TEST(TextIoTest, RejectsValueBeforeRef) {
+  const std::string text =
+      "# recon dataset v1\nclass\tPerson\nattr\tPerson\tname\n"
+      "a\tname\tEve\n";
+  EXPECT_FALSE(ParseDataset(text).ok());
+}
+
+TEST(TextIoTest, RejectsLinkOutOfRange) {
+  const std::string text =
+      "# recon dataset v1\nclass\tPerson\nattr\tPerson\t*friend\tPerson\n"
+      "ref\tPerson\t0\tother\nl\tfriend\t7\n";
+  const auto result = ParseDataset(text);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("out of range"),
+            std::string::npos);
+}
+
+TEST(TextIoTest, RejectsKindMismatch) {
+  const std::string text =
+      "# recon dataset v1\nclass\tPerson\nattr\tPerson\tname\n"
+      "ref\tPerson\t0\tother\nl\tname\t0\n";
+  EXPECT_FALSE(ParseDataset(text).ok());
+}
+
+TEST(TextIoTest, ForwardLinksWork) {
+  // A reference may link to a later one.
+  const std::string text =
+      "# recon dataset v1\nclass\tPerson\nattr\tPerson\t*friend\tPerson\n"
+      "ref\tPerson\t0\tother\nl\tfriend\t1\nref\tPerson\t1\tother\n";
+  const auto result = ParseDataset(text);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().reference(0).associations(0),
+            (std::vector<RefId>{1}));
+}
+
+TEST(TextIoTest, FileRoundTrip) {
+  const Dataset original = SampleDataset();
+  const std::string path = ::testing::TempDir() + "/recon_text_io_test.ds";
+  ASSERT_TRUE(SaveDatasetToFile(original, path).ok());
+  StatusOr<Dataset> loaded = LoadDatasetFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectDatasetsEqual(original, loaded.value());
+}
+
+TEST(TextIoTest, LoadMissingFileFails) {
+  EXPECT_FALSE(LoadDatasetFromFile("/nonexistent/nope.ds").ok());
+}
+
+}  // namespace
+}  // namespace recon

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "core/tuner.h"
+#include "datagen/pim_generator.h"
+
+namespace recon {
+namespace {
+
+Dataset SmallTrainSet() {
+  datagen::PimConfig config = datagen::PimConfigA();
+  config = datagen::ScaleConfig(config, 0.02);
+  config.seed = 91;
+  return datagen::GeneratePim(config);
+}
+
+TEST(TunerTest, NeverWorseThanInitial) {
+  const Dataset train = SmallTrainSet();
+  TunerOptions options;
+  options.iterations = 6;
+  const TunerReport report =
+      TuneParams(train, ReconcilerOptions::DepGraph(), options);
+  EXPECT_GE(report.best_f1, report.initial_f1);
+  EXPECT_EQ(report.history.size(), 6u);
+}
+
+TEST(TunerTest, HistoryIsMonotone) {
+  const Dataset train = SmallTrainSet();
+  TunerOptions options;
+  options.iterations = 8;
+  const TunerReport report =
+      TuneParams(train, ReconcilerOptions::DepGraph(), options);
+  for (size_t i = 1; i < report.history.size(); ++i) {
+    EXPECT_GE(report.history[i], report.history[i - 1]);
+  }
+  EXPECT_DOUBLE_EQ(report.history.back(), report.best_f1);
+}
+
+TEST(TunerTest, DeterministicForSeed) {
+  const Dataset train = SmallTrainSet();
+  TunerOptions options;
+  options.iterations = 5;
+  options.seed = 7;
+  const TunerReport a =
+      TuneParams(train, ReconcilerOptions::DepGraph(), options);
+  const TunerReport b =
+      TuneParams(train, ReconcilerOptions::DepGraph(), options);
+  EXPECT_EQ(a.history, b.history);
+  EXPECT_DOUBLE_EQ(a.best_f1, b.best_f1);
+}
+
+TEST(TunerTest, RecoversFromDamagedParams) {
+  // Start from deliberately bad weights; tuning must claw back quality.
+  const Dataset train = SmallTrainSet();
+  ReconcilerOptions damaged = ReconcilerOptions::DepGraph();
+  damaged.params.person_w_name_with_email = 0.2;
+  damaged.params.person_w_email_with_name = 0.2;
+  damaged.params.person_ne_only_scale = 0.5;
+
+  TunerOptions options;
+  options.iterations = 20;
+  options.seed = 13;
+  const TunerReport report = TuneParams(train, damaged, options);
+  EXPECT_GT(report.best_f1, report.initial_f1);
+}
+
+TEST(TunerTest, AbortsOnUnknownClass) {
+  const Dataset train = SmallTrainSet();
+  TunerOptions options;
+  options.target_class = "Spaceship";
+  EXPECT_DEATH(TuneParams(train, ReconcilerOptions::DepGraph(), options),
+               "Unknown tuning class");
+}
+
+}  // namespace
+}  // namespace recon
