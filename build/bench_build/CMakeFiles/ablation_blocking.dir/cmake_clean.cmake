@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_blocking"
+  "../bench/ablation_blocking.pdb"
+  "CMakeFiles/ablation_blocking.dir/ablation_blocking.cc.o"
+  "CMakeFiles/ablation_blocking.dir/ablation_blocking.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_blocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

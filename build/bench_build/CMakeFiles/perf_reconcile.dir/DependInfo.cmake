@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/perf_reconcile.cc" "bench_build/CMakeFiles/perf_reconcile.dir/perf_reconcile.cc.o" "gcc" "bench_build/CMakeFiles/perf_reconcile.dir/perf_reconcile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench_build/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/recon_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/extract/CMakeFiles/recon_extract.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/recon_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/recon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/recon_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/recon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/recon_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/recon_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/strsim/CMakeFiles/recon_strsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/recon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

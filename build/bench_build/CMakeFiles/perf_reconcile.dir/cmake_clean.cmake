@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/perf_reconcile"
+  "../bench/perf_reconcile.pdb"
+  "CMakeFiles/perf_reconcile.dir/perf_reconcile.cc.o"
+  "CMakeFiles/perf_reconcile.dir/perf_reconcile.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_reconcile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/perf_strsim"
+  "../bench/perf_strsim.pdb"
+  "CMakeFiles/perf_strsim.dir/perf_strsim.cc.o"
+  "CMakeFiles/perf_strsim.dir/perf_strsim.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_strsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_subsets"
+  "../bench/table3_subsets.pdb"
+  "CMakeFiles/table3_subsets.dir/table3_subsets.cc.o"
+  "CMakeFiles/table3_subsets.dir/table3_subsets.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_subsets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

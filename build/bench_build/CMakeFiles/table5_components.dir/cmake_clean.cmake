@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table5_components"
+  "../bench/table5_components.pdb"
+  "CMakeFiles/table5_components.dir/table5_components.cc.o"
+  "CMakeFiles/table5_components.dir/table5_components.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

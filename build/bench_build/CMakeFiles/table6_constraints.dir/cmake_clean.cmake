@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table6_constraints"
+  "../bench/table6_constraints.pdb"
+  "CMakeFiles/table6_constraints.dir/table6_constraints.cc.o"
+  "CMakeFiles/table6_constraints.dir/table6_constraints.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

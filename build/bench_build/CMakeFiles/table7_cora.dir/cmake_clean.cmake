@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table7_cora"
+  "../bench/table7_cora.pdb"
+  "CMakeFiles/table7_cora.dir/table7_cora.cc.o"
+  "CMakeFiles/table7_cora.dir/table7_cora.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_cora.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

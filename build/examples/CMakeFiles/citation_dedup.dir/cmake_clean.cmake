@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/citation_dedup.dir/citation_dedup.cc.o"
+  "CMakeFiles/citation_dedup.dir/citation_dedup.cc.o.d"
+  "citation_dedup"
+  "citation_dedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/citation_dedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

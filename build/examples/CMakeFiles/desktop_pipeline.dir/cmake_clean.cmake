@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/desktop_pipeline.dir/desktop_pipeline.cc.o"
+  "CMakeFiles/desktop_pipeline.dir/desktop_pipeline.cc.o.d"
+  "desktop_pipeline"
+  "desktop_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/desktop_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_browser.dir/pim_browser.cc.o"
+  "CMakeFiles/pim_browser.dir/pim_browser.cc.o.d"
+  "pim_browser"
+  "pim_browser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_browser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

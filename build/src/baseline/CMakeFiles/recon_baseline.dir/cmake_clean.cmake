@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recon_baseline.dir/fellegi_sunter.cc.o"
+  "CMakeFiles/recon_baseline.dir/fellegi_sunter.cc.o.d"
+  "CMakeFiles/recon_baseline.dir/indep_dec.cc.o"
+  "CMakeFiles/recon_baseline.dir/indep_dec.cc.o.d"
+  "librecon_baseline.a"
+  "librecon_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recon_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

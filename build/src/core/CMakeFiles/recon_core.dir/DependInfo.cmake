@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/candidates.cc" "src/core/CMakeFiles/recon_core.dir/candidates.cc.o" "gcc" "src/core/CMakeFiles/recon_core.dir/candidates.cc.o.d"
+  "/root/repo/src/core/canopy.cc" "src/core/CMakeFiles/recon_core.dir/canopy.cc.o" "gcc" "src/core/CMakeFiles/recon_core.dir/canopy.cc.o.d"
+  "/root/repo/src/core/graph_builder.cc" "src/core/CMakeFiles/recon_core.dir/graph_builder.cc.o" "gcc" "src/core/CMakeFiles/recon_core.dir/graph_builder.cc.o.d"
+  "/root/repo/src/core/incremental.cc" "src/core/CMakeFiles/recon_core.dir/incremental.cc.o" "gcc" "src/core/CMakeFiles/recon_core.dir/incremental.cc.o.d"
+  "/root/repo/src/core/premerge.cc" "src/core/CMakeFiles/recon_core.dir/premerge.cc.o" "gcc" "src/core/CMakeFiles/recon_core.dir/premerge.cc.o.d"
+  "/root/repo/src/core/reconciler.cc" "src/core/CMakeFiles/recon_core.dir/reconciler.cc.o" "gcc" "src/core/CMakeFiles/recon_core.dir/reconciler.cc.o.d"
+  "/root/repo/src/core/schema_binding.cc" "src/core/CMakeFiles/recon_core.dir/schema_binding.cc.o" "gcc" "src/core/CMakeFiles/recon_core.dir/schema_binding.cc.o.d"
+  "/root/repo/src/core/solver.cc" "src/core/CMakeFiles/recon_core.dir/solver.cc.o" "gcc" "src/core/CMakeFiles/recon_core.dir/solver.cc.o.d"
+  "/root/repo/src/core/tuner.cc" "src/core/CMakeFiles/recon_core.dir/tuner.cc.o" "gcc" "src/core/CMakeFiles/recon_core.dir/tuner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/recon_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/recon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/recon_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/strsim/CMakeFiles/recon_strsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/recon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

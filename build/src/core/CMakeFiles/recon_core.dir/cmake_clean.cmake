@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recon_core.dir/candidates.cc.o"
+  "CMakeFiles/recon_core.dir/candidates.cc.o.d"
+  "CMakeFiles/recon_core.dir/canopy.cc.o"
+  "CMakeFiles/recon_core.dir/canopy.cc.o.d"
+  "CMakeFiles/recon_core.dir/graph_builder.cc.o"
+  "CMakeFiles/recon_core.dir/graph_builder.cc.o.d"
+  "CMakeFiles/recon_core.dir/incremental.cc.o"
+  "CMakeFiles/recon_core.dir/incremental.cc.o.d"
+  "CMakeFiles/recon_core.dir/premerge.cc.o"
+  "CMakeFiles/recon_core.dir/premerge.cc.o.d"
+  "CMakeFiles/recon_core.dir/reconciler.cc.o"
+  "CMakeFiles/recon_core.dir/reconciler.cc.o.d"
+  "CMakeFiles/recon_core.dir/schema_binding.cc.o"
+  "CMakeFiles/recon_core.dir/schema_binding.cc.o.d"
+  "CMakeFiles/recon_core.dir/solver.cc.o"
+  "CMakeFiles/recon_core.dir/solver.cc.o.d"
+  "CMakeFiles/recon_core.dir/tuner.cc.o"
+  "CMakeFiles/recon_core.dir/tuner.cc.o.d"
+  "librecon_core.a"
+  "librecon_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recon_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

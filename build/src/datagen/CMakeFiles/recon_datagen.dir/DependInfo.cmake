@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/cora_generator.cc" "src/datagen/CMakeFiles/recon_datagen.dir/cora_generator.cc.o" "gcc" "src/datagen/CMakeFiles/recon_datagen.dir/cora_generator.cc.o.d"
+  "/root/repo/src/datagen/corpora.cc" "src/datagen/CMakeFiles/recon_datagen.dir/corpora.cc.o" "gcc" "src/datagen/CMakeFiles/recon_datagen.dir/corpora.cc.o.d"
+  "/root/repo/src/datagen/entities.cc" "src/datagen/CMakeFiles/recon_datagen.dir/entities.cc.o" "gcc" "src/datagen/CMakeFiles/recon_datagen.dir/entities.cc.o.d"
+  "/root/repo/src/datagen/pim_generator.cc" "src/datagen/CMakeFiles/recon_datagen.dir/pim_generator.cc.o" "gcc" "src/datagen/CMakeFiles/recon_datagen.dir/pim_generator.cc.o.d"
+  "/root/repo/src/datagen/render.cc" "src/datagen/CMakeFiles/recon_datagen.dir/render.cc.o" "gcc" "src/datagen/CMakeFiles/recon_datagen.dir/render.cc.o.d"
+  "/root/repo/src/datagen/variants.cc" "src/datagen/CMakeFiles/recon_datagen.dir/variants.cc.o" "gcc" "src/datagen/CMakeFiles/recon_datagen.dir/variants.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/extract/CMakeFiles/recon_extract.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/recon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/recon_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/recon_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/recon_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/recon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/strsim/CMakeFiles/recon_strsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recon_datagen.dir/cora_generator.cc.o"
+  "CMakeFiles/recon_datagen.dir/cora_generator.cc.o.d"
+  "CMakeFiles/recon_datagen.dir/corpora.cc.o"
+  "CMakeFiles/recon_datagen.dir/corpora.cc.o.d"
+  "CMakeFiles/recon_datagen.dir/entities.cc.o"
+  "CMakeFiles/recon_datagen.dir/entities.cc.o.d"
+  "CMakeFiles/recon_datagen.dir/pim_generator.cc.o"
+  "CMakeFiles/recon_datagen.dir/pim_generator.cc.o.d"
+  "CMakeFiles/recon_datagen.dir/render.cc.o"
+  "CMakeFiles/recon_datagen.dir/render.cc.o.d"
+  "CMakeFiles/recon_datagen.dir/variants.cc.o"
+  "CMakeFiles/recon_datagen.dir/variants.cc.o.d"
+  "librecon_datagen.a"
+  "librecon_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recon_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

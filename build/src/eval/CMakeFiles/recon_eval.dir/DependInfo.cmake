@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/metrics.cc" "src/eval/CMakeFiles/recon_eval.dir/metrics.cc.o" "gcc" "src/eval/CMakeFiles/recon_eval.dir/metrics.cc.o.d"
+  "/root/repo/src/eval/report.cc" "src/eval/CMakeFiles/recon_eval.dir/report.cc.o" "gcc" "src/eval/CMakeFiles/recon_eval.dir/report.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/recon_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/recon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recon_eval.dir/metrics.cc.o"
+  "CMakeFiles/recon_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/recon_eval.dir/report.cc.o"
+  "CMakeFiles/recon_eval.dir/report.cc.o.d"
+  "librecon_eval.a"
+  "librecon_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recon_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/extract/bibtex_parser.cc" "src/extract/CMakeFiles/recon_extract.dir/bibtex_parser.cc.o" "gcc" "src/extract/CMakeFiles/recon_extract.dir/bibtex_parser.cc.o.d"
+  "/root/repo/src/extract/csv_import.cc" "src/extract/CMakeFiles/recon_extract.dir/csv_import.cc.o" "gcc" "src/extract/CMakeFiles/recon_extract.dir/csv_import.cc.o.d"
+  "/root/repo/src/extract/email_parser.cc" "src/extract/CMakeFiles/recon_extract.dir/email_parser.cc.o" "gcc" "src/extract/CMakeFiles/recon_extract.dir/email_parser.cc.o.d"
+  "/root/repo/src/extract/extractor.cc" "src/extract/CMakeFiles/recon_extract.dir/extractor.cc.o" "gcc" "src/extract/CMakeFiles/recon_extract.dir/extractor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/recon_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/recon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recon_extract.dir/bibtex_parser.cc.o"
+  "CMakeFiles/recon_extract.dir/bibtex_parser.cc.o.d"
+  "CMakeFiles/recon_extract.dir/csv_import.cc.o"
+  "CMakeFiles/recon_extract.dir/csv_import.cc.o.d"
+  "CMakeFiles/recon_extract.dir/email_parser.cc.o"
+  "CMakeFiles/recon_extract.dir/email_parser.cc.o.d"
+  "CMakeFiles/recon_extract.dir/extractor.cc.o"
+  "CMakeFiles/recon_extract.dir/extractor.cc.o.d"
+  "librecon_extract.a"
+  "librecon_extract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recon_extract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recon_graph.dir/dep_graph.cc.o"
+  "CMakeFiles/recon_graph.dir/dep_graph.cc.o.d"
+  "CMakeFiles/recon_graph.dir/value_pool.cc.o"
+  "CMakeFiles/recon_graph.dir/value_pool.cc.o.d"
+  "librecon_graph.a"
+  "librecon_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recon_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

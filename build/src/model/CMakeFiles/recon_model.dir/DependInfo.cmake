@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/dataset.cc" "src/model/CMakeFiles/recon_model.dir/dataset.cc.o" "gcc" "src/model/CMakeFiles/recon_model.dir/dataset.cc.o.d"
+  "/root/repo/src/model/reference.cc" "src/model/CMakeFiles/recon_model.dir/reference.cc.o" "gcc" "src/model/CMakeFiles/recon_model.dir/reference.cc.o.d"
+  "/root/repo/src/model/schema.cc" "src/model/CMakeFiles/recon_model.dir/schema.cc.o" "gcc" "src/model/CMakeFiles/recon_model.dir/schema.cc.o.d"
+  "/root/repo/src/model/subset.cc" "src/model/CMakeFiles/recon_model.dir/subset.cc.o" "gcc" "src/model/CMakeFiles/recon_model.dir/subset.cc.o.d"
+  "/root/repo/src/model/text_io.cc" "src/model/CMakeFiles/recon_model.dir/text_io.cc.o" "gcc" "src/model/CMakeFiles/recon_model.dir/text_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/recon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

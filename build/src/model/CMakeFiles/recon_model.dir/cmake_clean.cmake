@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recon_model.dir/dataset.cc.o"
+  "CMakeFiles/recon_model.dir/dataset.cc.o.d"
+  "CMakeFiles/recon_model.dir/reference.cc.o"
+  "CMakeFiles/recon_model.dir/reference.cc.o.d"
+  "CMakeFiles/recon_model.dir/schema.cc.o"
+  "CMakeFiles/recon_model.dir/schema.cc.o.d"
+  "CMakeFiles/recon_model.dir/subset.cc.o"
+  "CMakeFiles/recon_model.dir/subset.cc.o.d"
+  "CMakeFiles/recon_model.dir/text_io.cc.o"
+  "CMakeFiles/recon_model.dir/text_io.cc.o.d"
+  "librecon_model.a"
+  "librecon_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recon_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/class_sim.cc" "src/sim/CMakeFiles/recon_sim.dir/class_sim.cc.o" "gcc" "src/sim/CMakeFiles/recon_sim.dir/class_sim.cc.o.d"
+  "/root/repo/src/sim/comparators.cc" "src/sim/CMakeFiles/recon_sim.dir/comparators.cc.o" "gcc" "src/sim/CMakeFiles/recon_sim.dir/comparators.cc.o.d"
+  "/root/repo/src/sim/evidence.cc" "src/sim/CMakeFiles/recon_sim.dir/evidence.cc.o" "gcc" "src/sim/CMakeFiles/recon_sim.dir/evidence.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/strsim/CMakeFiles/recon_strsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/recon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recon_sim.dir/class_sim.cc.o"
+  "CMakeFiles/recon_sim.dir/class_sim.cc.o.d"
+  "CMakeFiles/recon_sim.dir/comparators.cc.o"
+  "CMakeFiles/recon_sim.dir/comparators.cc.o.d"
+  "CMakeFiles/recon_sim.dir/evidence.cc.o"
+  "CMakeFiles/recon_sim.dir/evidence.cc.o.d"
+  "librecon_sim.a"
+  "librecon_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recon_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

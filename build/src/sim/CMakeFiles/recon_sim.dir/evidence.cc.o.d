@@ -1,0 +1,3 @@
+src/sim/CMakeFiles/recon_sim.dir/evidence.cc.o: \
+ /root/repo/src/sim/evidence.cc /usr/include/stdc-predef.h \
+ /root/repo/src/sim/evidence.h

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/strsim/edit_distance.cc" "src/strsim/CMakeFiles/recon_strsim.dir/edit_distance.cc.o" "gcc" "src/strsim/CMakeFiles/recon_strsim.dir/edit_distance.cc.o.d"
+  "/root/repo/src/strsim/email.cc" "src/strsim/CMakeFiles/recon_strsim.dir/email.cc.o" "gcc" "src/strsim/CMakeFiles/recon_strsim.dir/email.cc.o.d"
+  "/root/repo/src/strsim/jaro_winkler.cc" "src/strsim/CMakeFiles/recon_strsim.dir/jaro_winkler.cc.o" "gcc" "src/strsim/CMakeFiles/recon_strsim.dir/jaro_winkler.cc.o.d"
+  "/root/repo/src/strsim/person_name.cc" "src/strsim/CMakeFiles/recon_strsim.dir/person_name.cc.o" "gcc" "src/strsim/CMakeFiles/recon_strsim.dir/person_name.cc.o.d"
+  "/root/repo/src/strsim/phonetic.cc" "src/strsim/CMakeFiles/recon_strsim.dir/phonetic.cc.o" "gcc" "src/strsim/CMakeFiles/recon_strsim.dir/phonetic.cc.o.d"
+  "/root/repo/src/strsim/tfidf.cc" "src/strsim/CMakeFiles/recon_strsim.dir/tfidf.cc.o" "gcc" "src/strsim/CMakeFiles/recon_strsim.dir/tfidf.cc.o.d"
+  "/root/repo/src/strsim/title.cc" "src/strsim/CMakeFiles/recon_strsim.dir/title.cc.o" "gcc" "src/strsim/CMakeFiles/recon_strsim.dir/title.cc.o.d"
+  "/root/repo/src/strsim/tokens.cc" "src/strsim/CMakeFiles/recon_strsim.dir/tokens.cc.o" "gcc" "src/strsim/CMakeFiles/recon_strsim.dir/tokens.cc.o.d"
+  "/root/repo/src/strsim/venue.cc" "src/strsim/CMakeFiles/recon_strsim.dir/venue.cc.o" "gcc" "src/strsim/CMakeFiles/recon_strsim.dir/venue.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/recon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

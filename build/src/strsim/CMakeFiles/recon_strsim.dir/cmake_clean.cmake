@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recon_strsim.dir/edit_distance.cc.o"
+  "CMakeFiles/recon_strsim.dir/edit_distance.cc.o.d"
+  "CMakeFiles/recon_strsim.dir/email.cc.o"
+  "CMakeFiles/recon_strsim.dir/email.cc.o.d"
+  "CMakeFiles/recon_strsim.dir/jaro_winkler.cc.o"
+  "CMakeFiles/recon_strsim.dir/jaro_winkler.cc.o.d"
+  "CMakeFiles/recon_strsim.dir/person_name.cc.o"
+  "CMakeFiles/recon_strsim.dir/person_name.cc.o.d"
+  "CMakeFiles/recon_strsim.dir/phonetic.cc.o"
+  "CMakeFiles/recon_strsim.dir/phonetic.cc.o.d"
+  "CMakeFiles/recon_strsim.dir/tfidf.cc.o"
+  "CMakeFiles/recon_strsim.dir/tfidf.cc.o.d"
+  "CMakeFiles/recon_strsim.dir/title.cc.o"
+  "CMakeFiles/recon_strsim.dir/title.cc.o.d"
+  "CMakeFiles/recon_strsim.dir/tokens.cc.o"
+  "CMakeFiles/recon_strsim.dir/tokens.cc.o.d"
+  "CMakeFiles/recon_strsim.dir/venue.cc.o"
+  "CMakeFiles/recon_strsim.dir/venue.cc.o.d"
+  "librecon_strsim.a"
+  "librecon_strsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recon_strsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recon_util.dir/random.cc.o"
+  "CMakeFiles/recon_util.dir/random.cc.o.d"
+  "CMakeFiles/recon_util.dir/status.cc.o"
+  "CMakeFiles/recon_util.dir/status.cc.o.d"
+  "CMakeFiles/recon_util.dir/string_util.cc.o"
+  "CMakeFiles/recon_util.dir/string_util.cc.o.d"
+  "CMakeFiles/recon_util.dir/union_find.cc.o"
+  "CMakeFiles/recon_util.dir/union_find.cc.o.d"
+  "librecon_util.a"
+  "librecon_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recon_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canopy_test.dir/canopy_test.cc.o"
+  "CMakeFiles/canopy_test.dir/canopy_test.cc.o.d"
+  "canopy_test"
+  "canopy_test.pdb"
+  "canopy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canopy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cora_test.dir/cora_test.cc.o"
+  "CMakeFiles/cora_test.dir/cora_test.cc.o.d"
+  "cora_test"
+  "cora_test.pdb"
+  "cora_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cora_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

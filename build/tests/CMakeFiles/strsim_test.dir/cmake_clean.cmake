@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strsim_test.dir/strsim_test.cc.o"
+  "CMakeFiles/strsim_test.dir/strsim_test.cc.o.d"
+  "strsim_test"
+  "strsim_test.pdb"
+  "strsim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cora_check.dir/cora_check.cc.o"
+  "CMakeFiles/cora_check.dir/cora_check.cc.o.d"
+  "cora_check"
+  "cora_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cora_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_merges.dir/debug_merges.cc.o"
+  "CMakeFiles/debug_merges.dir/debug_merges.cc.o.d"
+  "debug_merges"
+  "debug_merges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_merges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
