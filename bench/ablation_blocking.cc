@@ -6,8 +6,9 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace recon;
+  bench::ParseArgs(argc, argv);
   bench::PrintHeader(
       "Ablation: blocking and key-attribute pre-merge",
       "design choices of paper §3.1 (canopy pruning) and §3.4 (pre-merge)");
@@ -32,7 +33,8 @@ int main() {
         Variant{"no pre-merge", true, false, false},
         Variant{"no blocking", false, true, false},
         Variant{"neither", false, false, false}}) {
-    ReconcilerOptions options = ReconcilerOptions::DepGraph();
+    ReconcilerOptions options =
+        bench::WithBenchThreads(ReconcilerOptions::DepGraph());
     options.use_blocking = v.blocking;
     options.use_canopies = v.canopies;
     options.premerge_equal_emails = v.premerge;

@@ -5,8 +5,9 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace recon;
+  bench::ParseArgs(argc, argv);
   bench::PrintHeader("Ablation: queue discipline",
                      "paper §3.2 recomputation-order heuristics");
 
@@ -19,7 +20,8 @@ int main() {
   TablePrinter table({"Variant", "Recomputations", "Merges", "Solve s",
                       "Person P/R"});
   for (const bool jump : {true, false}) {
-    ReconcilerOptions options = ReconcilerOptions::DepGraph();
+    ReconcilerOptions options =
+        bench::WithBenchThreads(ReconcilerOptions::DepGraph());
     options.strong_neighbors_jump_queue = jump;
     const Reconciler reconciler(options);
     const ReconcileResult result = reconciler.Run(dataset);

@@ -8,8 +8,9 @@
 #include "baseline/fellegi_sunter.h"
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace recon;
+  bench::ParseArgs(argc, argv);
   bench::PrintHeader(
       "Baseline comparison: Fellegi-Sunter vs IndepDec vs DepGraph",
       "extension of the paper's §5.2 comparison (FS = references [17],[36])");
@@ -22,9 +23,11 @@ int main() {
   TablePrinter table({"Class", "FellegiSunter P/R (F)", "IndepDec P/R (F)",
                       "DepGraph P/R (F)"});
 
-  const FellegiSunter fs;
-  const IndepDec indep;
-  const Reconciler dep(ReconcilerOptions::DepGraph());
+  FellegiSunterOptions fs_options;
+  fs_options.blocking = bench::WithBenchThreads(fs_options.blocking);
+  const FellegiSunter fs(fs_options);
+  const IndepDec indep(bench::WithBenchThreads(ReconcilerOptions::IndepDec()));
+  const Reconciler dep(bench::WithBenchThreads(ReconcilerOptions::DepGraph()));
   const auto c_fs = fs.Run(dataset).cluster;
   const auto c_in = indep.Run(dataset).cluster;
   const auto c_dg = dep.Run(dataset).cluster;

@@ -18,6 +18,41 @@ double BenchScale() {
   return scale;
 }
 
+namespace {
+
+/// -1 = not set by ParseArgs; fall back to RECON_BENCH_THREADS, then 1.
+int g_bench_threads = -1;
+
+}  // namespace
+
+int BenchThreads() {
+  if (g_bench_threads >= 0) return g_bench_threads;
+  const char* env = std::getenv("RECON_BENCH_THREADS");
+  if (env == nullptr) return 1;
+  const int threads = std::atoi(env);
+  return threads < 0 ? 1 : threads;
+}
+
+void ParseArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--threads" && i + 1 < argc) {
+      const int threads = std::atoi(argv[i + 1]);
+      if (threads >= 0) g_bench_threads = threads;
+      ++i;
+    }
+  }
+  if (BenchThreads() != 1) {
+    std::cout << "(threads=" << BenchThreads()
+              << ": parallel candidate generation and scoring; results are "
+                 "identical to --threads 1)\n";
+  }
+}
+
+ReconcilerOptions WithBenchThreads(ReconcilerOptions options) {
+  options.num_threads = BenchThreads();
+  return options;
+}
+
 std::vector<datagen::PimConfig> ScaledPimConfigs() {
   std::vector<datagen::PimConfig> configs = AllPimConfigs();
   const double scale = BenchScale();
@@ -31,11 +66,13 @@ std::vector<datagen::PimConfig> ScaledPimConfigs() {
 
 Comparison CompareOnClass(const Dataset& dataset, int class_id) {
   Comparison out;
-  const IndepDec indep;
-  out.indep = EvaluateClass(dataset, indep.Run(dataset).cluster, class_id);
-  const Reconciler depgraph(ReconcilerOptions::DepGraph());
-  out.depgraph =
-      EvaluateClass(dataset, depgraph.Run(dataset).cluster, class_id);
+  const int threads = BenchThreads();
+  const IndepDec indep(WithBenchThreads(ReconcilerOptions::IndepDec()));
+  out.indep =
+      EvaluateClass(dataset, indep.Run(dataset).cluster, class_id, threads);
+  const Reconciler depgraph(WithBenchThreads(ReconcilerOptions::DepGraph()));
+  out.depgraph = EvaluateClass(dataset, depgraph.Run(dataset).cluster,
+                               class_id, threads);
   return out;
 }
 

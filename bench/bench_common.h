@@ -23,6 +23,19 @@ std::vector<datagen::PimConfig> AllPimConfigs();
 /// can shrink the datasets while keeping the shapes.
 double BenchScale();
 
+/// Threads for the parallel phases of every run a bench performs. Defaults
+/// to 1 so published table numbers stay on the serial path; override with
+/// `--threads N` (via ParseArgs) or RECON_BENCH_THREADS. 0 = all hardware
+/// threads. Output is identical for every value — only wall time changes.
+int BenchThreads();
+
+/// Parses the shared bench flags (currently `--threads N`); call at the
+/// top of main. Unknown flags are left alone for the bench's own parsing.
+void ParseArgs(int argc, char** argv);
+
+/// `options` with num_threads set from BenchThreads().
+ReconcilerOptions WithBenchThreads(ReconcilerOptions options);
+
 /// AllPimConfigs() scaled by BenchScale().
 std::vector<datagen::PimConfig> ScaledPimConfigs();
 

@@ -19,10 +19,17 @@ void BM_DepGraphReconcile(benchmark::State& state) {
   const double scale = static_cast<double>(state.range(0)) / 100.0;
   const recon::Dataset dataset = MakeDataset(scale);
   const recon::Reconciler reconciler(recon::ReconcilerOptions::DepGraph());
+  int64_t pairs_scored = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(reconciler.Run(dataset));
+    const recon::ReconcileResult result = reconciler.Run(dataset);
+    pairs_scored += result.stats.num_candidates;
+    benchmark::DoNotOptimize(result);
   }
   state.counters["refs"] = dataset.num_references();
+  // Candidate pairs scored per second of wall time — directly comparable
+  // to the pairs/sec column of bench/perf_scaling.
+  state.counters["pairs/s"] = benchmark::Counter(
+      static_cast<double>(pairs_scored), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_DepGraphReconcile)->Arg(2)->Arg(5)->Arg(10)
     ->Unit(benchmark::kMillisecond);
@@ -34,11 +41,16 @@ void BM_GraphBuildOnly(benchmark::State& state) {
   const double scale = static_cast<double>(state.range(0)) / 100.0;
   const recon::Dataset dataset = MakeDataset(scale);
   const recon::ReconcilerOptions options;
+  int64_t pairs_scored = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        recon::BuildDependencyGraph(dataset, options));
+    const recon::BuiltGraph built =
+        recon::BuildDependencyGraph(dataset, options);
+    pairs_scored += built.num_candidates;
+    benchmark::DoNotOptimize(built);
   }
   state.counters["refs"] = dataset.num_references();
+  state.counters["pairs/s"] = benchmark::Counter(
+      static_cast<double>(pairs_scored), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_GraphBuildOnly)->Arg(2)->Arg(5)->Arg(10)
     ->Unit(benchmark::kMillisecond);

@@ -4,8 +4,9 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace recon;
+  bench::ParseArgs(argc, argv);
   bench::PrintHeader("Table 1: dataset properties",
                      "Dong, Halevy, Madhavan (SIGMOD'05), Table 1");
 

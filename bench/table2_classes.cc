@@ -5,8 +5,9 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace recon;
+  bench::ParseArgs(argc, argv);
   bench::PrintHeader("Table 2: average P/R/F per class (PIM A-D)",
                      "SIGMOD'05 Table 2");
 
@@ -15,8 +16,10 @@ int main() {
 
   for (const auto& config : bench::ScaledPimConfigs()) {
     const Dataset dataset = datagen::GeneratePim(config);
-    const IndepDec baseline;
-    const Reconciler depgraph(ReconcilerOptions::DepGraph());
+    const IndepDec baseline(
+        bench::WithBenchThreads(ReconcilerOptions::IndepDec()));
+    const Reconciler depgraph(
+        bench::WithBenchThreads(ReconcilerOptions::DepGraph()));
     const auto indep_clusters = baseline.Run(dataset).cluster;
     const auto dep_clusters = depgraph.Run(dataset).cluster;
     for (int c = 0; c < 3; ++c) {

@@ -6,8 +6,9 @@
 #include "bench_common.h"
 #include "model/subset.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace recon;
+  bench::ParseArgs(argc, argv);
   bench::PrintHeader("Table 3: Person references, Full / PArticle / PEmail",
                      "SIGMOD'05 Table 3");
 

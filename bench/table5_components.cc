@@ -11,8 +11,9 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace recon;
+  bench::ParseArgs(argc, argv);
   bench::PrintHeader(
       "Table 5 / Figure 6: component contributions (Person, PIM A)",
       "SIGMOD'05 Table 5 and Figure 6");
@@ -46,7 +47,7 @@ int main() {
   int partitions[4][4];
   for (int m = 0; m < 4; ++m) {
     for (int l = 0; l < 4; ++l) {
-      ReconcilerOptions options;
+      ReconcilerOptions options = bench::WithBenchThreads(ReconcilerOptions());
       options.evidence_level = levels[l];
       options.propagation = modes[m].propagation;
       options.enrichment = modes[m].enrichment;

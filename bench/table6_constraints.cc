@@ -5,8 +5,9 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace recon;
+  bench::ParseArgs(argc, argv);
   bench::PrintHeader("Table 6: effect of constraints (Person, PIM A)",
                      "SIGMOD'05 Table 6");
 
@@ -19,7 +20,8 @@ int main() {
   TablePrinter table({"Method", "Prec/Recall", "#(Entities w/ FP)",
                       "#(Nodes)"});
   for (const bool with_constraints : {true, false}) {
-    ReconcilerOptions options = ReconcilerOptions::DepGraph();
+    ReconcilerOptions options =
+        bench::WithBenchThreads(ReconcilerOptions::DepGraph());
     options.constraints = with_constraints;
     const Reconciler reconciler(options);
     const ReconcileResult result = reconciler.Run(dataset);

@@ -5,8 +5,9 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace recon;
+  bench::ParseArgs(argc, argv);
   bench::PrintHeader("Table 7: the Cora dataset", "SIGMOD'05 Table 7");
 
   const Dataset dataset = datagen::GenerateCora(datagen::CoraConfig());

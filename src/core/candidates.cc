@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "runtime/parallel.h"
 #include "strsim/email.h"
 #include "strsim/person_name.h"
 #include "strsim/venue.h"
@@ -165,6 +166,7 @@ CandidateList GenerateCandidates(const Dataset& dataset,
     canopy.loose_threshold = options.canopy_loose_threshold;
     canopy.tight_threshold = options.canopy_tight_threshold;
     canopy.max_canopy_size = options.max_canopy_size;
+    canopy.num_threads = options.num_threads;
     return GenerateCanopyCandidates(dataset, binding, canopy);
   }
 
@@ -182,27 +184,74 @@ CandidateList GenerateCandidates(const Dataset& dataset,
     return out;
   }
 
+  // Key extraction (parsing-heavy) runs in parallel; each reference writes
+  // its own slot, so no synchronization is needed. The index build stays
+  // serial: it is cheap hashing, and a fixed insertion order keeps the map
+  // identical for every thread count.
+  const RefId num_refs = dataset.num_references();
+  std::vector<std::vector<std::string>> keys_of(num_refs);
+  runtime::ParallelFor(options.num_threads, 0, num_refs, /*grain=*/256,
+                       [&](int64_t ref) {
+                         keys_of[ref] = BlockingKeys(
+                             dataset, static_cast<RefId>(ref), binding);
+                       });
   std::unordered_map<std::string, std::vector<RefId>> blocks;
-  for (RefId ref = 0; ref < dataset.num_references(); ++ref) {
-    for (std::string& key : BlockingKeys(dataset, ref, binding)) {
+  for (RefId ref = 0; ref < num_refs; ++ref) {
+    for (std::string& key : keys_of[ref]) {
       blocks[std::move(key)].push_back(ref);
     }
   }
 
-  std::unordered_set<uint64_t> seen;
-  for (const auto& [key, members] : blocks) {
-    if (static_cast<int>(members.size()) > options.max_block_size) continue;
-    for (size_t i = 0; i < members.size(); ++i) {
-      for (size_t j = i + 1; j < members.size(); ++j) {
-        if (seen.insert(PackPair(members[i], members[j])).second) {
-          out.emplace_back(std::min(members[i], members[j]),
-                           std::max(members[i], members[j]));
+  const int lanes = runtime::ResolveNumThreads(options.num_threads);
+  if (lanes <= 1) {
+    std::unordered_set<uint64_t> seen;
+    for (const auto& [key, members] : blocks) {
+      if (static_cast<int>(members.size()) > options.max_block_size) continue;
+      for (size_t i = 0; i < members.size(); ++i) {
+        for (size_t j = i + 1; j < members.size(); ++j) {
+          if (seen.insert(PackPair(members[i], members[j])).second) {
+            out.emplace_back(std::min(members[i], members[j]),
+                             std::max(members[i], members[j]));
+          }
         }
       }
     }
+    // Deterministic order regardless of hash iteration.
+    std::sort(out.begin(), out.end());
+    return out;
   }
-  // Deterministic order regardless of hash iteration.
+
+  // Parallel pair expansion: one shard per block of blocking keys, dedup by
+  // sort + unique afterwards — the final sorted unique pair set is exactly
+  // what the serial seen-set path produces.
+  std::vector<const std::vector<RefId>*> block_members;
+  block_members.reserve(blocks.size());
+  for (const auto& [key, members] : blocks) {
+    if (static_cast<int>(members.size()) > options.max_block_size) continue;
+    block_members.push_back(&members);
+  }
+  const runtime::BlockPlan plan = runtime::PlanBlocks(
+      options.num_threads, 0, static_cast<int64_t>(block_members.size()),
+      /*grain=*/0);
+  runtime::ShardedCollector<std::pair<RefId, RefId>> collector(plan);
+  runtime::ParallelForBlocked(
+      options.num_threads, 0, static_cast<int64_t>(block_members.size()),
+      plan.grain, [&](const runtime::Block& block) {
+        std::vector<std::pair<RefId, RefId>>& shard =
+            collector.shard(block.index);
+        for (int64_t k = block.begin; k < block.end; ++k) {
+          const std::vector<RefId>& members = *block_members[k];
+          for (size_t i = 0; i < members.size(); ++i) {
+            for (size_t j = i + 1; j < members.size(); ++j) {
+              shard.emplace_back(std::min(members[i], members[j]),
+                                 std::max(members[i], members[j]));
+            }
+          }
+        }
+      });
+  out = collector.Drain();
   std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
 }
 

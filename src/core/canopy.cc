@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "runtime/parallel.h"
 #include "util/logging.h"
 
 namespace recon {
@@ -28,20 +30,34 @@ struct FeatureIndex {
 };
 
 FeatureIndex BuildIndex(const Dataset& dataset,
-                        const SchemaBinding& binding, int class_id) {
+                        const SchemaBinding& binding, int class_id,
+                        int num_threads) {
   FeatureIndex index;
-  std::unordered_map<std::string, int> token_ids;
   for (RefId id = 0; id < dataset.num_references(); ++id) {
-    if (dataset.reference(id).class_id() != class_id) continue;
+    if (dataset.reference(id).class_id() == class_id) {
+      index.refs.push_back(id);
+    }
+  }
+  // Key extraction (string parsing) is the expensive part; run it in
+  // parallel, one slot per reference. Token-id interning stays serial in
+  // member order, so ids are identical for every thread count.
+  std::vector<std::vector<std::string>> keys_of(index.refs.size());
+  runtime::ParallelFor(num_threads, 0,
+                       static_cast<int64_t>(index.refs.size()),
+                       /*grain=*/256, [&](int64_t local) {
+                         keys_of[local] = BlockingKeys(
+                             dataset, index.refs[local], binding);
+                       });
+  std::unordered_map<std::string, int> token_ids;
+  for (std::vector<std::string>& keys : keys_of) {
     std::vector<int> tokens;
-    for (const std::string& key : BlockingKeys(dataset, id, binding)) {
+    for (const std::string& key : keys) {
       auto [it, inserted] =
           token_ids.try_emplace(key, static_cast<int>(token_ids.size()));
       tokens.push_back(it->second);
     }
     std::sort(tokens.begin(), tokens.end());
     tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
-    index.refs.push_back(id);
     index.tokens_of.push_back(std::move(tokens));
   }
 
@@ -79,7 +95,8 @@ CandidateList GenerateCanopyCandidates(const Dataset& dataset,
 
   for (int class_id = 0; class_id < dataset.schema().num_classes();
        ++class_id) {
-    const FeatureIndex index = BuildIndex(dataset, binding, class_id);
+    const FeatureIndex index =
+        BuildIndex(dataset, binding, class_id, options.num_threads);
     const size_t n = index.refs.size();
     std::vector<char> removed(n, 0);  // Within tight threshold of a center.
     std::vector<double> shared(n, 0.0);

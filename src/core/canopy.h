@@ -28,6 +28,10 @@ struct CanopyOptions {
   /// Canopies larger than this contribute no pairs (ubiquitous-token
   /// safety valve, like max_block_size for blocking).
   int max_canopy_size = 2000;
+  /// Threads for feature extraction (see ReconcilerOptions::num_threads).
+  /// The canopy sweep itself is inherently sequential (centers consume the
+  /// candidate set in order) and unaffected.
+  int num_threads = 1;
 };
 
 /// Generates candidate pairs via canopy clustering, per class,

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/candidates.h"
+#include "runtime/parallel.h"
 #include "sim/comparators.h"
 #include "sim/evidence.h"
 #include "strsim/email.h"
@@ -32,6 +33,24 @@ struct StagedEvidence {
   bool empty() const { return value_nodes.empty() && statics.empty(); }
 };
 
+/// One candidate pair's staged comparison result. Staging is read-only
+/// against the dataset and value pool, so pairs are staged in parallel; the
+/// graph mutations they imply are applied serially, in candidate order.
+struct StagedPair {
+  RefId r1 = kInvalidRef;
+  RefId r2 = kInvalidRef;
+  int class_id = -1;
+  bool non_merge = false;
+  StagedEvidence evidence;
+};
+
+/// Per-lane staging scratch. Caches only affect speed, never values: a
+/// cache hit returns exactly what the comparator would have computed.
+struct StageScratch {
+  std::unordered_map<std::string, strsim::PersonName> name_cache;
+  std::unordered_map<uint64_t, float> sim_cache;
+};
+
 class GraphBuilder {
  public:
   GraphBuilder(const Dataset& dataset, const ReconcilerOptions& options)
@@ -51,10 +70,11 @@ class GraphBuilder {
     out.num_candidates = static_cast<int>(candidates.size());
 
     // Step 1 (§3.1): atomic-attribute comparison, node seeding, and
-    // constraint marking.
-    for (const auto& [r1, r2] : candidates) {
-      SeedPair(r1, r2);
-    }
+    // constraint marking. Values are interned up front (serially, in
+    // reference order) so the comparison stage is read-only against the
+    // pool and can fan out across threads.
+    InternAtomicValues(/*first_ref=*/0);
+    SeedPairs(candidates);
     // Constraint 1: authors of one article are distinct persons. Creates
     // non-merge nodes even where no atomic similarity exists (§3.4).
     if (options_.constraints) MarkCoAuthorConstraints(/*first_ref=*/0);
@@ -98,9 +118,8 @@ class GraphBuilder {
     built.num_candidates += static_cast<int>(pairs.size());
 
     const NodeId start_node = graph_->num_nodes();
-    for (const auto& [r1, r2] : pairs) {
-      SeedPair(r1, r2);
-    }
+    InternAtomicValues(first_new_ref);
+    SeedPairs(pairs);
     if (options_.constraints) MarkCoAuthorConstraints(first_new_ref);
     WireAssociations(start_node);
 
@@ -112,22 +131,71 @@ class GraphBuilder {
  private:
   // ---- Step 1: atomic comparisons ---------------------------------------
 
-  void SeedPair(RefId r1, RefId r2) {
-    const int class_id = dataset_.reference(r1).class_id();
-    StagedEvidence staged;
-    bool non_merge = false;
-    if (class_id == binding_.person) {
-      StagePerson(r1, r2, &staged, &non_merge);
-    } else if (class_id == binding_.article) {
-      StageArticle(r1, r2, &staged);
-    } else if (class_id == binding_.venue) {
-      StageVenue(r1, r2, &staged);
+  /// Interns every atomic value staging will look up, in (reference, field,
+  /// value) order — an order fixed regardless of thread count, so ValueIds
+  /// are stable across runs and thread counts.
+  void InternAtomicValues(RefId first_ref) {
+    for (RefId id = first_ref; id < dataset_.num_references(); ++id) {
+      const Reference& r = dataset_.reference(id);
+      const int class_id = r.class_id();
+      auto intern_field = [&](int owner_class, int attr) {
+        if (owner_class < 0 || attr < 0 || class_id != owner_class) return;
+        for (const std::string& raw : r.atomic_values(attr)) {
+          values_->Intern(ValueDomain{owner_class, attr}, raw);
+        }
+      };
+      intern_field(binding_.person, binding_.person_name);
+      intern_field(binding_.person, binding_.person_email);
+      intern_field(binding_.article, binding_.article_title);
+      intern_field(binding_.article, binding_.article_year);
+      intern_field(binding_.article, binding_.article_pages);
+      intern_field(binding_.venue, binding_.venue_name);
+      intern_field(binding_.venue, binding_.venue_year);
+      intern_field(binding_.venue, binding_.venue_location);
     }
-    if (staged.empty() && !non_merge) return;
+  }
 
-    const NodeId m = graph_->AddRefPairNode(class_id, r1, r2);
+  /// Stages every pair — in parallel when options_.num_threads allows it —
+  /// then applies the staged graph mutations serially in pair order, so
+  /// the resulting graph is identical to seeding one pair at a time.
+  void SeedPairs(const std::vector<std::pair<RefId, RefId>>& pairs) {
+    const int64_t n = static_cast<int64_t>(pairs.size());
+    const runtime::BlockPlan plan =
+        runtime::PlanBlocks(options_.num_threads, 0, n, /*grain=*/0);
+    std::vector<StageScratch> scratch(plan.num_lanes);
+    std::vector<StagedPair> staged(pairs.size());
+    runtime::ParallelForBlocked(
+        options_.num_threads, 0, n, plan.grain,
+        [&](const runtime::Block& block) {
+          StageScratch& lane_scratch = scratch[block.lane];
+          for (int64_t i = block.begin; i < block.end; ++i) {
+            StagePair(pairs[i].first, pairs[i].second, lane_scratch,
+                      &staged[i]);
+          }
+        });
+    for (const StagedPair& pair : staged) ApplyStagedPair(pair);
+  }
+
+  void StagePair(RefId r1, RefId r2, StageScratch& scratch,
+                 StagedPair* out) const {
+    out->r1 = r1;
+    out->r2 = r2;
+    out->class_id = dataset_.reference(r1).class_id();
+    if (out->class_id == binding_.person) {
+      StagePerson(r1, r2, scratch, &out->evidence, &out->non_merge);
+    } else if (out->class_id == binding_.article) {
+      StageArticle(r1, r2, scratch, &out->evidence);
+    } else if (out->class_id == binding_.venue) {
+      StageVenue(r1, r2, scratch, &out->evidence);
+    }
+  }
+
+  void ApplyStagedPair(const StagedPair& pair) {
+    if (pair.evidence.empty() && !pair.non_merge) return;
+
+    const NodeId m = graph_->AddRefPairNode(pair.class_id, pair.r1, pair.r2);
     Node& node = graph_->mutable_node(m);
-    if (non_merge) {
+    if (pair.non_merge) {
       // The evidence nodes are still attached below — the paper keeps
       // constrained pairs in the graph with their similarities ("we also
       // include nodes whose elements are ensured to be distinct"), which
@@ -135,10 +203,10 @@ class GraphBuilder {
       // non-merge state keeps the pair out of the queue regardless.
       node.state = NodeState::kNonMerge;
     }
-    for (const auto& [evidence, sim] : staged.statics) {
+    for (const auto& [evidence, sim] : pair.evidence.statics) {
       node.AddStaticReal(evidence, sim);
     }
-    for (const auto& spec : staged.value_nodes) {
+    for (const auto& spec : pair.evidence.value_nodes) {
       const NodeState state = (spec.sim >= options_.params.value_merge_threshold)
                                   ? NodeState::kMerged
                                   : NodeState::kInactive;
@@ -153,22 +221,26 @@ class GraphBuilder {
 
   /// Compares the cross product of two value sets with `comparator`,
   /// staging static evidence for equal values and value nodes for pairs at
-  /// or above `seed`.
+  /// or above `seed`. Read-only: values were interned by
+  /// InternAtomicValues, so the pool lookups always hit.
   template <typename Comparator>
   void StageAtomic(const std::vector<std::string>& values1,
                    const std::vector<std::string>& values2,
                    ValueDomain domain1, ValueDomain domain2, int evidence,
                    double seed, bool propagate_merge, Comparator comparator,
-                   StagedEvidence* staged) {
+                   StageScratch& scratch, StagedEvidence* staged) const {
     for (const std::string& raw1 : values1) {
-      const ValueId v1 = values_->Intern(domain1, raw1);
+      const ValueId v1 = values_->Find(domain1, raw1);
+      RECON_CHECK_NE(v1, kInvalidValue);
       for (const std::string& raw2 : values2) {
-        const ValueId v2 = values_->Intern(domain2, raw2);
+        const ValueId v2 = values_->Find(domain2, raw2);
+        RECON_CHECK_NE(v2, kInvalidValue);
         if (v1 == v2) {
           staged->statics.emplace_back(evidence, comparator(raw1, raw2));
           continue;
         }
-        const double sim = CachedSim(evidence, v1, v2, raw1, raw2, comparator);
+        const double sim =
+            CachedSim(evidence, v1, v2, raw1, raw2, comparator, scratch);
         if (sim >= seed) {
           staged->value_nodes.push_back(
               {v1, v2, sim, evidence, propagate_merge});
@@ -177,8 +249,8 @@ class GraphBuilder {
     }
   }
 
-  void StagePerson(RefId r1, RefId r2, StagedEvidence* staged,
-                   bool* non_merge) {
+  void StagePerson(RefId r1, RefId r2, StageScratch& scratch,
+                   StagedEvidence* staged, bool* non_merge) const {
     const Reference& a = dataset_.reference(r1);
     const Reference& b = dataset_.reference(r2);
     const SimParams& p = options_.params;
@@ -192,7 +264,7 @@ class GraphBuilder {
                   b.atomic_values(binding_.person_name), name_domain,
                   name_domain, kEvPersonName, p.person_name_seed,
                   /*propagate_merge=*/false, PersonNameFieldSimilarity,
-                  staged);
+                  scratch, staged);
       // Both sides carry names but none were even seed-similar: record
       // explicit zero evidence. Dissimilar names are soft negative
       // evidence — the name channel must not read as "unknown".
@@ -217,7 +289,8 @@ class GraphBuilder {
       const auto& emails2 = b.atomic_values(binding_.person_email);
       StageAtomic(emails1, emails2, email_domain, email_domain,
                   kEvPersonEmail, p.person_email_seed,
-                  /*propagate_merge=*/false, EmailFieldSimilarity, staged);
+                  /*propagate_merge=*/false, EmailFieldSimilarity, scratch,
+                  staged);
       for (const std::string& e1 : emails1) {
         for (const std::string& e2 : emails2) {
           if (EmailFieldSimilarity(e1, e2) >= 1.0) shared_email = true;
@@ -230,32 +303,33 @@ class GraphBuilder {
                   b.atomic_values(binding_.person_email), name_domain,
                   email_domain, kEvPersonNameEmail, p.name_email_seed,
                   /*propagate_merge=*/false, NameEmailFieldSimilarity,
-                  staged);
+                  scratch, staged);
       StageAtomic(b.atomic_values(binding_.person_name),
                   a.atomic_values(binding_.person_email), name_domain,
                   email_domain, kEvPersonNameEmail, p.name_email_seed,
                   /*propagate_merge=*/false, NameEmailFieldSimilarity,
-                  staged);
+                  scratch, staged);
     }
 
     if (options_.constraints && !shared_email) {
-      *non_merge = ViolatesNameConstraint(a, b) ||
+      *non_merge = ViolatesNameConstraint(a, b, scratch) ||
                    ViolatesAccountConstraint(a, b);
     }
   }
 
   /// Constraint 2: same first name with a completely different last name
   /// (or vice versa) means distinct persons — unless an email is shared.
-  bool ViolatesNameConstraint(const Reference& a, const Reference& b) {
+  bool ViolatesNameConstraint(const Reference& a, const Reference& b,
+                              StageScratch& scratch) const {
     if (binding_.person_name < 0) return false;
     const auto& names1 = a.atomic_values(binding_.person_name);
     const auto& names2 = b.atomic_values(binding_.person_name);
     if (names1.empty() || names2.empty()) return false;
     bool any_contradiction = false;
     for (const std::string& n1 : names1) {
-      const strsim::PersonName pa = ParsedName(n1);
+      const strsim::PersonName pa = ParsedName(n1, scratch);
       for (const std::string& n2 : names2) {
-        const strsim::PersonName pb = ParsedName(n2);
+        const strsim::PersonName pb = ParsedName(n2, scratch);
         if (strsim::NamesContradict(pa, pb)) {
           any_contradiction = true;
         } else if (!pa.last.empty() && !pb.last.empty() &&
@@ -272,7 +346,8 @@ class GraphBuilder {
 
   /// Constraint 3: a person has a unique account per email server, so two
   /// references with different accounts on the same server are distinct.
-  bool ViolatesAccountConstraint(const Reference& a, const Reference& b) {
+  bool ViolatesAccountConstraint(const Reference& a,
+                                 const Reference& b) const {
     if (binding_.person_email < 0) return false;
     for (const std::string& e1 : a.atomic_values(binding_.person_email)) {
       const strsim::EmailAddress ea = strsim::ParseEmail(e1);
@@ -285,7 +360,8 @@ class GraphBuilder {
     return false;
   }
 
-  void StageArticle(RefId r1, RefId r2, StagedEvidence* staged) {
+  void StageArticle(RefId r1, RefId r2, StageScratch& scratch,
+                    StagedEvidence* staged) const {
     const Reference& a = dataset_.reference(r1);
     const Reference& b = dataset_.reference(r2);
     const SimParams& p = options_.params;
@@ -294,7 +370,8 @@ class GraphBuilder {
       StageAtomic(a.atomic_values(binding_.article_title),
                   b.atomic_values(binding_.article_title), domain, domain,
                   kEvArticleTitle, p.article_title_seed,
-                  /*propagate_merge=*/false, TitleFieldSimilarity, staged);
+                  /*propagate_merge=*/false, TitleFieldSimilarity, scratch,
+                  staged);
     }
     // Titles are required evidence for articles: without a title match the
     // pair is not worth a node.
@@ -304,18 +381,19 @@ class GraphBuilder {
       StageAtomic(a.atomic_values(binding_.article_year),
                   b.atomic_values(binding_.article_year), domain, domain,
                   kEvArticleYear, p.year_seed, /*propagate_merge=*/false,
-                  YearFieldSimilarity, staged);
+                  YearFieldSimilarity, scratch, staged);
     }
     if (binding_.article_pages >= 0) {
       const ValueDomain domain{binding_.article, binding_.article_pages};
       StageAtomic(a.atomic_values(binding_.article_pages),
                   b.atomic_values(binding_.article_pages), domain, domain,
                   kEvArticlePages, p.pages_seed, /*propagate_merge=*/false,
-                  PagesFieldSimilarity, staged);
+                  PagesFieldSimilarity, scratch, staged);
     }
   }
 
-  void StageVenue(RefId r1, RefId r2, StagedEvidence* staged) {
+  void StageVenue(RefId r1, RefId r2, StageScratch& scratch,
+                  StagedEvidence* staged) const {
     const Reference& a = dataset_.reference(r1);
     const Reference& b = dataset_.reference(r2);
     const SimParams& p = options_.params;
@@ -327,7 +405,7 @@ class GraphBuilder {
       StageAtomic(a.atomic_values(binding_.venue_name),
                   b.atomic_values(binding_.venue_name), domain, domain,
                   kEvVenueName, p.venue_name_seed, /*propagate_merge=*/true,
-                  VenueNameFieldSimilarity, staged);
+                  VenueNameFieldSimilarity, scratch, staged);
     }
     if (staged->empty()) return;  // Venue name evidence is required.
     if (binding_.venue_year >= 0) {
@@ -335,14 +413,15 @@ class GraphBuilder {
       StageAtomic(a.atomic_values(binding_.venue_year),
                   b.atomic_values(binding_.venue_year), domain, domain,
                   kEvVenueYear, p.year_seed, /*propagate_merge=*/false,
-                  YearFieldSimilarity, staged);
+                  YearFieldSimilarity, scratch, staged);
     }
     if (binding_.venue_location >= 0) {
       const ValueDomain domain{binding_.venue, binding_.venue_location};
       StageAtomic(a.atomic_values(binding_.venue_location),
                   b.atomic_values(binding_.venue_location), domain, domain,
                   kEvVenueLocation, p.location_seed,
-                  /*propagate_merge=*/false, LocationFieldSimilarity, staged);
+                  /*propagate_merge=*/false, LocationFieldSimilarity, scratch,
+                  staged);
     }
   }
 
@@ -535,8 +614,9 @@ class GraphBuilder {
     }
   }
 
-  const strsim::PersonName& ParsedName(const std::string& raw) {
-    auto [it, inserted] = name_cache_.try_emplace(raw);
+  const strsim::PersonName& ParsedName(const std::string& raw,
+                                       StageScratch& scratch) const {
+    auto [it, inserted] = scratch.name_cache.try_emplace(raw);
     if (inserted) it->second = strsim::ParsePersonName(raw);
     return it->second;
   }
@@ -544,7 +624,7 @@ class GraphBuilder {
   template <typename Comparator>
   double CachedSim(int evidence, ValueId v1, ValueId v2,
                    const std::string& raw1, const std::string& raw2,
-                   Comparator comparator) {
+                   Comparator comparator, StageScratch& scratch) const {
     uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(
                         std::min(v1, v2)))
                     << 32) |
@@ -552,7 +632,7 @@ class GraphBuilder {
     key ^= static_cast<uint64_t>(evidence) << 58;
     // Same-attribute comparators are symmetric and cross-attribute pairs
     // always arrive in (name, email) order, so the unordered key is safe.
-    auto [it, inserted] = sim_cache_.try_emplace(key, 0.0f);
+    auto [it, inserted] = scratch.sim_cache.try_emplace(key, 0.0f);
     if (inserted) {
       it->second = static_cast<float>(comparator(raw1, raw2));
     }
@@ -564,8 +644,6 @@ class GraphBuilder {
   SchemaBinding binding_;
   DependencyGraph* graph_ = nullptr;
   ValuePool* values_ = nullptr;
-  std::unordered_map<std::string, strsim::PersonName> name_cache_;
-  std::unordered_map<uint64_t, float> sim_cache_;
 };
 
 }  // namespace

@@ -89,6 +89,14 @@ struct ReconcilerOptions {
   /// exceeds this bound (guards against mailing-list-like references).
   int max_assoc_cross = 20000;
 
+  /// Threads for the embarrassingly-parallel phases (candidate generation,
+  /// canopy feature extraction, pairwise scoring during graph build): 0 =
+  /// all hardware threads, 1 = run everything on the calling thread. The
+  /// fixed-point solver is sequential regardless (enrichment mutates the
+  /// graph in place); output is identical for every value (see
+  /// runtime/parallel.h).
+  int num_threads = 1;
+
   /// Returns the DepGraph configuration (the paper's full algorithm).
   static ReconcilerOptions DepGraph() { return ReconcilerOptions{}; }
 

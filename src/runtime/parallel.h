@@ -1,0 +1,146 @@
+// Blocked parallel loops over index ranges, with grain-size control and a
+// deterministic sharded result collector.
+//
+// Model: a range [begin, end) is cut into fixed-size blocks of `grain`
+// indices; up to `num_threads` lanes claim blocks from an atomic counter.
+// Which lane executes which block is nondeterministic, but the block
+// decomposition itself depends only on (range, grain) — so any output
+// placed in a per-block shard and concatenated in block order is equal to
+// the serial result regardless of thread count (ShardedCollector below).
+//
+// num_threads follows ReconcilerOptions::num_threads: 0 = all hardware
+// threads, 1 = run inline on the calling thread (no pool involved), n > 1 =
+// n lanes. Lanes beyond the first are tasks on ThreadPool::Global(); the
+// calling thread is always lane 0 and helps drain the pool while waiting,
+// which makes nested parallel loops deadlock-free.
+//
+// The first exception thrown by a body cancels the remaining blocks (each
+// lane stops claiming new ones) and is rethrown on the calling thread.
+
+#ifndef RECON_RUNTIME_PARALLEL_H_
+#define RECON_RUNTIME_PARALLEL_H_
+
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "runtime/thread_pool.h"
+
+namespace recon::runtime {
+
+/// Resolves a user-facing thread count: 0 (or negative) = all hardware
+/// threads, otherwise the value itself.
+int ResolveNumThreads(int num_threads);
+
+/// One contiguous chunk of a blocked loop.
+struct Block {
+  int64_t begin = 0;
+  int64_t end = 0;
+  /// Block number in serial iteration order; indexes shards.
+  size_t index = 0;
+  /// Executing lane in [0, num_lanes). Two blocks with the same lane never
+  /// run concurrently, so per-lane scratch (caches) needs no locking — but
+  /// the block -> lane assignment is nondeterministic, so lane-indexed
+  /// state must never determine output contents or order.
+  size_t lane = 0;
+};
+
+/// The block decomposition a loop over [begin, end) will use: resolved
+/// grain (> 0) and block count. Compute it up front when sizing a
+/// ShardedCollector or per-lane scratch for the same loop.
+struct BlockPlan {
+  int64_t grain = 1;
+  size_t num_blocks = 0;
+  int num_lanes = 1;
+};
+BlockPlan PlanBlocks(int num_threads, int64_t begin, int64_t end,
+                     int64_t grain);
+
+namespace internal {
+
+using BlockFn = void (*)(void* ctx, const Block& block);
+
+/// Type-erased core: runs `fn(ctx, block)` for every block of the plan.
+void RunBlocked(const BlockPlan& plan, int64_t begin, int64_t end, void* ctx,
+                BlockFn fn);
+
+}  // namespace internal
+
+/// Runs `body(block)` over every block of [begin, end). grain <= 0 picks a
+/// default that yields several blocks per lane (for load balance).
+template <typename Body>
+void ParallelForBlocked(int num_threads, int64_t begin, int64_t end,
+                        int64_t grain, Body&& body) {
+  using Fn = std::remove_reference_t<Body>;
+  const BlockPlan plan = PlanBlocks(num_threads, begin, end, grain);
+  internal::RunBlocked(plan, begin, end, const_cast<Fn*>(&body),
+                       [](void* ctx, const Block& block) {
+                         (*static_cast<Fn*>(ctx))(block);
+                       });
+}
+
+/// Runs `body(i)` for every i in [begin, end), blocked by `grain`.
+template <typename Body>
+void ParallelFor(int num_threads, int64_t begin, int64_t end, int64_t grain,
+                 Body&& body) {
+  ParallelForBlocked(num_threads, begin, end, grain,
+                     [&body](const Block& block) {
+                       for (int64_t i = block.begin; i < block.end; ++i) {
+                         body(i);
+                       }
+                     });
+}
+
+/// Computes `map(block)` per block and folds the partials with `reduce` in
+/// block order: the result is identical to a serial left fold over blocks
+/// for any thread count (floating-point results included).
+template <typename T, typename Map, typename Reduce>
+T ParallelReduce(int num_threads, int64_t begin, int64_t end, int64_t grain,
+                 T identity, Map&& map, Reduce&& reduce) {
+  const BlockPlan plan = PlanBlocks(num_threads, begin, end, grain);
+  std::vector<T> partials(plan.num_blocks, identity);
+  ParallelForBlocked(num_threads, begin, end, plan.grain,
+                     [&](const Block& block) {
+                       partials[block.index] = map(block);
+                     });
+  T total = std::move(identity);
+  for (T& partial : partials) total = reduce(std::move(total), partial);
+  return total;
+}
+
+/// Deterministic output collector for a blocked loop: each block appends to
+/// its own shard (no locking — shards are distinct vector elements), and
+/// Drain() concatenates the shards in block order, yielding exactly the
+/// sequence a serial loop would have produced.
+template <typename T>
+class ShardedCollector {
+ public:
+  explicit ShardedCollector(size_t num_blocks) : shards_(num_blocks) {}
+  explicit ShardedCollector(const BlockPlan& plan)
+      : shards_(plan.num_blocks) {}
+
+  std::vector<T>& shard(size_t block) { return shards_[block]; }
+
+  /// Moves every shard's contents into one vector, in block order. The
+  /// collector is empty afterwards.
+  std::vector<T> Drain() {
+    size_t total = 0;
+    for (const std::vector<T>& shard : shards_) total += shard.size();
+    std::vector<T> out;
+    out.reserve(total);
+    for (std::vector<T>& shard : shards_) {
+      for (T& item : shard) out.push_back(std::move(item));
+      shard.clear();
+      shard.shrink_to_fit();
+    }
+    return out;
+  }
+
+ private:
+  std::vector<std::vector<T>> shards_;
+};
+
+}  // namespace recon::runtime
+
+#endif  // RECON_RUNTIME_PARALLEL_H_

@@ -1,0 +1,79 @@
+// Work-stealing thread pool: the execution substrate for the blocked
+// parallel loops in runtime/parallel.h (in the spirit of the gbbs/pbbslib
+// scheduler layer that parallel graph algorithms build on).
+//
+// Tasks are distributed round-robin across per-worker deques; a worker pops
+// from the front of its own deque and steals from the back of the others.
+// External threads participate through RunOneTask(), which is what makes
+// nested parallel loops deadlock-free: a thread waiting for a loop to finish
+// keeps executing queued tasks instead of blocking.
+
+#ifndef RECON_RUNTIME_THREAD_POOL_H_
+#define RECON_RUNTIME_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace recon::runtime {
+
+class ThreadPool {
+ public:
+  /// Starts `num_workers` worker threads (clamped to >= 1).
+  explicit ThreadPool(int num_workers);
+
+  /// Drains every queued task, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues `task` for execution on some worker (or on any thread that
+  /// calls RunOneTask before a worker gets to it).
+  void Submit(std::function<void()> task);
+
+  /// Runs one queued task on the calling thread; returns false when every
+  /// deque was empty. Safe to call from workers and external threads alike.
+  bool RunOneTask();
+
+  /// Process-wide pool, created on first use with HardwareConcurrency()
+  /// workers. Parallel loops draw lanes from this pool no matter how few
+  /// they need, so repeated loops never pay thread startup.
+  static ThreadPool& Global();
+
+  /// std::thread::hardware_concurrency(), but never 0.
+  static int HardwareConcurrency();
+
+ private:
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(unsigned home);
+  /// Pops from queue `home`, else steals, starting the scan at `home`.
+  bool RunTaskFrom(unsigned home);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  /// Queued-but-unstarted task count; lets idle workers sleep without a
+  /// lost-wakeup race (checked under wake_mu_ before waiting).
+  std::atomic<int> num_queued_{0};
+  std::atomic<unsigned> next_queue_{0};
+
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  bool stopping_ = false;  // Guarded by wake_mu_.
+};
+
+}  // namespace recon::runtime
+
+#endif  // RECON_RUNTIME_THREAD_POOL_H_

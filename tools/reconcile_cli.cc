@@ -6,8 +6,12 @@
 //   reconcile_cli --demo out.ds                  # write a demo dataset
 //   reconcile_cli [--algo depgraph|indepdec|fs] [--no-constraints]
 //                 [--evidence attr|ne|article|contact] [--canopies]
-//                 <dataset file>
+//                 [--threads N] <dataset file>
+//
+// --threads N runs candidate generation and pair scoring on N threads
+// (0 = all hardware threads); output is identical for every value.
 
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -52,6 +56,14 @@ int main(int argc, char** argv) {
       options.constraints = false;
     } else if (arg == "--canopies") {
       options.use_canopies = true;
+    } else if (arg == "--threads" && i + 1 < argc) {
+      char* end = nullptr;
+      options.num_threads = static_cast<int>(std::strtol(argv[++i], &end, 10));
+      if (end == argv[i] || *end != '\0' || options.num_threads < 0) {
+        std::cerr << "--threads needs a count >= 0 (0 = all hardware "
+                     "threads), got \"" << argv[i] << "\"\n";
+        return 2;
+      }
     } else if (arg == "--evidence" && i + 1 < argc) {
       const std::string level = argv[++i];
       if (level == "attr") options.evidence_level = EvidenceLevel::kAttrWise;
@@ -72,7 +84,8 @@ int main(int argc, char** argv) {
   if (path.empty()) {
     std::cerr << "usage: reconcile_cli [--algo depgraph|indepdec] "
                  "[--no-constraints] [--evidence attr|ne|article|contact] "
-                 "<dataset file>\n       reconcile_cli --demo <out file>\n";
+                 "[--threads N] <dataset file>\n"
+                 "       reconcile_cli --demo <out file>\n";
     return 2;
   }
 
@@ -109,7 +122,8 @@ int main(int argc, char** argv) {
               << " references -> " << result.NumPartitionsOfClass(data, c)
               << " partitions";
     if (data.NumEntitiesOfClass(c) > 0) {
-      const PairMetrics m = EvaluateClass(data, result.cluster, c);
+      const PairMetrics m =
+          EvaluateClass(data, result.cluster, c, options.num_threads);
       std::cout << "  (gold: " << m.num_entities << " entities, P="
                 << m.precision << " R=" << m.recall << " F=" << m.f1 << ")";
     }
