@@ -1,6 +1,8 @@
 #include "bench_common.h"
 
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 
 namespace recon::bench {
@@ -73,6 +75,85 @@ Comparison CompareOnClass(const Dataset& dataset, int class_id) {
   const Reconciler depgraph(WithBenchThreads(ReconcilerOptions::DepGraph()));
   out.depgraph = EvaluateClass(dataset, depgraph.Run(dataset).cluster,
                                class_id, threads);
+  return out;
+}
+
+std::string JsonPathFromArgs(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") return argv[i + 1];
+  }
+  return "";
+}
+
+namespace {
+
+std::string JsonQuote(const std::string& value) {
+  std::string out = "\"";
+  for (const char c : value) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void JsonLog::BeginRow() { rows_.emplace_back(); }
+
+void JsonLog::Add(const std::string& key, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  rows_.back().push_back(Field{key, buffer});
+}
+
+void JsonLog::Add(const std::string& key, int64_t value) {
+  rows_.back().push_back(Field{key, std::to_string(value)});
+}
+
+void JsonLog::Add(const std::string& key, const std::string& value) {
+  rows_.back().push_back(Field{key, JsonQuote(value)});
+}
+
+bool JsonLog::Write(const std::string& path) const {
+  if (path.empty()) return true;
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "warning: cannot write " << path << "\n";
+    return false;
+  }
+  out << "[\n";
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    out << "  {";
+    for (size_t f = 0; f < rows_[r].size(); ++f) {
+      if (f > 0) out << ", ";
+      out << JsonQuote(rows_[r][f].key) << ": " << rows_[r][f].rendered;
+    }
+    out << (r + 1 < rows_.size() ? "},\n" : "}\n");
+  }
+  out << "]\n";
+  return static_cast<bool>(out);
+}
+
+std::vector<char*> TranslateGBenchJsonFlag(int argc, char** argv,
+                                           std::vector<std::string>* storage) {
+  // Stash every argument (rewritten or not) in `storage` so the returned
+  // pointers share one stable backing.
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+      storage->push_back("--benchmark_out=" + std::string(argv[i + 1]));
+      storage->push_back("--benchmark_out_format=json");
+      ++i;
+    } else {
+      storage->push_back(argv[i]);
+    }
+  }
+  std::vector<char*> out;
+  for (std::string& arg : *storage) out.push_back(arg.data());
   return out;
 }
 

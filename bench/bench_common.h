@@ -50,6 +50,44 @@ Comparison CompareOnClass(const Dataset& dataset, int class_id);
 /// Prints a standard header naming the experiment.
 void PrintHeader(const std::string& title, const std::string& paper_ref);
 
+// ---- Machine-readable results (`--json <path>`) --------------------------
+
+/// Value of a `--json <path>` flag, or "" when absent. Every perf bench
+/// accepts the flag so tools/run_benches.sh can track perf trajectories.
+std::string JsonPathFromArgs(int argc, char** argv);
+
+/// Tiny bench-result log: flat rows of key -> number/string, written as a
+/// JSON array of objects. Deliberately minimal — no JSON dependency.
+class JsonLog {
+ public:
+  /// Starts a new result row; Add() calls land in the latest row.
+  void BeginRow();
+  void Add(const std::string& key, double value);
+  void Add(const std::string& key, int64_t value);
+  void Add(const std::string& key, int value) {
+    Add(key, static_cast<int64_t>(value));
+  }
+  void Add(const std::string& key, const std::string& value);
+
+  /// Writes the rows to `path`. No-op when `path` is empty; returns false
+  /// (with a note on stderr) when the file cannot be written.
+  bool Write(const std::string& path) const;
+
+ private:
+  struct Field {
+    std::string key;
+    std::string rendered;  ///< Already valid JSON (number or quoted string).
+  };
+  std::vector<std::vector<Field>> rows_;
+};
+
+/// Rewrites a `--json <path>` flag into google-benchmark's
+/// --benchmark_out/--benchmark_out_format flags, passing everything else
+/// through. `storage` backs the returned pointers; keep it alive across
+/// benchmark::Initialize.
+std::vector<char*> TranslateGBenchJsonFlag(int argc, char** argv,
+                                           std::vector<std::string>* storage);
+
 }  // namespace recon::bench
 
 #endif  // RECON_BENCH_BENCH_COMMON_H_

@@ -3,6 +3,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
 #include "core/premerge.h"
 #include "core/reconciler.h"
 #include "datagen/pim_generator.h"
@@ -71,4 +76,16 @@ BENCHMARK(BM_PremergeOnly)->Arg(2)->Arg(10)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: `--json <path>` is this repo's common bench flag; rewrite
+// it into google-benchmark's --benchmark_out flags before Initialize.
+int main(int argc, char** argv) {
+  std::vector<std::string> storage;
+  std::vector<char*> args =
+      recon::bench::TranslateGBenchJsonFlag(argc, argv, &storage);
+  int new_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&new_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(new_argc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -37,6 +37,7 @@ int main(int argc, char** argv) {
 
   TablePrinter table(
       {"Threads", "Build s", "Speedup", "Pairs/s", "Output"});
+  bench::JsonLog json;
   double serial_seconds = 0;
   for (const int threads : {1, 2, 4, 8}) {
     options.num_threads = threads;
@@ -58,6 +59,13 @@ int main(int argc, char** argv) {
          TablePrinter::Num(serial_seconds / best_seconds, 2) + "x",
          TablePrinter::Num(num_candidates / best_seconds, 0),
          identical ? "identical" : "MISMATCH"});
+    json.BeginRow();
+    json.Add("threads", threads);
+    json.Add("build_seconds", best_seconds);
+    json.Add("speedup", serial_seconds / best_seconds);
+    json.Add("candidates_per_sec", num_candidates / best_seconds);
+    json.Add("identical",
+             identical ? std::string("true") : std::string("false"));
     if (!identical) {
       std::cerr << "FATAL: output at " << threads
                 << " threads differs from serial\n";
@@ -65,6 +73,7 @@ int main(int argc, char** argv) {
     }
   }
   table.Print(std::cout);
+  json.Write(bench::JsonPathFromArgs(argc, argv));
   std::cout << "\nSpeedup is bounded by the hardware thread count above; "
                "the solve phase is\nsequential by design (see DESIGN.md, "
                "Execution runtime).\n";

@@ -194,15 +194,17 @@ class GraphBuilder {
     if (pair.evidence.empty() && !pair.non_merge) return;
 
     const NodeId m = graph_->AddRefPairNode(pair.class_id, pair.r1, pair.r2);
-    Node& node = graph_->mutable_node(m);
     if (pair.non_merge) {
       // The evidence nodes are still attached below — the paper keeps
       // constrained pairs in the graph with their similarities ("we also
       // include nodes whose elements are ensured to be distinct"), which
       // is why Table 6 reports *more* nodes with constraints on. The
       // non-merge state keeps the pair out of the queue regardless.
-      node.state = NodeState::kNonMerge;
+      // SetNodeState keeps dependent evidence caches honest when an
+      // incremental extension demotes an existing node.
+      graph_->SetNodeState(m, NodeState::kNonMerge);
     }
+    Node& node = graph_->mutable_node(m);
     for (const auto& [evidence, sim] : pair.evidence.statics) {
       node.AddStaticReal(evidence, sim);
     }
@@ -291,9 +293,16 @@ class GraphBuilder {
                   kEvPersonEmail, p.person_email_seed,
                   /*propagate_merge=*/false, EmailFieldSimilarity, scratch,
                   staged);
-      for (const std::string& e1 : emails1) {
-        for (const std::string& e2 : emails2) {
-          if (EmailFieldSimilarity(e1, e2) >= 1.0) shared_email = true;
+      // StageAtomic already compared every email pair: identical values
+      // became statics, the rest value nodes whenever sim >= seed (and the
+      // seed is <= 1). A key match is therefore any staged email evidence
+      // at similarity 1 — no need to re-run the comparator cross product.
+      for (const auto& [evidence, sim] : staged->statics) {
+        if (evidence == kEvPersonEmail && sim >= 1.0) shared_email = true;
+      }
+      for (const auto& spec : staged->value_nodes) {
+        if (spec.evidence == kEvPersonEmail && spec.sim >= 1.0) {
+          shared_email = true;
         }
       }
     }
@@ -440,7 +449,7 @@ class GraphBuilder {
             node = graph_->AddRefPairNode(binding_.person, authors[i],
                                           authors[j]);
           }
-          graph_->mutable_node(node).state = NodeState::kNonMerge;
+          graph_->SetNodeState(node, NodeState::kNonMerge);
         }
       }
     }
@@ -457,17 +466,17 @@ class GraphBuilder {
       if (!valid_pair(a, b)) continue;
       const NodeId node = graph_->AddRefPairNode(
           dataset_.reference(a).class_id(), a, b);
-      Node& n = graph_->mutable_node(node);
-      n.forced_merge = true;
-      n.state = NodeState::kInactive;  // Overrides an earlier non-merge.
+      graph_->mutable_node(node).forced_merge = true;
+      // Overrides an earlier non-merge (and re-admits the node's evidence
+      // into dependent caches).
+      graph_->SetNodeState(node, NodeState::kInactive);
     }
     for (const auto& [a, b] : options_.feedback.distinct) {
       if (!valid_pair(a, b)) continue;
       const NodeId node = graph_->AddRefPairNode(
           dataset_.reference(a).class_id(), a, b);
-      Node& n = graph_->mutable_node(node);
-      n.forced_merge = false;
-      n.state = NodeState::kNonMerge;
+      graph_->mutable_node(node).forced_merge = false;
+      graph_->SetNodeState(node, NodeState::kNonMerge);
     }
   }
 
@@ -567,8 +576,14 @@ class GraphBuilder {
     }
     if (shared > 0) {
       Node& mutable_m = graph_->mutable_node(m);
+      const int16_t before = mutable_m.static_weak;
       mutable_m.static_weak =
-          static_cast<int16_t>(std::min(32000, mutable_m.static_weak + shared));
+          static_cast<int16_t>(std::min(32000, before + shared));
+      // Static weak counts are a base term of the cached summary; absorb
+      // the increase so the cache stays valid.
+      if (mutable_m.cache.valid) {
+        mutable_m.cache.weak_merged += mutable_m.static_weak - before;
+      }
     }
   }
 

@@ -66,6 +66,14 @@ struct ReconcilerOptions {
   /// emails are a key under either algorithm).
   bool premerge_equal_emails = true;
 
+  /// Delta-propagated evidence caching in the fixed-point solver (DESIGN.md
+  /// §8): each node keeps its evidence summary cached; a neighbor's sim
+  /// rise or merge pushes a delta along the out-edges instead of the
+  /// dependent rescanning every in-edge on recomputation. Graph surgery
+  /// invalidates affected caches, which then rescan exactly once. Output is
+  /// byte-identical either way; off = the straightforward full rescan.
+  bool evidence_cache = true;
+
   /// Queue discipline (§3.2): when a pair merges, its strong-boolean
   /// dependents are inserted at the *front* of the queue. Off = FIFO for
   /// everything; exposed for the queue-discipline ablation bench.

@@ -3,18 +3,34 @@
 #ifndef RECON_CORE_RECONCILER_STATS_H_
 #define RECON_CORE_RECONCILER_STATS_H_
 
+#include <cstdint>
+
 namespace recon {
 
 /// Counters for one reconciliation run (graph size feeds Table 6; timings
-/// feed the perf bench).
+/// feed the perf bench). 64-bit throughout: the solver's iteration cap is
+/// 500 * num_nodes, which overflows 32 bits on large synthetic datasets.
 struct ReconcileStats {
-  int num_candidates = 0;
-  int num_nodes = 0;       ///< Nodes ever created.
-  int num_live_nodes = 0;  ///< Nodes remaining after enrichment folding.
-  int num_edges = 0;
-  int num_recomputations = 0;
-  int num_merges = 0;
-  int num_folds = 0;
+  int64_t num_candidates = 0;
+  int64_t num_nodes = 0;       ///< Nodes ever created.
+  int64_t num_live_nodes = 0;  ///< Nodes remaining after enrichment folding.
+  int64_t num_edges = 0;
+  int64_t num_recomputations = 0;
+  int64_t num_merges = 0;
+  int64_t num_folds = 0;
+
+  // Evidence-cache counters (ReconcilerOptions::evidence_cache). Purely
+  // observational: results are byte-identical with the cache on or off.
+  /// Incremental cache updates pushed along out-edges (sim raises and
+  /// merged-neighbor count bumps).
+  int64_t num_delta_pushes = 0;
+  /// Full in-edge rescans that (re)established a node's cache.
+  int64_t num_cache_rebuilds = 0;
+  /// In-edges actually scanned while recomputing similarities.
+  int64_t num_inedge_scans = 0;
+  /// In-edges *not* scanned because a valid cache answered instead.
+  int64_t num_inedge_scans_avoided = 0;
+
   double build_seconds = 0;
   double solve_seconds = 0;
 };

@@ -49,11 +49,17 @@ void FixedPointSolver::Step(NodeId id) {
   if (node.state == NodeState::kActive) node.state = NodeState::kInactive;
 
   const double old_sim = node.sim;
-  const double computed = ComputeSimilarity(node);
+  const double computed = options_.evidence_cache ? CachedSimilarity(node)
+                                                  : ComputeSimilarity(node);
   ++stats_->num_recomputations;
   // Similarities are monotone non-decreasing (§3.2 termination).
   if (computed > node.sim) node.sim = static_cast<float>(computed);
   const bool increased = node.sim > old_sim + options_.params.epsilon;
+
+  // Any raise — even one below epsilon, which re-activates nobody — must
+  // reach dependents' caches: a full rescan reads current sims, so the
+  // caches have to as well.
+  if (options_.evidence_cache && node.sim > old_sim) PushSimDelta(node);
 
   if (increased && options_.propagation) {
     for (const Edge& e : node.out) {
@@ -67,6 +73,7 @@ void FixedPointSolver::Step(NodeId id) {
   if (node.sim >= threshold && node.state != NodeState::kMerged) {
     node.state = NodeState::kMerged;
     ++stats_->num_merges;
+    if (options_.evidence_cache) PushMergeDelta(node);
     if (options_.propagation) {
       // Strong-boolean dependents jump the queue (§3.2 heuristics).
       for (const Edge& e : node.out) {
@@ -92,7 +99,7 @@ void FixedPointSolver::EnrichReferences(NodeId id) {
   const int keep = refs_.Union(a, b);
   const RefId gone = (keep == a) ? b : a;
   MergeRefsResult result = graph_.MergeReferences(keep, gone);
-  stats_->num_folds += static_cast<int>(result.folded.size());
+  stats_->num_folds += static_cast<int64_t>(result.folded.size());
   for (const NodeId m : result.gained_inputs) Enqueue(m, false);
 }
 
@@ -119,6 +126,7 @@ double FixedPointSolver::ComputeSimilarity(const Node& node) const {
     // (Fig. 2's n6 after the venues merge).
     double sim = node.sim;
     for (const Edge& e : node.in) {
+      ++stats_->num_inedge_scans;
       if (e.kind == DependencyKind::kStrongBoolean &&
           graph_.node(e.node).state == NodeState::kMerged) {
         sim = 1.0;
@@ -134,6 +142,7 @@ double FixedPointSolver::ComputeSimilarity(const Node& node) const {
   }
   evidence.strong_merged = node.static_strong;
   evidence.weak_merged = node.static_weak;
+  stats_->num_inedge_scans += static_cast<int64_t>(node.in.size());
   for (const Edge& e : node.in) {
     const Node& src = graph_.node(e.node);
     if (src.dead) continue;
@@ -155,6 +164,96 @@ double FixedPointSolver::ComputeSimilarity(const Node& node) const {
   RECON_CHECK(sim_fn != nullptr)
       << "No similarity function for class " << node.class_id;
   return sim_fn->Compute(evidence);
+}
+
+double FixedPointSolver::CachedSimilarity(Node& node) {
+  if (node.forced_merge) return 1.0;  // User-confirmed match.
+  if (!node.cache.valid) {
+    RebuildCache(node);
+    ++stats_->num_cache_rebuilds;
+  } else {
+    stats_->num_inedge_scans_avoided += static_cast<int64_t>(node.in.size());
+  }
+  if (!node.IsRefPair()) {
+    return node.cache.strong_merged > 0 ? 1.0 : node.sim;
+  }
+  EvidenceSummary evidence;
+  for (int e = 0; e < kNumEvidence; ++e) {
+    evidence.best[e] = node.cache.best[e];
+  }
+  evidence.strong_merged = node.cache.strong_merged;
+  evidence.weak_merged = node.cache.weak_merged;
+  const ClassSimilarity* sim_fn = built_.class_sims[node.class_id].get();
+  RECON_CHECK(sim_fn != nullptr)
+      << "No similarity function for class " << node.class_id;
+  return sim_fn->Compute(evidence);
+}
+
+void FixedPointSolver::RebuildCache(Node& node) {
+  EvidenceCache& cache = node.cache;
+  cache.Reset();
+  if (!node.IsRefPair()) {
+    // Value pairs only care whether *any* strong-boolean neighbor merged;
+    // stop at the first, like the uncached path does.
+    for (const Edge& e : node.in) {
+      ++stats_->num_inedge_scans;
+      if (e.kind == DependencyKind::kStrongBoolean &&
+          graph_.node(e.node).state == NodeState::kMerged) {
+        cache.strong_merged = 1;
+        break;
+      }
+    }
+    cache.valid = true;
+    return;
+  }
+  for (const auto& [type, sim] : node.static_real) {
+    cache.Offer(type, sim);
+  }
+  cache.strong_merged = node.static_strong;
+  cache.weak_merged = node.static_weak;
+  stats_->num_inedge_scans += static_cast<int64_t>(node.in.size());
+  for (const Edge& e : node.in) {
+    const Node& src = graph_.node(e.node);
+    if (src.dead) continue;
+    switch (e.kind) {
+      case DependencyKind::kRealValued:
+        if (src.state != NodeState::kNonMerge) {
+          cache.Offer(e.evidence, src.sim);
+        }
+        break;
+      case DependencyKind::kStrongBoolean:
+        if (src.state == NodeState::kMerged) ++cache.strong_merged;
+        break;
+      case DependencyKind::kWeakBoolean:
+        if (src.state == NodeState::kMerged) ++cache.weak_merged;
+        break;
+    }
+  }
+  cache.valid = true;
+}
+
+void FixedPointSolver::PushSimDelta(const Node& node) {
+  for (const Edge& e : node.out) {
+    if (e.kind != DependencyKind::kRealValued) continue;
+    EvidenceCache& cache = graph_.mutable_node(e.node).cache;
+    if (!cache.valid) continue;  // The eventual rebuild reads node.sim.
+    cache.Offer(e.evidence, node.sim);
+    ++stats_->num_delta_pushes;
+  }
+}
+
+void FixedPointSolver::PushMergeDelta(const Node& node) {
+  for (const Edge& e : node.out) {
+    if (e.kind == DependencyKind::kRealValued) continue;
+    EvidenceCache& cache = graph_.mutable_node(e.node).cache;
+    if (!cache.valid) continue;
+    if (e.kind == DependencyKind::kStrongBoolean) {
+      ++cache.strong_merged;
+    } else {
+      ++cache.weak_merged;
+    }
+    ++stats_->num_delta_pushes;
+  }
 }
 
 void FixedPointSolver::PropagateNegativeEvidence() {
@@ -183,10 +282,12 @@ void FixedPointSolver::PropagateNegativeEvidence() {
       const Node& n = graph_.node(nid);
       if (n.dead) continue;
       // Demote the weaker side so r1 and r2 cannot be glued through r3
-      // (deterministic tie-break on node id).
+      // (deterministic tie-break on node id). SetNodeState invalidates
+      // dependent caches: a non-merge source no longer contributes
+      // real-valued evidence, which matters if the solver is re-entered.
       const NodeId lower =
           (m.sim > n.sim || (m.sim == n.sim && mid < nid)) ? nid : mid;
-      graph_.mutable_node(lower).state = NodeState::kNonMerge;
+      graph_.SetNodeState(lower, NodeState::kNonMerge);
     }
   }
 }

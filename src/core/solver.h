@@ -61,6 +61,27 @@ class FixedPointSolver {
   void Enqueue(NodeId id, bool front);
   double ComputeSimilarity(const Node& node) const;
 
+  // ---- Delta-propagated evidence caching (options_.evidence_cache) ----
+  // Each node's EvidenceCache is born valid (empty node, empty summary)
+  // and kept equal to what a full in-edge rescan would produce: the graph
+  // layer absorbs additive mutations (new edges, statics), Step() pushes a
+  // node's raised sim along its real-valued out-edges and bumps merged-
+  // neighbor counts along boolean out-edges at the merge transition, and
+  // subtractive surgery (non-merge demotion, lost fold inputs) invalidates
+  // the affected caches so they rescan exactly once on their next
+  // recomputation. See DESIGN.md, "Delta-propagated evidence caching".
+
+  /// Like ComputeSimilarity but served from the node's cache, rebuilding
+  /// it first when invalid. Returns the identical value.
+  double CachedSimilarity(Node& node);
+  /// Full in-edge rescan into `node.cache` (the one-time fallback).
+  void RebuildCache(Node& node);
+  /// Offers `node.sim` to every real-valued dependent's valid cache.
+  void PushSimDelta(const Node& node);
+  /// Bumps merged-neighbor counts in boolean dependents' valid caches.
+  /// Called exactly once per node, at its kMerged transition.
+  void PushMergeDelta(const Node& node);
+
   const Dataset& dataset_;
   BuiltGraph& built_;
   DependencyGraph& graph_;

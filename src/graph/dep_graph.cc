@@ -64,8 +64,73 @@ void DependencyGraph::AddEdge(NodeId from, NodeId to, DependencyKind kind,
     if (e.node == to && e.kind == kind && e.evidence == ev) return;
   }
   src.out.push_back(Edge{to, kind, ev});
-  nodes_[to].in.push_back(Edge{from, kind, ev});
+  Node& dst = nodes_[to];
+  dst.in.push_back(Edge{from, kind, ev});
+  // Push the new source's current contribution so `to`'s evidence cache
+  // stays valid: this is exactly what a rescan would read for this edge
+  // right now, and later source changes arrive as solver deltas (sim
+  // raises, merge transitions) or cache invalidations (demotions, folds).
+  if (dst.cache.valid) {
+    switch (kind) {
+      case DependencyKind::kRealValued:
+        if (!src.dead && src.state != NodeState::kNonMerge) {
+          dst.cache.Offer(ev, src.sim);
+        }
+        break;
+      case DependencyKind::kStrongBoolean:
+        if (src.state == NodeState::kMerged) ++dst.cache.strong_merged;
+        break;
+      case DependencyKind::kWeakBoolean:
+        if (src.state == NodeState::kMerged) ++dst.cache.weak_merged;
+        break;
+    }
+  }
   ++num_edges_;
+}
+
+void DependencyGraph::SetNodeState(NodeId id, NodeState state) {
+  Node& node = nodes_[id];
+  const NodeState old = node.state;
+  if (old == state) return;
+  node.state = state;
+  // Keep dependent evidence caches honest. Additions (a restored or newly
+  // merged contribution) are monotone and can be pushed; removals (a
+  // demoted contribution) invalidate only the caches whose summary may
+  // actually rest on it.
+  const bool was_merged = old == NodeState::kMerged;
+  const bool is_merged = state == NodeState::kMerged;
+  for (const Edge& e : node.out) {
+    EvidenceCache& cache = nodes_[e.node].cache;
+    if (!cache.valid) continue;
+    if (e.kind == DependencyKind::kRealValued) {
+      if (state == NodeState::kNonMerge) {
+        // Rescans now exclude this node; if the cached channel max could
+        // come from it, the dependent must rescan. A strictly greater max
+        // is supported by another (still included) contributor.
+        if (cache.best[e.evidence] <= node.sim) cache.valid = false;
+      } else if (old == NodeState::kNonMerge) {
+        cache.Offer(e.evidence, node.sim);  // Contribution restored.
+      }
+    } else if (e.kind == DependencyKind::kStrongBoolean) {
+      if (is_merged && !was_merged) {
+        ++cache.strong_merged;
+      } else if (was_merged && !is_merged) {
+        cache.valid = false;  // Un-merge (feedback): count must drop.
+      }
+    } else {
+      if (is_merged && !was_merged) {
+        ++cache.weak_merged;
+      } else if (was_merged && !is_merged) {
+        cache.valid = false;
+      }
+    }
+  }
+}
+
+void DependencyGraph::InvalidateDependentCaches(NodeId id) {
+  for (const Edge& e : nodes_[id].out) {
+    nodes_[e.node].cache.valid = false;
+  }
 }
 
 NodeId DependencyGraph::FindRefPair(RefId r1, RefId r2) const {
@@ -101,6 +166,8 @@ bool DependencyGraph::FoldInto(NodeId from, NodeId into) {
   Node& src = nodes_[from];
   Node& dst = nodes_[into];
   RECON_CHECK(!src.dead && !dst.dead);
+  const float old_sim = dst.sim;
+  const NodeState old_state = dst.state;
 
   bool gained = false;
   // Reconnect incoming dependencies: x -> from becomes x -> into.
@@ -114,6 +181,13 @@ bool DependencyGraph::FoldInto(NodeId from, NodeId into) {
   src.in.clear();
 
   // Reconnect outgoing dependencies: from -> y becomes into -> y.
+  //
+  // y's evidence cache survives this: src was never merged (merged nodes
+  // are not folded) and src.sim <= the sim dst ends up with, so replacing
+  // the src edge leaves y's cached channel maxima equal to a rescan — a
+  // genuinely new into -> y edge pushes dst's contribution via AddEdge,
+  // and dst's own sim raise / demotion is reconciled at the end below.
+  bool dst_lost_input = false;
   for (const Edge& e : src.out) {
     // Remove the y.in record for `from`.
     auto& target_in = nodes_[e.node].in;
@@ -126,18 +200,34 @@ bool DependencyGraph::FoldInto(NodeId from, NodeId into) {
         break;
       }
     }
-    if (e.node == into) continue;
+    if (e.node == into) {
+      // dst loses src's own real-valued contribution; its cached channel
+      // max may rest on it.
+      if (e.kind == DependencyKind::kRealValued) dst_lost_input = true;
+      continue;
+    }
     AddEdge(into, e.node, e.kind, e.evidence);
   }
   src.out.clear();
 
   // Static evidence accumulates: the surviving node represents the union
-  // of both pairs' information.
+  // of both pairs' information. AddStaticReal maintains dst's cache; the
+  // boolean base counts are delta-bumped to match.
   for (const auto& [evidence, sim] : src.static_real) {
     dst.AddStaticReal(evidence, sim);
   }
-  dst.static_strong = std::max(dst.static_strong, src.static_strong);
-  dst.static_weak = std::max(dst.static_weak, src.static_weak);
+  if (src.static_strong > dst.static_strong) {
+    if (dst.cache.valid) {
+      dst.cache.strong_merged += src.static_strong - dst.static_strong;
+    }
+    dst.static_strong = src.static_strong;
+  }
+  if (src.static_weak > dst.static_weak) {
+    if (dst.cache.valid) {
+      dst.cache.weak_merged += src.static_weak - dst.static_weak;
+    }
+    dst.static_weak = src.static_weak;
+  }
 
   // Negative evidence survives folding: a cluster may not merge with a
   // reference constrained apart from any of its members. An already-merged
@@ -153,6 +243,24 @@ bool DependencyGraph::FoldInto(NodeId from, NodeId into) {
 
   src.dead = true;
   --num_live_nodes_;
+  // Every dst mutation above was cache-maintained (AddEdge pushed gained
+  // contributions, statics were offered / delta-bumped), except a direct
+  // src -> dst input disappearing with the fold.
+  if (dst_lost_input) dst.cache.valid = false;
+  if (dst.state == NodeState::kNonMerge) {
+    // Rescans exclude a non-merge dst, but dependents may cache the
+    // folded node's (or, on a fresh demotion, dst's own) contributions.
+    // Covers both the constraint transferred from src and a dst that was
+    // already constrained before edges were moved onto it.
+    InvalidateDependentCaches(into);
+  } else if (dst.sim != old_sim) {
+    // Monotone raise outside the solver loop: push it like Step would.
+    for (const Edge& e : dst.out) {
+      if (e.kind != DependencyKind::kRealValued) continue;
+      EvidenceCache& cache = nodes_[e.node].cache;
+      if (cache.valid) cache.Offer(e.evidence, dst.sim);
+    }
+  }
   return gained;
 }
 

@@ -68,6 +68,18 @@ class DependencyGraph {
   const Node& node(NodeId id) const { return nodes_[id]; }
   Node& mutable_node(NodeId id) { return nodes_[id]; }
 
+  /// Sets `id`'s processing state, invalidating dependents' evidence
+  /// caches when the transition changes how `id` contributes evidence
+  /// (into or out of kNonMerge excludes / re-admits its similarity; a
+  /// merge flips boolean counts). Callers outside the solver's Step()
+  /// must use this instead of writing `state` directly: Step() keeps the
+  /// caches consistent itself via delta pushes.
+  void SetNodeState(NodeId id, NodeState state);
+
+  /// Clears the cached evidence summaries of every node whose similarity
+  /// depends on `id` (its out-edge targets).
+  void InvalidateDependentCaches(NodeId id);
+
   /// Live reference-pair nodes containing reference `r`.
   const std::vector<NodeId>& NodesOfRef(RefId r) const {
     return nodes_of_ref_[r];

@@ -5,8 +5,11 @@
 #ifndef RECON_GRAPH_NODE_H_
 #define RECON_GRAPH_NODE_H_
 
+#include <array>
 #include <cstdint>
 #include <vector>
+
+#include "sim/evidence.h"
 
 namespace recon {
 
@@ -46,6 +49,42 @@ struct Edge {
   int16_t evidence;
 };
 
+/// Delta-maintained summary of a node's incoming evidence, kept by the
+/// fixed-point solver (ReconcilerOptions::evidence_cache). Mirrors
+/// sim/class_sim.h's EvidenceSummary but stores floats: every contribution
+/// is a float (neighbor sims, static evidence), so float channel maxima
+/// lose nothing against the rescan's doubles.
+///
+/// Invariant while `valid`: the summary equals what a full in-edge rescan
+/// would build at this instant. A fresh node has no in-edges and no static
+/// evidence, so the empty summary is exact and caches are born valid.
+/// Monotone mutations maintain the summary in place — AddEdge pushes the
+/// new source's current contribution, AddStaticReal offers the static
+/// value, and the solver pushes sim raises and merge transitions along
+/// out-edges. Only non-monotone surgery (node folding, non-merge demotion,
+/// which can *remove* contributions) clears `valid`, making the next
+/// recomputation rescan once.
+struct EvidenceCache {
+  EvidenceCache() { best.fill(-1.0f); }
+
+  /// Best similarity per real-valued evidence channel; -1 = no evidence.
+  std::array<float, kNumEvidence> best;
+  /// Merged strong-/weak-boolean incoming neighbors (statics included).
+  int32_t strong_merged = 0;
+  int32_t weak_merged = 0;
+  bool valid = true;
+
+  void Offer(int evidence, float sim) {
+    if (sim > best[evidence]) best[evidence] = sim;
+  }
+  void Reset() {
+    best.fill(-1.0f);
+    strong_merged = 0;
+    weak_merged = 0;
+    valid = false;
+  }
+};
+
 /// One similarity node. Element ids are RefIds for kReferencePair nodes and
 /// ValueIds for kValuePair nodes, stored with a < b.
 struct Node {
@@ -77,6 +116,10 @@ struct Node {
   int16_t static_strong = 0;
   int16_t static_weak = 0;
 
+  /// Cached evidence summary (see EvidenceCache). Only the solver reads
+  /// it; graph surgery and the mutators below keep `valid` honest.
+  EvidenceCache cache;
+
   /// Records `sim` as static evidence for `evidence`, keeping the max.
   void AddStaticReal(int evidence, double sim);
 
@@ -85,6 +128,9 @@ struct Node {
 };
 
 inline void Node::AddStaticReal(int evidence, double sim) {
+  // Statics feed the cached summary through the same max, so the cache
+  // absorbs the new value directly and stays valid.
+  cache.Offer(evidence, static_cast<float>(sim));
   const int16_t ev = static_cast<int16_t>(evidence);
   for (auto& [type, value] : static_real) {
     if (type == ev) {

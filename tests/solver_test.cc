@@ -213,7 +213,7 @@ TEST_F(SolverTest, SolverIsReentrantAfterManualEnqueue) {
   // Re-running with an empty queue is a no-op; re-enqueueing the same
   // nodes converges instantly (sims are already at fixpoint).
   solver.Run();
-  const int recomputes = stats.num_recomputations;
+  const int64_t recomputes = stats.num_recomputations;
   solver.EnqueueNodes(built.initial_queue);
   solver.Run();
   EXPECT_LE(stats.num_recomputations, recomputes + 2);

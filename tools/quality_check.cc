@@ -40,10 +40,12 @@ int main(int argc, char** argv) {
         cls, mi.precision, mi.recall, mi.f1, mi.num_partitions,
         mi.num_entities, md.precision, md.recall, md.f1, md.num_partitions);
   }
-  std::printf("dep graph: %d nodes, %d edges, %d merges, %d folds, "
+  std::printf("dep graph: %lld nodes, %lld edges, %lld merges, %lld folds, "
               "build %.2fs solve %.2fs\n",
-              rd.stats.num_nodes, rd.stats.num_edges, rd.stats.num_merges,
-              rd.stats.num_folds, rd.stats.build_seconds,
-              rd.stats.solve_seconds);
+              static_cast<long long>(rd.stats.num_nodes),
+              static_cast<long long>(rd.stats.num_edges),
+              static_cast<long long>(rd.stats.num_merges),
+              static_cast<long long>(rd.stats.num_folds),
+              rd.stats.build_seconds, rd.stats.solve_seconds);
   return 0;
 }

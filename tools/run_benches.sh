@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Runs every perf_* bench with --json and collects BENCH_<name>.json files
+# so perf trajectories can be tracked across commits.
+#
+# Usage: tools/run_benches.sh [build_dir] [out_dir]
+#   build_dir  defaults to build (must already be built)
+#   out_dir    defaults to the current directory
+#
+# Honors RECON_BENCH_SCALE / RECON_BENCH_THREADS like the benches do.
+
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-.}"
+BENCH_DIR="${BUILD_DIR}/bench"
+
+if [[ ! -d "${BENCH_DIR}" ]]; then
+  echo "error: ${BENCH_DIR} not found; build first:" >&2
+  echo "  cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j" >&2
+  exit 1
+fi
+
+mkdir -p "${OUT_DIR}"
+
+status=0
+for bench in "${BENCH_DIR}"/perf_*; do
+  [[ -x "${bench}" ]] || continue
+  name="$(basename "${bench}")"
+  out="${OUT_DIR}/BENCH_${name#perf_}.json"
+  echo "== ${name} -> ${out}"
+  if ! "${bench}" --json "${out}"; then
+    echo "error: ${name} failed" >&2
+    status=1
+  fi
+done
+
+exit ${status}
