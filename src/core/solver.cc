@@ -2,8 +2,10 @@
 
 #include <algorithm>
 
+#include "runtime/parallel.h"
 #include "sim/class_sim.h"
 #include "util/logging.h"
+#include "util/timer.h"
 
 namespace recon {
 
@@ -33,13 +35,135 @@ void FixedPointSolver::Run() {
   const int64_t max_iterations =
       500LL * std::max(1, graph_.num_nodes()) + 1000;
   int64_t iterations = 0;
-  while (!queue_.empty()) {
-    RECON_CHECK_LT(iterations++, max_iterations)
-        << "Reconciliation failed to converge";
-    const NodeId id = queue_.front();
-    queue_.pop_front();
-    Step(id);
+  const bool wavefront =
+      options_.parallel_fixed_point &&
+      runtime::ResolveNumThreads(options_.num_threads) > 1;
+  if (!wavefront) {
+    Timer timer;
+    while (!queue_.empty()) {
+      RECON_CHECK_LT(iterations++, max_iterations)
+          << "Reconciliation failed to converge";
+      Step(queue_.pop_front());
+    }
+    stats_->solve_commit_seconds += timer.ElapsedSeconds();
+    return;
   }
+
+  const size_t min_frontier =
+      static_cast<size_t>(std::max(1, options_.parallel_frontier_min));
+  while (!queue_.empty()) {
+    if (queue_.size() >= min_frontier) {
+      RunWavefrontRound(&iterations, max_iterations);
+    } else {
+      // Short queue: a round would cost more in dispatch than it saves.
+      // Drain serially until the queue refills (a propagation wave fanning
+      // out) or empties. Identical semantics either way.
+      Timer timer;
+      while (!queue_.empty() && queue_.size() < min_frontier) {
+        RECON_CHECK_LT(iterations++, max_iterations)
+            << "Reconciliation failed to converge";
+        Step(queue_.pop_front());
+      }
+      stats_->solve_commit_seconds += timer.ElapsedSeconds();
+    }
+  }
+}
+
+void FixedPointSolver::RunWavefrontRound(int64_t* iterations,
+                                         int64_t max_iterations) {
+  if (++round_id_ == 0) ++round_id_;  // 0 marks "no record"; skip on wrap.
+  const size_t max_frontier = static_cast<size_t>(
+      std::max(options_.parallel_frontier_min, options_.parallel_frontier_max));
+  const size_t frontier_size = std::min(queue_.size(), max_frontier);
+  frontier_.resize(frontier_size);
+  for (size_t i = 0; i < frontier_size; ++i) frontier_[i] = queue_[i];
+  if (records_.size() < frontier_size) records_.resize(frontier_size);
+  const size_t num_nodes = static_cast<size_t>(graph_.num_nodes());
+  if (record_round_.size() < num_nodes) {
+    record_round_.resize(num_nodes, 0);
+    record_index_.resize(num_nodes, 0);
+  }
+
+  // Phase 1 — parallel score: a pure read of the graph frozen at the
+  // snapshot. Each block writes only its own frontier slots, so the phase
+  // is race-free and the records are independent of the block -> thread
+  // assignment.
+  Timer score_timer;
+  runtime::ParallelForBlocked(
+      options_.num_threads, 0, static_cast<int64_t>(frontier_size),
+      /*grain=*/-1, [this](const runtime::Block& block) {
+        for (int64_t i = block.begin; i < block.end; ++i) {
+          ScoreNode(frontier_[static_cast<size_t>(i)],
+                    &records_[static_cast<size_t>(i)]);
+        }
+      });
+  const double score_seconds = score_timer.ElapsedSeconds();
+  for (size_t i = 0; i < frontier_size; ++i) {
+    record_round_[frontier_[i]] = round_id_;
+    record_index_[frontier_[i]] = static_cast<uint32_t>(i);
+  }
+
+  // Phase 2 — serial commit in exact sequential order: pop from the live
+  // queue (which interleaves queue-jumping nodes enqueued by commits with
+  // the rest of the frontier) until every snapshot member has been popped.
+  // Nodes without a live record — jumped in mid-round or re-activated
+  // after their pop — take the ordinary serial Step.
+  const int64_t hits_before = stats_->num_score_hits;
+  const int64_t rescores_before = stats_->num_serial_rescores;
+  const int64_t discards_before = stats_->num_score_discards;
+  Timer commit_timer;
+  size_t committed = 0;
+  while (committed < frontier_size) {
+    RECON_CHECK_LT((*iterations)++, max_iterations)
+        << "Reconciliation failed to converge";
+    const NodeId id = queue_.pop_front();
+    if (record_round_[id] == round_id_) {
+      record_round_[id] = 0;
+      ++committed;
+      StepWithRecord(id, records_[record_index_[id]]);
+    } else {
+      Step(id);
+    }
+  }
+  const double commit_seconds = commit_timer.ElapsedSeconds();
+
+  ++stats_->num_solver_rounds;
+  stats_->num_parallel_scored += static_cast<int64_t>(frontier_size);
+  stats_->solve_score_seconds += score_seconds;
+  stats_->solve_commit_seconds += commit_seconds;
+  stats_->solve_rounds.push_back(
+      {static_cast<int64_t>(frontier_size),
+       stats_->num_score_hits - hits_before,
+       stats_->num_serial_rescores - rescores_before,
+       stats_->num_score_discards - discards_before, score_seconds,
+       commit_seconds});
+}
+
+void FixedPointSolver::ScoreNode(NodeId id, ScoreRecord* rec) const {
+  const Node& node = graph_.node(id);
+  rec->gen = node.gen;
+  rec->scans = 0;
+  rec->avoided = 0;
+  rec->rebuilt = false;
+  rec->score = node.sim;
+  // Dead and demoted nodes are skipped at commit before the score is read.
+  if (node.dead || node.state == NodeState::kNonMerge) return;
+  if (node.forced_merge) {
+    rec->score = 1.0;  // Matches both serial paths: no scans, no rebuild.
+    return;
+  }
+  if (options_.evidence_cache) {
+    if (!node.cache.valid) {
+      rec->rebuilt = true;
+      BuildCacheSummary(node, &rec->cache, &rec->scans);
+      rec->score = ScoreFromCache(node, rec->cache);
+    } else {
+      rec->avoided = static_cast<int64_t>(node.in.size());
+      rec->score = ScoreFromCache(node, node.cache);
+    }
+    return;
+  }
+  rec->score = ComputeSimilarity(node, &rec->scans);
 }
 
 void FixedPointSolver::Step(NodeId id) {
@@ -47,19 +171,62 @@ void FixedPointSolver::Step(NodeId id) {
   node.queued = false;
   if (node.dead || node.state == NodeState::kNonMerge) return;
   if (node.state == NodeState::kActive) node.state = NodeState::kInactive;
+  const double computed =
+      options_.evidence_cache
+          ? CachedSimilarity(node)
+          : ComputeSimilarity(node, &stats_->num_inedge_scans);
+  Commit(id, node, computed);
+}
 
-  const double old_sim = node.sim;
-  const double computed = options_.evidence_cache ? CachedSimilarity(node)
-                                                  : ComputeSimilarity(node);
+void FixedPointSolver::StepWithRecord(NodeId id, const ScoreRecord& rec) {
+  Node& node = graph_.mutable_node(id);
+  node.queued = false;
+  if (node.dead || node.state == NodeState::kNonMerge) {
+    ++stats_->num_score_discards;  // Folded or demoted since the snapshot.
+    return;
+  }
+  if (node.state == NodeState::kActive) node.state = NodeState::kInactive;
+  double computed;
+  if (node.gen == rec.gen) {
+    // No input changed since the parallel score: the recorded value and
+    // stat deltas are exactly what the serial computation would produce.
+    ++stats_->num_score_hits;
+    computed = rec.score;
+    stats_->num_inedge_scans += rec.scans;
+    stats_->num_inedge_scans_avoided += rec.avoided;
+    if (rec.rebuilt) {
+      ++stats_->num_cache_rebuilds;
+      node.cache = rec.cache;
+    }
+  } else {
+    // An earlier commit of this round mutated an input; the parallel
+    // score is stale. Re-score serially against current state.
+    ++stats_->num_serial_rescores;
+    computed = options_.evidence_cache
+                   ? CachedSimilarity(node)
+                   : ComputeSimilarity(node, &stats_->num_inedge_scans);
+  }
+  Commit(id, node, computed);
+}
+
+void FixedPointSolver::Commit(NodeId id, Node& node, double computed) {
   ++stats_->num_recomputations;
+  const double old_sim = node.sim;
   // Similarities are monotone non-decreasing (§3.2 termination).
   if (computed > node.sim) node.sim = static_cast<float>(computed);
   const bool increased = node.sim > old_sim + options_.params.epsilon;
 
   // Any raise — even one below epsilon, which re-activates nobody — must
-  // reach dependents' caches: a full rescan reads current sims, so the
-  // caches have to as well.
-  if (options_.evidence_cache && node.sim > old_sim) PushSimDelta(node);
+  // reach dependents' caches and generation stamps: a full rescan reads
+  // current sims, so both have to as well.
+  if (node.sim > old_sim) {
+    for (const Edge& e : node.out) {
+      if (e.kind == DependencyKind::kRealValued) {
+        ++graph_.mutable_node(e.node).gen;
+      }
+    }
+    if (options_.evidence_cache) PushSimDelta(node);
+  }
 
   if (increased && options_.propagation) {
     for (const Edge& e : node.out) {
@@ -73,6 +240,11 @@ void FixedPointSolver::Step(NodeId id) {
   if (node.sim >= threshold && node.state != NodeState::kMerged) {
     node.state = NodeState::kMerged;
     ++stats_->num_merges;
+    for (const Edge& e : node.out) {
+      if (e.kind != DependencyKind::kRealValued) {
+        ++graph_.mutable_node(e.node).gen;  // Boolean counts changed.
+      }
+    }
     if (options_.evidence_cache) PushMergeDelta(node);
     if (options_.propagation) {
       // Strong-boolean dependents jump the queue (§3.2 heuristics).
@@ -118,7 +290,8 @@ void FixedPointSolver::Enqueue(NodeId id, bool front) {
   }
 }
 
-double FixedPointSolver::ComputeSimilarity(const Node& node) const {
+double FixedPointSolver::ComputeSimilarity(const Node& node,
+                                           int64_t* scans) const {
   if (node.forced_merge) return 1.0;  // User-confirmed match.
   if (!node.IsRefPair()) {
     // Value pairs: initial string similarity, lifted to 1 when a merged
@@ -126,7 +299,7 @@ double FixedPointSolver::ComputeSimilarity(const Node& node) const {
     // (Fig. 2's n6 after the venues merge).
     double sim = node.sim;
     for (const Edge& e : node.in) {
-      ++stats_->num_inedge_scans;
+      ++*scans;
       if (e.kind == DependencyKind::kStrongBoolean &&
           graph_.node(e.node).state == NodeState::kMerged) {
         sim = 1.0;
@@ -142,7 +315,7 @@ double FixedPointSolver::ComputeSimilarity(const Node& node) const {
   }
   evidence.strong_merged = node.static_strong;
   evidence.weak_merged = node.static_weak;
-  stats_->num_inedge_scans += static_cast<int64_t>(node.in.size());
+  *scans += static_cast<int64_t>(node.in.size());
   for (const Edge& e : node.in) {
     const Node& src = graph_.node(e.node);
     if (src.dead) continue;
@@ -169,67 +342,73 @@ double FixedPointSolver::ComputeSimilarity(const Node& node) const {
 double FixedPointSolver::CachedSimilarity(Node& node) {
   if (node.forced_merge) return 1.0;  // User-confirmed match.
   if (!node.cache.valid) {
-    RebuildCache(node);
+    BuildCacheSummary(node, &node.cache, &stats_->num_inedge_scans);
     ++stats_->num_cache_rebuilds;
   } else {
     stats_->num_inedge_scans_avoided += static_cast<int64_t>(node.in.size());
   }
+  return ScoreFromCache(node, node.cache);
+}
+
+double FixedPointSolver::ScoreFromCache(const Node& node,
+                                        const EvidenceCache& cache) const {
   if (!node.IsRefPair()) {
-    return node.cache.strong_merged > 0 ? 1.0 : node.sim;
+    return cache.strong_merged > 0 ? 1.0 : node.sim;
   }
   EvidenceSummary evidence;
   for (int e = 0; e < kNumEvidence; ++e) {
-    evidence.best[e] = node.cache.best[e];
+    evidence.best[e] = cache.best[e];
   }
-  evidence.strong_merged = node.cache.strong_merged;
-  evidence.weak_merged = node.cache.weak_merged;
+  evidence.strong_merged = cache.strong_merged;
+  evidence.weak_merged = cache.weak_merged;
   const ClassSimilarity* sim_fn = built_.class_sims[node.class_id].get();
   RECON_CHECK(sim_fn != nullptr)
       << "No similarity function for class " << node.class_id;
   return sim_fn->Compute(evidence);
 }
 
-void FixedPointSolver::RebuildCache(Node& node) {
-  EvidenceCache& cache = node.cache;
-  cache.Reset();
+void FixedPointSolver::BuildCacheSummary(const Node& node,
+                                         EvidenceCache* cache,
+                                         int64_t* scans) const {
+  cache->Reset();
   if (!node.IsRefPair()) {
     // Value pairs only care whether *any* strong-boolean neighbor merged;
     // stop at the first, like the uncached path does.
     for (const Edge& e : node.in) {
-      ++stats_->num_inedge_scans;
+      ++*scans;
       if (e.kind == DependencyKind::kStrongBoolean &&
           graph_.node(e.node).state == NodeState::kMerged) {
-        cache.strong_merged = 1;
+        cache->strong_merged = 1;
         break;
       }
     }
-    cache.valid = true;
+    cache->valid = true;
     return;
   }
   for (const auto& [type, sim] : node.static_real) {
-    cache.Offer(type, sim);
+    cache->Offer(type, sim);
   }
-  cache.strong_merged = node.static_strong;
-  cache.weak_merged = node.static_weak;
-  stats_->num_inedge_scans += static_cast<int64_t>(node.in.size());
+  cache->strong_merged = node.static_strong;
+  cache->weak_merged = node.static_weak;
+  *scans += static_cast<int64_t>(node.in.size());
   for (const Edge& e : node.in) {
     const Node& src = graph_.node(e.node);
     if (src.dead) continue;
     switch (e.kind) {
       case DependencyKind::kRealValued:
         if (src.state != NodeState::kNonMerge) {
-          cache.Offer(e.evidence, src.sim);
+          cache->Offer(e.evidence, src.sim);
         }
         break;
       case DependencyKind::kStrongBoolean:
-        if (src.state == NodeState::kMerged) ++cache.strong_merged;
+        if (src.state == NodeState::kMerged) ++cache->strong_merged;
         break;
       case DependencyKind::kWeakBoolean:
-        if (src.state == NodeState::kMerged) ++cache.weak_merged;
+        if (src.state == NodeState::kMerged) ++cache->weak_merged;
         break;
     }
   }
-  cache.valid = true;
+  cache->valid = true;
 }
 
 void FixedPointSolver::PushSimDelta(const Node& node) {

@@ -5,7 +5,7 @@
 #ifndef RECON_CORE_SOLVER_H_
 #define RECON_CORE_SOLVER_H_
 
-#include <deque>
+#include <cstdint>
 #include <utility>
 #include <vector>
 
@@ -13,6 +13,7 @@
 #include "core/options.h"
 #include "core/reconciler_stats.h"
 #include "model/dataset.h"
+#include "util/ring_buffer.h"
 #include "util/union_find.h"
 
 namespace recon {
@@ -37,7 +38,12 @@ class FixedPointSolver {
   /// and already-queued nodes are skipped).
   void EnqueueNodes(const std::vector<NodeId>& nodes);
 
-  /// Drains the queue to the fixed point (§3.2).
+  /// Drains the queue to the fixed point (§3.2). With
+  /// options.parallel_fixed_point and more than one resolved thread, the
+  /// drain runs as deterministic wavefront rounds (DESIGN.md §9): the
+  /// frontier is scored in parallel, side effects are committed serially in
+  /// exact sequential queue order, and output is byte-identical to the
+  /// one-node-at-a-time drain.
   void Run();
 
   /// §3.4 step 3: post-fixpoint propagation of negative evidence. Called
@@ -56,10 +62,53 @@ class FixedPointSolver {
   UnionFind& refs() { return refs_; }
 
  private:
+  // ---- Parallel wavefront rounds (options_.parallel_fixed_point) --------
+  // A round snapshots the head of the queue — up to parallel_frontier_max
+  // nodes — as the frontier (its order — FIFO plus strong-boolean queue
+  // jumps — is the canonical sort key), scores
+  // every frontier node in parallel as a pure read of the frozen graph,
+  // then pops and commits exactly like the sequential drain. A parallel
+  // score is committed only if the node's generation stamp (Node::gen)
+  // still matches the value read while scoring; otherwise an earlier
+  // commit of this round changed one of its inputs and the node is
+  // re-scored serially. Since committed values and all side-effect
+  // ordering equal the sequential solver's, output is byte-identical by
+  // construction at every thread count.
+
+  /// What the parallel score phase records per frontier node; consumed by
+  /// the serial commit.
+  struct ScoreRecord {
+    double score = 0;
+    /// Node::gen at scoring time; a mismatch at commit means stale.
+    uint32_t gen = 0;
+    /// In-edge scans the serial computation would have performed.
+    int64_t scans = 0;
+    /// In-edge scans a valid cache would have avoided.
+    int64_t avoided = 0;
+    /// True when the score required a full cache rebuild; `cache` then
+    /// holds the rebuilt summary to install at commit.
+    bool rebuilt = false;
+    EvidenceCache cache;
+  };
+
+  /// One wavefront round: snapshot, parallel score, serial commit of the
+  /// whole frontier (plus any queue-jumping nodes enqueued mid-round).
+  void RunWavefrontRound(int64_t* iterations, int64_t max_iterations);
+  /// Pure read: computes what Step would compute for `id` right now,
+  /// including the stat deltas the serial path would record.
+  void ScoreNode(NodeId id, ScoreRecord* rec) const;
+  /// Step variant that consumes a fresh parallel score (or re-scores
+  /// serially on a generation mismatch).
+  void StepWithRecord(NodeId id, const ScoreRecord& rec);
+
   void Step(NodeId id);
+  /// The write half of Step: state transition, merge, enrichment, delta
+  /// pushes, dependent re-activation, generation bumps.
+  void Commit(NodeId id, Node& node, double computed);
   void EnrichReferences(NodeId id);
   void Enqueue(NodeId id, bool front);
-  double ComputeSimilarity(const Node& node) const;
+  /// The uncached full recomputation; in-edge reads land in `*scans`.
+  double ComputeSimilarity(const Node& node, int64_t* scans) const;
 
   // ---- Delta-propagated evidence caching (options_.evidence_cache) ----
   // Each node's EvidenceCache is born valid (empty node, empty summary)
@@ -74,8 +123,12 @@ class FixedPointSolver {
   /// Like ComputeSimilarity but served from the node's cache, rebuilding
   /// it first when invalid. Returns the identical value.
   double CachedSimilarity(Node& node);
-  /// Full in-edge rescan into `node.cache` (the one-time fallback).
-  void RebuildCache(Node& node);
+  /// Full in-edge rescan into `*cache` (the one-time fallback, and the
+  /// parallel score path's side-effect-free rebuild). Leaves it valid.
+  void BuildCacheSummary(const Node& node, EvidenceCache* cache,
+                         int64_t* scans) const;
+  /// The similarity a given (valid) evidence summary yields for `node`.
+  double ScoreFromCache(const Node& node, const EvidenceCache& cache) const;
   /// Offers `node.sim` to every real-valued dependent's valid cache.
   void PushSimDelta(const Node& node);
   /// Bumps merged-neighbor counts in boolean dependents' valid caches.
@@ -88,7 +141,16 @@ class FixedPointSolver {
   const ReconcilerOptions& options_;
   ReconcileStats* stats_;
   UnionFind refs_;
-  std::deque<NodeId> queue_;
+  RingDeque<NodeId> queue_;
+
+  // Wavefront scratch, reused across rounds. record_round_[n] names the
+  // round whose records_[record_index_[n]] belongs to node n; consuming or
+  // discarding a record zeroes it (0 is never a live round id).
+  std::vector<NodeId> frontier_;
+  std::vector<ScoreRecord> records_;
+  std::vector<uint32_t> record_round_;
+  std::vector<uint32_t> record_index_;
+  uint32_t round_id_ = 0;
 };
 
 }  // namespace recon

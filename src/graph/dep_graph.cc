@@ -66,6 +66,7 @@ void DependencyGraph::AddEdge(NodeId from, NodeId to, DependencyKind kind,
   src.out.push_back(Edge{to, kind, ev});
   Node& dst = nodes_[to];
   dst.in.push_back(Edge{from, kind, ev});
+  ++dst.gen;  // New input: any in-flight parallel score of `to` is stale.
   // Push the new source's current contribution so `to`'s evidence cache
   // stays valid: this is exactly what a rescan would read for this edge
   // right now, and later source changes arrive as solver deltas (sim
@@ -100,6 +101,7 @@ void DependencyGraph::SetNodeState(NodeId id, NodeState state) {
   const bool was_merged = old == NodeState::kMerged;
   const bool is_merged = state == NodeState::kMerged;
   for (const Edge& e : node.out) {
+    ++nodes_[e.node].gen;  // A source's state is a score input.
     EvidenceCache& cache = nodes_[e.node].cache;
     if (!cache.valid) continue;
     if (e.kind == DependencyKind::kRealValued) {
@@ -130,6 +132,7 @@ void DependencyGraph::SetNodeState(NodeId id, NodeState state) {
 void DependencyGraph::InvalidateDependentCaches(NodeId id) {
   for (const Edge& e : nodes_[id].out) {
     nodes_[e.node].cache.valid = false;
+    ++nodes_[e.node].gen;
   }
 }
 
@@ -167,7 +170,9 @@ bool DependencyGraph::FoldInto(NodeId from, NodeId into) {
   Node& dst = nodes_[into];
   RECON_CHECK(!src.dead && !dst.dead);
   const float old_sim = dst.sim;
-  const NodeState old_state = dst.state;
+  // The fold rewrites dst's inputs wholesale (in-edges, statics, sim);
+  // one conservative bump covers every mutation below that targets dst.
+  ++dst.gen;
 
   bool gained = false;
   // Reconnect incoming dependencies: x -> from becomes x -> into.
@@ -197,6 +202,7 @@ bool DependencyGraph::FoldInto(NodeId from, NodeId into) {
         target_in[i] = target_in.back();
         target_in.pop_back();
         --num_edges_;
+        ++nodes_[e.node].gen;  // Lost an input.
         break;
       }
     }
@@ -257,6 +263,7 @@ bool DependencyGraph::FoldInto(NodeId from, NodeId into) {
     // Monotone raise outside the solver loop: push it like Step would.
     for (const Edge& e : dst.out) {
       if (e.kind != DependencyKind::kRealValued) continue;
+      ++nodes_[e.node].gen;
       EvidenceCache& cache = nodes_[e.node].cache;
       if (cache.valid) cache.Offer(e.evidence, dst.sim);
     }

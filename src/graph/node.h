@@ -120,6 +120,18 @@ struct Node {
   /// it; graph surgery and the mutators below keep `valid` honest.
   EvidenceCache cache;
 
+  /// Input generation: bumped by every mutation that can change what this
+  /// node's similarity computation would return — a source's sim raise or
+  /// state change, an in-edge added or lost, static evidence gained, a fold
+  /// into this node, a cache invalidation. The parallel wavefront solver
+  /// stamps it when scoring a frontier node in parallel and discards the
+  /// score at commit time if the stamp no longer matches (an earlier commit
+  /// in the same round mutated an input), re-scoring serially instead.
+  /// Over-bumping is safe (it only forces a serial re-score); missing a
+  /// bump would silently commit a stale score, so every dep_graph.cc
+  /// mutation site and solver commit bumps conservatively.
+  uint32_t gen = 0;
+
   /// Records `sim` as static evidence for `evidence`, keeping the max.
   void AddStaticReal(int evidence, double sim);
 
@@ -129,7 +141,9 @@ struct Node {
 
 inline void Node::AddStaticReal(int evidence, double sim) {
   // Statics feed the cached summary through the same max, so the cache
-  // absorbs the new value directly and stays valid.
+  // absorbs the new value directly and stays valid. The node's own score
+  // inputs changed, so its generation moves.
+  ++gen;
   cache.Offer(evidence, static_cast<float>(sim));
   const int16_t ev = static_cast<int16_t>(evidence);
   for (auto& [type, value] : static_real) {

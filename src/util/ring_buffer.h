@@ -1,0 +1,90 @@
+// A power-of-two ring buffer deque for trivially copyable elements.
+//
+// Built for the fixed-point solver's active-node queue: std::deque allocates
+// and frees fixed-size chunks as the queue breathes with every propagation
+// wave, which shows up as allocator traffic in perf_fixedpoint. RingDeque
+// keeps one contiguous buffer that only ever grows (doubling), so steady-
+// state push/pop is a store, a load, and a mask.
+
+#ifndef RECON_UTIL_RING_BUFFER_H_
+#define RECON_UTIL_RING_BUFFER_H_
+
+#include <cstddef>
+#include <type_traits>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace recon {
+
+/// Double-ended queue over a single power-of-two buffer. Indexing is
+/// front-relative: (*this)[0] is the element pop_front would return.
+template <typename T>
+class RingDeque {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "RingDeque relinearizes with plain copies");
+
+ public:
+  explicit RingDeque(size_t initial_capacity = 0) {
+    if (initial_capacity > 0) buffer_.resize(CapacityFor(initial_capacity));
+  }
+
+  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
+
+  const T& operator[](size_t i) const {
+    return buffer_[(head_ + i) & (buffer_.size() - 1)];
+  }
+
+  void push_back(const T& value) {
+    if (size_ == buffer_.size()) Grow();
+    buffer_[(head_ + size_) & (buffer_.size() - 1)] = value;
+    ++size_;
+  }
+
+  void push_front(const T& value) {
+    if (size_ == buffer_.size()) Grow();
+    head_ = (head_ + buffer_.size() - 1) & (buffer_.size() - 1);
+    buffer_[head_] = value;
+    ++size_;
+  }
+
+  T pop_front() {
+    RECON_CHECK(size_ > 0) << "pop_front on empty RingDeque";
+    const T value = buffer_[head_];
+    head_ = (head_ + 1) & (buffer_.size() - 1);
+    --size_;
+    return value;
+  }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+  size_t capacity() const { return buffer_.size(); }
+
+ private:
+  static size_t CapacityFor(size_t n) {
+    size_t capacity = kMinCapacity;
+    while (capacity < n) capacity <<= 1;
+    return capacity;
+  }
+
+  void Grow() {
+    std::vector<T> grown(buffer_.empty() ? kMinCapacity : buffer_.size() * 2);
+    for (size_t i = 0; i < size_; ++i) grown[i] = (*this)[i];
+    buffer_ = std::move(grown);
+    head_ = 0;
+  }
+
+  static constexpr size_t kMinCapacity = 16;
+
+  std::vector<T> buffer_;
+  size_t head_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace recon
+
+#endif  // RECON_UTIL_RING_BUFFER_H_

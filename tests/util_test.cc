@@ -5,7 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <deque>
+
 #include "util/random.h"
+#include "util/ring_buffer.h"
 #include "util/status.h"
 #include "util/string_util.h"
 #include "util/union_find.h"
@@ -257,6 +260,104 @@ TEST(UnionFindTest, PropertyRandomUnions) {
     }
     EXPECT_EQ(total, n);
   }
+}
+
+// ---- RingDeque -----------------------------------------------------------
+
+TEST(RingDequeTest, StartsEmpty) {
+  RingDeque<int> q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.capacity(), 0u);
+}
+
+TEST(RingDequeTest, FifoOrder) {
+  RingDeque<int> q;
+  for (int i = 0; i < 100; ++i) q.push_back(i);
+  EXPECT_EQ(q.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(q.pop_front(), i);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(RingDequeTest, PushFrontJumpsTheQueue) {
+  RingDeque<int> q;
+  q.push_back(1);
+  q.push_back(2);
+  q.push_front(0);
+  EXPECT_EQ(q[0], 0);
+  EXPECT_EQ(q[1], 1);
+  EXPECT_EQ(q[2], 2);
+  EXPECT_EQ(q.pop_front(), 0);
+  EXPECT_EQ(q.pop_front(), 1);
+  EXPECT_EQ(q.pop_front(), 2);
+}
+
+TEST(RingDequeTest, IndexingIsFrontRelative) {
+  RingDeque<int> q;
+  for (int i = 0; i < 8; ++i) q.push_back(i);
+  for (int i = 0; i < 5; ++i) q.pop_front();
+  ASSERT_EQ(q.size(), 3u);
+  EXPECT_EQ(q[0], 5);
+  EXPECT_EQ(q[2], 7);
+}
+
+TEST(RingDequeTest, GrowsAcrossWrapAround) {
+  // Force the head to sit mid-buffer before growth so relinearization has
+  // to copy a wrapped range.
+  RingDeque<int> q(16);
+  ASSERT_EQ(q.capacity(), 16u);
+  for (int i = 0; i < 12; ++i) q.push_back(i);
+  for (int i = 0; i < 12; ++i) q.pop_front();
+  for (int i = 0; i < 17; ++i) q.push_back(i);  // Wraps, then doubles.
+  EXPECT_EQ(q.capacity(), 32u);
+  for (int i = 0; i < 17; ++i) EXPECT_EQ(q.pop_front(), i);
+}
+
+TEST(RingDequeTest, InitialCapacityRoundsUpToPowerOfTwo) {
+  RingDeque<int> q(100);
+  EXPECT_EQ(q.capacity(), 128u);
+  RingDeque<int> tiny(3);
+  EXPECT_EQ(tiny.capacity(), 16u);  // kMinCapacity floor.
+}
+
+TEST(RingDequeTest, ClearKeepsCapacity) {
+  RingDeque<int> q;
+  for (int i = 0; i < 50; ++i) q.push_back(i);
+  const size_t capacity = q.capacity();
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.capacity(), capacity);
+  q.push_back(7);
+  EXPECT_EQ(q.pop_front(), 7);
+}
+
+TEST(RingDequeTest, PropertyMatchesStdDeque) {
+  // Random interleaving of operations against the reference container.
+  Random rng(20260806);
+  RingDeque<int> q;
+  std::deque<int> ref;
+  for (int step = 0; step < 20000; ++step) {
+    const uint64_t op = rng.NextBounded(4);
+    if (op == 0 || (op == 1 && ref.size() < 4)) {
+      q.push_back(step);
+      ref.push_back(step);
+    } else if (op == 1) {
+      q.push_front(step);
+      ref.push_front(step);
+    } else if (op == 2 && !ref.empty()) {
+      ASSERT_EQ(q.pop_front(), ref.front());
+      ref.pop_front();
+    } else if (!ref.empty()) {
+      const size_t i = static_cast<size_t>(rng.NextBounded(ref.size()));
+      ASSERT_EQ(q[i], ref[i]);
+    }
+    ASSERT_EQ(q.size(), ref.size());
+  }
+  while (!ref.empty()) {
+    ASSERT_EQ(q.pop_front(), ref.front());
+    ref.pop_front();
+  }
+  EXPECT_TRUE(q.empty());
 }
 
 }  // namespace

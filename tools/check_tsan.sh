@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# One-command race + determinism check for the parallel subsystems
+# (src/runtime/ and the wavefront fixed-point solver, DESIGN.md §9):
+#
+#   1. configures and builds build-tsan/ with -DRECON_SANITIZE=thread,
+#   2. runs every ctest target labeled `tsan` under ThreadSanitizer
+#      (runtime primitives, evidence-cache parity, and the parallel-solver
+#      sweep that asserts byte-identical output at 1/2/4/8 threads),
+#   3. re-runs the determinism sweep in the regular (uninstrumented) build
+#      when one exists — TSan's memory model can hide orderings that the
+#      native build exhibits, so both must pass.
+#
+# Usage: tools/check_tsan.sh [tsan_build_dir] [native_build_dir]
+#   tsan_build_dir    defaults to build-tsan (created if missing)
+#   native_build_dir  defaults to build (step 3 is skipped if missing)
+
+set -euo pipefail
+
+TSAN_DIR="${1:-build-tsan}"
+NATIVE_DIR="${2:-build}"
+
+echo "== [1/3] configure + build ${TSAN_DIR} (-DRECON_SANITIZE=thread)"
+cmake -B "${TSAN_DIR}" -S . -DRECON_SANITIZE=thread \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "${TSAN_DIR}" -j
+
+echo
+echo "== [2/3] ctest -L tsan under ThreadSanitizer"
+# halt_on_error: a race is a hard failure, not a log line.
+TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
+  ctest --test-dir "${TSAN_DIR}" -L tsan --output-on-failure
+
+echo
+if [[ -d "${NATIVE_DIR}/tests" ]]; then
+  echo "== [3/3] determinism sweep in native build ${NATIVE_DIR}"
+  ctest --test-dir "${NATIVE_DIR}" -R SolverParallelTest --output-on-failure
+else
+  echo "== [3/3] skipped: ${NATIVE_DIR} not built"
+fi
+
+echo
+echo "OK: tsan-labeled tests race-free and parallel output byte-identical."

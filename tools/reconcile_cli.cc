@@ -8,8 +8,9 @@
 //                 [--evidence attr|ne|article|contact] [--canopies]
 //                 [--threads N] <dataset file>
 //
-// --threads N runs candidate generation and pair scoring on N threads
-// (0 = all hardware threads); output is identical for every value.
+// --threads N runs candidate generation, pair scoring, and the fixed-point
+// solve's wavefront rounds (DESIGN.md §9) on N threads (0 = all hardware
+// threads); output is byte-identical for every value.
 
 #include <cstdlib>
 #include <cstring>
@@ -133,5 +134,13 @@ int main(int argc, char** argv) {
             << result.stats.num_merges << " merges; build "
             << result.stats.build_seconds << "s solve "
             << result.stats.solve_seconds << "s\n";
+  if (result.stats.num_solver_rounds > 0) {
+    std::cout << "Solve: " << result.stats.num_solver_rounds
+              << " wavefront rounds; score "
+              << result.stats.solve_score_seconds << "s (parallel) commit "
+              << result.stats.solve_commit_seconds << "s (serial); "
+              << result.stats.num_score_hits << " hits / "
+              << result.stats.num_serial_rescores << " re-scored\n";
+  }
   return 0;
 }
