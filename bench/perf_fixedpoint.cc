@@ -7,6 +7,13 @@
 //
 // The cache is an invisible optimisation: the binary exits non-zero if
 // the partitions, merged pairs, or merge counts differ between modes.
+//
+// A second guard covers the budget subsystem (DESIGN.md §10): on PIM B
+// the solve is timed with no budget configured vs. a generous budget
+// (every probe performs its full checks but never fires). The output must
+// stay byte-identical and the probe overhead below 2% of solve time, so
+// budget support stays effectively free. A third, degraded row runs under
+// an already-expired deadline to show the anytime path's cost shape.
 
 #include <algorithm>
 #include <iostream>
@@ -145,6 +152,63 @@ int main(int argc, char** argv) {
   std::cout << "\n'Avoided' counts in-edges a full rescan would have read "
                "but the valid\ncache made unnecessary; 'Pushes' counts "
                "delta updates applied instead.\n";
+
+  // --- Budget probe overhead guard (PIM B) ---------------------------------
+  bool budget_identical = true;
+  double budget_overhead = 0;
+  {
+    const Case* pim_b = nullptr;
+    for (const Case& c : cases) {
+      if (c.name == "PIM B") pim_b = &c;
+    }
+    ReconcilerOptions options =
+        bench::WithBenchThreads(ReconcilerOptions::DepGraph());
+    const ModeResult off = RunMode(pim_b->dataset, options, 5);
+    // Generous: every limit set, none reachable — probes do all the work
+    // (counter bumps, hook dispatch, strided clock reads) with no stop.
+    options.budget.deadline_ms = 3.6e6;
+    options.budget.max_solver_iterations = int64_t{1} << 60;
+    options.budget.max_merges = int64_t{1} << 60;
+    options.budget.soft_max_memory_bytes = int64_t{1} << 60;
+    const ModeResult on = RunMode(pim_b->dataset, options, 5);
+
+    budget_identical = off.result.cluster == on.result.cluster &&
+                       off.result.merged_pairs == on.result.merged_pairs &&
+                       on.result.stats.stop_reason == StopReason::kConverged;
+    budget_overhead =
+        off.solve_seconds > 0
+            ? (on.solve_seconds - off.solve_seconds) / off.solve_seconds
+            : 0.0;
+
+    // Degraded row: an already-expired deadline — the run freezes at its
+    // first probe yet still returns a valid (empty-ish) partition.
+    options.budget.deadline_ms = 1e-6;
+    const ModeResult degraded = RunMode(pim_b->dataset, options, 1);
+
+    std::cout << "\nBudget guard (PIM B): solve off " << off.solve_seconds
+              << "s, generous-budget " << on.solve_seconds << "s, overhead "
+              << budget_overhead * 100 << "% ("
+              << (budget_identical ? "identical" : "MISMATCH") << ")\n"
+              << "Degraded (expired deadline): stop="
+              << StopReasonToString(degraded.result.stats.stop_reason)
+              << " merges=" << degraded.result.stats.num_merges << " solve "
+              << degraded.solve_seconds << "s\n";
+
+    json.BeginRow();
+    json.Add("dataset", std::string("PIM B [budget-guard]"));
+    json.Add("solve_seconds_unbudgeted", off.solve_seconds);
+    json.Add("solve_seconds_generous_budget", on.solve_seconds);
+    json.Add("budget_probe_overhead_pct", budget_overhead * 100);
+    json.Add("budget_probes", on.result.stats.num_budget_probes);
+    json.Add("budget_identical", budget_identical ? std::string("true")
+                                                  : std::string("false"));
+    json.Add("degraded_stop_reason",
+             std::string(StopReasonToString(
+                 degraded.result.stats.stop_reason)));
+    json.Add("degraded_merges", degraded.result.stats.num_merges);
+    json.Add("degraded_solve_seconds", degraded.solve_seconds);
+  }
+
   json.Write(bench::JsonPathFromArgs(argc, argv));
 
   if (any_mismatch) {
@@ -153,6 +217,16 @@ int main(int argc, char** argv) {
   }
   if (!reduction_ok) {
     std::cerr << "FATAL: in-edge scan reduction below 2x on a PIM config\n";
+    return 1;
+  }
+  if (!budget_identical) {
+    std::cerr << "FATAL: generous budget changed the output or did not "
+                 "converge\n";
+    return 1;
+  }
+  if (budget_overhead >= 0.02) {
+    std::cerr << "FATAL: budget probe overhead "
+              << budget_overhead * 100 << "% >= 2% on PIM B\n";
     return 1;
   }
   return 0;

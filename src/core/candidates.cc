@@ -158,7 +158,8 @@ std::vector<std::string> BlockingKeys(const Dataset& dataset, RefId ref,
 
 CandidateList GenerateCandidates(const Dataset& dataset,
                                  const SchemaBinding& binding,
-                                 const ReconcilerOptions& options) {
+                                 const ReconcilerOptions& options,
+                                 BudgetTracker* budget) {
   CandidateList out;
 
   if (options.use_blocking && options.use_canopies) {
@@ -167,13 +168,15 @@ CandidateList GenerateCandidates(const Dataset& dataset,
     canopy.tight_threshold = options.canopy_tight_threshold;
     canopy.max_canopy_size = options.max_canopy_size;
     canopy.num_threads = options.num_threads;
-    return GenerateCanopyCandidates(dataset, binding, canopy);
+    return GenerateCanopyCandidates(dataset, binding, canopy, budget);
   }
 
   if (!options.use_blocking) {
-    // All same-class pairs, for small datasets and ablations.
+    // All same-class pairs, for small datasets and ablations; probe per
+    // class (batch boundary) so a budget stop truncates to a class prefix.
     for (int class_id = 0; class_id < dataset.schema().num_classes();
          ++class_id) {
+      if (budget != nullptr && budget->Probe(ProbePoint::kCandidates)) break;
       const std::vector<RefId> refs = dataset.ReferencesOfClass(class_id);
       for (size_t i = 0; i < refs.size(); ++i) {
         for (size_t j = i + 1; j < refs.size(); ++j) {
@@ -192,11 +195,23 @@ CandidateList GenerateCandidates(const Dataset& dataset,
   std::vector<std::vector<std::string>> keys_of(num_refs);
   runtime::ParallelFor(options.num_threads, 0, num_refs, /*grain=*/256,
                        [&](int64_t ref) {
+                         if (budget != nullptr && (ref % 256) == 0 &&
+                             budget->ShouldAbandonParallelWork()) {
+                           return;
+                         }
                          keys_of[ref] = BlockingKeys(
                              dataset, static_cast<RefId>(ref), binding);
                        });
+  if (budget != nullptr) budget->ResolveAsyncStop();
+  // Serial index build, probing every 256 references: a budget stop
+  // truncates blocking to a reference-id prefix (still a valid — merely
+  // smaller — candidate set).
   std::unordered_map<std::string, std::vector<RefId>> blocks;
   for (RefId ref = 0; ref < num_refs; ++ref) {
+    if (budget != nullptr && (ref % 256) == 0 &&
+        budget->Probe(ProbePoint::kCandidates)) {
+      break;
+    }
     for (std::string& key : keys_of[ref]) {
       blocks[std::move(key)].push_back(ref);
     }
@@ -205,7 +220,13 @@ CandidateList GenerateCandidates(const Dataset& dataset,
   const int lanes = runtime::ResolveNumThreads(options.num_threads);
   if (lanes <= 1) {
     std::unordered_set<uint64_t> seen;
+    int64_t block_index = 0;
     for (const auto& [key, members] : blocks) {
+      // Batch boundary: one probe per 64 blocks expanded.
+      if (budget != nullptr && (block_index++ % 64) == 0 &&
+          budget->Probe(ProbePoint::kCandidates)) {
+        break;
+      }
       if (static_cast<int>(members.size()) > options.max_block_size) continue;
       for (size_t i = 0; i < members.size(); ++i) {
         for (size_t j = i + 1; j < members.size(); ++j) {
@@ -240,6 +261,10 @@ CandidateList GenerateCandidates(const Dataset& dataset,
         std::vector<std::pair<RefId, RefId>>& shard =
             collector.shard(block.index);
         for (int64_t k = block.begin; k < block.end; ++k) {
+          if (budget != nullptr && ((k - block.begin) % 64) == 0 &&
+              budget->ShouldAbandonParallelWork()) {
+            return;
+          }
           const std::vector<RefId>& members = *block_members[k];
           for (size_t i = 0; i < members.size(); ++i) {
             for (size_t j = i + 1; j < members.size(); ++j) {
@@ -249,6 +274,7 @@ CandidateList GenerateCandidates(const Dataset& dataset,
           }
         }
       });
+  if (budget != nullptr) budget->ResolveAsyncStop();
   out = collector.Drain();
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());

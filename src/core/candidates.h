@@ -14,6 +14,7 @@
 #include "core/options.h"
 #include "core/schema_binding.h"
 #include "model/dataset.h"
+#include "util/budget.h"
 
 namespace recon {
 
@@ -23,9 +24,13 @@ using CandidateList = std::vector<std::pair<RefId, RefId>>;
 
 /// Generates candidate pairs for all classes of `dataset`.
 /// With options.use_blocking == false, returns all same-class pairs.
+/// A `budget` stop (probed at batch boundaries, DESIGN.md §10) truncates
+/// generation: the pairs produced so far are returned, deduplicated and
+/// sorted as usual.
 CandidateList GenerateCandidates(const Dataset& dataset,
                                  const SchemaBinding& binding,
-                                 const ReconcilerOptions& options);
+                                 const ReconcilerOptions& options,
+                                 BudgetTracker* budget = nullptr);
 
 /// Blocking keys of one reference (exposed for tests): lowercased name
 /// tokens (nickname-canonicalized), parsed last names, email account cores,

@@ -31,7 +31,7 @@ struct FeatureIndex {
 
 FeatureIndex BuildIndex(const Dataset& dataset,
                         const SchemaBinding& binding, int class_id,
-                        int num_threads) {
+                        int num_threads, BudgetTracker* budget) {
   FeatureIndex index;
   for (RefId id = 0; id < dataset.num_references(); ++id) {
     if (dataset.reference(id).class_id() == class_id) {
@@ -40,14 +40,21 @@ FeatureIndex BuildIndex(const Dataset& dataset,
   }
   // Key extraction (string parsing) is the expensive part; run it in
   // parallel, one slot per reference. Token-id interning stays serial in
-  // member order, so ids are identical for every thread count.
+  // member order, so ids are identical for every thread count. An
+  // abandoned slot just contributes no tokens (cancel / deadline already
+  // decided the run).
   std::vector<std::vector<std::string>> keys_of(index.refs.size());
   runtime::ParallelFor(num_threads, 0,
                        static_cast<int64_t>(index.refs.size()),
                        /*grain=*/256, [&](int64_t local) {
+                         if (budget != nullptr && (local % 256) == 0 &&
+                             budget->ShouldAbandonParallelWork()) {
+                           return;
+                         }
                          keys_of[local] = BlockingKeys(
                              dataset, index.refs[local], binding);
                        });
+  if (budget != nullptr) budget->ResolveAsyncStop();
   std::unordered_map<std::string, int> token_ids;
   for (std::vector<std::string>& keys : keys_of) {
     std::vector<int> tokens;
@@ -88,15 +95,17 @@ FeatureIndex BuildIndex(const Dataset& dataset,
 
 CandidateList GenerateCanopyCandidates(const Dataset& dataset,
                                        const SchemaBinding& binding,
-                                       const CanopyOptions& options) {
+                                       const CanopyOptions& options,
+                                       BudgetTracker* budget) {
   RECON_CHECK_GE(options.tight_threshold, options.loose_threshold);
   CandidateList out;
   std::unordered_set<uint64_t> seen;
+  bool stopped = false;
 
-  for (int class_id = 0; class_id < dataset.schema().num_classes();
-       ++class_id) {
-    const FeatureIndex index =
-        BuildIndex(dataset, binding, class_id, options.num_threads);
+  for (int class_id = 0;
+       class_id < dataset.schema().num_classes() && !stopped; ++class_id) {
+    const FeatureIndex index = BuildIndex(dataset, binding, class_id,
+                                          options.num_threads, budget);
     const size_t n = index.refs.size();
     std::vector<char> removed(n, 0);  // Within tight threshold of a center.
     std::vector<double> shared(n, 0.0);
@@ -104,6 +113,12 @@ CandidateList GenerateCanopyCandidates(const Dataset& dataset,
 
     for (size_t center = 0; center < n; ++center) {
       if (removed[center]) continue;
+      // One probe per canopy center; a stop truncates the sweep to a
+      // prefix of the deterministic center order.
+      if (budget != nullptr && budget->Probe(ProbePoint::kCanopy)) {
+        stopped = true;
+        break;
+      }
       // Sparse IDF-weighted overlap with every reference sharing a token.
       touched.clear();
       for (const int token : index.tokens_of[center]) {

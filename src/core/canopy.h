@@ -17,6 +17,7 @@
 #include "core/options.h"
 #include "core/schema_binding.h"
 #include "model/dataset.h"
+#include "util/budget.h"
 
 namespace recon {
 
@@ -36,9 +37,12 @@ struct CanopyOptions {
 
 /// Generates candidate pairs via canopy clustering, per class,
 /// deterministically (canopy centers are picked in reference-id order).
+/// A `budget` stop (probed per canopy center) truncates the sweep after
+/// the current center's canopy; pairs collected so far are returned.
 CandidateList GenerateCanopyCandidates(const Dataset& dataset,
                                        const SchemaBinding& binding,
-                                       const CanopyOptions& options);
+                                       const CanopyOptions& options,
+                                       BudgetTracker* budget = nullptr);
 
 }  // namespace recon
 

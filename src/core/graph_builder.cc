@@ -51,12 +51,21 @@ struct StageScratch {
   std::unordered_map<uint64_t, float> sim_cache;
 };
 
+/// Staged pairs are applied (and association wiring probed) in chunks of
+/// this many items; each chunk boundary is one kBuild budget probe.
+constexpr int64_t kBuildChunk = 256;
+
 class GraphBuilder {
  public:
-  GraphBuilder(const Dataset& dataset, const ReconcilerOptions& options)
+  GraphBuilder(const Dataset& dataset, const ReconcilerOptions& options,
+               BudgetTracker* budget)
       : dataset_(dataset),
         options_(options),
-        binding_(SchemaBinding::Resolve(dataset.schema())) {}
+        binding_(SchemaBinding::Resolve(dataset.schema())),
+        own_budget_(budget == nullptr
+                        ? std::make_unique<BudgetTracker>(Budget{})
+                        : nullptr),
+        budget_(budget != nullptr ? budget : own_budget_.get()) {}
 
   BuiltGraph Build() {
     BuiltGraph out;
@@ -66,7 +75,7 @@ class GraphBuilder {
     values_ = &out.values;
 
     const CandidateList candidates =
-        GenerateCandidates(dataset_, binding_, options_);
+        GenerateCandidates(dataset_, binding_, options_, budget_);
     out.num_candidates = static_cast<int>(candidates.size());
 
     // Step 1 (§3.1): atomic-attribute comparison, node seeding, and
@@ -157,7 +166,10 @@ class GraphBuilder {
 
   /// Stages every pair — in parallel when options_.num_threads allows it —
   /// then applies the staged graph mutations serially in pair order, so
-  /// the resulting graph is identical to seeding one pair at a time.
+  /// the resulting graph is identical to seeding one pair at a time. A
+  /// budget stop truncates the apply loop at a chunk boundary: the graph
+  /// then holds a prefix of the canonical pair order, which is
+  /// structurally consistent (every applied pair is complete).
   void SeedPairs(const std::vector<std::pair<RefId, RefId>>& pairs) {
     const int64_t n = static_cast<int64_t>(pairs.size());
     const runtime::BlockPlan plan =
@@ -169,11 +181,26 @@ class GraphBuilder {
         [&](const runtime::Block& block) {
           StageScratch& lane_scratch = scratch[block.lane];
           for (int64_t i = block.begin; i < block.end; ++i) {
+            // A default-constructed StagedPair applies as a no-op, so
+            // abandoning a block mid-way (cancel / deadline already
+            // decided the run) leaves `staged` safe to consume.
+            if ((i - block.begin) % 64 == 0 &&
+                budget_->ShouldAbandonParallelWork()) {
+              return;
+            }
             StagePair(pairs[i].first, pairs[i].second, lane_scratch,
                       &staged[i]);
           }
         });
-    for (const StagedPair& pair : staged) ApplyStagedPair(pair);
+    budget_->ResolveAsyncStop();
+    for (int64_t i = 0; i < n; ++i) {
+      if (i % kBuildChunk == 0) {
+        ReportGraphMemory();
+        if (budget_->Probe(ProbePoint::kBuild)) return;
+      }
+      ApplyStagedPair(staged[i]);
+    }
+    ReportGraphMemory();
   }
 
   void StagePair(RefId r1, RefId r2, StageScratch& scratch,
@@ -486,6 +513,12 @@ class GraphBuilder {
     if (options_.evidence_level < EvidenceLevel::kArticle) return;
     const int total = graph_->num_nodes();
     for (NodeId m = start_node; m < total; ++m) {
+      // Wiring only adds evidence; a budget stop truncates it at a chunk
+      // boundary (the current node's wiring always completes).
+      if ((m - start_node) % kBuildChunk == 0) {
+        ReportGraphMemory();
+        if (budget_->Probe(ProbePoint::kBuild)) return;
+      }
       const Node& node = graph_->node(m);
       if (!node.IsRefPair() || node.dead) continue;
       if (node.state == NodeState::kNonMerge) continue;
@@ -654,9 +687,24 @@ class GraphBuilder {
     return it->second;
   }
 
+  /// Updates the budget's soft memory estimate from the current graph
+  /// shape (each edge is stored twice: in the source's out list and the
+  /// target's in list).
+  void ReportGraphMemory() {
+    budget_->ReportMemoryEstimate(
+        static_cast<int64_t>(graph_->num_nodes()) *
+            static_cast<int64_t>(sizeof(Node)) +
+        2 * static_cast<int64_t>(graph_->num_edges()) *
+            static_cast<int64_t>(sizeof(Edge)));
+  }
+
   const Dataset& dataset_;
   const ReconcilerOptions& options_;
   SchemaBinding binding_;
+  /// Fallback unlimited tracker for callers that pass none, so the build
+  /// has exactly one budget code path.
+  std::unique_ptr<BudgetTracker> own_budget_;
+  BudgetTracker* budget_;
   DependencyGraph* graph_ = nullptr;
   ValuePool* values_ = nullptr;
 };
@@ -664,15 +712,17 @@ class GraphBuilder {
 }  // namespace
 
 BuiltGraph BuildDependencyGraph(const Dataset& dataset,
-                                const ReconcilerOptions& options) {
-  return GraphBuilder(dataset, options).Build();
+                                const ReconcilerOptions& options,
+                                BudgetTracker* budget) {
+  return GraphBuilder(dataset, options, budget).Build();
 }
 
 std::vector<NodeId> ExtendDependencyGraph(
     const Dataset& dataset, const ReconcilerOptions& options,
     const std::vector<std::pair<RefId, RefId>>& pairs, RefId first_new_ref,
-    BuiltGraph& built) {
-  return GraphBuilder(dataset, options).Extend(pairs, first_new_ref, built);
+    BuiltGraph& built, BudgetTracker* budget) {
+  return GraphBuilder(dataset, options, budget)
+      .Extend(pairs, first_new_ref, built);
 }
 
 }  // namespace recon

@@ -15,6 +15,7 @@
 #include "graph/value_pool.h"
 #include "model/dataset.h"
 #include "sim/class_sim.h"
+#include "util/budget.h"
 
 namespace recon {
 
@@ -32,20 +33,28 @@ struct BuiltGraph {
   int num_candidates = 0;
 };
 
-/// Builds the dependency graph for `dataset` under `options`.
+/// Builds the dependency graph for `dataset` under `options`. `budget`
+/// (optional) carries the run's execution budget (DESIGN.md §10): probes
+/// fire at candidate batches and staging-chunk boundaries, and a stop
+/// truncates evidence seeding / association wiring at the next chunk — a
+/// degraded but structurally consistent graph. Constraint marking and
+/// feedback application always run in full.
 BuiltGraph BuildDependencyGraph(const Dataset& dataset,
-                                const ReconcilerOptions& options);
+                                const ReconcilerOptions& options,
+                                BudgetTracker* budget = nullptr);
 
 /// Extends an existing graph with nodes for `pairs` (candidate pairs that
 /// involve references added after the graph was built) and wires their
 /// association dependencies; co-author constraints are applied for article
 /// references with id >= `first_new_ref`. Call graph->AddReferences()
 /// before this. Returns the new reference-pair nodes in processing order
-/// (venues, persons, articles) for the solver to enqueue.
+/// (venues, persons, articles) for the solver to enqueue. A `budget` stop
+/// truncates evidence seeding exactly as in BuildDependencyGraph; pairs
+/// not yet applied are dropped (fewer merges, still a valid partition).
 std::vector<NodeId> ExtendDependencyGraph(
     const Dataset& dataset, const ReconcilerOptions& options,
     const std::vector<std::pair<RefId, RefId>>& pairs, RefId first_new_ref,
-    BuiltGraph& built);
+    BuiltGraph& built, BudgetTracker* budget = nullptr);
 
 }  // namespace recon
 

@@ -31,23 +31,41 @@ RefId IncrementalReconciler::AddReference(Reference ref, int gold_entity,
 
 void IncrementalReconciler::Flush() {
   const RefId total = dataset_.num_references();
-  if (flushed_until_ >= total) return;
+  // Also re-enter when a budgeted earlier flush froze the solve with
+  // queued work: each Flush() spends a fresh budget allotment, resuming
+  // the drain exactly where it stopped (DESIGN.md §10).
+  if (flushed_until_ >= total && !solver_->HasPendingWork()) return;
+
+  // Per-flush budget epoch: the options' deadline / iteration / merge
+  // limits apply to this flush alone.
+  BudgetTracker tracker(options_.budget, options_.cancel,
+                        options_.probe_hook);
+  solver_->set_budget(&tracker);
 
   Timer timer;
-  const int new_refs = total - solver_->refs().size();
-  if (new_refs > 0) solver_->GrowReferences(new_refs);
+  if (flushed_until_ < total) {
+    const int new_refs = total - solver_->refs().size();
+    if (new_refs > 0) solver_->GrowReferences(new_refs);
 
-  const CandidateList pairs = index_->AddReferences(dataset_, flushed_until_);
-  const std::vector<NodeId> new_nodes =
-      ExtendDependencyGraph(dataset_, options_, pairs, flushed_until_, built_);
+    const CandidateList pairs =
+        index_->AddReferences(dataset_, flushed_until_);
+    const std::vector<NodeId> new_nodes = ExtendDependencyGraph(
+        dataset_, options_, pairs, flushed_until_, built_, &tracker);
+    solver_->EnqueueNodes(new_nodes);
+  }
   stats_.build_seconds += timer.ElapsedSeconds();
 
   timer.Restart();
-  solver_->EnqueueNodes(new_nodes);
   solver_->Run();
+  // Constraints are enforced even on a degraded stop (DESIGN.md §10).
   if (options_.constraints) solver_->PropagateNegativeEvidence();
   stats_.solve_seconds += timer.ElapsedSeconds();
+  stats_.stop_reason = tracker.stop_reason();
+  stats_.num_budget_probes += tracker.num_probes();
 
+  // The tracker dies with this scope; restore the solver's own unlimited
+  // fallback before it does.
+  solver_->set_budget(nullptr);
   flushed_until_ = total;
   closure_valid_ = false;
 }

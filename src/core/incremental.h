@@ -47,7 +47,12 @@ class IncrementalReconciler {
   RefId AddReference(Reference ref, int gold_entity = -1,
                      Provenance provenance = Provenance::kOther);
 
-  /// Reconciles all staged references against the current state.
+  /// Reconciles all staged references against the current state. Each
+  /// Flush() is one budget epoch (options().budget applies per flush, not
+  /// cumulatively); a budget stop freezes the solve with its queue intact
+  /// and the next Flush() — explicit or implicit via result()/clusters()
+  /// — resumes it with a fresh allotment. result().stats.stop_reason
+  /// reports how the latest flush ended.
   void Flush();
 
   /// Current partition (flushes first).

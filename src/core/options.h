@@ -5,10 +5,12 @@
 #define RECON_CORE_OPTIONS_H_
 
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "sim/params.h"
+#include "util/budget.h"
 
 namespace recon {
 
@@ -128,6 +130,25 @@ struct ReconcilerOptions {
   /// scoring close to commit time. The boundary depends only on queue
   /// length, never on the thread count, so counters stay deterministic.
   int parallel_frontier_max = 8192;
+
+  /// Execution budget for one run (one batch Run() or one incremental
+  /// Flush()): wall-clock deadline, solver iteration and merge limits,
+  /// soft memory cap. Default = unlimited. Exhaustion never aborts: the
+  /// pipeline freezes the solve at the next probe point, still enforces
+  /// constraints and computes the transitive closure, and reports the
+  /// StopReason in ReconcileStats (DESIGN.md §10). Iteration/merge-budget
+  /// stops are byte-identical at every thread count; deadline stops are
+  /// wall-clock-dependent by nature.
+  Budget budget;
+
+  /// Optional cooperative cancellation: the caller keeps the token and may
+  /// RequestCancel() from any thread; the run degrades to a valid partial
+  /// partition at its next probe point (StopReason::kCancelled).
+  std::shared_ptr<CancellationToken> cancel;
+
+  /// Test-only seam: observes every budget probe and may inject stops
+  /// deterministically (util/fault_injection.h). Leave null in production.
+  std::shared_ptr<ProbeHook> probe_hook;
 
   /// Returns the DepGraph configuration (the paper's full algorithm).
   static ReconcilerOptions DepGraph() { return ReconcilerOptions{}; }

@@ -61,6 +61,10 @@ std::vector<std::vector<RefId>> ReconcileResult::PartitionsOfClass(
 }
 
 ReconcileResult Reconciler::Run(const Dataset& dataset) const {
+  // One tracker for the whole run: the deadline covers candidate
+  // generation, graph build, and the solve together (DESIGN.md §10).
+  BudgetTracker tracker(options_.budget, options_.cancel,
+                        options_.probe_hook);
   if (options_.premerge_equal_emails) {
     const SchemaBinding binding = SchemaBinding::Resolve(dataset.schema());
     PremergeResult premerge = PremergeEqualEmails(dataset, binding);
@@ -86,39 +90,55 @@ ReconcileResult Reconciler::Run(const Dataset& dataset) const {
             condensed_options.feedback.distinct);
 
       Timer build_timer;
-      BuiltGraph built =
-          BuildDependencyGraph(premerge.condensed, condensed_options);
+      BuiltGraph built = BuildDependencyGraph(premerge.condensed,
+                                              condensed_options, &tracker);
       const double build_seconds = build_timer.ElapsedSeconds();
       const Reconciler condensed_reconciler(condensed_options);
-      ReconcileResult condensed =
-          condensed_reconciler.RunOnGraph(premerge.condensed, built);
+      ReconcileResult condensed = condensed_reconciler.RunOnGraph(
+          premerge.condensed, built, &tracker);
       condensed.stats.build_seconds = build_seconds;
       return ExpandResult(premerge, std::move(condensed));
     }
   }
   Timer build_timer;
-  BuiltGraph built = BuildDependencyGraph(dataset, options_);
+  BuiltGraph built = BuildDependencyGraph(dataset, options_, &tracker);
   const double build_seconds = build_timer.ElapsedSeconds();
-  ReconcileResult result = RunOnGraph(dataset, built);
+  ReconcileResult result = RunOnGraph(dataset, built, &tracker);
   result.stats.build_seconds = build_seconds;
   return result;
 }
 
 ReconcileResult Reconciler::RunOnGraph(const Dataset& dataset,
                                        BuiltGraph& built) const {
+  BudgetTracker tracker(options_.budget, options_.cancel,
+                        options_.probe_hook);
+  return RunOnGraph(dataset, built, &tracker);
+}
+
+ReconcileResult Reconciler::RunOnGraph(const Dataset& dataset,
+                                       BuiltGraph& built,
+                                       BudgetTracker* budget) const {
   ReconcileResult result;
   result.stats.num_candidates = built.num_candidates;
   result.stats.num_nodes = built.graph->num_nodes();
 
   Timer solve_timer;
-  FixedPointSolver solver(dataset, built, options_, &result.stats);
+  FixedPointSolver solver(dataset, built, options_, &result.stats, budget);
   solver.EnqueueNodes(built.initial_queue);
   solver.Run();
-  if (options_.constraints) solver.PropagateNegativeEvidence();
+  // Degraded or not: constraints are always enforced and the transitive
+  // closure always computed, so the result is a valid partition even when
+  // the solve froze early (DESIGN.md §10). The solver is discarded after
+  // this call, so closure-only propagation suffices — it keeps the
+  // epilogue cost proportional to the merges made, which matters under a
+  // tight deadline where the graph froze with everything still alive.
+  if (options_.constraints) solver.PropagateNegativeEvidence(true);
   result.cluster = solver.Closure(&result.merged_pairs);
   result.stats.solve_seconds = solve_timer.ElapsedSeconds();
   result.stats.num_live_nodes = built.graph->num_live_nodes();
   result.stats.num_edges = built.graph->num_edges();
+  result.stats.stop_reason = budget->stop_reason();
+  result.stats.num_budget_probes = budget->num_probes();
   return result;
 }
 

@@ -41,12 +41,21 @@ class Reconciler {
   explicit Reconciler(ReconcilerOptions options)
       : options_(std::move(options)) {}
 
-  /// Builds the dependency graph and runs the algorithm to its fixed point.
+  /// Builds the dependency graph and runs the algorithm to its fixed
+  /// point — or to the options' budget / cancellation limit, whichever
+  /// comes first. A degraded stop still enforces constraints and computes
+  /// the transitive closure, so the result is always a valid partition;
+  /// stats.stop_reason says which exit was taken (DESIGN.md §10).
   ReconcileResult Run(const Dataset& dataset) const;
 
   /// Runs the fixed point over an already-built graph (shared by the
   /// incremental reconciler). The graph is consumed (mutated).
   ReconcileResult RunOnGraph(const Dataset& dataset, BuiltGraph& built) const;
+
+  /// As above with an externally owned budget tracker, so build and solve
+  /// can share one deadline epoch (Run() wires this internally).
+  ReconcileResult RunOnGraph(const Dataset& dataset, BuiltGraph& built,
+                             BudgetTracker* budget) const;
 
   const ReconcilerOptions& options() const { return options_; }
 

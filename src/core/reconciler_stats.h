@@ -6,6 +6,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/budget.h"
+
 namespace recon {
 
 /// One parallel wavefront round of the fixed-point solve (DESIGN.md §9):
@@ -64,6 +66,20 @@ struct ReconcileStats {
   /// Frontier scores dropped at commit: the node had been folded away or
   /// demoted mid-round (the serial drain skips such pops identically).
   int64_t num_score_discards = 0;
+
+  // Budget / graceful-degradation accounting (ReconcilerOptions::budget,
+  // DESIGN.md §10).
+  /// Why the run stopped: kConverged on a full fixed point, the exhausted
+  /// budget (or kCancelled) on a degraded — but still valid — stop. On an
+  /// incremental reconciler this is the latest flush's reason.
+  StopReason stop_reason = StopReason::kConverged;
+  /// Fixed-point iterations (queue pops) actually executed; cumulative
+  /// across incremental flushes. Compare against
+  /// Budget::max_solver_iterations to see how much budget a run used.
+  int64_t solver_iterations = 0;
+  /// Budget probe points passed (all phases). Deterministic for a fixed
+  /// configuration; the denominator of the probe-overhead bench guard.
+  int64_t num_budget_probes = 0;
 
   double build_seconds = 0;
   /// Total solve wall time (rounds + serial segments + constraint

@@ -11,12 +11,17 @@ namespace recon {
 
 FixedPointSolver::FixedPointSolver(const Dataset& dataset, BuiltGraph& built,
                                    const ReconcilerOptions& options,
-                                   ReconcileStats* stats)
+                                   ReconcileStats* stats,
+                                   BudgetTracker* budget)
     : dataset_(dataset),
       built_(built),
       graph_(*built.graph),
       options_(options),
       stats_(stats),
+      own_budget_(budget == nullptr
+                      ? std::make_unique<BudgetTracker>(Budget{})
+                      : nullptr),
+      budget_(budget != nullptr ? budget : own_budget_.get()),
       refs_(dataset.num_references()) {}
 
 void FixedPointSolver::EnqueueNodes(const std::vector<NodeId>& nodes) {
@@ -31,46 +36,82 @@ void FixedPointSolver::EnqueueNodes(const std::vector<NodeId>& nodes) {
   }
 }
 
+bool FixedPointSolver::StopBeforePop(int64_t* iterations,
+                                     int64_t iteration_cap) {
+  if (budget_->Probe(ProbePoint::kSolveCommit)) return true;
+  if (*iterations >= iteration_cap) {
+    // The configured budget — or, unconfigured, the convergence safety
+    // cap — is spent. Either way this is the degraded-stop path, never an
+    // abort: constraints and the closure still run on the frozen state.
+    if (!budget_->budget().HasIterationLimit()) {
+      RECON_LOG(Warning) << "Fixed point did not converge within the "
+                         << iteration_cap
+                         << "-iteration safety cap; freezing the solve";
+    }
+    budget_->ForceStop(StopReason::kIterationBudget);
+    return true;
+  }
+  ++*iterations;
+  return false;
+}
+
 void FixedPointSolver::Run() {
-  const int64_t max_iterations =
-      500LL * std::max(1, graph_.num_nodes()) + 1000;
+  const int64_t iteration_cap =
+      budget_->budget().HasIterationLimit()
+          ? budget_->budget().max_solver_iterations
+          : 500LL * std::max(1, graph_.num_nodes()) + 1000;
+  merge_cap_ = budget_->budget().HasMergeLimit()
+                   ? budget_->budget().max_merges
+                   : 0;
+  merges_this_run_ = 0;
   int64_t iterations = 0;
   const bool wavefront =
       options_.parallel_fixed_point &&
       runtime::ResolveNumThreads(options_.num_threads) > 1;
   if (!wavefront) {
+    // The whole sequential drain is one "round" for probing purposes; the
+    // per-pop kSolveCommit probes inside the loop carry the budget checks.
+    budget_->Probe(ProbePoint::kSolveRound);
     Timer timer;
     while (!queue_.empty()) {
-      RECON_CHECK_LT(iterations++, max_iterations)
-          << "Reconciliation failed to converge";
+      if (StopBeforePop(&iterations, iteration_cap)) break;
       Step(queue_.pop_front());
     }
     stats_->solve_commit_seconds += timer.ElapsedSeconds();
+    stats_->solver_iterations += iterations;
+    stats_->stop_reason = budget_->stop_reason();
     return;
   }
 
   const size_t min_frontier =
       static_cast<size_t>(std::max(1, options_.parallel_frontier_min));
   while (!queue_.empty()) {
+    if (budget_->Probe(ProbePoint::kSolveRound)) break;
     if (queue_.size() >= min_frontier) {
-      RunWavefrontRound(&iterations, max_iterations);
+      if (!RunWavefrontRound(&iterations, iteration_cap)) break;
     } else {
       // Short queue: a round would cost more in dispatch than it saves.
       // Drain serially until the queue refills (a propagation wave fanning
       // out) or empties. Identical semantics either way.
       Timer timer;
+      bool frozen = false;
       while (!queue_.empty() && queue_.size() < min_frontier) {
-        RECON_CHECK_LT(iterations++, max_iterations)
-            << "Reconciliation failed to converge";
+        if (StopBeforePop(&iterations, iteration_cap)) {
+          frozen = true;
+          break;
+        }
         Step(queue_.pop_front());
       }
       stats_->solve_commit_seconds += timer.ElapsedSeconds();
+      if (frozen) break;
     }
   }
+  stats_->solver_iterations += iterations;
+  stats_->stop_reason = budget_->stop_reason();
 }
 
-void FixedPointSolver::RunWavefrontRound(int64_t* iterations,
-                                         int64_t max_iterations) {
+bool FixedPointSolver::RunWavefrontRound(int64_t* iterations,
+                                         int64_t iteration_cap) {
   if (++round_id_ == 0) ++round_id_;  // 0 marks "no record"; skip on wrap.
   const size_t max_frontier = static_cast<size_t>(
       std::max(options_.parallel_frontier_min, options_.parallel_frontier_max));
@@ -93,11 +134,28 @@ void FixedPointSolver::RunWavefrontRound(int64_t* iterations,
       options_.num_threads, 0, static_cast<int64_t>(frontier_size),
       /*grain=*/-1, [this](const runtime::Block& block) {
         for (int64_t i = block.begin; i < block.end; ++i) {
+          // Cancellation / deadline probe inside the pool (read-only, no
+          // counter mutation): scores are speculative, so abandoning them
+          // affects wall time only — the serial check below guarantees no
+          // abandoned record is ever consumed.
+          if ((i - block.begin) % 64 == 0 &&
+              budget_->ShouldAbandonParallelWork()) {
+            return;
+          }
           ScoreNode(frontier_[static_cast<size_t>(i)],
                     &records_[static_cast<size_t>(i)]);
         }
       });
   const double score_seconds = score_timer.ElapsedSeconds();
+  if (budget_->ShouldAbandonParallelWork()) {
+    // A pool thread (or this one) observed cancellation or the deadline:
+    // some records may be unscored. Nothing was committed and nothing was
+    // popped, so freezing here keeps the whole frontier queued. Both
+    // conditions are sticky/monotone, so the serial re-check always
+    // agrees with whatever the workers saw.
+    budget_->ResolveAsyncStop();
+    return false;
+  }
   for (size_t i = 0; i < frontier_size; ++i) {
     record_round_[frontier_[i]] = round_id_;
     record_index_[frontier_[i]] = static_cast<uint32_t>(i);
@@ -113,9 +171,16 @@ void FixedPointSolver::RunWavefrontRound(int64_t* iterations,
   const int64_t discards_before = stats_->num_score_discards;
   Timer commit_timer;
   size_t committed = 0;
+  bool frozen = false;
   while (committed < frontier_size) {
-    RECON_CHECK_LT((*iterations)++, max_iterations)
-        << "Reconciliation failed to converge";
+    if (StopBeforePop(iterations, iteration_cap)) {
+      // Freeze mid-round: uncommitted frontier nodes stay queued; their
+      // stale records are never consumed (a future round re-stamps). The
+      // commit prefix equals the sequential drain's, so iteration- and
+      // merge-budget stops stay byte-identical at every thread count.
+      frozen = true;
+      break;
+    }
     const NodeId id = queue_.pop_front();
     if (record_round_[id] == round_id_) {
       record_round_[id] = 0;
@@ -137,6 +202,7 @@ void FixedPointSolver::RunWavefrontRound(int64_t* iterations,
        stats_->num_serial_rescores - rescores_before,
        stats_->num_score_discards - discards_before, score_seconds,
        commit_seconds});
+  return !frozen;
 }
 
 void FixedPointSolver::ScoreNode(NodeId id, ScoreRecord* rec) const {
@@ -240,6 +306,13 @@ void FixedPointSolver::Commit(NodeId id, Node& node, double computed) {
   if (node.sim >= threshold && node.state != NodeState::kMerged) {
     node.state = NodeState::kMerged;
     ++stats_->num_merges;
+    ++merges_this_run_;
+    if (merge_cap_ > 0 && merges_this_run_ >= merge_cap_) {
+      // The budget is spent, but this commit — deltas, propagation
+      // pushes, enrichment — still completes: it is one deterministic
+      // unit. The drain freezes before the next pop.
+      budget_->ForceStop(StopReason::kMergeBudget);
+    }
     for (const Edge& e : node.out) {
       if (e.kind != DependencyKind::kRealValued) {
         ++graph_.mutable_node(e.node).gen;  // Boolean counts changed.
@@ -435,7 +508,7 @@ void FixedPointSolver::PushMergeDelta(const Node& node) {
   }
 }
 
-void FixedPointSolver::PropagateNegativeEvidence() {
+void FixedPointSolver::PropagateNegativeEvidence(bool closure_only) {
   std::vector<NodeId> non_merge_nodes;
   for (NodeId id = 0; id < graph_.num_nodes(); ++id) {
     const Node& node = graph_.node(id);
@@ -444,10 +517,27 @@ void FixedPointSolver::PropagateNegativeEvidence() {
       non_merge_nodes.push_back(id);
     }
   }
+  // A demotion changes the closure only when the demoted node is merged.
+  // Both demotion candidates for source (r1, r2) are adjacent to r1 or
+  // r2, so when neither reference touches any merged pair the source can
+  // be skipped outright in closure-only mode.
+  std::vector<char> touches_merge;
+  if (closure_only) {
+    touches_merge.assign(dataset_.num_references(), 0);
+    for (NodeId id = 0; id < graph_.num_nodes(); ++id) {
+      const Node& node = graph_.node(id);
+      if (!node.dead && node.IsRefPair() &&
+          node.state == NodeState::kMerged) {
+        touches_merge[node.a] = 1;
+        touches_merge[node.b] = 1;
+      }
+    }
+  }
   for (const NodeId lid : non_merge_nodes) {
     const Node& l = graph_.node(lid);
     const RefId r1 = static_cast<RefId>(l.a);
     const RefId r2 = static_cast<RefId>(l.b);
+    if (closure_only && !touches_merge[r1] && !touches_merge[r2]) continue;
     // Copy: we only flip states, but keep iteration order stable.
     const std::vector<NodeId> around = graph_.NodesOfRef(r1);
     for (const NodeId mid : around) {

@@ -6,6 +6,7 @@
 #define RECON_CORE_SOLVER_H_
 
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -13,6 +14,7 @@
 #include "core/options.h"
 #include "core/reconciler_stats.h"
 #include "model/dataset.h"
+#include "util/budget.h"
 #include "util/ring_buffer.h"
 #include "util/union_find.h"
 
@@ -27,9 +29,13 @@ namespace recon {
 /// carry over.
 class FixedPointSolver {
  public:
-  /// `dataset`, `built` and `stats` must outlive the solver.
+  /// `dataset`, `built` and `stats` must outlive the solver. `budget`
+  /// (optional, must outlive the solver while set) carries the run's
+  /// execution budget; without one the solver still degrades gracefully
+  /// at its convergence safety cap instead of aborting.
   FixedPointSolver(const Dataset& dataset, BuiltGraph& built,
-                   const ReconcilerOptions& options, ReconcileStats* stats);
+                   const ReconcilerOptions& options, ReconcileStats* stats,
+                   BudgetTracker* budget = nullptr);
 
   FixedPointSolver(const FixedPointSolver&) = delete;
   FixedPointSolver& operator=(const FixedPointSolver&) = delete;
@@ -44,11 +50,39 @@ class FixedPointSolver {
   /// frontier is scored in parallel, side effects are committed serially in
   /// exact sequential queue order, and output is byte-identical to the
   /// one-node-at-a-time drain.
+  ///
+  /// Budget exhaustion or cancellation (DESIGN.md §10) never aborts: the
+  /// current pop finishes (merge, enrichment, and propagation pushes
+  /// included), then the drain freezes — no further pops — leaving the
+  /// pending queue intact, so a later Run() with a fresh budget resumes
+  /// exactly where this one stopped. Iteration and merge budgets stop
+  /// after byte-identical prefixes of the canonical commit sequence, so
+  /// their results are identical at every thread count.
   void Run();
+
+  /// Replaces the budget tracker for the next Run() (nullptr restores the
+  /// solver's own unlimited tracker). The incremental reconciler installs
+  /// a fresh tracker per flush.
+  void set_budget(BudgetTracker* budget) {
+    budget_ = budget != nullptr ? budget : own_budget_.get();
+  }
+
+  /// True when a previous Run() froze with queued work remaining (a
+  /// degraded stop); the next Run() continues the drain.
+  bool HasPendingWork() const { return !queue_.empty(); }
 
   /// §3.4 step 3: post-fixpoint propagation of negative evidence. Called
   /// by the reconciler after Run() when constraints are enabled.
-  void PropagateNegativeEvidence();
+  ///
+  /// With `closure_only` the pass skips source pairs whose demotions
+  /// cannot touch a merged node and therefore cannot change this run's
+  /// closure — the partition is identical, and a degraded (early-frozen)
+  /// solve pays for constraint enforcement in proportion to the merges it
+  /// actually made. Only valid when the solver is discarded afterwards
+  /// (the batch path): the skipped kNonMerge demotions persist as
+  /// negative evidence that later Run()s consult, so the incremental
+  /// reconciler must propagate in full.
+  void PropagateNegativeEvidence(bool closure_only = false);
 
   /// Transitive closure over merged pairs. Also reports the directly
   /// merged pairs when `merged_pairs` is non-null.
@@ -93,7 +127,11 @@ class FixedPointSolver {
 
   /// One wavefront round: snapshot, parallel score, serial commit of the
   /// whole frontier (plus any queue-jumping nodes enqueued mid-round).
-  void RunWavefrontRound(int64_t* iterations, int64_t max_iterations);
+  /// Returns false when the round froze early on a budget stop.
+  bool RunWavefrontRound(int64_t* iterations, int64_t iteration_cap);
+  /// Budget gate before every queue pop: probes the tracker and spends one
+  /// iteration. True = freeze the drain now (the pending pop stays queued).
+  bool StopBeforePop(int64_t* iterations, int64_t iteration_cap);
   /// Pure read: computes what Step would compute for `id` right now,
   /// including the stat deltas the serial path would record.
   void ScoreNode(NodeId id, ScoreRecord* rec) const;
@@ -140,6 +178,14 @@ class FixedPointSolver {
   DependencyGraph& graph_;
   const ReconcilerOptions& options_;
   ReconcileStats* stats_;
+  /// Fallback tracker (unlimited budget) for callers that pass none, so
+  /// the drain has exactly one budget code path.
+  std::unique_ptr<BudgetTracker> own_budget_;
+  BudgetTracker* budget_;
+  /// Merge budget for the current Run() (0 = unlimited) and the merges
+  /// committed so far in it.
+  int64_t merge_cap_ = 0;
+  int64_t merges_this_run_ = 0;
   UnionFind refs_;
   RingDeque<NodeId> queue_;
 

@@ -1,0 +1,73 @@
+// Deterministic fault injection for the budget/cancellation subsystem.
+// Tests only: nothing under src/ includes this header; it exists so every
+// degradation path (each StopReason at each pipeline phase) is
+// unit-testable without timing flakiness. Install via
+// ReconcilerOptions::probe_hook.
+
+#ifndef RECON_UTIL_FAULT_INJECTION_H_
+#define RECON_UTIL_FAULT_INJECTION_H_
+
+#include <cstdint>
+
+#include "util/budget.h"
+
+namespace recon {
+
+/// Fires a chosen StopReason at the Nth probe of a chosen probe point:
+/// deterministic by construction, because probe indices depend only on the
+/// input and the configuration, never on wall time or scheduling (the
+/// probe-point contract, DESIGN.md §10).
+class FaultInjector : public ProbeHook {
+ public:
+  /// Fire `reason` at the `fire_at`-th probe (0-based) of `point`. Sticky:
+  /// every later probe of `point` fires too, so the pipeline stops at the
+  /// first one it actually reaches.
+  FaultInjector(ProbePoint point, int64_t fire_at, StopReason reason)
+      : point_(point), fire_at_(fire_at), reason_(reason) {}
+
+  StopReason OnProbe(ProbePoint point, int64_t index) override {
+    ++seen_[static_cast<int>(point)];
+    if (point == point_ && index >= fire_at_) {
+      ++fired_;
+      return reason_;
+    }
+    return StopReason::kConverged;
+  }
+
+  /// Times the injected fault was returned (the tracker stops the run at
+  /// the first, so this is normally 0 or 1).
+  int64_t fired() const { return fired_; }
+  /// Probes observed at `point` (for asserting a phase was reached).
+  int64_t seen(ProbePoint point) const {
+    return seen_[static_cast<int>(point)];
+  }
+
+ private:
+  const ProbePoint point_;
+  const int64_t fire_at_;
+  const StopReason reason_;
+  int64_t fired_ = 0;
+  int64_t seen_[kNumProbePoints] = {};
+};
+
+/// Records probe traffic without ever injecting: for asserting which
+/// phases probe (and how often) on a healthy run.
+class ProbeRecorder : public ProbeHook {
+ public:
+  StopReason OnProbe(ProbePoint point, int64_t index) override {
+    (void)index;
+    ++seen_[static_cast<int>(point)];
+    return StopReason::kConverged;
+  }
+
+  int64_t seen(ProbePoint point) const {
+    return seen_[static_cast<int>(point)];
+  }
+
+ private:
+  int64_t seen_[kNumProbePoints] = {};
+};
+
+}  // namespace recon
+
+#endif  // RECON_UTIL_FAULT_INJECTION_H_

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# One-command memory-safety check for the robustness surfaces (DESIGN.md
+# §10): budget exhaustion / cancellation / fault-injected degradation, and
+# the malformed-input extraction paths (truncated BibTeX, garbled email,
+# NUL-ridden CSV):
+#
+#   1. configures and builds build-asan/ with
+#      -DRECON_SANITIZE=address-undefined (ASan + UBSan together),
+#   2. runs every ctest target labeled `asan` under the sanitizers —
+#      every StopReason at every probe point, plus the hostile-input
+#      corpus — with error exit codes forced on.
+#
+# Usage: tools/check_asan.sh [asan_build_dir]
+#   asan_build_dir  defaults to build-asan (created if missing)
+
+set -euo pipefail
+
+ASAN_DIR="${1:-build-asan}"
+
+echo "== [1/2] configure + build ${ASAN_DIR} (-DRECON_SANITIZE=address-undefined)"
+cmake -B "${ASAN_DIR}" -S . -DRECON_SANITIZE=address-undefined \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "${ASAN_DIR}" -j
+
+echo
+echo "== [2/2] ctest -L asan under AddressSanitizer + UBSan"
+# halt_on_error: any finding is a hard failure, not a log line.
+ASAN_OPTIONS="halt_on_error=1 detect_leaks=1 ${ASAN_OPTIONS:-}" \
+UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}" \
+  ctest --test-dir "${ASAN_DIR}" -L asan --output-on-failure
+
+echo
+echo "OK: asan-labeled tests clean under ASan + UBSan."
