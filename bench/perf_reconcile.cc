@@ -3,6 +3,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <iostream>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,28 @@ recon::Dataset MakeDataset(double scale) {
   config = recon::datagen::ScaleConfig(config, scale);
   return recon::datagen::GeneratePim(config);
 }
+
+// Twin of BM_GraphBuildOnly with the value store off: the build re-parses
+// raw strings per lane instead of reading precomputed features. The gap is
+// the scoring-phase win of DESIGN.md §11.
+void BM_GraphBuildRawStrings(benchmark::State& state) {
+  const double scale = static_cast<double>(state.range(0)) / 100.0;
+  const recon::Dataset dataset = MakeDataset(scale);
+  recon::ReconcilerOptions options;
+  options.value_store = false;
+  int64_t pairs_scored = 0;
+  for (auto _ : state) {
+    const recon::BuiltGraph built =
+        recon::BuildDependencyGraph(dataset, options);
+    pairs_scored += built.num_candidates;
+    benchmark::DoNotOptimize(built);
+  }
+  state.counters["refs"] = dataset.num_references();
+  state.counters["pairs/s"] = benchmark::Counter(
+      static_cast<double>(pairs_scored), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GraphBuildRawStrings)->Arg(2)->Arg(5)->Arg(10)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_DepGraphReconcile(benchmark::State& state) {
   const double scale = static_cast<double>(state.range(0)) / 100.0;
@@ -76,6 +99,54 @@ BENCHMARK(BM_PremergeOnly)->Arg(2)->Arg(10)
 
 }  // namespace
 
+namespace {
+
+/// Scoring-phase gate (DESIGN.md §11): on PIM B the value store must (a)
+/// leave the output byte-identical to raw-string scoring and (b) analyze
+/// each distinct value once — at least 5x fewer analyses than pairwise
+/// comparisons. Returns 0 on success, 1 (with a FATAL line) on violation.
+int RunValueStoreGate() {
+  recon::datagen::PimConfig config = recon::datagen::PimConfigB();
+  const double scale = recon::bench::BenchScale();
+  if (scale < 1.0) config = recon::datagen::ScaleConfig(config, scale);
+  const recon::Dataset dataset = recon::datagen::GeneratePim(config);
+
+  recon::ReconcilerOptions options =
+      recon::bench::WithBenchThreads(recon::ReconcilerOptions::DepGraph());
+  options.value_store = false;
+  const recon::ReconcileResult off = recon::Reconciler(options).Run(dataset);
+  options.value_store = true;
+  const recon::ReconcileResult on = recon::Reconciler(options).Run(dataset);
+
+  const bool identical =
+      off.cluster == on.cluster && off.merged_pairs == on.merged_pairs &&
+      off.stats.num_merges == on.stats.num_merges &&
+      off.stats.num_folds == on.stats.num_folds;
+  const recon::ReconcileStats& s = on.stats;
+  std::cout << "\nValue-store gate (PIM B, " << dataset.num_references()
+            << " refs): " << s.num_pair_comparisons << " pair comparisons, "
+            << s.num_value_analyses << " value analyses (store on) vs "
+            << off.stats.num_value_analyses << " (store off); memo "
+            << s.num_sim_memo_hits << " hits / " << s.num_sim_memo_misses
+            << " misses, " << s.sim_memo_bytes << " B; store "
+            << s.value_store_bytes << " B; output "
+            << (identical ? "identical" : "MISMATCH") << "\n";
+
+  if (!identical) {
+    std::cerr << "FATAL: value store changed the output on PIM B\n";
+    return 1;
+  }
+  if (s.num_pair_comparisons < 5 * s.num_value_analyses) {
+    std::cerr << "FATAL: value store analyzed too often on PIM B: "
+              << s.num_value_analyses << " analyses for "
+              << s.num_pair_comparisons << " comparisons (< 5x reduction)\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
 // Custom main: `--json <path>` is this repo's common bench flag; rewrite
 // it into google-benchmark's --benchmark_out flags before Initialize.
 int main(int argc, char** argv) {
@@ -87,5 +158,5 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(new_argc, args.data())) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return 0;
+  return RunValueStoreGate();
 }

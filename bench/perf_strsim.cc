@@ -8,11 +8,14 @@
 #include "bench_common.h"
 
 #include "sim/comparators.h"
+#include "sim/value_store.h"
 #include "strsim/edit_distance.h"
 #include "strsim/jaro_winkler.h"
 #include "strsim/person_name.h"
+#include "strsim/title.h"
 #include "strsim/tokens.h"
 #include "strsim/venue.h"
+#include "util/string_util.h"
 
 namespace {
 
@@ -75,6 +78,80 @@ void BM_NgramSimilarity(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_NgramSimilarity);
+
+// ---- Cold vs. warm: the per-pair cost once per-value analysis has been
+// hoisted into the ValueStore (DESIGN.md §11). Each *_Warm twin scores
+// from precomputed features; the gap against its cold sibling is exactly
+// what the store saves on every repeated comparison.
+
+void BM_PersonNameFieldSimilarityWarm(benchmark::State& state) {
+  const std::string a = "Robert S. Epstein";
+  const std::string b = "Epstein, R.S.";
+  const recon::strsim::PersonName pa = recon::strsim::ParsePersonName(a);
+  const recon::strsim::PersonName pb = recon::strsim::ParsePersonName(b);
+  const std::string la = recon::ToLower(a);
+  const std::string lb = recon::ToLower(b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        recon::PersonNameFieldSimilarity(pa, la, pb, lb));
+  }
+}
+BENCHMARK(BM_PersonNameFieldSimilarityWarm);
+
+void BM_NgramSetJaccardWarm(benchmark::State& state) {
+  const recon::strsim::NgramSet a =
+      recon::strsim::BuildNgramSet("approximate query answering", 3);
+  const recon::strsim::NgramSet b =
+      recon::strsim::BuildNgramSet("approximate query processing", 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(recon::strsim::NgramSetJaccard(a, b));
+  }
+}
+BENCHMARK(BM_NgramSetJaccardWarm);
+
+void BM_TitleSimilarity(benchmark::State& state) {
+  const std::string a =
+      "Distributed query processing in a relational data base system";
+  const std::string b =
+      "Distributed query procesing in relational database systems";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(recon::TitleFieldSimilarity(a, b));
+  }
+}
+BENCHMARK(BM_TitleSimilarity);
+
+void BM_TitleSimilarityWarm(benchmark::State& state) {
+  const recon::strsim::TitleFeatures a = recon::strsim::AnalyzeTitle(
+      "Distributed query processing in a relational data base system");
+  const recon::strsim::TitleFeatures b = recon::strsim::AnalyzeTitle(
+      "Distributed query procesing in relational database systems");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(recon::strsim::TitleSimilarity(a, b));
+  }
+}
+BENCHMARK(BM_TitleSimilarityWarm);
+
+void BM_VenueNameSimilarityWarm(benchmark::State& state) {
+  const recon::strsim::VenueFeatures a =
+      recon::strsim::AnalyzeVenueName("ACM SIGMOD");
+  const recon::strsim::VenueFeatures b = recon::strsim::AnalyzeVenueName(
+      "ACM Conference on Management of Data");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(recon::strsim::VenueNameSimilarity(a, b));
+  }
+}
+BENCHMARK(BM_VenueNameSimilarityWarm);
+
+void BM_AnalyzeValueTitle(benchmark::State& state) {
+  // The one-time per-distinct-value cost the store pays up front.
+  const std::string raw =
+      "Distributed query processing in a relational data base system";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        recon::AnalyzeValue(raw, recon::FeatureKind::kTitle));
+  }
+}
+BENCHMARK(BM_AnalyzeValueTitle);
 
 }  // namespace
 

@@ -16,13 +16,16 @@ namespace recon {
 
 namespace {
 
+/// The comparators also have ValueFeatures overloads now, which makes the
+/// bare names ambiguous as template arguments; pin the raw-string forms.
+using RawComparator = double (*)(const std::string&, const std::string&);
+
 /// Offers MAX over the value cross product to one evidence channel,
 /// mirroring the graph's seed-threshold semantics: scores below the seed
 /// leave the channel absent rather than contributing a low value.
-template <typename Comparator>
 void OfferAtomic(const std::vector<std::string>& values1,
                  const std::vector<std::string>& values2, int evidence,
-                 double seed, Comparator comparator,
+                 double seed, RawComparator comparator,
                  EvidenceSummary* summary) {
   for (const std::string& v1 : values1) {
     for (const std::string& v2 : values2) {

@@ -8,6 +8,7 @@
 #include <unordered_set>
 
 #include "runtime/parallel.h"
+#include "sim/value_store.h"
 #include "strsim/email.h"
 #include "strsim/person_name.h"
 #include "strsim/venue.h"
@@ -16,6 +17,17 @@
 namespace recon {
 
 namespace {
+
+/// Precomputed features of an interned value, or null when no store is in
+/// play (tests, value_store off) — callers then analyze the raw string.
+const ValueFeatures* FindFeatures(const ValuePool* pool,
+                                  const ValueStore* store, ValueDomain domain,
+                                  const std::string& raw) {
+  if (pool == nullptr || store == nullptr) return nullptr;
+  const ValueId id = pool->Find(domain, raw);
+  if (id == kInvalidValue || !store->Covers(id)) return nullptr;
+  return &store->features(id);
+}
 
 // Key namespaces. Person name tokens and email account cores share the
 // "n:" namespace on purpose: that is what lets "Stonebraker, M." land in
@@ -41,12 +53,17 @@ std::string StripAccountCore(const std::string& account) {
 }
 
 void AppendPersonKeys(const Dataset& dataset, RefId ref,
-                      const SchemaBinding& binding,
+                      const SchemaBinding& binding, const ValuePool* pool,
+                      const ValueStore* store,
                       std::vector<std::string>& keys) {
   const Reference& r = dataset.reference(ref);
   if (binding.person_name >= 0) {
+    const ValueDomain name_domain{binding.person, binding.person_name};
     for (const std::string& raw : r.atomic_values(binding.person_name)) {
-      const strsim::PersonName name = strsim::ParsePersonName(raw);
+      const ValueFeatures* f = FindFeatures(pool, store, name_domain, raw);
+      strsim::PersonName parsed;
+      if (f == nullptr) parsed = strsim::ParsePersonName(raw);
+      const strsim::PersonName& name = (f != nullptr) ? f->name : parsed;
       if (!name.last.empty()) {
         // Last names are the discriminative key; adding first-name keys for
         // structured names would put every "Robert *" in one giant block.
@@ -66,8 +83,12 @@ void AppendPersonKeys(const Dataset& dataset, RefId ref,
     }
   }
   if (binding.person_email >= 0) {
+    const ValueDomain email_domain{binding.person, binding.person_email};
     for (const std::string& raw : r.atomic_values(binding.person_email)) {
-      const strsim::EmailAddress email = strsim::ParseEmail(raw);
+      const ValueFeatures* f = FindFeatures(pool, store, email_domain, raw);
+      strsim::EmailAddress parsed;
+      if (f == nullptr) parsed = strsim::ParseEmail(raw);
+      const strsim::EmailAddress& email = (f != nullptr) ? f->email : parsed;
       if (email.account.empty()) continue;
       keys.push_back(kEmailSpace + email.ToString());
       const std::string core = StripAccountCore(email.account);
@@ -106,12 +127,19 @@ void AppendPersonKeys(const Dataset& dataset, RefId ref,
 }
 
 void AppendArticleKeys(const Dataset& dataset, RefId ref,
-                       const SchemaBinding& binding,
+                       const SchemaBinding& binding, const ValuePool* pool,
+                       const ValueStore* store,
                        std::vector<std::string>& keys) {
   if (binding.article_title < 0) return;
   const Reference& r = dataset.reference(ref);
+  const ValueDomain title_domain{binding.article, binding.article_title};
   for (const std::string& title : r.atomic_values(binding.article_title)) {
-    for (const std::string& token : Tokenize(title)) {
+    const ValueFeatures* f = FindFeatures(pool, store, title_domain, title);
+    std::vector<std::string> tokenized;
+    if (f == nullptr) tokenized = Tokenize(title);
+    const std::vector<std::string>& tokens =
+        (f != nullptr) ? f->title.tokens : tokenized;
+    for (const std::string& token : tokens) {
       if (token.size() < 3 || IsDigits(token)) continue;
       keys.push_back(kTitleSpace + token);
     }
@@ -119,15 +147,23 @@ void AppendArticleKeys(const Dataset& dataset, RefId ref,
 }
 
 void AppendVenueKeys(const Dataset& dataset, RefId ref,
-                     const SchemaBinding& binding,
+                     const SchemaBinding& binding, const ValuePool* pool,
+                     const ValueStore* store,
                      std::vector<std::string>& keys) {
   if (binding.venue_name < 0) return;
   const Reference& r = dataset.reference(ref);
+  const ValueDomain name_domain{binding.venue, binding.venue_name};
   for (const std::string& name : r.atomic_values(binding.venue_name)) {
-    for (const std::string& token : strsim::VenueContentTokens(name)) {
+    const ValueFeatures* f = FindFeatures(pool, store, name_domain, name);
+    std::vector<std::string> expanded_local;
+    if (f == nullptr) expanded_local = strsim::VenueContentTokens(name);
+    const std::vector<std::string>& content =
+        (f != nullptr) ? f->venue.expanded : expanded_local;
+    for (const std::string& token : content) {
       keys.push_back(kVenueSpace + token);
     }
-    const std::string acronym = strsim::VenueAcronym(name);
+    const std::string acronym =
+        (f != nullptr) ? f->venue.acronym : strsim::VenueAcronym(name);
     if (acronym.size() >= 3) keys.push_back(kVenueSpace + acronym);
   }
 }
@@ -141,15 +177,17 @@ uint64_t PackPair(RefId a, RefId b) {
 }  // namespace
 
 std::vector<std::string> BlockingKeys(const Dataset& dataset, RefId ref,
-                                      const SchemaBinding& binding) {
+                                      const SchemaBinding& binding,
+                                      const ValuePool* pool,
+                                      const ValueStore* store) {
   std::vector<std::string> keys;
   const int class_id = dataset.reference(ref).class_id();
   if (class_id == binding.person) {
-    AppendPersonKeys(dataset, ref, binding, keys);
+    AppendPersonKeys(dataset, ref, binding, pool, store, keys);
   } else if (class_id == binding.article) {
-    AppendArticleKeys(dataset, ref, binding, keys);
+    AppendArticleKeys(dataset, ref, binding, pool, store, keys);
   } else if (class_id == binding.venue) {
-    AppendVenueKeys(dataset, ref, binding, keys);
+    AppendVenueKeys(dataset, ref, binding, pool, store, keys);
   }
   std::sort(keys.begin(), keys.end());
   keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
@@ -159,7 +197,8 @@ std::vector<std::string> BlockingKeys(const Dataset& dataset, RefId ref,
 CandidateList GenerateCandidates(const Dataset& dataset,
                                  const SchemaBinding& binding,
                                  const ReconcilerOptions& options,
-                                 BudgetTracker* budget) {
+                                 BudgetTracker* budget, const ValuePool* pool,
+                                 const ValueStore* store) {
   CandidateList out;
 
   if (options.use_blocking && options.use_canopies) {
@@ -168,7 +207,8 @@ CandidateList GenerateCandidates(const Dataset& dataset,
     canopy.tight_threshold = options.canopy_tight_threshold;
     canopy.max_canopy_size = options.max_canopy_size;
     canopy.num_threads = options.num_threads;
-    return GenerateCanopyCandidates(dataset, binding, canopy, budget);
+    return GenerateCanopyCandidates(dataset, binding, canopy, budget, pool,
+                                    store);
   }
 
   if (!options.use_blocking) {
@@ -199,8 +239,9 @@ CandidateList GenerateCandidates(const Dataset& dataset,
                              budget->ShouldAbandonParallelWork()) {
                            return;
                          }
-                         keys_of[ref] = BlockingKeys(
-                             dataset, static_cast<RefId>(ref), binding);
+                         keys_of[ref] =
+                             BlockingKeys(dataset, static_cast<RefId>(ref),
+                                          binding, pool, store);
                        });
   if (budget != nullptr) budget->ResolveAsyncStop();
   // Serial index build, probing every 256 references: a budget stop
@@ -282,11 +323,13 @@ CandidateList GenerateCandidates(const Dataset& dataset,
 }
 
 CandidateList CandidateIndex::AddReferences(const Dataset& dataset,
-                                            RefId first) {
+                                            RefId first,
+                                            const ValuePool* pool,
+                                            const ValueStore* store) {
   // Index the new references, remembering which blocks they joined.
   std::vector<std::string> touched;
   for (RefId ref = first; ref < dataset.num_references(); ++ref) {
-    for (std::string& key : BlockingKeys(dataset, ref, binding_)) {
+    for (std::string& key : BlockingKeys(dataset, ref, binding_, pool, store)) {
       auto [it, inserted] = blocks_.try_emplace(std::move(key));
       it->second.push_back(ref);
       touched.push_back(it->first);

@@ -18,6 +18,9 @@
 
 namespace recon {
 
+class ValuePool;
+class ValueStore;
+
 /// Same-class reference pairs worth comparing, deduplicated, each with
 /// first < second.
 using CandidateList = std::vector<std::pair<RefId, RefId>>;
@@ -26,17 +29,25 @@ using CandidateList = std::vector<std::pair<RefId, RefId>>;
 /// With options.use_blocking == false, returns all same-class pairs.
 /// A `budget` stop (probed at batch boundaries, DESIGN.md §10) truncates
 /// generation: the pairs produced so far are returned, deduplicated and
-/// sorted as usual.
+/// sorted as usual. When `pool`/`store` are given (value_store on, values
+/// interned and synced beforehand), key extraction reuses the precomputed
+/// features instead of re-parsing; the keys are identical either way.
 CandidateList GenerateCandidates(const Dataset& dataset,
                                  const SchemaBinding& binding,
                                  const ReconcilerOptions& options,
-                                 BudgetTracker* budget = nullptr);
+                                 BudgetTracker* budget = nullptr,
+                                 const ValuePool* pool = nullptr,
+                                 const ValueStore* store = nullptr);
 
 /// Blocking keys of one reference (exposed for tests): lowercased name
 /// tokens (nickname-canonicalized), parsed last names, email account cores,
 /// title tokens, venue content tokens and acronyms, depending on class.
+/// `pool`/`store` (optional) supply precomputed value features; keys are
+/// identical with or without them.
 std::vector<std::string> BlockingKeys(const Dataset& dataset, RefId ref,
-                                      const SchemaBinding& binding);
+                                      const SchemaBinding& binding,
+                                      const ValuePool* pool = nullptr,
+                                      const ValueStore* store = nullptr);
 
 /// Incrementally maintained blocking index: add batches of references and
 /// get back the candidate pairs each batch introduces. Used by the
@@ -49,8 +60,11 @@ class CandidateIndex {
   /// Indexes references [first, dataset.num_references()) and returns the
   /// deduplicated candidate pairs involving at least one of them. Blocks
   /// over options.max_block_size contribute no pairs (consistent with
-  /// GenerateCandidates).
-  CandidateList AddReferences(const Dataset& dataset, RefId first);
+  /// GenerateCandidates). `pool`/`store` (optional) supply precomputed
+  /// features for the new references' values.
+  CandidateList AddReferences(const Dataset& dataset, RefId first,
+                              const ValuePool* pool = nullptr,
+                              const ValueStore* store = nullptr);
 
  private:
   SchemaBinding binding_;

@@ -31,7 +31,8 @@ struct FeatureIndex {
 
 FeatureIndex BuildIndex(const Dataset& dataset,
                         const SchemaBinding& binding, int class_id,
-                        int num_threads, BudgetTracker* budget) {
+                        int num_threads, BudgetTracker* budget,
+                        const ValuePool* pool, const ValueStore* store) {
   FeatureIndex index;
   for (RefId id = 0; id < dataset.num_references(); ++id) {
     if (dataset.reference(id).class_id() == class_id) {
@@ -52,7 +53,8 @@ FeatureIndex BuildIndex(const Dataset& dataset,
                            return;
                          }
                          keys_of[local] = BlockingKeys(
-                             dataset, index.refs[local], binding);
+                             dataset, index.refs[local], binding, pool,
+                             store);
                        });
   if (budget != nullptr) budget->ResolveAsyncStop();
   std::unordered_map<std::string, int> token_ids;
@@ -96,7 +98,9 @@ FeatureIndex BuildIndex(const Dataset& dataset,
 CandidateList GenerateCanopyCandidates(const Dataset& dataset,
                                        const SchemaBinding& binding,
                                        const CanopyOptions& options,
-                                       BudgetTracker* budget) {
+                                       BudgetTracker* budget,
+                                       const ValuePool* pool,
+                                       const ValueStore* store) {
   RECON_CHECK_GE(options.tight_threshold, options.loose_threshold);
   CandidateList out;
   std::unordered_set<uint64_t> seen;
@@ -104,8 +108,9 @@ CandidateList GenerateCanopyCandidates(const Dataset& dataset,
 
   for (int class_id = 0;
        class_id < dataset.schema().num_classes() && !stopped; ++class_id) {
-    const FeatureIndex index = BuildIndex(dataset, binding, class_id,
-                                          options.num_threads, budget);
+    const FeatureIndex index =
+        BuildIndex(dataset, binding, class_id, options.num_threads, budget,
+                   pool, store);
     const size_t n = index.refs.size();
     std::vector<char> removed(n, 0);  // Within tight threshold of a center.
     std::vector<double> shared(n, 0.0);

@@ -39,10 +39,14 @@ struct CanopyOptions {
 /// deterministically (canopy centers are picked in reference-id order).
 /// A `budget` stop (probed per canopy center) truncates the sweep after
 /// the current center's canopy; pairs collected so far are returned.
+/// `pool`/`store` (optional) supply precomputed value features to key
+/// extraction; the canopies are identical with or without them.
 CandidateList GenerateCanopyCandidates(const Dataset& dataset,
                                        const SchemaBinding& binding,
                                        const CanopyOptions& options,
-                                       BudgetTracker* budget = nullptr);
+                                       BudgetTracker* budget = nullptr,
+                                       const ValuePool* pool = nullptr,
+                                       const ValueStore* store = nullptr);
 
 }  // namespace recon
 

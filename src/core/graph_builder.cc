@@ -9,13 +9,35 @@
 #include "runtime/parallel.h"
 #include "sim/comparators.h"
 #include "sim/evidence.h"
+#include "sim/value_store.h"
 #include "strsim/email.h"
 #include "strsim/person_name.h"
 #include "util/logging.h"
+#include "util/string_util.h"
 
 namespace recon {
 
 namespace {
+
+/// Feature kinds for every bound atomic attribute, so the ValueStore knows
+/// how to analyze each domain without depending on SchemaBinding itself.
+ValueKindSchema MakeValueKindSchema(const SchemaBinding& b) {
+  ValueKindSchema schema;
+  auto add = [&](int class_id, int attr, FeatureKind kind) {
+    if (class_id >= 0 && attr >= 0) {
+      schema.kinds.emplace_back(ValueDomain{class_id, attr}, kind);
+    }
+  };
+  add(b.person, b.person_name, FeatureKind::kPersonName);
+  add(b.person, b.person_email, FeatureKind::kEmail);
+  add(b.article, b.article_title, FeatureKind::kTitle);
+  add(b.article, b.article_year, FeatureKind::kYear);
+  add(b.article, b.article_pages, FeatureKind::kPages);
+  add(b.venue, b.venue_name, FeatureKind::kVenueName);
+  add(b.venue, b.venue_year, FeatureKind::kYear);
+  add(b.venue, b.venue_location, FeatureKind::kLocation);
+  return schema;
+}
 
 /// Evidence staged for one candidate reference pair before its node is
 /// created (the node is only created when some evidence exists).
@@ -44,11 +66,25 @@ struct StagedPair {
   StagedEvidence evidence;
 };
 
+/// A person name analyzed once on the raw fallback path: the parse plus the
+/// lowercased raw form (the identical-abbreviation check needs the latter).
+struct FallbackName {
+  strsim::PersonName name;
+  std::string lower;
+};
+
 /// Per-lane staging scratch. Caches only affect speed, never values: a
-/// cache hit returns exactly what the comparator would have computed.
+/// cache hit returns exactly what the comparator would have computed. The
+/// counters feed ReconcileStats and are accumulated serially in lane order
+/// after staging, so totals are deterministic.
 struct StageScratch {
-  std::unordered_map<std::string, strsim::PersonName> name_cache;
+  std::unordered_map<std::string, FallbackName> name_cache;
+  std::unordered_map<std::string, strsim::EmailAddress> email_cache;
   std::unordered_map<uint64_t, float> sim_cache;
+  int64_t pair_comparisons = 0;
+  int64_t value_analyses = 0;
+  int64_t memo_hits = 0;
+  int64_t memo_misses = 0;
 };
 
 /// Staged pairs are applied (and association wiring probed) in chunks of
@@ -73,16 +109,31 @@ class GraphBuilder {
     out.graph = std::make_unique<DependencyGraph>(dataset_.num_references());
     graph_ = out.graph.get();
     values_ = &out.values;
+    built_ = &out;
+    if (options_.value_store) {
+      out.feature_store =
+          std::make_shared<ValueStore>(MakeValueKindSchema(binding_));
+      out.sim_memo = std::make_shared<SimMemo>();
+    }
+    store_ = out.feature_store.get();
+    memo_ = out.sim_memo.get();
+    ConfigureMemoBudget();
 
-    const CandidateList candidates =
-        GenerateCandidates(dataset_, binding_, options_, budget_);
+    // Values are interned up front (serially, in reference order — an order
+    // fixed regardless of thread count, so ValueIds are stable) and
+    // analyzed once each, so candidate generation and the comparison stage
+    // are read-only against the pool and the store and can fan out across
+    // threads. Interning probes no budget, so the probe sequence is
+    // unchanged by the store being on or off.
+    InternAtomicValues(/*first_ref=*/0);
+    if (store_ != nullptr) store_->Sync(*values_);
+
+    const CandidateList candidates = GenerateCandidates(
+        dataset_, binding_, options_, budget_, values_, store_);
     out.num_candidates = static_cast<int>(candidates.size());
 
     // Step 1 (§3.1): atomic-attribute comparison, node seeding, and
-    // constraint marking. Values are interned up front (serially, in
-    // reference order) so the comparison stage is read-only against the
-    // pool and can fan out across threads.
-    InternAtomicValues(/*first_ref=*/0);
+    // constraint marking.
     SeedPairs(candidates);
     // Constraint 1: authors of one article are distinct persons. Creates
     // non-merge nodes even where no atomic similarity exists (§3.4).
@@ -124,10 +175,15 @@ class GraphBuilder {
     graph_ = built.graph.get();
     values_ = &built.values;
     binding_ = built.binding;
+    built_ = &built;
+    store_ = built.feature_store.get();
+    memo_ = built.sim_memo.get();
+    ConfigureMemoBudget();
     built.num_candidates += static_cast<int>(pairs.size());
 
     const NodeId start_node = graph_->num_nodes();
     InternAtomicValues(first_new_ref);
+    if (store_ != nullptr) store_->Sync(*values_);
     SeedPairs(pairs);
     if (options_.constraints) MarkCoAuthorConstraints(first_new_ref);
     WireAssociations(start_node);
@@ -193,6 +249,18 @@ class GraphBuilder {
           }
         });
     budget_->ResolveAsyncStop();
+    // Serial, lane-order accumulation keeps the totals deterministic. With
+    // the store on, analyses happen in Sync (one per distinct value), so
+    // the cumulative store count is authoritative instead of the lanes.
+    for (const StageScratch& lane : scratch) {
+      built_->num_pair_comparisons += lane.pair_comparisons;
+      built_->num_value_analyses += lane.value_analyses;
+      built_->num_sim_memo_hits += lane.memo_hits;
+      built_->num_sim_memo_misses += lane.memo_misses;
+    }
+    if (store_ != nullptr) {
+      built_->num_value_analyses = store_->num_analyses();
+    }
     for (int64_t i = 0; i < n; ++i) {
       if (i % kBuildChunk == 0) {
         ReportGraphMemory();
@@ -248,28 +316,53 @@ class GraphBuilder {
     }
   }
 
-  /// Compares the cross product of two value sets with `comparator`,
-  /// staging static evidence for equal values and value nodes for pairs at
-  /// or above `seed`. Read-only: values were interned by
-  /// InternAtomicValues, so the pool lookups always hit.
-  template <typename Comparator>
+  /// Compares the cross product of two value sets, staging static evidence
+  /// for equal values and value nodes for pairs at or above `seed`.
+  /// Read-only: values were interned (and analyzed) by InternAtomicValues /
+  /// Sync, so the pool lookups always hit. With the store on, scoring runs
+  /// over precomputed features through the shared memo; `raw_comparator`
+  /// (a double(const std::string&, const std::string&) callable) is the
+  /// fallback used when the store is off. Both paths round non-equal pair
+  /// similarities through float, so results are byte-identical.
+  template <typename RawComparator>
   void StageAtomic(const std::vector<std::string>& values1,
                    const std::vector<std::string>& values2,
                    ValueDomain domain1, ValueDomain domain2, int evidence,
-                   double seed, bool propagate_merge, Comparator comparator,
-                   StageScratch& scratch, StagedEvidence* staged) const {
+                   double seed, bool propagate_merge,
+                   RawComparator raw_comparator, StageScratch& scratch,
+                   StagedEvidence* staged) const {
     for (const std::string& raw1 : values1) {
       const ValueId v1 = values_->Find(domain1, raw1);
       RECON_CHECK_NE(v1, kInvalidValue);
       for (const std::string& raw2 : values2) {
         const ValueId v2 = values_->Find(domain2, raw2);
         RECON_CHECK_NE(v2, kInvalidValue);
+        ++scratch.pair_comparisons;
         if (v1 == v2) {
-          staged->statics.emplace_back(evidence, comparator(raw1, raw2));
+          // Equal interned values score at full double precision (they are
+          // one element of the graph; the 1.0-equality shortcut paths in
+          // the comparators make this exact anyway).
+          const double sim =
+              (store_ != nullptr)
+                  ? FeaturePairSimilarity(evidence, store_->features(v1),
+                                          store_->features(v2))
+                  : raw_comparator(raw1, raw2);
+          staged->statics.emplace_back(evidence, sim);
           continue;
         }
-        const double sim =
-            CachedSim(evidence, v1, v2, raw1, raw2, comparator, scratch);
+        double sim;
+        if (store_ != nullptr) {
+          sim = memo_->LookupOrCompute(
+              evidence, v1, v2,
+              [&] {
+                return FeaturePairSimilarity(evidence, store_->features(v1),
+                                             store_->features(v2));
+              },
+              &scratch.memo_hits, &scratch.memo_misses);
+        } else {
+          sim = CachedSim(evidence, v1, v2, raw1, raw2, raw_comparator,
+                          scratch);
+        }
         if (sim >= seed) {
           staged->value_nodes.push_back(
               {v1, v2, sim, evidence, propagate_merge});
@@ -287,12 +380,28 @@ class GraphBuilder {
     const ValueDomain name_domain{binding_.person, binding_.person_name};
     const ValueDomain email_domain{binding_.person, binding_.person_email};
 
+    // Raw fallback comparators (store off): each side is analyzed once per
+    // lane and reused across pairs instead of re-parsed per pair.
+    auto raw_person_name = [&](const std::string& x, const std::string& y) {
+      const FallbackName& fx = ParsedName(x, scratch);
+      const FallbackName& fy = ParsedName(y, scratch);
+      return PersonNameFieldSimilarity(fx.name, fx.lower, fy.name, fy.lower);
+    };
+    auto raw_email = [&](const std::string& x, const std::string& y) {
+      return strsim::EmailSimilarity(ParsedEmail(x, scratch),
+                                     ParsedEmail(y, scratch));
+    };
+    auto raw_name_email = [&](const std::string& x, const std::string& y) {
+      return NameEmailFieldSimilarity(ParsedName(x, scratch).name,
+                                      ParsedEmail(y, scratch));
+    };
+
     bool shared_email = false;
     if (binding_.person_name >= 0) {
       StageAtomic(a.atomic_values(binding_.person_name),
                   b.atomic_values(binding_.person_name), name_domain,
                   name_domain, kEvPersonName, p.person_name_seed,
-                  /*propagate_merge=*/false, PersonNameFieldSimilarity,
+                  /*propagate_merge=*/false, raw_person_name,
                   scratch, staged);
       // Both sides carry names but none were even seed-similar: record
       // explicit zero evidence. Dissimilar names are soft negative
@@ -318,7 +427,7 @@ class GraphBuilder {
       const auto& emails2 = b.atomic_values(binding_.person_email);
       StageAtomic(emails1, emails2, email_domain, email_domain,
                   kEvPersonEmail, p.person_email_seed,
-                  /*propagate_merge=*/false, EmailFieldSimilarity, scratch,
+                  /*propagate_merge=*/false, raw_email, scratch,
                   staged);
       // StageAtomic already compared every email pair: identical values
       // became statics, the rest value nodes whenever sim >= seed (and the
@@ -338,18 +447,18 @@ class GraphBuilder {
       StageAtomic(a.atomic_values(binding_.person_name),
                   b.atomic_values(binding_.person_email), name_domain,
                   email_domain, kEvPersonNameEmail, p.name_email_seed,
-                  /*propagate_merge=*/false, NameEmailFieldSimilarity,
+                  /*propagate_merge=*/false, raw_name_email,
                   scratch, staged);
       StageAtomic(b.atomic_values(binding_.person_name),
                   a.atomic_values(binding_.person_email), name_domain,
                   email_domain, kEvPersonNameEmail, p.name_email_seed,
-                  /*propagate_merge=*/false, NameEmailFieldSimilarity,
+                  /*propagate_merge=*/false, raw_name_email,
                   scratch, staged);
     }
 
     if (options_.constraints && !shared_email) {
       *non_merge = ViolatesNameConstraint(a, b, scratch) ||
-                   ViolatesAccountConstraint(a, b);
+                   ViolatesAccountConstraint(a, b, scratch);
     }
   }
 
@@ -363,9 +472,9 @@ class GraphBuilder {
     if (names1.empty() || names2.empty()) return false;
     bool any_contradiction = false;
     for (const std::string& n1 : names1) {
-      const strsim::PersonName pa = ParsedName(n1, scratch);
+      const strsim::PersonName& pa = NameOf(n1, scratch);
       for (const std::string& n2 : names2) {
-        const strsim::PersonName pb = ParsedName(n2, scratch);
+        const strsim::PersonName& pb = NameOf(n2, scratch);
         if (strsim::NamesContradict(pa, pb)) {
           any_contradiction = true;
         } else if (!pa.last.empty() && !pb.last.empty() &&
@@ -382,14 +491,14 @@ class GraphBuilder {
 
   /// Constraint 3: a person has a unique account per email server, so two
   /// references with different accounts on the same server are distinct.
-  bool ViolatesAccountConstraint(const Reference& a,
-                                 const Reference& b) const {
+  bool ViolatesAccountConstraint(const Reference& a, const Reference& b,
+                                 StageScratch& scratch) const {
     if (binding_.person_email < 0) return false;
     for (const std::string& e1 : a.atomic_values(binding_.person_email)) {
-      const strsim::EmailAddress ea = strsim::ParseEmail(e1);
+      const strsim::EmailAddress& ea = EmailOf(e1, scratch);
       if (ea.server.empty()) continue;
       for (const std::string& e2 : b.atomic_values(binding_.person_email)) {
-        const strsim::EmailAddress eb = strsim::ParseEmail(e2);
+        const strsim::EmailAddress& eb = EmailOf(e2, scratch);
         if (ea.server == eb.server && ea.account != eb.account) return true;
       }
     }
@@ -401,13 +510,27 @@ class GraphBuilder {
     const Reference& a = dataset_.reference(r1);
     const Reference& b = dataset_.reference(r2);
     const SimParams& p = options_.params;
+    // Raw fallbacks analyze both sides inside the comparator on every
+    // cache miss; the counter records those per-pair analyses the store
+    // avoids.
+    auto raw_title = [&](const std::string& x, const std::string& y) {
+      scratch.value_analyses += 2;
+      return TitleFieldSimilarity(x, y);
+    };
+    auto raw_year = [&](const std::string& x, const std::string& y) {
+      scratch.value_analyses += 2;
+      return YearFieldSimilarity(x, y);
+    };
+    auto raw_pages = [&](const std::string& x, const std::string& y) {
+      scratch.value_analyses += 2;
+      return PagesFieldSimilarity(x, y);
+    };
     if (binding_.article_title >= 0) {
       const ValueDomain domain{binding_.article, binding_.article_title};
       StageAtomic(a.atomic_values(binding_.article_title),
                   b.atomic_values(binding_.article_title), domain, domain,
                   kEvArticleTitle, p.article_title_seed,
-                  /*propagate_merge=*/false, TitleFieldSimilarity, scratch,
-                  staged);
+                  /*propagate_merge=*/false, raw_title, scratch, staged);
     }
     // Titles are required evidence for articles: without a title match the
     // pair is not worth a node.
@@ -417,14 +540,14 @@ class GraphBuilder {
       StageAtomic(a.atomic_values(binding_.article_year),
                   b.atomic_values(binding_.article_year), domain, domain,
                   kEvArticleYear, p.year_seed, /*propagate_merge=*/false,
-                  YearFieldSimilarity, scratch, staged);
+                  raw_year, scratch, staged);
     }
     if (binding_.article_pages >= 0) {
       const ValueDomain domain{binding_.article, binding_.article_pages};
       StageAtomic(a.atomic_values(binding_.article_pages),
                   b.atomic_values(binding_.article_pages), domain, domain,
                   kEvArticlePages, p.pages_seed, /*propagate_merge=*/false,
-                  PagesFieldSimilarity, scratch, staged);
+                  raw_pages, scratch, staged);
     }
   }
 
@@ -433,6 +556,18 @@ class GraphBuilder {
     const Reference& a = dataset_.reference(r1);
     const Reference& b = dataset_.reference(r2);
     const SimParams& p = options_.params;
+    auto raw_venue_name = [&](const std::string& x, const std::string& y) {
+      scratch.value_analyses += 2;
+      return VenueNameFieldSimilarity(x, y);
+    };
+    auto raw_year = [&](const std::string& x, const std::string& y) {
+      scratch.value_analyses += 2;
+      return YearFieldSimilarity(x, y);
+    };
+    auto raw_location = [&](const std::string& x, const std::string& y) {
+      scratch.value_analyses += 2;
+      return LocationFieldSimilarity(x, y);
+    };
     if (binding_.venue_name >= 0) {
       const ValueDomain domain{binding_.venue, binding_.venue_name};
       // Venue names propagate merges: reconciling two venues certifies
@@ -441,7 +576,7 @@ class GraphBuilder {
       StageAtomic(a.atomic_values(binding_.venue_name),
                   b.atomic_values(binding_.venue_name), domain, domain,
                   kEvVenueName, p.venue_name_seed, /*propagate_merge=*/true,
-                  VenueNameFieldSimilarity, scratch, staged);
+                  raw_venue_name, scratch, staged);
     }
     if (staged->empty()) return;  // Venue name evidence is required.
     if (binding_.venue_year >= 0) {
@@ -449,15 +584,14 @@ class GraphBuilder {
       StageAtomic(a.atomic_values(binding_.venue_year),
                   b.atomic_values(binding_.venue_year), domain, domain,
                   kEvVenueYear, p.year_seed, /*propagate_merge=*/false,
-                  YearFieldSimilarity, scratch, staged);
+                  raw_year, scratch, staged);
     }
     if (binding_.venue_location >= 0) {
       const ValueDomain domain{binding_.venue, binding_.venue_location};
       StageAtomic(a.atomic_values(binding_.venue_location),
                   b.atomic_values(binding_.venue_location), domain, domain,
                   kEvVenueLocation, p.location_seed,
-                  /*propagate_merge=*/false, LocationFieldSimilarity, scratch,
-                  staged);
+                  /*propagate_merge=*/false, raw_location, scratch, staged);
     }
   }
 
@@ -662,29 +796,78 @@ class GraphBuilder {
     }
   }
 
-  const strsim::PersonName& ParsedName(const std::string& raw,
-                                       StageScratch& scratch) const {
+  /// Raw-fallback analysis caches: each distinct string is analyzed once
+  /// per lane; a cache miss is one value analysis for the stats.
+  const FallbackName& ParsedName(const std::string& raw,
+                                 StageScratch& scratch) const {
     auto [it, inserted] = scratch.name_cache.try_emplace(raw);
-    if (inserted) it->second = strsim::ParsePersonName(raw);
+    if (inserted) {
+      it->second.name = strsim::ParsePersonName(raw);
+      it->second.lower = ToLower(raw);
+      ++scratch.value_analyses;
+    }
     return it->second;
+  }
+
+  const strsim::EmailAddress& ParsedEmail(const std::string& raw,
+                                          StageScratch& scratch) const {
+    auto [it, inserted] = scratch.email_cache.try_emplace(raw);
+    if (inserted) {
+      it->second = strsim::ParseEmail(raw);
+      ++scratch.value_analyses;
+    }
+    return it->second;
+  }
+
+  /// Parsed person name of an interned name value: store features when the
+  /// store is on, per-lane fallback cache otherwise.
+  const strsim::PersonName& NameOf(const std::string& raw,
+                                   StageScratch& scratch) const {
+    if (store_ != nullptr) {
+      const ValueId id = values_->Find(
+          ValueDomain{binding_.person, binding_.person_name}, raw);
+      RECON_CHECK_NE(id, kInvalidValue);
+      return store_->features(id).name;
+    }
+    return ParsedName(raw, scratch).name;
+  }
+
+  const strsim::EmailAddress& EmailOf(const std::string& raw,
+                                      StageScratch& scratch) const {
+    if (store_ != nullptr) {
+      const ValueId id = values_->Find(
+          ValueDomain{binding_.person, binding_.person_email}, raw);
+      RECON_CHECK_NE(id, kInvalidValue);
+      return store_->features(id).email;
+    }
+    return ParsedEmail(raw, scratch);
   }
 
   template <typename Comparator>
   double CachedSim(int evidence, ValueId v1, ValueId v2,
                    const std::string& raw1, const std::string& raw2,
-                   Comparator comparator, StageScratch& scratch) const {
-    uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(
-                        std::min(v1, v2)))
-                    << 32) |
-                   static_cast<uint32_t>(std::max(v1, v2));
-    key ^= static_cast<uint64_t>(evidence) << 58;
+                   Comparator& comparator, StageScratch& scratch) const {
     // Same-attribute comparators are symmetric and cross-attribute pairs
     // always arrive in (name, email) order, so the unordered key is safe.
+    const uint64_t key = SimMemo::PackKey(evidence, v1, v2);
     auto [it, inserted] = scratch.sim_cache.try_emplace(key, 0.0f);
     if (inserted) {
       it->second = static_cast<float>(comparator(raw1, raw2));
     }
     return it->second;
+  }
+
+  /// Sizes the shared memo: the configured bound, shrunk to fit under the
+  /// run's soft memory budget when one is set. The memo degrades on its
+  /// own (eviction, then bypass) — it never trips the budget, whose
+  /// estimate stays graph-only so budget stops are identical with the
+  /// store on or off.
+  void ConfigureMemoBudget() {
+    if (memo_ == nullptr) return;
+    int64_t bound = options_.sim_memo_max_bytes;
+    const int64_t soft = budget_->budget().soft_max_memory_bytes;
+    if (soft > 0) bound = std::min(bound, soft);
+    memo_->set_max_bytes(bound);
   }
 
   /// Updates the budget's soft memory estimate from the current graph
@@ -707,9 +890,37 @@ class GraphBuilder {
   BudgetTracker* budget_;
   DependencyGraph* graph_ = nullptr;
   ValuePool* values_ = nullptr;
+  BuiltGraph* built_ = nullptr;
+  /// Owned by built_ (shared_ptr); null when options_.value_store is off.
+  ValueStore* store_ = nullptr;
+  SimMemo* memo_ = nullptr;
 };
 
 }  // namespace
+
+void InternReferenceValues(const Dataset& dataset, RefId first_ref,
+                           BuiltGraph& built) {
+  const SchemaBinding& b = built.binding;
+  for (RefId id = first_ref; id < dataset.num_references(); ++id) {
+    const Reference& r = dataset.reference(id);
+    const int class_id = r.class_id();
+    auto intern_field = [&](int owner_class, int attr) {
+      if (owner_class < 0 || attr < 0 || class_id != owner_class) return;
+      for (const std::string& raw : r.atomic_values(attr)) {
+        built.values.Intern(ValueDomain{owner_class, attr}, raw);
+      }
+    };
+    intern_field(b.person, b.person_name);
+    intern_field(b.person, b.person_email);
+    intern_field(b.article, b.article_title);
+    intern_field(b.article, b.article_year);
+    intern_field(b.article, b.article_pages);
+    intern_field(b.venue, b.venue_name);
+    intern_field(b.venue, b.venue_year);
+    intern_field(b.venue, b.venue_location);
+  }
+  if (built.feature_store != nullptr) built.feature_store->Sync(built.values);
+}
 
 BuiltGraph BuildDependencyGraph(const Dataset& dataset,
                                 const ReconcilerOptions& options,

@@ -15,6 +15,7 @@
 #include "graph/value_pool.h"
 #include "model/dataset.h"
 #include "sim/class_sim.h"
+#include "sim/value_store.h"
 #include "util/budget.h"
 
 namespace recon {
@@ -31,7 +32,29 @@ struct BuiltGraph {
   std::vector<std::unique_ptr<ClassSimilarity>> class_sims;
   SchemaBinding binding;
   int num_candidates = 0;
+
+  /// Precomputed per-value features and the bounded pairwise similarity
+  /// memo (ReconcilerOptions::value_store, DESIGN.md §11). Null when the
+  /// store is off. shared_ptr because BuiltGraph moves by value while
+  /// staging lambdas hold raw pointers into these.
+  std::shared_ptr<ValueStore> feature_store;
+  std::shared_ptr<SimMemo> sim_memo;
+
+  /// Scoring-path counters, accumulated deterministically across Build()
+  /// and every Extend(); surfaced as ReconcileStats (DESIGN.md §11).
+  int64_t num_pair_comparisons = 0;
+  int64_t num_value_analyses = 0;
+  int64_t num_sim_memo_hits = 0;
+  int64_t num_sim_memo_misses = 0;
 };
+
+/// Interns the atomic attribute values of references >= `first_ref` into
+/// built.values (reference order, idempotent — the same interning the
+/// builder performs) and syncs built.feature_store over the new values.
+/// Incremental callers use it to make features available to candidate
+/// generation before ExtendDependencyGraph runs.
+void InternReferenceValues(const Dataset& dataset, RefId first_ref,
+                           BuiltGraph& built);
 
 /// Builds the dependency graph for `dataset` under `options`. `budget`
 /// (optional) carries the run's execution budget (DESIGN.md §10): probes

@@ -47,8 +47,13 @@ void IncrementalReconciler::Flush() {
     const int new_refs = total - solver_->refs().size();
     if (new_refs > 0) solver_->GrowReferences(new_refs);
 
+    // Intern and analyze the new batch's values first, so candidate
+    // generation can read precomputed features; ExtendDependencyGraph's
+    // own interning pass then finds everything already present.
+    InternReferenceValues(dataset_, flushed_until_, built_);
     const CandidateList pairs =
-        index_->AddReferences(dataset_, flushed_until_);
+        index_->AddReferences(dataset_, flushed_until_, &built_.values,
+                              built_.feature_store.get());
     const std::vector<NodeId> new_nodes = ExtendDependencyGraph(
         dataset_, options_, pairs, flushed_until_, built_, &tracker);
     solver_->EnqueueNodes(new_nodes);
@@ -89,6 +94,18 @@ ReconcileResult IncrementalReconciler::result() {
   out.stats.num_nodes = built_.graph->num_nodes();
   out.stats.num_live_nodes = built_.graph->num_live_nodes();
   out.stats.num_edges = built_.graph->num_edges();
+  out.stats.num_pair_comparisons = built_.num_pair_comparisons;
+  out.stats.num_value_analyses = built_.num_value_analyses;
+  out.stats.num_sim_memo_hits = built_.num_sim_memo_hits;
+  out.stats.num_sim_memo_misses = built_.num_sim_memo_misses;
+  if (built_.sim_memo != nullptr) {
+    out.stats.num_sim_memo_evictions = built_.sim_memo->evictions();
+    out.stats.num_sim_memo_bypasses = built_.sim_memo->bypasses();
+    out.stats.sim_memo_bytes = built_.sim_memo->bytes();
+  }
+  if (built_.feature_store != nullptr) {
+    out.stats.value_store_bytes = built_.feature_store->approximate_bytes();
+  }
   return out;
 }
 

@@ -76,6 +76,21 @@ struct ReconcilerOptions {
   /// byte-identical either way; off = the straightforward full rescan.
   bool evidence_cache = true;
 
+  /// Interned value store with precomputed similarity features (DESIGN.md
+  /// §11): every distinct attribute value is analyzed once — parsed,
+  /// lowercased, tokenized, n-grammed — at graph-build time, and all
+  /// comparators run over the shared read-only features instead of raw
+  /// strings; a bounded pairwise similarity memo sits on top. Output is
+  /// byte-identical on or off at every thread count; off = per-call raw
+  /// string analysis with small per-lane caches.
+  bool value_store = true;
+
+  /// Byte bound for the pairwise similarity memo (only read when
+  /// value_store is on). The effective bound is the minimum of this and the
+  /// headroom under Budget::soft_max_memory_bytes; a bound too small to be
+  /// useful turns the memo into a pass-through (never an abort).
+  int64_t sim_memo_max_bytes = int64_t{64} << 20;
+
   /// Queue discipline (§3.2): when a pair merges, its strong-boolean
   /// dependents are inserted at the *front* of the queue. Off = FIFO for
   /// everything; exposed for the queue-discipline ablation bench.

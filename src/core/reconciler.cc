@@ -121,6 +121,18 @@ ReconcileResult Reconciler::RunOnGraph(const Dataset& dataset,
   ReconcileResult result;
   result.stats.num_candidates = built.num_candidates;
   result.stats.num_nodes = built.graph->num_nodes();
+  result.stats.num_pair_comparisons = built.num_pair_comparisons;
+  result.stats.num_value_analyses = built.num_value_analyses;
+  result.stats.num_sim_memo_hits = built.num_sim_memo_hits;
+  result.stats.num_sim_memo_misses = built.num_sim_memo_misses;
+  if (built.sim_memo != nullptr) {
+    result.stats.num_sim_memo_evictions = built.sim_memo->evictions();
+    result.stats.num_sim_memo_bypasses = built.sim_memo->bypasses();
+    result.stats.sim_memo_bytes = built.sim_memo->bytes();
+  }
+  if (built.feature_store != nullptr) {
+    result.stats.value_store_bytes = built.feature_store->approximate_bytes();
+  }
 
   Timer solve_timer;
   FixedPointSolver solver(dataset, built, options_, &result.stats, budget);

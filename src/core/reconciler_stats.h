@@ -50,6 +50,29 @@ struct ReconcileStats {
   /// In-edges *not* scanned because a valid cache answered instead.
   int64_t num_inedge_scans_avoided = 0;
 
+  // Value-store counters (ReconcilerOptions::value_store, DESIGN.md §11).
+  // Observational: results are byte-identical with the store on or off.
+  /// Pairwise comparator invocations during graph-build scoring (the
+  /// cross-product of candidate value sets), in either mode.
+  int64_t num_pair_comparisons = 0;
+  /// Distinct-value analyses (parse/tokenize/n-gram passes). With the store
+  /// on this is exactly one per distinct interned value; off, it counts the
+  /// raw-path analyses actually performed (per-lane caches included). The
+  /// perf_reconcile gate requires comparisons >= 5x analyses with the store.
+  int64_t num_value_analyses = 0;
+  /// Similarity-memo lookups answered from the memo / computed fresh.
+  /// Misses equal the number of distinct (evidence, value pair) keys
+  /// requested — deterministic across thread counts absent eviction.
+  int64_t num_sim_memo_hits = 0;
+  int64_t num_sim_memo_misses = 0;
+  /// Shard clears forced by the memo byte bound, and lookups served as a
+  /// pass-through because the bound was too small to cache at all.
+  int64_t num_sim_memo_evictions = 0;
+  int64_t num_sim_memo_bypasses = 0;
+  /// Approximate heap bytes held by the memo and the feature table.
+  int64_t sim_memo_bytes = 0;
+  int64_t value_store_bytes = 0;
+
   // Parallel wavefront counters (ReconcilerOptions::parallel_fixed_point).
   // Deterministic for a given input at every thread count > 1; all zero on
   // the sequential drain. Like the cache counters, they are observational:

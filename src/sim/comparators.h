@@ -8,7 +8,12 @@
 
 #include <string>
 
+#include "strsim/email.h"
+#include "strsim/person_name.h"
+
 namespace recon {
+
+struct ValueFeatures;
 
 /// Person name vs person name. Capped at kAbbreviatedNameCap unless *both*
 /// names have a full given name and a last name: "Wong, E." cannot merge
@@ -18,6 +23,18 @@ namespace recon {
 /// occurrences of the same abbreviated string score
 /// kEqualAbbreviatedNameSim, high enough to merge on their own.
 double PersonNameFieldSimilarity(const std::string& a, const std::string& b);
+
+/// Parsed-level form: each side analyzed once by the caller and reused
+/// across pairs. `lower_a`/`lower_b` are the lowercased raw strings (the
+/// identical-abbreviation check is on the raw form, not the parse).
+double PersonNameFieldSimilarity(const strsim::PersonName& pa,
+                                 const std::string& lower_a,
+                                 const strsim::PersonName& pb,
+                                 const std::string& lower_b);
+
+/// Feature-level form over store-analyzed values; identical result.
+double PersonNameFieldSimilarity(const ValueFeatures& a,
+                                 const ValueFeatures& b);
 
 /// Cap applied by PersonNameFieldSimilarity to non-full names.
 inline constexpr double kAbbreviatedNameCap = 0.80;
@@ -31,25 +48,40 @@ inline constexpr double kEqualAbbreviatedNameSim = 0.88;
 
 /// Email vs email (1.0 on case-insensitive equality: a key attribute).
 double EmailFieldSimilarity(const std::string& a, const std::string& b);
+double EmailFieldSimilarity(const ValueFeatures& a, const ValueFeatures& b);
 
 /// Person name vs email account (cross-attribute evidence).
 double NameEmailFieldSimilarity(const std::string& name,
                                 const std::string& email);
+/// Parsed-level form: name and email analyzed once by the caller.
+double NameEmailFieldSimilarity(const strsim::PersonName& name,
+                                const strsim::EmailAddress& email);
+/// Feature-level form; `name` must be a kPersonName value and `email` a
+/// kEmail value.
+double NameEmailFieldSimilarity(const ValueFeatures& name,
+                                const ValueFeatures& email);
 
 /// Article title vs title.
 double TitleFieldSimilarity(const std::string& a, const std::string& b);
+double TitleFieldSimilarity(const ValueFeatures& a, const ValueFeatures& b);
 
 /// Venue name vs venue name (acronym-aware).
 double VenueNameFieldSimilarity(const std::string& a, const std::string& b);
+double VenueNameFieldSimilarity(const ValueFeatures& a,
+                                const ValueFeatures& b);
 
 /// Year vs year.
 double YearFieldSimilarity(const std::string& a, const std::string& b);
+double YearFieldSimilarity(const ValueFeatures& a, const ValueFeatures& b);
 
 /// Page range vs page range.
 double PagesFieldSimilarity(const std::string& a, const std::string& b);
+double PagesFieldSimilarity(const ValueFeatures& a, const ValueFeatures& b);
 
 /// Location vs location.
 double LocationFieldSimilarity(const std::string& a, const std::string& b);
+double LocationFieldSimilarity(const ValueFeatures& a,
+                               const ValueFeatures& b);
 
 }  // namespace recon
 

@@ -13,19 +13,29 @@ std::string NormalizeTitle(std::string_view title) {
   return Join(Tokenize(title), " ");
 }
 
+TitleFeatures AnalyzeTitle(std::string_view title) {
+  TitleFeatures features;
+  // Tokenize(title) == Tokenize(NormalizeTitle(title)) since normalization
+  // is Join(Tokenize(title), " "), so one tokenize pass serves both fields.
+  features.tokens = Tokenize(title);
+  features.normalized = Join(features.tokens, " ");
+  return features;
+}
+
 double TitleSimilarity(std::string_view a, std::string_view b,
                        const TfIdfModel* model) {
-  const std::string na = NormalizeTitle(a);
-  const std::string nb = NormalizeTitle(b);
-  if (na.empty() || nb.empty()) return 0.0;
-  if (na == nb) return 1.0;
+  return TitleSimilarity(AnalyzeTitle(a), AnalyzeTitle(b), model);
+}
 
-  const double edit = EditSimilarity(na, nb);
-  const std::vector<std::string> ta = Tokenize(na);
-  const std::vector<std::string> tb = Tokenize(nb);
+double TitleSimilarity(const TitleFeatures& a, const TitleFeatures& b,
+                       const TfIdfModel* model) {
+  if (a.normalized.empty() || b.normalized.empty()) return 0.0;
+  if (a.normalized == b.normalized) return 1.0;
+
+  const double edit = EditSimilarity(a.normalized, b.normalized);
   const double token_sim = (model != nullptr)
-                               ? model->Similarity(ta, tb)
-                               : JaccardSimilarity(ta, tb);
+                               ? model->Similarity(a.tokens, b.tokens)
+                               : JaccardSimilarity(a.tokens, b.tokens);
   return std::clamp(std::max(edit, token_sim), 0.0, 1.0);
 }
 
@@ -53,14 +63,23 @@ std::optional<PageRange> ParsePages(std::string_view pages) {
   return range;
 }
 
+PagesFeatures AnalyzePages(std::string_view pages) {
+  PagesFeatures features;
+  features.range = ParsePages(pages);
+  features.trimmed = std::string(Trim(pages));
+  return features;
+}
+
 double PagesSimilarity(std::string_view a, std::string_view b) {
-  const auto ra = ParsePages(a);
-  const auto rb = ParsePages(b);
+  return PagesSimilarity(AnalyzePages(a), AnalyzePages(b));
+}
+
+double PagesSimilarity(const PagesFeatures& a, const PagesFeatures& b) {
+  const auto& ra = a.range;
+  const auto& rb = b.range;
   if (!ra.has_value() || !rb.has_value()) {
-    const std::string ta = Trim(a);
-    const std::string tb = Trim(b);
-    if (ta.empty() || tb.empty()) return 0.0;
-    return ta == tb ? 1.0 : 0.0;
+    if (a.trimmed.empty() || b.trimmed.empty()) return 0.0;
+    return a.trimmed == b.trimmed ? 1.0 : 0.0;
   }
   if (ra->first == rb->first && ra->last == rb->last) return 1.0;
   if (ra->first == rb->first) return 0.8;

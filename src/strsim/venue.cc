@@ -90,41 +90,50 @@ std::string VenueAcronym(std::string_view name) {
   return acronym;
 }
 
+VenueFeatures AnalyzeVenueName(std::string_view name) {
+  VenueFeatures f;
+  f.lower = ToLower(name);
+  f.tokens = Tokenize(f.lower);
+  for (const auto& t : f.tokens) {
+    if (IsStopword(t)) continue;
+    if (!f.content.empty()) f.content.push_back(' ');
+    f.content.append(t);
+    f.acronym.push_back(t[0]);
+    // VenueContentTokens on a single raw token either keeps or expands it;
+    // the *raw* filtered view keeps the token itself when it survived
+    // filtering in any form (it did: IsStopword was checked above, and
+    // acronym expansion never yields an empty list).
+    f.raw_content.push_back(t);
+  }
+  f.expanded = VenueContentTokens(f.lower);
+  return f;
+}
+
 double VenueNameSimilarity(std::string_view a, std::string_view b) {
-  const std::string la = ToLower(a);
-  const std::string lb = ToLower(b);
-  if (la.empty() || lb.empty()) return 0.0;
-  if (la == lb) return 1.0;
+  return VenueNameSimilarity(AnalyzeVenueName(a), AnalyzeVenueName(b));
+}
+
+double VenueNameSimilarity(const VenueFeatures& a, const VenueFeatures& b) {
+  if (a.lower.empty() || b.lower.empty()) return 0.0;
+  if (a.lower == b.lower) return 1.0;
 
   // Edit similarity runs over the *content* words only: venue names share
   // long boilerplate templates ("...th Symposium on ..."), and raw edit
   // distance would make every symposium look like every other.
-  const std::vector<std::string> tokens_a = Tokenize(la);
-  const std::vector<std::string> tokens_b = Tokenize(lb);
-  auto content_string = [](const std::vector<std::string>& tokens) {
-    std::string out;
-    for (const auto& t : tokens) {
-      if (IsStopword(t)) continue;
-      if (!out.empty()) out.push_back(' ');
-      out.append(t);
-    }
-    return out;
-  };
-  double best = EditSimilarity(content_string(tokens_a),
-                               content_string(tokens_b));
+  double best = EditSimilarity(a.content, b.content);
 
   // Acronym match: one name is (or contains) the literal first-letter
   // acronym of the other ("vldb" vs "Very Large Data Bases").
   auto acronym_match = [](const std::vector<std::string>& short_tokens,
-                          std::string_view long_name) {
-    const std::string acronym = VenueAcronym(long_name);
+                          const std::string& acronym) {
     if (acronym.size() < 3) return false;
     for (const auto& t : short_tokens) {
       if (t == acronym) return true;
     }
     return false;
   };
-  if (acronym_match(tokens_a, lb) || acronym_match(tokens_b, la)) {
+  if (acronym_match(a.tokens, b.acronym) ||
+      acronym_match(b.tokens, a.acronym)) {
     best = std::max(best, 0.92);
   }
 
@@ -132,55 +141,70 @@ double VenueNameSimilarity(std::string_view a, std::string_view b) {
   // only through the acronym-expansion dictionary are discounted — an
   // acronym is a hint, not proof ("SIGMOD" vs "Management of Data" should
   // need corroboration from merged articles, per the paper's Fig. 2).
-  auto raw_content = [](const std::vector<std::string>& tokens) {
-    std::vector<std::string> out;
-    for (const auto& t : tokens) {
-      const std::vector<std::string> content = VenueContentTokens(t);
-      // VenueContentTokens on a single raw token either keeps or expands
-      // it; to get the *raw* filtered view, keep the token itself when it
-      // survived filtering in any form.
-      if (!content.empty()) out.push_back(t);
-    }
-    return out;
-  };
-  const std::vector<std::string> raw_a = raw_content(tokens_a);
-  const std::vector<std::string> raw_b = raw_content(tokens_b);
-  if (!raw_a.empty() && !raw_b.empty()) {
-    const double dice = DiceSimilarity(raw_a, raw_b);
-    const double monge = SymmetricMongeElkan(raw_a, raw_b);
+  if (!a.raw_content.empty() && !b.raw_content.empty()) {
+    const double dice = DiceSimilarity(a.raw_content, b.raw_content);
+    const double monge = SymmetricMongeElkan(a.raw_content, b.raw_content);
     best = std::max(best, 0.7 * dice + 0.3 * monge);
   }
-  const std::vector<std::string> expanded_a = VenueContentTokens(la);
-  const std::vector<std::string> expanded_b = VenueContentTokens(lb);
-  if (!expanded_a.empty() && !expanded_b.empty()) {
-    const double dice = DiceSimilarity(expanded_a, expanded_b);
-    const double monge = SymmetricMongeElkan(expanded_a, expanded_b);
+  if (!a.expanded.empty() && !b.expanded.empty()) {
+    const double dice = DiceSimilarity(a.expanded, b.expanded);
+    const double monge = SymmetricMongeElkan(a.expanded, b.expanded);
     best = std::max(best, 0.75 * (0.7 * dice + 0.3 * monge));
   }
   return std::clamp(best, 0.0, 1.0);
 }
 
+YearFeatures AnalyzeYear(std::string_view year) {
+  YearFeatures f;
+  f.trimmed = Trim(year);
+  if (!f.trimmed.empty() && IsDigits(f.trimmed)) {
+    f.is_number = true;
+    // Saturating parse: absurdly long digit runs clamp instead of throwing.
+    long value = 0;
+    for (const char c : f.trimmed) {
+      value = value * 10 + (c - '0');
+      if (value > 100000000L) {
+        value = 100000000L;
+        break;
+      }
+    }
+    f.value = value;
+  }
+  return f;
+}
+
 double YearSimilarity(std::string_view a, std::string_view b) {
-  const std::string ta = Trim(a);
-  const std::string tb = Trim(b);
-  if (ta.empty() || tb.empty()) return 0.0;
-  if (IsDigits(ta) && IsDigits(tb)) {
-    const long ya = std::stol(ta);
-    const long yb = std::stol(tb);
-    const long diff = ya > yb ? ya - yb : yb - ya;
+  return YearSimilarity(AnalyzeYear(a), AnalyzeYear(b));
+}
+
+double YearSimilarity(const YearFeatures& a, const YearFeatures& b) {
+  if (a.trimmed.empty() || b.trimmed.empty()) return 0.0;
+  if (a.is_number && b.is_number) {
+    const long diff = a.value > b.value ? a.value - b.value : b.value - a.value;
     if (diff == 0) return 1.0;
     if (diff == 1) return 0.5;
     return 0.0;
   }
-  return ta == tb ? 1.0 : 0.0;
+  return a.trimmed == b.trimmed ? 1.0 : 0.0;
+}
+
+LocationFeatures AnalyzeLocation(std::string_view location) {
+  LocationFeatures f;
+  f.lower = ToLower(location);
+  // Tokenize lowercases, so tokenizing the lowered form matches the raw one.
+  f.tokens = Tokenize(f.lower);
+  return f;
 }
 
 double LocationSimilarity(std::string_view a, std::string_view b) {
-  const std::vector<std::string> ta = Tokenize(a);
-  const std::vector<std::string> tb = Tokenize(b);
-  if (ta.empty() || tb.empty()) return 0.0;
-  const double overlap = OverlapCoefficient(ta, tb);
-  const double jw = JaroWinklerSimilarity(ToLower(a), ToLower(b));
+  return LocationSimilarity(AnalyzeLocation(a), AnalyzeLocation(b));
+}
+
+double LocationSimilarity(const LocationFeatures& a,
+                          const LocationFeatures& b) {
+  if (a.tokens.empty() || b.tokens.empty()) return 0.0;
+  const double overlap = OverlapCoefficient(a.tokens, b.tokens);
+  const double jw = JaroWinklerSimilarity(a.lower, b.lower);
   return std::clamp(std::max(overlap, jw), 0.0, 1.0);
 }
 

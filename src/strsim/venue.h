@@ -21,17 +21,61 @@ std::vector<std::string> VenueContentTokens(std::string_view name);
 /// are kept as-is, not folded into the acronym).
 std::string VenueAcronym(std::string_view name);
 
+/// Precomputed venue-name analysis. VenueNameSimilarity tokenizes and
+/// filters each side several ways; building this once per distinct venue
+/// string hoists all of that out of the pairwise hot path.
+struct VenueFeatures {
+  std::string lower;                      ///< ToLower(name).
+  std::vector<std::string> tokens;        ///< Tokenize(lower).
+  std::string content;                    ///< Stopword-filtered tokens joined.
+  std::string acronym;                    ///< VenueAcronym(lower).
+  std::vector<std::string> raw_content;   ///< Tokens surviving content filter.
+  std::vector<std::string> expanded;      ///< VenueContentTokens(lower).
+};
+
+/// Analyzes `name` once for repeated comparison.
+VenueFeatures AnalyzeVenueName(std::string_view name);
+
 /// Venue-name similarity in [0, 1]: max of normalized edit similarity,
 /// acronym matching, and token-set similarity on expanded content tokens.
 double VenueNameSimilarity(std::string_view a, std::string_view b);
+
+/// Feature-level overload; identical result to the raw-string form.
+double VenueNameSimilarity(const VenueFeatures& a, const VenueFeatures& b);
+
+/// Precomputed year analysis: trimmed form plus the parsed numeric value
+/// when the input is all digits.
+struct YearFeatures {
+  std::string trimmed;    ///< Trim(year).
+  bool is_number = false; ///< IsDigits(trimmed) on a non-empty input.
+  long value = 0;         ///< Parsed year when is_number.
+};
+
+/// Analyzes `year` once for repeated comparison.
+YearFeatures AnalyzeYear(std::string_view year);
 
 /// Year similarity: 1.0 if equal, 0.5 if within one year, else 0.
 /// Non-numeric input scores by string equality.
 double YearSimilarity(std::string_view a, std::string_view b);
 
+/// Feature-level overload; identical result to the raw-string form.
+double YearSimilarity(const YearFeatures& a, const YearFeatures& b);
+
+/// Precomputed location analysis: lowercase form plus tokens.
+struct LocationFeatures {
+  std::string lower;                ///< ToLower(location).
+  std::vector<std::string> tokens;  ///< Tokenize(location).
+};
+
+/// Analyzes `location` once for repeated comparison.
+LocationFeatures AnalyzeLocation(std::string_view location);
+
 /// Location similarity ("Austin, Texas" vs "Austin, TX"): token overlap
 /// blended with Jaro-Winkler.
 double LocationSimilarity(std::string_view a, std::string_view b);
+
+/// Feature-level overload; identical result to the raw-string form.
+double LocationSimilarity(const LocationFeatures& a, const LocationFeatures& b);
 
 }  // namespace recon::strsim
 

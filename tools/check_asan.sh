@@ -1,14 +1,16 @@
 #!/usr/bin/env bash
 # One-command memory-safety check for the robustness surfaces (DESIGN.md
-# §10): budget exhaustion / cancellation / fault-injected degradation, and
+# §10–§11): budget exhaustion / cancellation / fault-injected degradation,
 # the malformed-input extraction paths (truncated BibTeX, garbled email,
-# NUL-ridden CSV):
+# NUL-ridden CSV), and the value-store / similarity-memo degradation modes
+# (shard eviction and bypass under tiny byte bounds):
 #
 #   1. configures and builds build-asan/ with
 #      -DRECON_SANITIZE=address-undefined (ASan + UBSan together),
 #   2. runs every ctest target labeled `asan` under the sanitizers —
-#      every StopReason at every probe point, plus the hostile-input
-#      corpus — with error exit codes forced on.
+#      every StopReason at every probe point, the hostile-input corpus,
+#      and the value-store sweep with the store on and off — with error
+#      exit codes forced on.
 #
 # Usage: tools/check_asan.sh [asan_build_dir]
 #   asan_build_dir  defaults to build-asan (created if missing)

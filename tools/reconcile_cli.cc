@@ -64,6 +64,9 @@ void PrintUsage(std::ostream& out) {
          "  --no-constraints        disable constraint enforcement (ablation)\n"
          "  --evidence attr|ne|article|contact   evidence level (ablation)\n"
          "  --canopies              canopy clustering instead of blocking\n"
+         "  --no-value-store        score from raw strings instead of the\n"
+         "                          interned value store (DESIGN.md §11);\n"
+         "                          output is byte-identical either way\n"
          "  --threads N             worker threads (0 = all hardware "
          "threads);\n"
          "                          output is byte-identical for every N\n"
@@ -225,6 +228,8 @@ int main(int argc, char** argv) {
       options.constraints = false;
     } else if (arg == "--canopies") {
       options.use_canopies = true;
+    } else if (arg == "--no-value-store") {
+      options.value_store = false;
     } else if (arg == "--import" && i + 1 < argc) {
       import_kind = argv[++i];
       if (import_kind != "csv" && import_kind != "bibtex" &&
@@ -355,6 +360,14 @@ int main(int argc, char** argv) {
               << result.stats.solve_commit_seconds << "s (serial); "
               << result.stats.num_score_hits << " hits / "
               << result.stats.num_serial_rescores << " re-scored\n";
+  }
+  if (algo == "depgraph" && result.stats.num_pair_comparisons > 0) {
+    std::cout << "Scoring: " << result.stats.num_pair_comparisons
+              << " pair comparisons, " << result.stats.num_value_analyses
+              << " value analyses; memo " << result.stats.num_sim_memo_hits
+              << " hits / " << result.stats.num_sim_memo_misses
+              << " misses (" << result.stats.sim_memo_bytes
+              << " B, store " << result.stats.value_store_bytes << " B)\n";
   }
   if (algo == "depgraph") {
     std::cout << "Stop: " << StopReasonToString(result.stats.stop_reason)
