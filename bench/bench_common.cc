@@ -1,9 +1,13 @@
 #include "bench_common.h"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <thread>
+#include <utility>
 
 namespace recon::bench {
 
@@ -85,38 +89,18 @@ std::string JsonPathFromArgs(int argc, char** argv) {
   return "";
 }
 
-namespace {
-
-std::string JsonQuote(const std::string& value) {
-  std::string out = "\"";
-  for (const char c : value) {
-    if (c == '"' || c == '\\') out += '\\';
-    if (c == '\n') {
-      out += "\\n";
-    } else {
-      out += c;
-    }
-  }
-  out += '"';
-  return out;
-}
-
-}  // namespace
-
-void JsonLog::BeginRow() { rows_.emplace_back(); }
+void JsonLog::BeginRow() { rows_.push_back(json::Value::Object()); }
 
 void JsonLog::Add(const std::string& key, double value) {
-  char buffer[64];
-  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
-  rows_.back().push_back(Field{key, buffer});
+  rows_.back().Set(key, value);
 }
 
 void JsonLog::Add(const std::string& key, int64_t value) {
-  rows_.back().push_back(Field{key, std::to_string(value)});
+  rows_.back().Set(key, value);
 }
 
 void JsonLog::Add(const std::string& key, const std::string& value) {
-  rows_.back().push_back(Field{key, JsonQuote(value)});
+  rows_.back().Set(key, value);
 }
 
 bool JsonLog::Write(const std::string& path) const {
@@ -126,16 +110,20 @@ bool JsonLog::Write(const std::string& path) const {
     std::cerr << "warning: cannot write " << path << "\n";
     return false;
   }
-  out << "[\n";
-  for (size_t r = 0; r < rows_.size(); ++r) {
-    out << "  {";
-    for (size_t f = 0; f < rows_[r].size(); ++f) {
-      if (f > 0) out << ", ";
-      out << JsonQuote(rows_[r][f].key) << ": " << rows_[r][f].rendered;
-    }
-    out << (r + 1 < rows_.size() ? "},\n" : "}\n");
-  }
-  out << "]\n";
+  // Machine-context row first: published numbers are only meaningful
+  // relative to the hardware that produced them (tools/run_benches.sh
+  // refuses outputs that lack it).
+  json::Value meta = json::Value::Object();
+  meta.Set("hardware_concurrency",
+           static_cast<int64_t>(std::thread::hardware_concurrency()));
+  meta.Set("nprocs_online",
+           static_cast<int64_t>(::sysconf(_SC_NPROCESSORS_ONLN)));
+  meta.Set("bench_threads", BenchThreads());
+  meta.Set("bench_scale", BenchScale());
+  json::Value doc = json::Value::Array();
+  doc.Append(std::move(meta));
+  for (const json::Value& row : rows_) doc.Append(row);
+  out << doc.Pretty();
   return static_cast<bool>(out);
 }
 

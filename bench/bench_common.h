@@ -13,6 +13,7 @@
 #include "eval/metrics.h"
 #include "eval/report.h"
 #include "model/dataset.h"
+#include "util/json.h"
 
 namespace recon::bench {
 
@@ -57,7 +58,8 @@ void PrintHeader(const std::string& title, const std::string& paper_ref);
 std::string JsonPathFromArgs(int argc, char** argv);
 
 /// Tiny bench-result log: flat rows of key -> number/string, written as a
-/// JSON array of objects. Deliberately minimal — no JSON dependency.
+/// JSON array of objects via util/json (which escapes correctly — quotes,
+/// backslashes, and control characters included).
 class JsonLog {
  public:
   /// Starts a new result row; Add() calls land in the latest row.
@@ -69,16 +71,16 @@ class JsonLog {
   }
   void Add(const std::string& key, const std::string& value);
 
-  /// Writes the rows to `path`. No-op when `path` is empty; returns false
-  /// (with a note on stderr) when the file cannot be written.
+  /// Writes the rows to `path`, prepended with one machine-context row
+  /// (hardware_concurrency, nprocs_online, bench threads/scale) so recorded
+  /// numbers can be judged against the hardware that produced them — e.g.
+  /// "speedup ~1x" results from a 1-CPU container are machine-checkable.
+  /// No-op when `path` is empty; returns false (with a note on stderr) when
+  /// the file cannot be written.
   bool Write(const std::string& path) const;
 
  private:
-  struct Field {
-    std::string key;
-    std::string rendered;  ///< Already valid JSON (number or quoted string).
-  };
-  std::vector<std::vector<Field>> rows_;
+  std::vector<json::Value> rows_;
 };
 
 /// Rewrites a `--json <path>` flag into google-benchmark's

@@ -1,0 +1,313 @@
+// Service throughput/latency bench: sustained mixed query + ingest traffic
+// against the reconciliation service, driven in-process through the exact
+// HTTP handler path (request parsing, snapshot scoring, JSON rendering) —
+// no sockets, so the numbers isolate the service, not the kernel.
+//
+// Traffic: query threads POST /reconcile batches (each batch pins one
+// snapshot) while one ingest thread POSTs held-out references through
+// /ingest with flush=true, publishing a new snapshot generation per batch.
+//
+// Gates (exit 1 on violation):
+//   * zero failed requests — every response is HTTP 200;
+//   * oracle equivalence — after ingest stops, each query batch rendered by
+//     the handler is byte-identical to a direct library-call oracle
+//     (Snapshot::Query + RenderReconcileBody) on the same snapshot.
+//
+// `--json <path>` writes throughput, p50/p99 latency, and snapshot
+// generation counts via the shared JsonLog.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/schema_binding.h"
+#include "service/handlers.h"
+#include "service/service.h"
+#include "util/json.h"
+
+namespace {
+
+using recon::bench::JsonLog;
+using recon::service::BatchAnswer;
+using recon::service::HttpRequest;
+using recon::service::HttpResponse;
+using recon::service::ReconQuery;
+using recon::service::ReconService;
+using recon::service::ServiceHandler;
+
+constexpr int kQueryThreads = 2;
+constexpr int kBatchesPerThread = 40;
+constexpr int kIngestBatchSize = 8;
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+double Percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const size_t idx = static_cast<size_t>(p * (sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+HttpRequest PostJson(const std::string& path, std::string body) {
+  HttpRequest req;
+  req.method = "POST";
+  req.path = path;
+  req.body = std::move(body);
+  return req;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace recon;
+  bench::ParseArgs(argc, argv);
+  bench::PrintHeader("Service under mixed query + ingest load",
+                     "service layer (DESIGN.md §12); not from the paper");
+
+  // A scaled PIM dataset; the last tenth is held out and re-ingested live.
+  datagen::PimConfig config =
+      datagen::ScaleConfig(datagen::PimConfigA(), 0.05 * bench::BenchScale());
+  const Dataset full = datagen::GeneratePim(config);
+  const SchemaBinding binding = SchemaBinding::Resolve(full.schema());
+  const RefId split = full.num_references() * 9 / 10;
+
+  // Rebuild the initial dataset from references [0, split), dropping
+  // associations that point into the held-out tail (a reference cannot link
+  // to one that does not exist yet). Held-out references get the same
+  // treatment so they stay valid whenever they are ingested.
+  auto truncated = [&](RefId id) {
+    const Reference& src = full.reference(id);
+    Reference ref(src.class_id(), src.num_attributes());
+    for (int attr = 0; attr < src.num_attributes(); ++attr) {
+      for (const std::string& v : src.atomic_values(attr)) {
+        ref.AddAtomicValue(attr, v);
+      }
+      for (const RefId target : src.associations(attr)) {
+        if (target < split) ref.AddAssociation(attr, target);
+      }
+    }
+    return ref;
+  };
+  Dataset initial(full.schema());
+  for (RefId id = 0; id < split; ++id) {
+    initial.AddReference(truncated(id), full.gold_entity(id),
+                         full.provenance(id));
+  }
+
+  service::ServiceOptions options;
+  options.reconciler = bench::WithBenchThreads(ReconcilerOptions::DepGraph());
+
+  const auto build_start = std::chrono::steady_clock::now();
+  ReconService service(std::move(initial), options);
+  const double initial_ms = MsSince(build_start);
+  ServiceHandler handler(&service);
+  std::cout << "Initial snapshot: " << service.snapshot()->num_entities()
+            << " entities from " << service.snapshot()->num_references()
+            << " references (" << initial_ms << " ms).\n";
+
+  // Query batches drawn from the initial references: one name-attribute
+  // query per reference, plus an email property for persons that have one.
+  std::vector<std::string> batch_bodies;
+  std::vector<ReconQuery> sample;
+  for (RefId id = 0; id < split && batch_bodies.size() < 64; id += 17) {
+    const Reference& ref = full.reference(id);
+    ReconQuery query;
+    if (ref.class_id() == binding.person) {
+      query.type = "Person";
+      query.text = ref.FirstValue(binding.person_name);
+      if (!ref.FirstValue(binding.person_email).empty()) {
+        query.properties.emplace_back("email",
+                                      ref.FirstValue(binding.person_email));
+      }
+    } else if (ref.class_id() == binding.article) {
+      query.type = "Article";
+      query.text = ref.FirstValue(binding.article_title);
+    } else {
+      query.type = "Venue";
+      query.text = ref.FirstValue(binding.venue_name);
+    }
+    if (query.text.empty()) continue;
+    query.limit = 5;
+    sample.push_back(query);
+    // Two queries per batch, rendered once as a reusable request body.
+    if (sample.size() == 2) {
+      json::Value doc = json::Value::Object();
+      for (size_t q = 0; q < sample.size(); ++q) {
+        json::Value entry = json::Value::Object();
+        entry.Set("query", sample[q].text);
+        entry.Set("type", sample[q].type);
+        entry.Set("limit", sample[q].limit);
+        if (!sample[q].properties.empty()) {
+          json::Value props = json::Value::Array();
+          for (const auto& [pid, v] : sample[q].properties) {
+            json::Value prop = json::Value::Object();
+            prop.Set("pid", pid);
+            prop.Set("v", v);
+            props.Append(std::move(prop));
+          }
+          entry.Set("properties", std::move(props));
+        }
+        doc.Set("q" + std::to_string(q), std::move(entry));
+      }
+      batch_bodies.push_back(doc.Dump());
+      sample.clear();
+    }
+  }
+  std::cout << batch_bodies.size() << " distinct query batches, "
+            << full.num_references() - split << " references to ingest.\n";
+
+  // ---- Mixed traffic -------------------------------------------------------
+  std::atomic<int64_t> failed{0};
+  std::atomic<bool> ingest_done{false};
+  std::vector<std::vector<double>> latencies(kQueryThreads);
+  std::vector<uint64_t> generations_seen;
+
+  const auto traffic_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> query_threads;
+  for (int t = 0; t < kQueryThreads; ++t) {
+    query_threads.emplace_back([&, t] {
+      int batch = 0;
+      // At least kBatchesPerThread batches, and keep going while ingest
+      // still publishes new snapshots so the mix is genuinely concurrent.
+      while (batch < kBatchesPerThread ||
+             !ingest_done.load(std::memory_order_acquire)) {
+        const std::string& body =
+            batch_bodies[(t + batch) % batch_bodies.size()];
+        const auto start = std::chrono::steady_clock::now();
+        const HttpResponse res = handler.Handle(PostJson("/reconcile", body));
+        latencies[t].push_back(MsSince(start));
+        if (res.status != 200) failed.fetch_add(1);
+        ++batch;
+      }
+    });
+  }
+
+  std::thread ingest_thread([&] {
+    for (RefId id = split; id < full.num_references();) {
+      json::Value doc = json::Value::Object();
+      json::Value refs = json::Value::Array();
+      const RefId end = std::min<RefId>(id + kIngestBatchSize,
+                                        full.num_references());
+      for (; id < end; ++id) {
+        const Reference src = truncated(id);
+        const ClassDef& class_def =
+            full.schema().class_def(src.class_id());
+        json::Value ref_doc = json::Value::Object();
+        ref_doc.Set("class", class_def.name);
+        json::Value values = json::Value::Object();
+        json::Value links = json::Value::Object();
+        for (int attr = 0; attr < src.num_attributes(); ++attr) {
+          if (class_def.attributes[attr].kind == AttrKind::kAtomic) {
+            if (src.atomic_values(attr).empty()) continue;
+            json::Value list = json::Value::Array();
+            for (const std::string& v : src.atomic_values(attr)) {
+              list.Append(v);
+            }
+            values.Set(class_def.attributes[attr].name, std::move(list));
+          } else if (!src.associations(attr).empty()) {
+            json::Value list = json::Value::Array();
+            for (const RefId target : src.associations(attr)) {
+              list.Append(target);
+            }
+            links.Set(class_def.attributes[attr].name, std::move(list));
+          }
+        }
+        ref_doc.Set("values", std::move(values));
+        ref_doc.Set("links", std::move(links));
+        ref_doc.Set("gold", full.gold_entity(id));
+        refs.Append(std::move(ref_doc));
+      }
+      doc.Set("references", std::move(refs));
+      doc.Set("flush", true);
+      const HttpResponse res = handler.Handle(PostJson("/ingest", doc.Dump()));
+      if (res.status != 200) {
+        failed.fetch_add(1);
+      } else {
+        const auto parsed = json::Parse(res.body);
+        generations_seen.push_back(
+            static_cast<uint64_t>(parsed.value().at("generation").AsInt()));
+      }
+    }
+    ingest_done.store(true, std::memory_order_release);
+  });
+
+  ingest_thread.join();
+  for (std::thread& t : query_threads) t.join();
+  const double traffic_ms = MsSince(traffic_start);
+
+  // ---- Gates ---------------------------------------------------------------
+  // Oracle equivalence: with ingest stopped the snapshot is stable, so the
+  // handler and a direct library call must render identical bytes.
+  int oracle_mismatches = 0;
+  for (const std::string& body : batch_bodies) {
+    const HttpResponse served = handler.Handle(PostJson("/reconcile", body));
+    const auto batch = service::ParseQueryBatch(body);
+    BatchAnswer direct;
+    direct.snapshot = service.snapshot();
+    for (const auto& [id, query] : batch.value()) {
+      direct.results.push_back(direct.snapshot->Query(query));
+    }
+    const std::string oracle = RenderReconcileBody(batch.value(), direct);
+    if (served.status != 200 || served.body != oracle) ++oracle_mismatches;
+  }
+
+  std::vector<double> all_latencies;
+  for (const auto& thread_lat : latencies) {
+    all_latencies.insert(all_latencies.end(), thread_lat.begin(),
+                         thread_lat.end());
+  }
+  std::sort(all_latencies.begin(), all_latencies.end());
+  const int64_t batches = static_cast<int64_t>(all_latencies.size());
+  const auto& counters = service.counters();
+  const double p50 = Percentile(all_latencies, 0.50);
+  const double p99 = Percentile(all_latencies, 0.99);
+  const uint64_t final_generation = service.snapshot()->generation();
+
+  std::cout << "Traffic: " << batches << " query batches ("
+            << counters.queries.load() << " queries) + "
+            << counters.ingested_references.load() << " ingested references "
+            << "in " << traffic_ms << " ms.\n"
+            << "Latency: p50 " << p50 << " ms, p99 " << p99 << " ms; "
+            << "throughput " << batches / (traffic_ms / 1000.0)
+            << " batches/s.\n"
+            << "Snapshots: " << generations_seen.size()
+            << " generations published (final " << final_generation << "); "
+            << counters.degraded_queries.load() << " degraded queries.\n"
+            << "Gates: failed_requests=" << failed.load()
+            << " oracle_mismatches=" << oracle_mismatches << "\n";
+
+  JsonLog log;
+  log.BeginRow();
+  log.Add("bench", std::string("service_mixed_traffic"));
+  log.Add("query_threads", kQueryThreads);
+  log.Add("query_batches", batches);
+  log.Add("queries", counters.queries.load());
+  log.Add("ingested_references", counters.ingested_references.load());
+  log.Add("snapshot_generations", static_cast<int64_t>(final_generation));
+  log.Add("traffic_ms", traffic_ms);
+  log.Add("initial_reconcile_ms", initial_ms);
+  log.Add("latency_p50_ms", p50);
+  log.Add("latency_p99_ms", p99);
+  log.Add("batches_per_sec", batches / (traffic_ms / 1000.0));
+  log.Add("degraded_queries", counters.degraded_queries.load());
+  log.Add("failed_requests", failed.load());
+  log.Add("oracle_mismatches", oracle_mismatches);
+  log.Write(bench::JsonPathFromArgs(argc, argv));
+
+  if (failed.load() != 0 || oracle_mismatches != 0) {
+    std::cerr << "FAILED: failed_requests=" << failed.load()
+              << " oracle_mismatches=" << oracle_mismatches << "\n";
+    return 1;
+  }
+  std::cout << "OK\n";
+  return 0;
+}

@@ -64,6 +64,22 @@ class IncrementalReconciler {
   const Dataset& dataset() const { return dataset_; }
   const ReconcilerOptions& options() const { return options_; }
 
+  // ---- Const query-side accessors (no implicit flush) ---------------------
+  // The reconciliation service reads state between flushes without
+  // triggering one; these never mutate and are safe while no Flush() runs.
+
+  /// First reference id not yet reconciled.
+  RefId flushed_until() const { return flushed_until_; }
+  /// References added but not yet flushed.
+  int num_staged() const { return dataset_.num_references() - flushed_until_; }
+  /// Cumulative stats of the flushes so far.
+  const ReconcileStats& stats() const { return stats_; }
+  /// The cached partition, or nullptr when it is stale (staged references
+  /// or an invalidated closure). Unlike clusters(), never flushes.
+  const std::vector<int>* clusters_if_current() const {
+    return closure_valid_ && num_staged() == 0 ? &clusters_ : nullptr;
+  }
+
  private:
   Dataset dataset_;
   ReconcilerOptions options_;

@@ -1,0 +1,76 @@
+// HTTP route handlers for the reconciliation service: the OpenRefine
+// reconciliation API shape plus entity lookup, health, stats, and ingest
+// (DESIGN.md §12).
+//
+// Routes:
+//   GET  /            service manifest (or reconcile, when `queries` given —
+//                     OpenRefine posts query batches to the manifest URL)
+//   GET|POST /reconcile   query batch: raw JSON body, `queries=` form body,
+//                     or `?queries=` URL parameter
+//   POST /ingest      stage references; optional immediate flush
+//   GET  /entity/<id> one reconciled entity ("e12" or "12")
+//   GET  /healthz     liveness + version + snapshot generation
+//   GET  /stats       counters and snapshot statistics
+//
+// Every response carries an `X-Snapshot-Generation` header naming the
+// snapshot it was answered from. The parse/render halves are exposed
+// standalone so the service bench can drive the exact handler path
+// in-process and compare bytes against a direct library-call oracle.
+
+#ifndef RECON_SERVICE_HANDLERS_H_
+#define RECON_SERVICE_HANDLERS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "service/http.h"
+#include "service/service.h"
+#include "util/status.h"
+
+namespace recon::service {
+
+/// A query batch in request order: (caller-chosen query id, parsed query).
+using QueryBatch = std::vector<std::pair<std::string, ReconQuery>>;
+
+/// Parses an OpenRefine query-batch document:
+///   {"q0": {"query": "...", "type": "Person",
+///           "properties": [{"pid": "email", "v": "..."}], "limit": 5}, ...}
+/// `type` may be a string, an {"id": ...} object, or an array thereof (first
+/// wins); `v` may be a scalar or an array of scalars.
+StatusOr<QueryBatch> ParseQueryBatch(std::string_view json_text);
+
+/// Renders the reconcile response body: per query id a {"result": [...]}
+/// with candidates {"id": "e7", "name", "type": [{"id", "name"}], "score",
+/// "match"} (plus "degraded" when truncated), and a top-level "_snapshot"
+/// generation. Compact JSON — byte-deterministic for a given snapshot and
+/// batch, which is what the bench oracle gate compares.
+std::string RenderReconcileBody(const QueryBatch& batch,
+                                const BatchAnswer& answer);
+
+/// Decodes %XX escapes and '+' as space (application/x-www-form-urlencoded).
+std::string UrlDecode(std::string_view s);
+
+/// Translates HTTP requests into ReconService calls. Stateless besides the
+/// service pointer; one instance serves every server thread concurrently.
+class ServiceHandler {
+ public:
+  explicit ServiceHandler(ReconService* service) : service_(service) {}
+
+  HttpResponse Handle(const HttpRequest& req) const;
+
+ private:
+  HttpResponse Manifest() const;
+  HttpResponse Reconcile(const HttpRequest& req) const;
+  HttpResponse Ingest(const HttpRequest& req) const;
+  HttpResponse Entity(const std::string& id_text) const;
+  HttpResponse Healthz() const;
+  HttpResponse Stats() const;
+
+  ReconService* service_;
+};
+
+}  // namespace recon::service
+
+#endif  // RECON_SERVICE_HANDLERS_H_

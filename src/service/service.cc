@@ -1,0 +1,113 @@
+#include "service/service.h"
+
+#include <utility>
+
+namespace recon::service {
+
+ReconService::ReconService(Dataset initial, ServiceOptions options)
+    : options_(std::move(options)),
+      schema_(initial.schema()),
+      reconciler_(std::move(initial), options_.reconciler) {
+  std::lock_guard<std::mutex> lock(ingest_mu_);
+  // Initial load is generation 0; PublishLocked would bump to 1.
+  snapshot_.Store(BuildSnapshot(reconciler_.dataset(), reconciler_.clusters(),
+                                options_.reconciler, /*generation=*/0));
+}
+
+BatchAnswer ReconService::Reconcile(const std::vector<ReconQuery>& queries,
+                                    double deadline_ms) const {
+  BatchAnswer answer;
+  // Pin one snapshot for the whole batch: every query of a request is
+  // answered from the same reconciled state, whatever ingest does
+  // meanwhile.
+  answer.snapshot = snapshot();
+
+  // One budget epoch per request, shared across the batch's queries —
+  // exactly the per-run semantics of DESIGN.md §10, scoped to a request.
+  Budget budget;
+  budget.deadline_ms =
+      deadline_ms > 0 ? deadline_ms : options_.query_deadline_ms;
+  BudgetTracker tracker(budget);
+
+  answer.results.reserve(queries.size());
+  for (const ReconQuery& query : queries) {
+    QueryResult result = answer.snapshot->Query(query, &tracker);
+    counters_.queries.fetch_add(1, std::memory_order_relaxed);
+    counters_.candidates_scored.fetch_add(result.num_scored,
+                                          std::memory_order_relaxed);
+    if (result.degraded) {
+      counters_.degraded_queries.fetch_add(1, std::memory_order_relaxed);
+      answer.degraded = true;
+    }
+    answer.results.push_back(std::move(result));
+  }
+  counters_.query_batches.fetch_add(1, std::memory_order_relaxed);
+  return answer;
+}
+
+StatusOr<IngestReport> ReconService::Ingest(std::vector<Reference> refs,
+                                            std::vector<int> golds,
+                                            bool flush) {
+  if (!golds.empty() && golds.size() != refs.size()) {
+    return Status::InvalidArgument("golds must be empty or match refs");
+  }
+  std::lock_guard<std::mutex> lock(ingest_mu_);
+  const RefId base = reconciler_.dataset().num_references();
+  // Validate association targets before mutating anything: a reference may
+  // link to any existing reference or to an earlier one of this batch.
+  for (size_t i = 0; i < refs.size(); ++i) {
+    const RefId bound = base + static_cast<RefId>(i);
+    for (int attr = 0; attr < refs[i].num_attributes(); ++attr) {
+      for (const RefId target : refs[i].associations(attr)) {
+        if (target < 0 || target >= bound) {
+          return Status::InvalidArgument(
+              "association target " + std::to_string(target) +
+              " out of range (must be < " + std::to_string(bound) + ")");
+        }
+      }
+    }
+  }
+  IngestReport report;
+  for (size_t i = 0; i < refs.size(); ++i) {
+    const int gold = golds.empty() ? -1 : golds[i];
+    reconciler_.AddReference(std::move(refs[i]), gold);
+    ++report.added;
+  }
+  counters_.ingested_references.fetch_add(report.added,
+                                          std::memory_order_relaxed);
+  if (flush) {
+    report.generation = PublishLocked();
+    report.flushed = true;
+    report.staged_total = 0;
+  } else {
+    report.generation = generation_;
+    report.staged_total =
+        reconciler_.dataset().num_references() - reconciler_.flushed_until();
+  }
+  return report;
+}
+
+uint64_t ReconService::Flush() {
+  std::lock_guard<std::mutex> lock(ingest_mu_);
+  return PublishLocked();
+}
+
+int ReconService::staged_references() const {
+  std::lock_guard<std::mutex> lock(ingest_mu_);
+  return reconciler_.dataset().num_references() - reconciler_.flushed_until();
+}
+
+uint64_t ReconService::PublishLocked() {
+  // clusters() flushes implicitly (one PR-4 budget epoch) and returns the
+  // post-closure partition. The snapshot is built here on the ingesting
+  // thread; readers keep serving the old snapshot until the single
+  // atomic store below, and keep the old one alive through their pins.
+  const std::vector<int>& clusters = reconciler_.clusters();
+  ++generation_;
+  snapshot_.Store(BuildSnapshot(reconciler_.dataset(), clusters,
+                                options_.reconciler, generation_));
+  counters_.flushes.fetch_add(1, std::memory_order_relaxed);
+  return generation_;
+}
+
+}  // namespace recon::service

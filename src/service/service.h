@@ -1,0 +1,127 @@
+// The reconciliation service core: a long-lived reconciler behind an
+// atomically swapped snapshot (DESIGN.md §12).
+//
+// Concurrency contract (snapshot isolation):
+//   * Readers call snapshot() — one atomic shared_ptr pin (a few atomic
+//     instructions, util/atomic_shared_ptr.h), no mutex — and answer every
+//     query of a batch against that one pinned snapshot.
+//     A reader never blocks on ingest, and a response always reports the
+//     generation it was answered from.
+//   * Writers (ingest/flush) serialize on one mutex, stage references
+//     through IncrementalReconciler::AddReference, run Flush() (one budget
+//     epoch, PR-4), build the next Snapshot on the ingesting thread, and
+//     publish it with one atomic store. Readers holding the old snapshot
+//     keep it alive through their shared_ptr until they finish.
+
+#ifndef RECON_SERVICE_SERVICE_H_
+#define RECON_SERVICE_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/incremental.h"
+#include "service/snapshot.h"
+#include "util/atomic_shared_ptr.h"
+#include "util/status.h"
+
+namespace recon::service {
+
+struct ServiceOptions {
+  /// Options for the underlying incremental reconciler (threads, flush
+  /// budget, value store, ...). The budget applies per Flush(), as always.
+  ReconcilerOptions reconciler;
+  /// Per-request wall-clock deadline for query scoring; 0 = unlimited.
+  /// Overloaded queries degrade to partial candidate lists (DESIGN.md §10
+  /// semantics applied per request), never to stalls.
+  double query_deadline_ms = 0;
+  /// Default result-list bound when a query does not give one.
+  int default_limit = 10;
+};
+
+/// Monotonically increasing service counters (all thread-safe).
+struct ServiceCounters {
+  std::atomic<int64_t> query_batches{0};
+  std::atomic<int64_t> queries{0};
+  std::atomic<int64_t> degraded_queries{0};
+  std::atomic<int64_t> candidates_scored{0};
+  std::atomic<int64_t> ingested_references{0};
+  std::atomic<int64_t> flushes{0};
+};
+
+/// Result of answering one query batch against one pinned snapshot.
+struct BatchAnswer {
+  /// The snapshot every result in this batch was computed from.
+  std::shared_ptr<const Snapshot> snapshot;
+  std::vector<QueryResult> results;
+  /// True when the per-request budget truncated any query in the batch.
+  bool degraded = false;
+};
+
+/// What an ingest call did.
+struct IngestReport {
+  int added = 0;             ///< References staged by this call.
+  int staged_total = 0;      ///< References staged but not yet flushed.
+  bool flushed = false;      ///< Whether this call ran a flush.
+  uint64_t generation = 0;   ///< Snapshot generation after this call.
+};
+
+class ReconService {
+ public:
+  /// Reconciles `initial` in full and publishes snapshot generation 0.
+  ReconService(Dataset initial, ServiceOptions options);
+
+  ReconService(const ReconService&) = delete;
+  ReconService& operator=(const ReconService&) = delete;
+
+  /// The current snapshot: one atomic pin, never a mutex, never null.
+  std::shared_ptr<const Snapshot> snapshot() const {
+    return snapshot_.Load();
+  }
+
+  /// Answers a query batch against one pinned snapshot under one
+  /// per-request budget (ServiceOptions::query_deadline_ms, overridable
+  /// per call with `deadline_ms` > 0). Lock-free with respect to ingest.
+  BatchAnswer Reconcile(const std::vector<ReconQuery>& queries,
+                        double deadline_ms = 0) const;
+
+  /// Stages references (associations may target any RefId that already
+  /// exists or precedes the reference within this batch) and, when
+  /// `flush` is set, reconciles them and publishes a new snapshot.
+  /// `golds` is parallel to `refs` (-1 = unlabeled) or empty.
+  StatusOr<IngestReport> Ingest(std::vector<Reference> refs,
+                                std::vector<int> golds, bool flush);
+
+  /// Flushes staged references (if any) and publishes a new snapshot.
+  /// Returns the generation afterwards. Serializes with Ingest.
+  uint64_t Flush();
+
+  /// Schema of the served dataset (fixed for the service lifetime).
+  const Schema& schema() const { return schema_; }
+  const ServiceOptions& options() const { return options_; }
+  const ServiceCounters& counters() const { return counters_; }
+  /// References staged but not yet reconciled into a snapshot.
+  int staged_references() const;
+
+ private:
+  /// Rebuilds + publishes a snapshot from the reconciler's current state.
+  /// Caller must hold ingest_mu_.
+  uint64_t PublishLocked();
+
+  ServiceOptions options_;
+  Schema schema_;
+  mutable ServiceCounters counters_;  // Monotone telemetry, logically const.
+
+  mutable std::mutex ingest_mu_;
+  IncrementalReconciler reconciler_;  // Guarded by ingest_mu_.
+  uint64_t generation_ = 0;           // Guarded by ingest_mu_.
+
+  AtomicSharedPtr<const Snapshot> snapshot_;
+};
+
+}  // namespace recon::service
+
+#endif  // RECON_SERVICE_SERVICE_H_

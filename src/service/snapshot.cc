@@ -1,0 +1,454 @@
+#include "service/snapshot.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "core/candidates.h"
+#include "util/logging.h"
+
+namespace recon::service {
+
+namespace {
+
+/// Feature kinds per bound attribute — the same mapping the graph builder
+/// registers, so profile values are analyzed exactly like batch values.
+ValueKindSchema MakeValueKindSchema(const SchemaBinding& b) {
+  ValueKindSchema schema;
+  auto add = [&](int class_id, int attr, FeatureKind kind) {
+    if (class_id >= 0 && attr >= 0) {
+      schema.kinds.emplace_back(ValueDomain{class_id, attr}, kind);
+    }
+  };
+  add(b.person, b.person_name, FeatureKind::kPersonName);
+  add(b.person, b.person_email, FeatureKind::kEmail);
+  add(b.article, b.article_title, FeatureKind::kTitle);
+  add(b.article, b.article_year, FeatureKind::kYear);
+  add(b.article, b.article_pages, FeatureKind::kPages);
+  add(b.venue, b.venue_name, FeatureKind::kVenueName);
+  add(b.venue, b.venue_year, FeatureKind::kYear);
+  add(b.venue, b.venue_location, FeatureKind::kLocation);
+  return schema;
+}
+
+/// Class-qualified blocking key: keys of different classes never share a
+/// block (a "wong" name token must not pull venue candidates).
+std::string QualifiedKey(int class_id, const std::string& key) {
+  return std::to_string(class_id) + '|' + key;
+}
+
+/// The name-like attribute of a class (what the main query text targets).
+int NameAttribute(const SchemaBinding& b, int class_id) {
+  if (class_id == b.person) return b.person_name;
+  if (class_id == b.article) return b.article_title;
+  if (class_id == b.venue) return b.venue_name;
+  return -1;
+}
+
+/// One real-valued evidence channel of the query-vs-profile comparison:
+/// analyzed query values against the candidate profile's `attr` values.
+struct AtomicChannel {
+  int evidence = 0;
+  double seed = 0.0;
+  int attr = -1;
+  /// Person-name rule (§3.1): both sides carry values but none are even
+  /// seed-similar -> offer explicit zero evidence (dissimilar names are
+  /// soft negative evidence, not "unknown").
+  bool zero_when_dissimilar = false;
+  std::vector<std::string> raw;
+  std::vector<ValueFeatures> features;
+};
+
+/// An association channel: query strings against the names of the entities
+/// the candidate is linked to via `assoc_attr`.
+struct AssocChannel {
+  int evidence = 0;
+  double seed = 0.0;
+  int assoc_attr = -1;
+  int target_name_attr = -1;
+  std::vector<ValueFeatures> features;
+};
+
+/// The per-class comparison plan for one query, built once and reused for
+/// every candidate.
+struct QueryPlan {
+  int class_id = -1;
+  std::vector<AtomicChannel> channels;
+  std::vector<AssocChannel> assoc_channels;
+};
+
+void AddQueryValues(AtomicChannel* channel, FeatureKind kind,
+                    const std::vector<std::string>& values) {
+  for (const std::string& raw : values) {
+    channel->raw.push_back(raw);
+    channel->features.push_back(AnalyzeValue(raw, kind));
+  }
+}
+
+}  // namespace
+
+std::vector<EntityId> Snapshot::CandidateEntities(const Dataset& probe_holder,
+                                                  RefId probe,
+                                                  int class_id) const {
+  std::vector<EntityId> out;
+  for (const std::string& key :
+       BlockingKeys(probe_holder, probe, binding_)) {
+    const auto it = blocks_.find(QualifiedKey(class_id, key));
+    if (it == blocks_.end()) continue;
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+QueryResult Snapshot::Query(const ReconQuery& query,
+                            BudgetTracker* budget) const {
+  QueryResult result;
+  const Schema& schema = profiles_->schema();
+
+  std::vector<int> class_ids;
+  if (!query.type.empty()) {
+    const int id = schema.FindClass(query.type);
+    if (id < 0 || class_sims_[id] == nullptr) return result;
+    class_ids.push_back(id);
+  } else {
+    for (int c = 0; c < schema.num_classes(); ++c) {
+      if (class_sims_[c] != nullptr) class_ids.push_back(c);
+    }
+  }
+
+  std::vector<ScoredCandidate> scored;
+  for (const int class_id : class_ids) {
+    const ClassDef& cls = schema.class_def(class_id);
+    const int name_attr = NameAttribute(binding_, class_id);
+    if (name_attr < 0) continue;
+
+    // Probe reference: main text lands on the name-like attribute,
+    // properties on their named attributes. Held in a one-reference
+    // dataset so blocking-key extraction can run unchanged.
+    Dataset probe_holder(schema);
+    Reference probe(class_id, cls.num_attributes());
+    if (!query.text.empty()) probe.AddAtomicValue(name_attr, query.text);
+    for (const auto& [attr_name, value] : query.properties) {
+      const int attr = cls.FindAttribute(attr_name);
+      if (attr < 0 || value.empty()) continue;
+      // Association-attribute properties are matched against linked
+      // entities below; only atomic values join the probe.
+      if (cls.attributes[attr].kind == AttrKind::kAtomic) {
+        probe.AddAtomicValue(attr, value);
+      }
+    }
+
+    // Build the comparison plan: which evidence channels this class's
+    // S_rv reads, mirroring the graph builder's pair staging.
+    QueryPlan plan;
+    plan.class_id = class_id;
+    const SimParams& p = params_;
+    auto add_atomic = [&](int evidence, double seed, int probe_attr,
+                          int profile_attr, FeatureKind kind,
+                          bool zero_rule) {
+      if (probe_attr < 0 || profile_attr < 0) return;
+      if (probe.atomic_values(probe_attr).empty()) return;
+      AtomicChannel channel;
+      channel.evidence = evidence;
+      channel.seed = seed;
+      channel.attr = profile_attr;
+      channel.zero_when_dissimilar = zero_rule;
+      AddQueryValues(&channel, kind, probe.atomic_values(probe_attr));
+      plan.channels.push_back(std::move(channel));
+    };
+    if (class_id == binding_.person) {
+      add_atomic(kEvPersonName, p.person_name_seed, binding_.person_name,
+                 binding_.person_name, FeatureKind::kPersonName,
+                 /*zero_rule=*/true);
+      add_atomic(kEvPersonEmail, p.person_email_seed, binding_.person_email,
+                 binding_.person_email, FeatureKind::kEmail,
+                 /*zero_rule=*/false);
+      // Cross-attribute name~email evidence, both directions.
+      add_atomic(kEvPersonNameEmail, p.name_email_seed, binding_.person_name,
+                 binding_.person_email, FeatureKind::kPersonName,
+                 /*zero_rule=*/false);
+      add_atomic(kEvPersonNameEmail, p.name_email_seed, binding_.person_email,
+                 binding_.person_name, FeatureKind::kEmail,
+                 /*zero_rule=*/false);
+    } else if (class_id == binding_.article) {
+      add_atomic(kEvArticleTitle, p.article_title_seed, binding_.article_title,
+                 binding_.article_title, FeatureKind::kTitle,
+                 /*zero_rule=*/false);
+      add_atomic(kEvArticleYear, p.year_seed, binding_.article_year,
+                 binding_.article_year, FeatureKind::kYear,
+                 /*zero_rule=*/false);
+      add_atomic(kEvArticlePages, p.pages_seed, binding_.article_pages,
+                 binding_.article_pages, FeatureKind::kPages,
+                 /*zero_rule=*/false);
+    } else if (class_id == binding_.venue) {
+      add_atomic(kEvVenueName, p.venue_name_seed, binding_.venue_name,
+                 binding_.venue_name, FeatureKind::kVenueName,
+                 /*zero_rule=*/false);
+      add_atomic(kEvVenueYear, p.year_seed, binding_.venue_year,
+                 binding_.venue_year, FeatureKind::kYear,
+                 /*zero_rule=*/false);
+      add_atomic(kEvVenueLocation, p.location_seed, binding_.venue_location,
+                 binding_.venue_location, FeatureKind::kLocation,
+                 /*zero_rule=*/false);
+    }
+    // Association properties (Article.authoredBy -> person names,
+    // Article.publishedIn -> venue names): the online stand-in for the
+    // graph's kEvArticleAuthors / kEvArticleVenue real-valued neighbors.
+    for (const auto& [attr_name, value] : query.properties) {
+      const int attr = cls.FindAttribute(attr_name);
+      if (attr < 0 || value.empty()) continue;
+      if (cls.attributes[attr].kind != AttrKind::kAssociation) continue;
+      AssocChannel assoc;
+      if (class_id == binding_.article && attr == binding_.article_authors) {
+        assoc.evidence = kEvArticleAuthors;
+        assoc.seed = p.person_name_seed;
+        assoc.target_name_attr = binding_.person_name;
+        assoc.features.push_back(
+            AnalyzeValue(value, FeatureKind::kPersonName));
+      } else if (class_id == binding_.article &&
+                 attr == binding_.article_venue) {
+        assoc.evidence = kEvArticleVenue;
+        assoc.seed = p.venue_name_seed;
+        assoc.target_name_attr = binding_.venue_name;
+        assoc.features.push_back(AnalyzeValue(value, FeatureKind::kVenueName));
+      } else {
+        continue;
+      }
+      assoc.assoc_attr = attr;
+      plan.assoc_channels.push_back(std::move(assoc));
+    }
+
+    const RefId probe_id = probe_holder.AddReference(probe, /*gold_entity=*/-1);
+    const std::vector<EntityId> candidates =
+        CandidateEntities(probe_holder, probe_id, class_id);
+
+    for (const EntityId candidate : candidates) {
+      if (budget != nullptr && budget->Probe(ProbePoint::kCandidates)) {
+        result.degraded = true;
+        break;
+      }
+      EvidenceSummary summary;
+      for (const AtomicChannel& channel : plan.channels) {
+        const std::vector<ValueId>& profile_values =
+            value_ids_[candidate][channel.attr];
+        bool offered = false;
+        for (size_t q = 0; q < channel.features.size(); ++q) {
+          for (const ValueId pv : profile_values) {
+            const ValueFeatures& pf = features_->features(pv);
+            double sim;
+            if (channel.raw[q] == values_.StringOf(pv)) {
+              // Equal values are one graph element: full double precision.
+              sim = FeaturePairSimilarity(channel.evidence,
+                                          channel.features[q], pf);
+            } else {
+              // Non-equal pairs round through float, exactly as the batch
+              // path's similarity memo stores them.
+              sim = static_cast<float>(FeaturePairSimilarity(
+                  channel.evidence, channel.features[q], pf));
+              if (sim < channel.seed) continue;
+            }
+            summary.Offer(channel.evidence, sim);
+            offered = true;
+          }
+        }
+        if (channel.zero_when_dissimilar && !offered &&
+            !channel.features.empty() && !profile_values.empty()) {
+          summary.Offer(channel.evidence, 0.0);
+        }
+      }
+      for (const AssocChannel& assoc : plan.assoc_channels) {
+        for (const EntityId target : entities_[candidate].linked[assoc.assoc_attr]) {
+          for (const ValueId pv : value_ids_[target][assoc.target_name_attr]) {
+            const ValueFeatures& pf = features_->features(pv);
+            for (const ValueFeatures& qf : assoc.features) {
+              const double sim = static_cast<float>(
+                  FeaturePairSimilarity(assoc.evidence == kEvArticleAuthors
+                                            ? kEvPersonName
+                                            : kEvVenueName,
+                                        qf, pf));
+              if (sim >= assoc.seed) summary.Offer(assoc.evidence, sim);
+            }
+          }
+        }
+      }
+      ScoredCandidate entry;
+      entry.entity = candidate;
+      entry.score = class_sims_[class_id]->Compute(summary);
+      scored.push_back(entry);
+      ++result.num_scored;
+    }
+    if (result.degraded) break;
+  }
+
+  // Highest score first; entity id breaks ties deterministically.
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const ScoredCandidate& a, const ScoredCandidate& b) {
+                     if (a.score != b.score) return a.score > b.score;
+                     return a.entity < b.entity;
+                   });
+  int above_threshold = 0;
+  for (const ScoredCandidate& c : scored) {
+    if (c.score >= params_.merge_threshold) ++above_threshold;
+  }
+  const int limit = query.limit > 0 ? std::min(query.limit, 1000) : 10;
+  if (static_cast<int>(scored.size()) > limit) scored.resize(limit);
+  // Confident auto-match: the unique candidate at or over the merge
+  // threshold (an ambiguous pair of high scorers is never auto-matched).
+  if (!scored.empty() && above_threshold == 1 &&
+      scored.front().score >= params_.merge_threshold) {
+    scored.front().match = true;
+  }
+  result.candidates = std::move(scored);
+  return result;
+}
+
+std::shared_ptr<const Snapshot> BuildSnapshot(
+    const Dataset& dataset, const std::vector<int>& clusters,
+    const ReconcilerOptions& options, uint64_t generation) {
+  const int n = dataset.num_references();
+  RECON_CHECK(static_cast<int>(clusters.size()) == n)
+      << "clusters/dataset size mismatch";
+
+  auto snap = std::make_shared<Snapshot>();
+  snap->generation_ = generation;
+  snap->num_references_ = n;
+  snap->params_ = options.params;
+  snap->max_block_size_ = options.max_block_size;
+  snap->binding_ = SchemaBinding::Resolve(dataset.schema());
+
+  // Group references by cluster representative; entity order is the order
+  // of each cluster's smallest member, so ids are deterministic.
+  std::map<int, std::vector<RefId>> groups;
+  for (RefId r = 0; r < n; ++r) groups[clusters[r]].push_back(r);
+  std::vector<std::vector<RefId>> ordered;
+  ordered.reserve(groups.size());
+  for (auto& [rep, members] : groups) ordered.push_back(std::move(members));
+  std::sort(ordered.begin(), ordered.end(),
+            [](const std::vector<RefId>& a, const std::vector<RefId>& b) {
+              return a.front() < b.front();
+            });
+
+  snap->ref_to_entity_.assign(n, -1);
+  snap->profiles_ = std::make_unique<Dataset>(dataset.schema());
+  const Schema& schema = snap->profiles_->schema();
+  snap->entities_.reserve(ordered.size());
+
+  for (EntityId e = 0; e < static_cast<EntityId>(ordered.size()); ++e) {
+    const std::vector<RefId>& members = ordered[e];
+    EntityInfo info;
+    info.class_id = dataset.reference(members.front()).class_id();
+    info.members = members;
+    const ClassDef& cls = schema.class_def(info.class_id);
+    Reference profile(info.class_id, cls.num_attributes());
+    for (const RefId member : members) {
+      snap->ref_to_entity_[member] = e;
+      const Reference& ref = dataset.reference(member);
+      for (int attr = 0; attr < cls.num_attributes(); ++attr) {
+        if (cls.attributes[attr].kind != AttrKind::kAtomic) continue;
+        for (const std::string& value : ref.atomic_values(attr)) {
+          profile.AddAtomicValue(attr, value);  // Dedups.
+        }
+      }
+    }
+    const int name_attr = NameAttribute(snap->binding_, info.class_id);
+    if (name_attr >= 0) info.display_name = profile.FirstValue(name_attr);
+    if (info.display_name.empty()) {
+      for (int attr = 0;
+           attr < cls.num_attributes() && info.display_name.empty(); ++attr) {
+        if (cls.attributes[attr].kind == AttrKind::kAtomic) {
+          info.display_name = profile.FirstValue(attr);
+        }
+      }
+    }
+    snap->profiles_->AddReference(std::move(profile), /*gold_entity=*/-1);
+    snap->entities_.push_back(std::move(info));
+  }
+
+  // Entity-level association links (member links mapped through the
+  // cluster assignment, deduplicated).
+  for (EntityId e = 0; e < snap->num_entities(); ++e) {
+    EntityInfo& info = snap->entities_[e];
+    const ClassDef& cls = schema.class_def(info.class_id);
+    info.linked.resize(cls.num_attributes());
+    for (int attr = 0; attr < cls.num_attributes(); ++attr) {
+      if (cls.attributes[attr].kind != AttrKind::kAssociation) continue;
+      std::vector<EntityId>& targets = info.linked[attr];
+      for (const RefId member : info.members) {
+        for (const RefId target :
+             dataset.reference(member).associations(attr)) {
+          if (target >= 0 && target < n) {
+            targets.push_back(snap->ref_to_entity_[target]);
+          }
+        }
+      }
+      std::sort(targets.begin(), targets.end());
+      targets.erase(std::unique(targets.begin(), targets.end()),
+                    targets.end());
+    }
+  }
+
+  // Intern profile values (PR-5 read-only store) and remember each
+  // entity's ValueIds so query scoring never re-parses profile strings.
+  snap->features_ =
+      std::make_unique<ValueStore>(MakeValueKindSchema(snap->binding_));
+  snap->value_ids_.resize(snap->num_entities());
+  for (EntityId e = 0; e < snap->num_entities(); ++e) {
+    const Reference& profile = snap->profiles_->reference(e);
+    const ClassDef& cls = schema.class_def(profile.class_id());
+    snap->value_ids_[e].resize(cls.num_attributes());
+    for (int attr = 0; attr < cls.num_attributes(); ++attr) {
+      if (cls.attributes[attr].kind != AttrKind::kAtomic) continue;
+      for (const std::string& value : profile.atomic_values(attr)) {
+        snap->value_ids_[e][attr].push_back(snap->values_.Intern(
+            ValueDomain{profile.class_id(), attr}, value));
+      }
+    }
+  }
+  snap->features_->Sync(snap->values_);
+
+  // Candidate index over the profiles, with the same keys candidate
+  // generation blocks on; over-large blocks are dropped, as there.
+  for (EntityId e = 0; e < snap->num_entities(); ++e) {
+    const int class_id = snap->entities_[e].class_id;
+    for (const std::string& key :
+         BlockingKeys(*snap->profiles_, e, snap->binding_, &snap->values_,
+                      snap->features_.get())) {
+      snap->blocks_[QualifiedKey(class_id, key)].push_back(e);
+    }
+  }
+  for (auto it = snap->blocks_.begin(); it != snap->blocks_.end();) {
+    if (static_cast<int>(it->second.size()) > snap->max_block_size_) {
+      it = snap->blocks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // Similarity functions for the classes the binding knows.
+  snap->class_sims_.resize(schema.num_classes());
+  for (int c = 0; c < schema.num_classes(); ++c) {
+    if (c == snap->binding_.person || c == snap->binding_.article ||
+        c == snap->binding_.venue) {
+      snap->class_sims_[c] = MakeClassSimilarity(
+          schema.class_def(c).name.c_str(), options.params);
+    }
+  }
+
+  // Rough footprint for /stats: feature table + index keys + entity lists.
+  int64_t bytes = snap->features_->approximate_bytes();
+  for (const auto& [key, block] : snap->blocks_) {
+    bytes += static_cast<int64_t>(key.capacity() + 64 +
+                                  block.capacity() * sizeof(EntityId));
+  }
+  for (const EntityInfo& info : snap->entities_) {
+    bytes += static_cast<int64_t>(sizeof(EntityInfo) +
+                                  info.members.capacity() * sizeof(RefId) +
+                                  info.display_name.capacity());
+  }
+  snap->approximate_bytes_ = bytes;
+  return snap;
+}
+
+}  // namespace recon::service

@@ -1,0 +1,174 @@
+// Immutable reconciled snapshot served by the reconciliation daemon
+// (DESIGN.md §12).
+//
+// A Snapshot freezes one reconciled state of a growing dataset into a
+// read-only, shareable object: entity clusters, one merged attribute
+// profile per entity (backed by the PR-5 interned value store so features
+// are analyzed once and shared across request threads), entity-level
+// association links, and a candidate index keyed by the same blocking keys
+// candidate generation uses. Query threads pin a snapshot with one atomic
+// shared_ptr load and never take a lock; ingest builds the next snapshot on
+// the side and swaps the pointer (service.h).
+
+#ifndef RECON_SERVICE_SNAPSHOT_H_
+#define RECON_SERVICE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/options.h"
+#include "core/schema_binding.h"
+#include "graph/value_pool.h"
+#include "model/dataset.h"
+#include "sim/class_sim.h"
+#include "sim/value_store.h"
+#include "util/budget.h"
+
+namespace recon::service {
+
+/// Dense id of an entity within one snapshot. Entities are ordered by their
+/// smallest member RefId, so ids are deterministic; they are *not* stable
+/// across snapshot generations (an ingest can merge entities).
+using EntityId = int32_t;
+
+/// One "which entity is this reference?" query, the OpenRefine
+/// reconciliation query shape: a main text, an optional type (class name),
+/// and optional property constraints addressed by attribute name.
+struct ReconQuery {
+  /// Main query text, matched against the class's name-like attribute
+  /// (Person.name, Article.title, Venue.name).
+  std::string text;
+  /// Class name to search; empty = every class with a similarity function.
+  std::string type;
+  /// (attribute name, value) constraints. Atomic attributes feed their
+  /// evidence channel directly; association attributes (Article.authoredBy,
+  /// Article.publishedIn) are matched against the names of the entities the
+  /// candidate is linked to.
+  std::vector<std::pair<std::string, std::string>> properties;
+  /// Maximum candidates returned.
+  int limit = 10;
+};
+
+/// One scored candidate entity.
+struct ScoredCandidate {
+  EntityId entity = -1;
+  /// Per-class S_rv similarity in [0, 1] (paper §4; boolean graph evidence
+  /// does not apply to online queries, which see profiles, not the graph).
+  double score = 0.0;
+  /// Confident auto-match: score >= merge_threshold and no other candidate
+  /// reaches the threshold.
+  bool match = false;
+};
+
+/// Result of one query against one snapshot.
+struct QueryResult {
+  std::vector<ScoredCandidate> candidates;
+  /// Candidate entities scored before any budget stop.
+  int num_scored = 0;
+  /// True when a per-request budget stop truncated scoring; the candidates
+  /// produced so far are still returned (anytime degradation, DESIGN.md
+  /// §10 applied per request).
+  bool degraded = false;
+};
+
+/// Per-entity reconciled state.
+struct EntityInfo {
+  int class_id = -1;
+  /// Source references, ascending. members[0] names the entity.
+  std::vector<RefId> members;
+  /// Human-readable label: first name-like profile value, else "".
+  std::string display_name;
+  /// Per association attribute: linked entities (deduplicated, ascending).
+  std::vector<std::vector<EntityId>> linked;
+};
+
+class Snapshot {
+ public:
+  /// Monotone snapshot generation (0 = initial load).
+  uint64_t generation() const { return generation_; }
+
+  int num_entities() const {
+    return static_cast<int>(entities_.size());
+  }
+  int num_references() const { return num_references_; }
+
+  const EntityInfo& entity(EntityId id) const { return entities_[id]; }
+  bool ValidEntity(EntityId id) const {
+    return id >= 0 && id < num_entities();
+  }
+
+  /// The merged attribute profile of an entity: one Reference holding the
+  /// union of the members' atomic values.
+  const Reference& profile(EntityId id) const {
+    return profiles_->reference(id);
+  }
+  const Schema& schema() const { return profiles_->schema(); }
+
+  /// Entity of a source reference, or -1 out of range.
+  EntityId EntityOfRef(RefId ref) const {
+    return ref >= 0 && ref < static_cast<RefId>(ref_to_entity_.size())
+               ? ref_to_entity_[ref]
+               : -1;
+  }
+
+  /// Scores `query` against the candidate index: blocking-key lookup, then
+  /// per-class S_rv scoring of the query's values against each candidate's
+  /// profile features. Pure const — safe from any number of threads.
+  /// `budget` (optional) is the per-request deadline: a stop truncates the
+  /// candidate sweep and marks the result degraded.
+  QueryResult Query(const ReconQuery& query,
+                    BudgetTracker* budget = nullptr) const;
+
+  /// Approximate heap footprint (profiles + features + index), for /stats.
+  int64_t approximate_bytes() const { return approximate_bytes_; }
+  int64_t num_blocking_keys() const {
+    return static_cast<int64_t>(blocks_.size());
+  }
+
+ private:
+  friend std::shared_ptr<const Snapshot> BuildSnapshot(
+      const Dataset& dataset, const std::vector<int>& clusters,
+      const ReconcilerOptions& options, uint64_t generation);
+
+  /// Candidate entities of one class for a probe reference, ascending.
+  std::vector<EntityId> CandidateEntities(const Dataset& probe_holder,
+                                          RefId probe, int class_id) const;
+
+  uint64_t generation_ = 0;
+  int num_references_ = 0;
+  std::vector<EntityInfo> entities_;
+  std::vector<EntityId> ref_to_entity_;
+  /// One Reference per entity (RefId == EntityId in this dataset).
+  std::unique_ptr<Dataset> profiles_;
+  SchemaBinding binding_;
+  /// Interned profile values + precomputed features (PR-5), shared
+  /// read-only across request threads.
+  ValuePool values_;
+  std::unique_ptr<ValueStore> features_;
+  /// Per entity, per attribute: ValueIds parallel to the profile's
+  /// atomic_values, so scoring never re-interns.
+  std::vector<std::vector<std::vector<ValueId>>> value_ids_;
+  /// Blocking key -> entities (class-qualified keys; blocks over
+  /// max_block_size are dropped, as in candidate generation).
+  std::unordered_map<std::string, std::vector<EntityId>> blocks_;
+  std::vector<std::unique_ptr<ClassSimilarity>> class_sims_;
+  SimParams params_;
+  int max_block_size_ = 1000;
+  int64_t approximate_bytes_ = 0;
+};
+
+/// Builds an immutable snapshot from a reconciled dataset and its cluster
+/// assignment (`clusters[ref]` = cluster representative, as produced by
+/// Reconciler / IncrementalReconciler). The dataset is read, never
+/// retained: the snapshot owns independent profile storage, so the caller
+/// may keep mutating its dataset afterwards.
+std::shared_ptr<const Snapshot> BuildSnapshot(
+    const Dataset& dataset, const std::vector<int>& clusters,
+    const ReconcilerOptions& options, uint64_t generation);
+
+}  // namespace recon::service
+
+#endif  // RECON_SERVICE_SNAPSHOT_H_

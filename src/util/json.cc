@@ -1,0 +1,503 @@
+#include "util/json.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+namespace recon::json {
+
+namespace {
+
+const std::string kEmptyString;
+const std::vector<Value> kEmptyArray;
+const std::vector<Value::Member> kEmptyMembers;
+const Value kNullValue;
+
+constexpr int kMaxDepth = 64;
+
+}  // namespace
+
+int64_t Value::AsInt(int64_t def) const {
+  if (kind_ == Kind::kInt) return int_;
+  if (kind_ == Kind::kDouble) return static_cast<int64_t>(double_);
+  return def;
+}
+
+double Value::AsDouble(double def) const {
+  if (kind_ == Kind::kDouble) return double_;
+  if (kind_ == Kind::kInt) return static_cast<double>(int_);
+  return def;
+}
+
+const std::string& Value::AsString() const {
+  return kind_ == Kind::kString ? string_ : kEmptyString;
+}
+
+size_t Value::size() const {
+  if (kind_ == Kind::kArray) return items_.size();
+  if (kind_ == Kind::kObject) return members_.size();
+  return 0;
+}
+
+const std::vector<Value>& Value::items() const {
+  return kind_ == Kind::kArray ? items_ : kEmptyArray;
+}
+
+Value& Value::Append(Value v) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kArray;
+  items_.push_back(std::move(v));
+  return items_.back();
+}
+
+const std::vector<Value::Member>& Value::members() const {
+  return kind_ == Kind::kObject ? members_ : kEmptyMembers;
+}
+
+const Value* Value::Find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const Member& m : members_) {
+    if (m.first == key) return &m.second;
+  }
+  return nullptr;
+}
+
+const Value& Value::at(std::string_view key) const {
+  const Value* found = Find(key);
+  return found != nullptr ? *found : kNullValue;
+}
+
+Value& Value::Set(std::string key, Value v) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kObject;
+  for (Member& m : members_) {
+    if (m.first == key) {
+      m.second = std::move(v);
+      return m.second;
+    }
+  }
+  members_.emplace_back(std::move(key), std::move(v));
+  return members_.back().second;
+}
+
+void AppendQuoted(std::string_view s, std::string* out) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\b':
+        *out += "\\b";
+        break;
+      case '\f':
+        *out += "\\f";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+std::string Quoted(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  AppendQuoted(s, &out);
+  return out;
+}
+
+std::string NumberToString(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+void Value::AppendTo(std::string* out) const {
+  switch (kind_) {
+    case Kind::kNull:
+      *out += "null";
+      return;
+    case Kind::kBool:
+      *out += bool_ ? "true" : "false";
+      return;
+    case Kind::kInt:
+      *out += std::to_string(int_);
+      return;
+    case Kind::kDouble:
+      *out += NumberToString(double_);
+      return;
+    case Kind::kString:
+      AppendQuoted(string_, out);
+      return;
+    case Kind::kArray: {
+      out->push_back('[');
+      for (size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        items_[i].AppendTo(out);
+      }
+      out->push_back(']');
+      return;
+    }
+    case Kind::kObject: {
+      out->push_back('{');
+      for (size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        AppendQuoted(members_[i].first, out);
+        out->push_back(':');
+        members_[i].second.AppendTo(out);
+      }
+      out->push_back('}');
+      return;
+    }
+  }
+}
+
+std::string Value::Dump() const {
+  std::string out;
+  AppendTo(&out);
+  return out;
+}
+
+void Value::PrettyTo(std::string* out, int depth) const {
+  const auto indent = [out](int d) { out->append(2 * d, ' '); };
+  switch (kind_) {
+    case Kind::kArray: {
+      if (items_.empty()) {
+        *out += "[]";
+        return;
+      }
+      *out += "[\n";
+      for (size_t i = 0; i < items_.size(); ++i) {
+        indent(depth + 1);
+        items_[i].PrettyTo(out, depth + 1);
+        if (i + 1 < items_.size()) out->push_back(',');
+        out->push_back('\n');
+      }
+      indent(depth);
+      out->push_back(']');
+      return;
+    }
+    case Kind::kObject: {
+      if (members_.empty()) {
+        *out += "{}";
+        return;
+      }
+      *out += "{\n";
+      for (size_t i = 0; i < members_.size(); ++i) {
+        indent(depth + 1);
+        AppendQuoted(members_[i].first, out);
+        *out += ": ";
+        members_[i].second.PrettyTo(out, depth + 1);
+        if (i + 1 < members_.size()) out->push_back(',');
+        out->push_back('\n');
+      }
+      indent(depth);
+      out->push_back('}');
+      return;
+    }
+    default:
+      AppendTo(out);
+  }
+}
+
+std::string Value::Pretty() const {
+  std::string out;
+  PrettyTo(&out, 0);
+  out.push_back('\n');
+  return out;
+}
+
+// ---- Parser ----------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  StatusOr<Value> Run() {
+    SkipWhitespace();
+    Value root;
+    Status status = ParseValue(&root, 0);
+    if (!status.ok()) return status;
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return root;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument(what + " at byte " + std::to_string(pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(Value* out, int depth) {
+    if (depth > kMaxDepth) return Error("nesting deeper than 64 levels");
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    switch (text_[pos_]) {
+      case 'n':
+        if (ConsumeWord("null")) {
+          *out = Value();
+          return Status();
+        }
+        return Error("invalid literal");
+      case 't':
+        if (ConsumeWord("true")) {
+          *out = Value(true);
+          return Status();
+        }
+        return Error("invalid literal");
+      case 'f':
+        if (ConsumeWord("false")) {
+          *out = Value(false);
+          return Status();
+        }
+        return Error("invalid literal");
+      case '"':
+        return ParseString(out);
+      case '[':
+        return ParseArray(out, depth);
+      case '{':
+        return ParseObject(out, depth);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseArray(Value* out, int depth) {
+    ++pos_;  // '['
+    *out = Value::Array();
+    SkipWhitespace();
+    if (Consume(']')) return Status();
+    for (;;) {
+      Value item;
+      Status status = ParseValue(&item, depth + 1);
+      if (!status.ok()) return status;
+      out->Append(std::move(item));
+      SkipWhitespace();
+      if (Consume(']')) return Status();
+      if (!Consume(',')) return Error("expected ',' or ']' in array");
+      SkipWhitespace();
+    }
+  }
+
+  Status ParseObject(Value* out, int depth) {
+    ++pos_;  // '{'
+    *out = Value::Object();
+    SkipWhitespace();
+    if (Consume('}')) return Status();
+    for (;;) {
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected string key in object");
+      }
+      Value key;
+      Status status = ParseString(&key);
+      if (!status.ok()) return status;
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' after object key");
+      SkipWhitespace();
+      Value item;
+      status = ParseValue(&item, depth + 1);
+      if (!status.ok()) return status;
+      // Duplicate keys: last wins (the common lenient-reader behaviour).
+      out->Set(std::string(key.AsString()), std::move(item));
+      SkipWhitespace();
+      if (Consume('}')) return Status();
+      if (!Consume(',')) return Error("expected ',' or '}' in object");
+      SkipWhitespace();
+    }
+  }
+
+  /// Appends the UTF-8 encoding of `cp` to `out`.
+  static void AppendUtf8(uint32_t cp, std::string* out) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  bool ParseHex4(uint32_t* out) {
+    if (pos_ + 4 > text_.size()) return false;
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + i];
+      value <<= 4;
+      if (c >= '0' && c <= '9') value |= static_cast<uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') value |= static_cast<uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') value |= static_cast<uint32_t>(c - 'A' + 10);
+      else return false;
+    }
+    pos_ += 4;
+    *out = value;
+    return true;
+  }
+
+  Status ParseString(Value* out) {
+    ++pos_;  // '"'
+    std::string result;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        *out = Value(std::move(result));
+        return Status();
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("unescaped control character in string");
+      }
+      if (c != '\\') {
+        result.push_back(c);
+        ++pos_;
+        continue;
+      }
+      ++pos_;
+      if (pos_ >= text_.size()) return Error("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': result.push_back('"'); break;
+        case '\\': result.push_back('\\'); break;
+        case '/': result.push_back('/'); break;
+        case 'n': result.push_back('\n'); break;
+        case 'r': result.push_back('\r'); break;
+        case 't': result.push_back('\t'); break;
+        case 'b': result.push_back('\b'); break;
+        case 'f': result.push_back('\f'); break;
+        case 'u': {
+          uint32_t cp = 0;
+          if (!ParseHex4(&cp)) return Error("invalid \\u escape");
+          // Surrogate pair: \uD800-\uDBFF must be followed by \uDC00-\uDFFF.
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            uint32_t low = 0;
+            if (pos_ + 1 < text_.size() && text_[pos_] == '\\' &&
+                text_[pos_ + 1] == 'u') {
+              pos_ += 2;
+              if (!ParseHex4(&low)) return Error("invalid \\u escape");
+              if (low >= 0xDC00 && low <= 0xDFFF) {
+                cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+              } else {
+                return Error("invalid low surrogate");
+              }
+            } else {
+              return Error("lone high surrogate");
+            }
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return Error("lone low surrogate");
+          }
+          AppendUtf8(cp, &result);
+          break;
+        }
+        default:
+          return Error("unknown escape character");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseNumber(Value* out) {
+    const size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+    }
+    bool is_double = false;
+    if (Consume('.')) {
+      is_double = true;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      is_double = true;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    if (token.empty() || token == "-") return Error("invalid number");
+    if (!is_double) {
+      errno = 0;
+      char* end = nullptr;
+      const long long parsed = std::strtoll(token.c_str(), &end, 10);
+      if (errno == 0 && end != nullptr && *end == '\0') {
+        *out = Value(static_cast<int64_t>(parsed));
+        return Status();
+      }
+      // Fall through to double on int64 overflow.
+    }
+    errno = 0;
+    char* end = nullptr;
+    const double parsed = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Error("invalid number");
+    *out = Value(parsed);
+    return Status();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<Value> Parse(std::string_view text) { return Parser(text).Run(); }
+
+}  // namespace recon::json

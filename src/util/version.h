@@ -1,0 +1,21 @@
+// One version / build-info string for every user-facing surface:
+// `reconcile_cli --version`, `reconcile_serve --version`, and the
+// service's /healthz endpoint all report exactly this, so a deployment can
+// be identified from any of them.
+
+#ifndef RECON_UTIL_VERSION_H_
+#define RECON_UTIL_VERSION_H_
+
+namespace recon {
+
+/// Bare semantic version, bumped per structural PR (see CHANGES.md).
+inline constexpr const char kReconVersion[] = "0.6.0";
+
+/// Full build-info line.
+inline const char* ReconBuildInfo() {
+  return "recon 0.6.0 (reference reconciliation; C++20)";
+}
+
+}  // namespace recon
+
+#endif  // RECON_UTIL_VERSION_H_

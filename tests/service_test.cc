@@ -1,0 +1,314 @@
+// Tests for the reconciliation service layer (DESIGN.md §12): snapshot
+// construction, OpenRefine-shaped query scoring, ingest under snapshot
+// isolation, and — the part worth running under TSan (`ctest -L tsan`) —
+// concurrent query threads racing a live ingest/flush loop.
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "service/handlers.h"
+#include "service/service.h"
+#include "service/snapshot.h"
+
+namespace recon::service {
+namespace {
+
+/// Three persons: two spellings of Alice sharing an email (they must
+/// reconcile), plus an unrelated Bob.
+Dataset SmallPersonDataset() {
+  Dataset data(BuildPimSchema());
+  const int person = data.schema().RequireClass("Person");
+  const int name = data.schema().RequireAttribute(person, "name");
+  const int email = data.schema().RequireAttribute(person, "email");
+  const RefId a = data.NewReference(person, 0);
+  data.mutable_reference(a).AddAtomicValue(name, "Alice Smith");
+  data.mutable_reference(a).AddAtomicValue(email, "alice@x.edu");
+  const RefId b = data.NewReference(person, 0);
+  data.mutable_reference(b).AddAtomicValue(name, "A. Smith");
+  data.mutable_reference(b).AddAtomicValue(email, "alice@x.edu");
+  const RefId c = data.NewReference(person, 1);
+  data.mutable_reference(c).AddAtomicValue(name, "Bob Jones");
+  data.mutable_reference(c).AddAtomicValue(email, "bob@y.edu");
+  return data;
+}
+
+ServiceOptions DefaultOptions() {
+  ServiceOptions options;
+  options.reconciler = ReconcilerOptions::DepGraph();
+  return options;
+}
+
+Reference MakePerson(const Schema& schema, const std::string& name,
+                     const std::string& email) {
+  const int person = schema.RequireClass("Person");
+  Reference ref(person, schema.class_def(person).num_attributes());
+  ref.AddAtomicValue(schema.RequireAttribute(person, "name"), name);
+  if (!email.empty()) {
+    ref.AddAtomicValue(schema.RequireAttribute(person, "email"), email);
+  }
+  return ref;
+}
+
+// ---- Snapshot construction -------------------------------------------------
+
+TEST(ServiceTest, InitialSnapshotReconcilesAndProfiles) {
+  ReconService service(SmallPersonDataset(), DefaultOptions());
+  const auto snapshot = service.snapshot();
+  EXPECT_EQ(snapshot->generation(), 0u);
+  EXPECT_EQ(snapshot->num_references(), 3);
+  ASSERT_EQ(snapshot->num_entities(), 2);  // {Alice, A. Smith} and {Bob}.
+
+  // Entities are ordered by smallest member RefId: e0 = Alice.
+  const EntityInfo& alice = snapshot->entity(0);
+  EXPECT_EQ(alice.members, (std::vector<RefId>{0, 1}));
+  EXPECT_EQ(alice.display_name, "Alice Smith");
+  EXPECT_EQ(snapshot->EntityOfRef(0), 0);
+  EXPECT_EQ(snapshot->EntityOfRef(1), 0);
+  EXPECT_EQ(snapshot->EntityOfRef(2), 1);
+  EXPECT_EQ(snapshot->EntityOfRef(99), -1);
+
+  // The profile merges member values (both name spellings, one email).
+  const Reference& profile = snapshot->profile(0);
+  const int person = snapshot->schema().RequireClass("Person");
+  const int name = snapshot->schema().RequireAttribute(person, "name");
+  EXPECT_EQ(profile.atomic_values(name).size(), 2u);
+}
+
+// ---- Query scoring ---------------------------------------------------------
+
+TEST(ServiceTest, QueryFindsEntityByNameAndEmail) {
+  ReconService service(SmallPersonDataset(), DefaultOptions());
+  ReconQuery query;
+  query.text = "Alice Smith";
+  query.type = "Person";
+  query.properties.emplace_back("email", "alice@x.edu");
+  const BatchAnswer answer = service.Reconcile({query});
+  ASSERT_EQ(answer.results.size(), 1u);
+  const QueryResult& result = answer.results[0];
+  ASSERT_FALSE(result.candidates.empty());
+  EXPECT_EQ(result.candidates[0].entity, 0);
+  // Exact name + exact email: S_rv saturates and the match is confident.
+  EXPECT_DOUBLE_EQ(result.candidates[0].score, 1.0);
+  EXPECT_TRUE(result.candidates[0].match);
+  EXPECT_FALSE(result.degraded);
+}
+
+TEST(ServiceTest, QueryUnknownTypeAndNoTextAreEmpty) {
+  ReconService service(SmallPersonDataset(), DefaultOptions());
+  ReconQuery unknown;
+  unknown.text = "Alice Smith";
+  unknown.type = "Spaceship";
+  EXPECT_TRUE(service.Reconcile({unknown}).results[0].candidates.empty());
+  ReconQuery empty;
+  empty.type = "Person";
+  EXPECT_TRUE(service.Reconcile({empty}).results[0].candidates.empty());
+}
+
+TEST(ServiceTest, QueryHonorsLimit) {
+  ReconService service(SmallPersonDataset(), DefaultOptions());
+  ReconQuery query;
+  query.text = "Smith Jones";  // Blocks against both entities.
+  query.type = "Person";
+  query.limit = 1;
+  const BatchAnswer answer = service.Reconcile({query});
+  EXPECT_LE(answer.results[0].candidates.size(), 1u);
+}
+
+TEST(ServiceTest, ExpiredDeadlineDegradesInsteadOfStalling) {
+  ServiceOptions options = DefaultOptions();
+  options.query_deadline_ms = 1e-9;  // Already expired when scoring starts.
+  ReconService service(SmallPersonDataset(), options);
+  ReconQuery query;
+  query.text = "Alice Smith";
+  query.type = "Person";
+  const BatchAnswer answer = service.Reconcile({query});
+  EXPECT_TRUE(answer.degraded);
+  EXPECT_TRUE(answer.results[0].degraded);
+  // Degraded, not failed: whatever was scored before the stop is returned.
+  EXPECT_GE(answer.results[0].num_scored, 0);
+}
+
+// ---- Ingest / snapshot isolation -------------------------------------------
+
+TEST(ServiceTest, IngestWithoutFlushStagesOnly) {
+  ReconService service(SmallPersonDataset(), DefaultOptions());
+  const auto before = service.snapshot();
+  std::vector<Reference> refs;
+  refs.push_back(MakePerson(service.schema(), "Carol White", "carol@z.org"));
+  const auto report = service.Ingest(std::move(refs), {}, /*flush=*/false);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().added, 1);
+  EXPECT_EQ(report.value().staged_total, 1);
+  EXPECT_FALSE(report.value().flushed);
+  EXPECT_EQ(report.value().generation, 0u);
+  EXPECT_EQ(service.staged_references(), 1);
+  // The published snapshot is untouched until a flush.
+  EXPECT_EQ(service.snapshot().get(), before.get());
+
+  EXPECT_EQ(service.Flush(), 1u);
+  EXPECT_EQ(service.staged_references(), 0);
+  EXPECT_EQ(service.snapshot()->generation(), 1u);
+  EXPECT_EQ(service.snapshot()->num_references(), 4);
+}
+
+TEST(ServiceTest, IngestFlushMakesNewEntityQueryable) {
+  ReconService service(SmallPersonDataset(), DefaultOptions());
+  std::vector<Reference> refs;
+  refs.push_back(MakePerson(service.schema(), "Dora Black", "dora@w.net"));
+  const auto report = service.Ingest(std::move(refs), {7}, /*flush=*/true);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.value().flushed);
+  EXPECT_EQ(report.value().generation, 1u);
+
+  ReconQuery query;
+  query.text = "Dora Black";
+  query.type = "Person";
+  const BatchAnswer answer = service.Reconcile({query});
+  EXPECT_EQ(answer.snapshot->generation(), 1u);
+  ASSERT_FALSE(answer.results[0].candidates.empty());
+  const EntityId hit = answer.results[0].candidates[0].entity;
+  EXPECT_EQ(answer.snapshot->entity(hit).display_name, "Dora Black");
+}
+
+TEST(ServiceTest, IngestRejectsBadAssociationTargets) {
+  ReconService service(SmallPersonDataset(), DefaultOptions());
+  const Schema& schema = service.schema();
+  const int person = schema.RequireClass("Person");
+  Reference bad(person, schema.class_def(person).num_attributes());
+  bad.AddAssociation(schema.RequireAttribute(person, "coAuthor"), 999);
+  std::vector<Reference> refs;
+  refs.push_back(std::move(bad));
+  const auto report = service.Ingest(std::move(refs), {}, /*flush=*/true);
+  EXPECT_FALSE(report.ok());
+  // Nothing was staged or published by the failed call.
+  EXPECT_EQ(service.staged_references(), 0);
+  EXPECT_EQ(service.snapshot()->generation(), 0u);
+  EXPECT_EQ(service.snapshot()->num_references(), 3);
+}
+
+TEST(ServiceTest, GoldsLengthMismatchRejected) {
+  ReconService service(SmallPersonDataset(), DefaultOptions());
+  std::vector<Reference> refs;
+  refs.push_back(MakePerson(service.schema(), "Eve Gray", ""));
+  EXPECT_FALSE(service.Ingest(std::move(refs), {1, 2}, true).ok());
+}
+
+// ---- Handler-level parsing / rendering -------------------------------------
+
+TEST(ServiceTest, ParseQueryBatchShapes) {
+  const auto batch = ParseQueryBatch(
+      R"({"a": "shorthand text",
+          "b": {"query": "Bob", "type": {"id": "Person"}, "limit": 3,
+                "properties": [{"pid": "email", "v": "bob@y.edu"},
+                               {"p": "name", "v": ["X", "Y"]}]}})");
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch.value().size(), 2u);
+  EXPECT_EQ(batch.value()[0].first, "a");
+  EXPECT_EQ(batch.value()[0].second.text, "shorthand text");
+  const ReconQuery& b = batch.value()[1].second;
+  EXPECT_EQ(b.type, "Person");
+  EXPECT_EQ(b.limit, 3);
+  ASSERT_EQ(b.properties.size(), 3u);
+  EXPECT_EQ(b.properties[0].first, "email");
+  EXPECT_EQ(b.properties[1].second, "X");
+  EXPECT_EQ(b.properties[2].second, "Y");
+
+  EXPECT_FALSE(ParseQueryBatch("[1,2]").ok());
+  EXPECT_FALSE(ParseQueryBatch("{\"q\": 42}").ok());
+  EXPECT_FALSE(ParseQueryBatch("not json").ok());
+}
+
+TEST(ServiceTest, UrlDecodeHandlesEscapes) {
+  EXPECT_EQ(UrlDecode("a+b%20c%7B%7d"), "a b c{}");
+  EXPECT_EQ(UrlDecode("100%"), "100%");  // Dangling '%' passes through.
+  EXPECT_EQ(UrlDecode("%zz"), "%zz");    // Non-hex passes through.
+}
+
+TEST(ServiceTest, RenderReconcileBodyShape) {
+  ReconService service(SmallPersonDataset(), DefaultOptions());
+  ReconQuery query;
+  query.text = "Alice Smith";
+  query.type = "Person";
+  QueryBatch batch;
+  batch.emplace_back("q0", query);
+  const BatchAnswer answer = service.Reconcile({query});
+  const std::string body = RenderReconcileBody(batch, answer);
+  EXPECT_NE(body.find("\"q0\":{\"result\":[{\"id\":\"e0\""), std::string::npos);
+  EXPECT_NE(body.find("\"_snapshot\":0"), std::string::npos);
+}
+
+// ---- Concurrency: readers race a live ingest/flush loop (TSan target) ------
+
+TEST(ServiceTest, ConcurrentQueriesVsIngestFlushLoop) {
+  ReconService service(SmallPersonDataset(), DefaultOptions());
+  constexpr int kQueryThreads = 3;
+  constexpr int kIngestBatches = 12;
+
+  std::atomic<bool> done{false};
+  std::atomic<int> torn_reads{0};
+  std::atomic<int> generation_regressions{0};
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kQueryThreads; ++t) {
+    readers.emplace_back([&] {
+      ReconQuery query;
+      query.text = "Alice Smith";
+      query.type = "Person";
+      uint64_t last_generation = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        const BatchAnswer answer = service.Reconcile({query, query});
+        // Monotone generations per reader: an older snapshot must never
+        // be published after a newer one was observed.
+        const uint64_t generation = answer.snapshot->generation();
+        if (generation < last_generation) ++generation_regressions;
+        last_generation = generation;
+        // Internal consistency: every candidate resolves against the
+        // batch's own snapshot — a torn read (results from one snapshot,
+        // pointer from another) would surface as an out-of-range entity.
+        for (const QueryResult& result : answer.results) {
+          for (const ScoredCandidate& candidate : result.candidates) {
+            if (!answer.snapshot->ValidEntity(candidate.entity) ||
+                answer.snapshot->entity(candidate.entity).class_id < 0) {
+              ++torn_reads;
+            }
+          }
+        }
+      }
+    });
+  }
+
+  uint64_t generation = 0;
+  for (int i = 0; i < kIngestBatches; ++i) {
+    std::vector<Reference> refs;
+    refs.push_back(MakePerson(service.schema(),
+                              "Person " + std::to_string(i),
+                              "p" + std::to_string(i) + "@load.test"));
+    const auto report = service.Ingest(std::move(refs), {}, /*flush=*/true);
+    ASSERT_TRUE(report.ok());
+    EXPECT_EQ(report.value().generation, generation + 1);
+    generation = report.value().generation;
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& reader : readers) reader.join();
+
+  EXPECT_EQ(torn_reads.load(), 0);
+  EXPECT_EQ(generation_regressions.load(), 0);
+  EXPECT_EQ(service.snapshot()->generation(),
+            static_cast<uint64_t>(kIngestBatches));
+  EXPECT_EQ(service.snapshot()->num_references(), 3 + kIngestBatches);
+  // Reconciliation kept running under load: the final snapshot still
+  // answers correctly.
+  ReconQuery query;
+  query.text = "Person 7";
+  query.type = "Person";
+  const BatchAnswer answer = service.Reconcile({query});
+  ASSERT_FALSE(answer.results[0].candidates.empty());
+}
+
+}  // namespace
+}  // namespace recon::service

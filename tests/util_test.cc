@@ -1,12 +1,16 @@
 #include <algorithm>
+#include <atomic>
 #include <map>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include <deque>
 
+#include "util/atomic_shared_ptr.h"
+#include "util/json.h"
 #include "util/random.h"
 #include "util/ring_buffer.h"
 #include "util/status.h"
@@ -358,6 +362,90 @@ TEST(RingDequeTest, PropertyMatchesStdDeque) {
     ref.pop_front();
   }
   EXPECT_TRUE(q.empty());
+}
+
+// ---- AtomicSharedPtr -----------------------------------------------------
+
+TEST(AtomicSharedPtrTest, LoadPinsWhileStoreReplaces) {
+  AtomicSharedPtr<const int> cell(std::make_shared<const int>(0));
+  std::atomic<bool> done{false};
+  std::atomic<int> regressions{0};
+  std::thread reader([&] {
+    int last = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const std::shared_ptr<const int> pinned = cell.Load();
+      if (*pinned < last) ++regressions;  // Values only move forward.
+      last = *pinned;
+    }
+  });
+  for (int i = 1; i <= 1000; ++i) {
+    cell.Store(std::make_shared<const int>(i));
+  }
+  done.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(regressions.load(), 0);
+  EXPECT_EQ(*cell.Load(), 1000);
+}
+
+// ---- JSON ----------------------------------------------------------------
+
+TEST(JsonTest, WriterEscapesEverythingRfc8259Requires) {
+  json::Value doc = json::Value::Object();
+  doc.Set("k", std::string("quote\" backslash\\ newline\n tab\t bell\x07"));
+  EXPECT_EQ(doc.Dump(),
+            "{\"k\":\"quote\\\" backslash\\\\ newline\\n tab\\t "
+            "bell\\u0007\"}");
+}
+
+TEST(JsonTest, RoundTripsNumbersExactly) {
+  json::Value doc = json::Value::Array();
+  doc.Append(int64_t{9007199254740993});  // Not representable as double.
+  doc.Append(0.1);
+  doc.Append(-2.5e-7);
+  const auto parsed = json::Parse(doc.Dump());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().items()[0].AsInt(), 9007199254740993);
+  EXPECT_DOUBLE_EQ(parsed.value().items()[1].AsDouble(), 0.1);
+  EXPECT_DOUBLE_EQ(parsed.value().items()[2].AsDouble(), -2.5e-7);
+  EXPECT_EQ(json::Parse(doc.Dump()).value().Dump(), doc.Dump());
+}
+
+TEST(JsonTest, ParserHandlesEscapesAndSurrogates) {
+  const auto doc = json::Parse(R"({"s": "a\"b\\c\ndé😀"})");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value().at("s").AsString(),
+            "a\"b\\c\nd\xC3\xA9\xF0\x9F\x98\x80");
+}
+
+TEST(JsonTest, ParserPreservesMemberOrderAndLastDuplicateWins) {
+  const auto doc = json::Parse(R"({"z": 1, "a": 2, "z": 3})");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc.value().members().size(), 2u);
+  EXPECT_EQ(doc.value().members()[0].first, "z");
+  EXPECT_EQ(doc.value().at("z").AsInt(), 3);
+}
+
+TEST(JsonTest, ParserRejectsMalformedInput) {
+  EXPECT_FALSE(json::Parse("").ok());
+  EXPECT_FALSE(json::Parse("{").ok());
+  EXPECT_FALSE(json::Parse("[1,]").ok());
+  EXPECT_FALSE(json::Parse("{} trailing").ok());
+  EXPECT_FALSE(json::Parse("\"unterminated").ok());
+  EXPECT_FALSE(json::Parse("nul").ok());
+  // Depth cap: 70 nested arrays exceed the 64 limit.
+  EXPECT_FALSE(json::Parse(std::string(70, '[') + std::string(70, ']')).ok());
+  // Errors carry a byte offset.
+  EXPECT_NE(json::Parse("[1, oops]").status().message().find("byte"),
+            std::string::npos);
+}
+
+TEST(JsonTest, LooseAccessorsDefaultOnMismatch) {
+  const json::Value v = 42;
+  EXPECT_EQ(v.AsInt(), 42);
+  EXPECT_EQ(v.AsDouble(), 42.0);  // Ints read as doubles.
+  EXPECT_EQ(v.AsString(), "");
+  EXPECT_TRUE(v.items().empty());
+  EXPECT_TRUE(json::Value().at("missing").is_null());
 }
 
 }  // namespace

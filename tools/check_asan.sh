@@ -2,8 +2,10 @@
 # One-command memory-safety check for the robustness surfaces (DESIGN.md
 # §10–§11): budget exhaustion / cancellation / fault-injected degradation,
 # the malformed-input extraction paths (truncated BibTeX, garbled email,
-# NUL-ridden CSV), and the value-store / similarity-memo degradation modes
-# (shard eviction and bypass under tiny byte bounds):
+# NUL-ridden CSV), the value-store / similarity-memo degradation modes
+# (shard eviction and bypass under tiny byte bounds), and the service
+# smoke test (a live daemon on an ephemeral loopback port serving query,
+# ingest, and malformed-request traffic end-to-end over HTTP):
 #
 #   1. configures and builds build-asan/ with
 #      -DRECON_SANITIZE=address-undefined (ASan + UBSan together),

@@ -5,9 +5,10 @@
 #   1. configures and builds build-tsan/ with -DRECON_SANITIZE=thread,
 #   2. runs every ctest target labeled `tsan` under ThreadSanitizer
 #      (runtime primitives, evidence-cache parity, the shared value-store /
-#      similarity-memo sweep with the store on and off, and the
+#      similarity-memo sweep with the store on and off, the
 #      parallel-solver sweep that asserts byte-identical output at
-#      1/2/4/8 threads),
+#      1/2/4/8 threads, and the service-layer sweep where query threads
+#      race a live ingest/flush loop against the snapshot swap),
 #   3. re-runs the determinism sweeps in the regular (uninstrumented) build
 #      when one exists — TSan's memory model can hide orderings that the
 #      native build exhibits, so both must pass.
@@ -35,7 +36,8 @@ TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
 echo
 if [[ -d "${NATIVE_DIR}/tests" ]]; then
   echo "== [3/3] determinism sweeps in native build ${NATIVE_DIR}"
-  ctest --test-dir "${NATIVE_DIR}" -R 'SolverParallelTest|ValueStoreTest' \
+  ctest --test-dir "${NATIVE_DIR}" \
+    -R 'SolverParallelTest|ValueStoreTest|ServiceTest' \
     --output-on-failure
 else
   echo "== [3/3] skipped: ${NATIVE_DIR} not built"

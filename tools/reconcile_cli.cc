@@ -33,6 +33,7 @@
 #include "extract/extractor.h"
 #include "model/text_io.h"
 #include "util/string_util.h"
+#include "util/version.h"
 
 namespace {
 
@@ -79,7 +80,8 @@ void PrintUsage(std::ostream& out) {
          "  --max-solver-iterations N   cap on fixed-point iterations\n"
          "  --max-merges N          cap on merges\n"
          "\n"
-         "  --help                  this text\n";
+         "  --help                  this text\n"
+         "  --version               print version and exit\n";
 }
 
 int Demo(const std::string& path) {
@@ -219,6 +221,10 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
       PrintUsage(std::cout);
+      return kExitOk;
+    }
+    if (arg == "--version") {
+      std::cout << recon::ReconBuildInfo() << "\n";
       return kExitOk;
     }
     if (arg == "--demo" && i + 1 < argc) return Demo(argv[++i]);

@@ -1,0 +1,168 @@
+// Reconciliation daemon: load a dataset, reconcile it, and serve the
+// OpenRefine-compatible reconciliation API over HTTP (DESIGN.md §12).
+//
+//   reconcile_serve dataset.txt --port 8080
+//   reconcile_serve --demo --port 0        # synthetic dataset, ephemeral port
+//
+// Endpoints: /  /reconcile  /ingest  /entity/<id>  /healthz  /stats.
+// The bound port is printed on startup ("listening on port N"), which is
+// how scripts using --port 0 find the server. SIGINT / SIGTERM stop it.
+//
+// Exit codes: 0 clean shutdown, 2 usage error, 3 load failure, 4 bind
+// failure.
+
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <utility>
+
+#include "datagen/pim_generator.h"
+#include "model/text_io.h"
+#include "runtime/thread_pool.h"
+#include "service/handlers.h"
+#include "service/http.h"
+#include "service/service.h"
+#include "util/version.h"
+
+namespace {
+
+constexpr int kExitOk = 0;
+constexpr int kExitUsage = 2;
+constexpr int kExitLoad = 3;
+constexpr int kExitBind = 4;
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleStop(int) { g_stop = 1; }
+
+void PrintUsage(std::ostream& out) {
+  out << "usage: reconcile_serve [options] <dataset file>\n"
+         "       reconcile_serve [options] --demo\n"
+         "\n"
+         "  <dataset file>     dataset in the text format of model/text_io.h\n"
+         "  --demo             serve a small synthetic PIM dataset instead\n"
+         "  --port N           listen port (default 8080; 0 = ephemeral,\n"
+         "                     printed on startup)\n"
+         "  --threads N        HTTP worker threads (default: hardware)\n"
+         "  --deadline-ms MS   per-request query deadline; overloaded\n"
+         "                     requests degrade to partial candidate lists\n"
+         "                     (default 0 = unlimited)\n"
+         "  --flush-deadline-ms MS  budget per ingest flush (default 0)\n"
+         "  --help             this text\n"
+         "  --version          print version and exit\n";
+}
+
+bool ParseInt(const char* flag, const char* value, int min, int* out) {
+  char* end = nullptr;
+  const long v = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || v < min || v > 1 << 30) {
+    std::cerr << flag << " needs an integer >= " << min << ", got \"" << value
+              << "\"\n";
+    return false;
+  }
+  *out = static_cast<int>(v);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace recon;
+
+  std::string path;
+  bool demo = false;
+  int port = 8080;
+  int threads = runtime::ThreadPool::HardwareConcurrency();
+  service::ServiceOptions options;
+  options.reconciler = ReconcilerOptions::DepGraph();
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage(std::cout);
+      return kExitOk;
+    }
+    if (arg == "--version") {
+      std::cout << ReconBuildInfo() << "\n";
+      return kExitOk;
+    }
+    if (arg == "--demo") {
+      demo = true;
+    } else if (arg == "--port" && i + 1 < argc) {
+      if (!ParseInt("--port", argv[++i], 0, &port)) return kExitUsage;
+    } else if (arg == "--threads" && i + 1 < argc) {
+      if (!ParseInt("--threads", argv[++i], 1, &threads)) return kExitUsage;
+    } else if (arg == "--deadline-ms" && i + 1 < argc) {
+      int ms = 0;
+      if (!ParseInt("--deadline-ms", argv[++i], 1, &ms)) return kExitUsage;
+      options.query_deadline_ms = ms;
+    } else if (arg == "--flush-deadline-ms" && i + 1 < argc) {
+      int ms = 0;
+      if (!ParseInt("--flush-deadline-ms", argv[++i], 1, &ms)) {
+        return kExitUsage;
+      }
+      options.reconciler.budget.deadline_ms = ms;
+    } else if (!arg.empty() && arg[0] != '-') {
+      path = arg;
+    } else {
+      std::cerr << "unknown flag " << arg << " (see --help)\n";
+      return kExitUsage;
+    }
+  }
+  if (demo != path.empty()) {  // Exactly one of --demo / file required.
+    PrintUsage(std::cerr);
+    return kExitUsage;
+  }
+
+  Dataset data(BuildPimSchema());
+  if (demo) {
+    datagen::PimConfig config = datagen::PimConfigA();
+    data = datagen::GeneratePim(datagen::ScaleConfig(config, 0.05));
+    std::cout << "Generated demo dataset: " << data.num_references()
+              << " references.\n";
+  } else {
+    StatusOr<Dataset> loaded = LoadDatasetFromFile(path);
+    if (!loaded.ok()) {
+      std::cerr << "cannot load " << path << ": " << loaded.status().ToString()
+                << "\n";
+      return kExitLoad;
+    }
+    data = std::move(loaded).value();
+    std::cout << "Loaded " << data.num_references() << " references from "
+              << path << ".\n";
+  }
+
+  std::cout << "Reconciling initial dataset...\n";
+  service::ReconService service(std::move(data), options);
+  const auto snapshot = service.snapshot();
+  std::cout << "Snapshot generation 0: " << snapshot->num_entities()
+            << " entities from " << snapshot->num_references()
+            << " references.\n";
+
+  service::ServiceHandler handler(&service);
+  service::HttpServer server(
+      [&handler](const service::HttpRequest& req) {
+        return handler.Handle(req);
+      },
+      threads);
+  const Status started = server.Start(port);
+  if (!started.ok()) {
+    std::cerr << started.ToString() << "\n";
+    return kExitBind;
+  }
+  std::cout << ReconBuildInfo() << "\n"
+            << "listening on port " << server.port() << " (" << threads
+            << " worker threads)\n"
+            << std::flush;
+
+  std::signal(SIGINT, HandleStop);
+  std::signal(SIGTERM, HandleStop);
+  sigset_t empty;
+  sigemptyset(&empty);
+  while (!g_stop) sigsuspend(&empty);
+
+  std::cout << "shutting down\n";
+  server.Stop();
+  return kExitOk;
+}

@@ -31,6 +31,14 @@ for bench in "${BENCH_DIR}"/perf_*; do
   if ! "${bench}" --json "${out}"; then
     echo "error: ${name} failed" >&2
     status=1
+    continue
+  fi
+  # Every result file must record the hardware it was produced on
+  # ("hardware_concurrency" from JsonLog, "num_cpus" from google-benchmark),
+  # so caveats like "1-CPU container, speedups ~1x" are machine-checkable.
+  if ! grep -qE '"(hardware_concurrency|num_cpus)"' "${out}"; then
+    echo "error: ${out} lacks hardware metadata" >&2
+    status=1
   fi
 done
 
