@@ -8,7 +8,9 @@
 // Section 2 — fixed-point solve: the deterministic wavefront drain
 // (ReconcilerOptions::parallel_fixed_point, DESIGN.md §9) on PIM B. The
 // graph is built untimed per rep; the solve is timed best-of-three and
-// broken down into the parallel score phase and the serial commit phase.
+// broken down into the parallel score phase and the region-partitioned
+// commit phase (DESIGN.md §13). commit_speedup in the JSON rows is the
+// gate tools/run_benches.sh --gate-speedup checks.
 //
 // At every thread count both sections check the output against the
 // one-thread run — partitions, merged pairs, merge and fold counts — and
@@ -109,9 +111,10 @@ int main(int argc, char** argv) {
               << dataset.num_references() << " references\n\n";
 
     TablePrinter table({"Threads", "Solve s", "Score s", "Commit s",
-                        "Rounds", "Hits", "Rescored", "Speedup", "Output"});
+                        "Rounds", "Waves", "Regions", "Speedup", "Output"});
     ReconcileResult serial_result;
     double serial_seconds = 0;
+    double serial_commit_seconds = 0;
     for (const int threads : {1, 2, 4, 8}) {
       ReconcilerOptions options = ReconcilerOptions::DepGraph();
       options.num_threads = threads;
@@ -130,6 +133,7 @@ int main(int argc, char** argv) {
       }
       if (threads == 1) {
         serial_seconds = best_seconds;
+        serial_commit_seconds = result.stats.solve_commit_seconds;
         serial_result = result;
       }
       const bool identical = SameOutput(serial_result, result);
@@ -139,8 +143,8 @@ int main(int argc, char** argv) {
                     TablePrinter::Num(s.solve_score_seconds, 3),
                     TablePrinter::Num(s.solve_commit_seconds, 3),
                     std::to_string(s.num_solver_rounds),
-                    std::to_string(s.num_score_hits),
-                    std::to_string(s.num_serial_rescores),
+                    std::to_string(s.num_commit_waves),
+                    std::to_string(s.num_commit_regions),
                     TablePrinter::Num(serial_seconds / best_seconds, 2) + "x",
                     identical ? "identical" : "MISMATCH"});
       json.BeginRow();
@@ -154,7 +158,14 @@ int main(int argc, char** argv) {
       json.Add("score_hits", s.num_score_hits);
       json.Add("serial_rescores", s.num_serial_rescores);
       json.Add("score_discards", s.num_score_discards);
+      json.Add("commit_waves", s.num_commit_waves);
+      json.Add("commit_regions", s.num_commit_regions);
+      json.Add("wave_commits", s.num_wave_commits);
+      json.Add("commit_deferrals", s.num_commit_deferrals);
+      json.Add("graph_bytes", s.graph_bytes);
       json.Add("speedup", serial_seconds / best_seconds);
+      json.Add("commit_speedup",
+               serial_commit_seconds / s.solve_commit_seconds);
       json.Add("identical",
                identical ? std::string("true") : std::string("false"));
       if (!identical) {
@@ -168,8 +179,12 @@ int main(int argc, char** argv) {
 
   json.Write(bench::JsonPathFromArgs(argc, argv));
   std::cout << "\nSpeedup is bounded by the hardware thread count above. "
-               "The solve's serial\ncommit phase (Commit s) does not "
-               "parallelise — see DESIGN.md §9 for why\nthat is the price "
-               "of byte-identical output.\n";
+               "The commit phase\nnow partitions each wave by connected "
+               "region and commits disjoint regions\nin parallel "
+               "(DESIGN.md §13); output stays byte-identical at every "
+               "thread\ncount, checked above. On a 1-CPU container every "
+               "speedup is ~1x by\nconstruction; tools/run_benches.sh "
+               "--gate-speedup applies the scaling gate\nonly when the "
+               "hardware can express it.\n";
   return 0;
 }

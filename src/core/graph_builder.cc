@@ -133,7 +133,9 @@ class GraphBuilder {
     out.num_candidates = static_cast<int>(candidates.size());
 
     // Step 1 (§3.1): atomic-attribute comparison, node seeding, and
-    // constraint marking.
+    // constraint marking. Sizing the CSR pools from the candidate count
+    // up front cuts rehash and relocation churn during the apply loop.
+    graph_->ReserveBuild(candidates.size());
     SeedPairs(candidates);
     // Constraint 1: authors of one article are distinct persons. Creates
     // non-merge nodes even where no atomic similarity exists (§3.4).
@@ -145,6 +147,10 @@ class GraphBuilder {
 
     // Step 2 (§3.1): association dependencies between existing nodes.
     WireAssociations(/*start_node=*/0);
+
+    // The graph shape is now settled for the solve: pack the CSR pools
+    // tight (folds and solver delta pushes mutate in place from here).
+    graph_->Compact();
 
     // Initial queue: venues, then persons, then articles, then the rest.
     BuildInitialQueue(/*start_node=*/0, &out.initial_queue);
@@ -184,9 +190,14 @@ class GraphBuilder {
     const NodeId start_node = graph_->num_nodes();
     InternAtomicValues(first_new_ref);
     if (store_ != nullptr) store_->Sync(*values_);
+    graph_->ReserveBuild(pairs.size());
     SeedPairs(pairs);
     if (options_.constraints) MarkCoAuthorConstraints(first_new_ref);
     WireAssociations(start_node);
+
+    // Re-pack the pools: extension appends fragment the shared buffers
+    // (relocations leave garbage) and a flush is the natural boundary.
+    graph_->Compact();
 
     std::vector<NodeId> new_queue;
     BuildInitialQueue(start_node, &new_queue);
@@ -299,9 +310,8 @@ class GraphBuilder {
       // incremental extension demotes an existing node.
       graph_->SetNodeState(m, NodeState::kNonMerge);
     }
-    Node& node = graph_->mutable_node(m);
     for (const auto& [evidence, sim] : pair.evidence.statics) {
-      node.AddStaticReal(evidence, sim);
+      graph_->AddStaticReal(m, evidence, sim);
     }
     for (const auto& spec : pair.evidence.value_nodes) {
       const NodeState state = (spec.sim >= options_.params.value_merge_threshold)
@@ -678,7 +688,7 @@ class GraphBuilder {
           if (p == q) {
             // The same extracted person reference authors both: identity
             // evidence for the articles (the paper's self node (a, a)).
-            graph_->mutable_node(m).AddStaticReal(kEvArticleAuthors, 1.0);
+            graph_->AddStaticReal(m, kEvArticleAuthors, 1.0);
             continue;
           }
           const NodeId n = graph_->FindRefPair(p, q);
@@ -700,7 +710,7 @@ class GraphBuilder {
       for (const RefId v1 : venues1) {
         for (const RefId v2 : venues2) {
           if (v1 == v2) {
-            graph_->mutable_node(m).AddStaticReal(kEvArticleVenue, 1.0);
+            graph_->AddStaticReal(m, kEvArticleVenue, 1.0);
             continue;
           }
           const NodeId n = graph_->FindRefPair(v1, v2);

@@ -94,6 +94,11 @@ ReconcileResult IncrementalReconciler::result() {
   out.stats.num_nodes = built_.graph->num_nodes();
   out.stats.num_live_nodes = built_.graph->num_live_nodes();
   out.stats.num_edges = built_.graph->num_edges();
+  const GraphBytes gb = built_.graph->bytes();
+  out.stats.graph_bytes = static_cast<int64_t>(gb.total());
+  out.stats.graph_node_bytes = static_cast<int64_t>(gb.nodes);
+  out.stats.graph_edge_bytes = static_cast<int64_t>(gb.edges);
+  out.stats.graph_index_bytes = static_cast<int64_t>(gb.indices);
   out.stats.num_pair_comparisons = built_.num_pair_comparisons;
   out.stats.num_value_analyses = built_.num_value_analyses;
   out.stats.num_sim_memo_hits = built_.num_sim_memo_hits;

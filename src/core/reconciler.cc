@@ -149,6 +149,11 @@ ReconcileResult Reconciler::RunOnGraph(const Dataset& dataset,
   result.stats.solve_seconds = solve_timer.ElapsedSeconds();
   result.stats.num_live_nodes = built.graph->num_live_nodes();
   result.stats.num_edges = built.graph->num_edges();
+  const GraphBytes gb = built.graph->bytes();
+  result.stats.graph_bytes = static_cast<int64_t>(gb.total());
+  result.stats.graph_node_bytes = static_cast<int64_t>(gb.nodes);
+  result.stats.graph_edge_bytes = static_cast<int64_t>(gb.edges);
+  result.stats.graph_index_bytes = static_cast<int64_t>(gb.indices);
   result.stats.stop_reason = budget->stop_reason();
   result.stats.num_budget_probes = budget->num_probes();
   return result;

@@ -90,6 +90,30 @@ struct ReconcileStats {
   /// demoted mid-round (the serial drain skips such pops identically).
   int64_t num_score_discards = 0;
 
+  // Region-partitioned commit counters (DESIGN.md §13). Deterministic at
+  // every thread count: the wave schedule is a pure function of each
+  // round's snapshot.
+  /// Multi-pop waves whose disjoint regions committed concurrently.
+  int64_t num_commit_waves = 0;
+  /// Disjoint regions executed across those waves.
+  int64_t num_commit_regions = 0;
+  /// Frontier commits that ran inside waves (the parallelized share of
+  /// the commit phase; the rest committed serially in place).
+  int64_t num_wave_commits = 0;
+  /// Wave members rolled back because an in-wave re-score unpredictedly
+  /// crossed the merge threshold: the crossing member and everything at
+  /// or after its wave position restore their pre-images from the undo
+  /// logs and replay serially at their exact canonical positions.
+  int64_t num_commit_deferrals = 0;
+
+  /// Heap footprint of the dependency graph's CSR storage
+  /// (DependencyGraph::bytes), split by pool family: node array + static
+  /// evidence, edge pools, and pair indexes + per-reference node lists.
+  int64_t graph_bytes = 0;
+  int64_t graph_node_bytes = 0;
+  int64_t graph_edge_bytes = 0;
+  int64_t graph_index_bytes = 0;
+
   // Budget / graceful-degradation accounting (ReconcilerOptions::budget,
   // DESIGN.md §10).
   /// Why the run stopped: kConverged on a full fixed point, the exhausted

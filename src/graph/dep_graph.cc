@@ -6,19 +6,72 @@
 
 namespace recon {
 
-DependencyGraph::DependencyGraph(int num_references)
-    : nodes_of_ref_(num_references) {
+DependencyGraph::DependencyGraph(int num_references) {
   RECON_CHECK_GE(num_references, 0);
+  ref_pool_.EnsureSlots(static_cast<size_t>(num_references));
+}
+
+NodeId DependencyGraph::PushNode(Node&& node) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::move(node));
+  in_pool_.EnsureSlots(nodes_.size());
+  out_pool_.EnsureSlots(nodes_.size());
+  static_pool_.EnsureSlots(nodes_.size());
+  ++num_live_nodes_;
+  return id;
+}
+
+void DependencyGraph::ReserveBuild(size_t expected_pairs) {
+  // Every staged reference pair adds ~1 ref-pair node and on PIM-like
+  // schemas ~2 value nodes; edges come in 1-2 per value node plus the
+  // association wiring. The constants only size first allocations — being
+  // off costs one doubling, not correctness.
+  const size_t nodes = nodes_.size() + expected_pairs * 3;
+  nodes_.reserve(nodes);
+  in_pool_.ReserveSlots(nodes);
+  out_pool_.ReserveSlots(nodes);
+  static_pool_.ReserveSlots(nodes);
+  in_pool_.ReserveData(in_pool_.TotalCount() + expected_pairs * 4);
+  out_pool_.ReserveData(out_pool_.TotalCount() + expected_pairs * 4);
+  static_pool_.ReserveData(static_pool_.TotalCount() + expected_pairs);
+  ref_pair_index_.Reserve(ref_pair_index_.size() + expected_pairs);
+  value_pair_index_.Reserve(value_pair_index_.size() + expected_pairs * 2);
+}
+
+void DependencyGraph::Compact() {
+  in_pool_.Compact();
+  out_pool_.Compact();
+  static_pool_.Compact();
+  ref_pool_.Compact();
+  // ReserveBuild sized everything from a candidate-count estimate; the
+  // graph shape is settled now, so stop carrying the over-estimate slack.
+  // Node ids are stable — only capacity changes — and callers already may
+  // not hold Node references across Compact (the pool rewrites move edge
+  // storage too).
+  nodes_.shrink_to_fit();
+  ref_pair_index_.ShrinkToFit();
+  value_pair_index_.ShrinkToFit();
+}
+
+GraphBytes DependencyGraph::bytes() const {
+  GraphBytes b;
+  b.nodes = nodes_.capacity() * sizeof(Node) + static_pool_.data_bytes() +
+            static_pool_.slot_bytes();
+  b.edges = in_pool_.data_bytes() + in_pool_.slot_bytes() +
+            out_pool_.data_bytes() + out_pool_.slot_bytes();
+  b.indices = ref_pair_index_.bytes() + value_pair_index_.bytes() +
+              ref_pool_.data_bytes() + ref_pool_.slot_bytes();
+  return b;
 }
 
 NodeId DependencyGraph::AddRefPairNode(int class_id, RefId r1, RefId r2) {
   RECON_CHECK_NE(r1, r2);
-  RECON_CHECK(r1 >= 0 && r1 < static_cast<int>(nodes_of_ref_.size()));
-  RECON_CHECK(r2 >= 0 && r2 < static_cast<int>(nodes_of_ref_.size()));
+  RECON_CHECK(r1 >= 0 && r1 < static_cast<int>(ref_pool_.num_slots()));
+  RECON_CHECK(r2 >= 0 && r2 < static_cast<int>(ref_pool_.num_slots()));
   const uint64_t key = PairKey(r1, r2);
-  auto [it, inserted] =
-      ref_pair_index_.try_emplace(key, static_cast<NodeId>(nodes_.size()));
-  if (!inserted) return it->second;
+  auto [existing, inserted] =
+      ref_pair_index_.Insert(key, static_cast<NodeId>(nodes_.size()));
+  if (!inserted) return existing;
 
   Node node;
   node.kind = NodeKind::kReferencePair;
@@ -27,12 +80,9 @@ NodeId DependencyGraph::AddRefPairNode(int class_id, RefId r1, RefId r2) {
   node.b = std::max(r1, r2);
   node.sim = 0.0f;
   node.state = NodeState::kInactive;
-  nodes_.push_back(std::move(node));
-  ++num_live_nodes_;
-
-  const NodeId id = it->second;
-  nodes_of_ref_[r1].push_back(id);
-  nodes_of_ref_[r2].push_back(id);
+  const NodeId id = PushNode(std::move(node));
+  ref_pool_.Append(static_cast<size_t>(r1), id);
+  ref_pool_.Append(static_cast<size_t>(r2), id);
   return id;
 }
 
@@ -40,9 +90,9 @@ NodeId DependencyGraph::AddValuePairNode(ValueId v1, ValueId v2, double sim,
                                          NodeState state) {
   RECON_CHECK_NE(v1, v2);
   const uint64_t key = PairKey(v1, v2);
-  auto [it, inserted] =
-      value_pair_index_.try_emplace(key, static_cast<NodeId>(nodes_.size()));
-  if (!inserted) return it->second;
+  auto [existing, inserted] =
+      value_pair_index_.Insert(key, static_cast<NodeId>(nodes_.size()));
+  if (!inserted) return existing;
 
   Node node;
   node.kind = NodeKind::kValuePair;
@@ -50,22 +100,20 @@ NodeId DependencyGraph::AddValuePairNode(ValueId v1, ValueId v2, double sim,
   node.b = std::max(v1, v2);
   node.sim = static_cast<float>(sim);
   node.state = state;
-  nodes_.push_back(std::move(node));
-  ++num_live_nodes_;
-  return it->second;
+  return PushNode(std::move(node));
 }
 
 void DependencyGraph::AddEdge(NodeId from, NodeId to, DependencyKind kind,
                               int evidence) {
   RECON_CHECK_NE(from, to);
-  Node& src = nodes_[from];
   const int16_t ev = static_cast<int16_t>(evidence);
-  for (const Edge& e : src.out) {
+  for (const Edge& e : out_pool_.span(from)) {
     if (e.node == to && e.kind == kind && e.evidence == ev) return;
   }
-  src.out.push_back(Edge{to, kind, ev});
+  out_pool_.Append(from, Edge{to, kind, ev});
+  in_pool_.Append(to, Edge{from, kind, ev});
+  const Node& src = nodes_[from];
   Node& dst = nodes_[to];
-  dst.in.push_back(Edge{from, kind, ev});
   ++dst.gen;  // New input: any in-flight parallel score of `to` is stale.
   // Push the new source's current contribution so `to`'s evidence cache
   // stays valid: this is exactly what a rescan would read for this edge
@@ -89,6 +137,23 @@ void DependencyGraph::AddEdge(NodeId from, NodeId to, DependencyKind kind,
   ++num_edges_;
 }
 
+void DependencyGraph::AddStaticReal(NodeId id, int evidence, double sim) {
+  // Statics feed the cached summary through the same max, so the cache
+  // absorbs the new value directly and stays valid. The node's own score
+  // inputs changed, so its generation moves.
+  Node& node = nodes_[id];
+  ++node.gen;
+  node.cache.Offer(evidence, static_cast<float>(sim));
+  const int16_t ev = static_cast<int16_t>(evidence);
+  for (StaticReal& entry : static_pool_.mutable_span(id)) {
+    if (entry.type == ev) {
+      if (sim > entry.sim) entry.sim = static_cast<float>(sim);
+      return;
+    }
+  }
+  static_pool_.Append(id, StaticReal{ev, static_cast<float>(sim)});
+}
+
 void DependencyGraph::SetNodeState(NodeId id, NodeState state) {
   Node& node = nodes_[id];
   const NodeState old = node.state;
@@ -100,7 +165,8 @@ void DependencyGraph::SetNodeState(NodeId id, NodeState state) {
   // actually rest on it.
   const bool was_merged = old == NodeState::kMerged;
   const bool is_merged = state == NodeState::kMerged;
-  for (const Edge& e : node.out) {
+  const float node_sim = node.sim;
+  for (const Edge& e : out_pool_.span(id)) {
     ++nodes_[e.node].gen;  // A source's state is a score input.
     EvidenceCache& cache = nodes_[e.node].cache;
     if (!cache.valid) continue;
@@ -109,9 +175,9 @@ void DependencyGraph::SetNodeState(NodeId id, NodeState state) {
         // Rescans now exclude this node; if the cached channel max could
         // come from it, the dependent must rescan. A strictly greater max
         // is supported by another (still included) contributor.
-        if (cache.best[e.evidence] <= node.sim) cache.valid = false;
+        if (cache.best[e.evidence] <= node_sim) cache.valid = false;
       } else if (old == NodeState::kNonMerge) {
-        cache.Offer(e.evidence, node.sim);  // Contribution restored.
+        cache.Offer(e.evidence, node_sim);  // Contribution restored.
       }
     } else if (e.kind == DependencyKind::kStrongBoolean) {
       if (is_merged && !was_merged) {
@@ -130,7 +196,7 @@ void DependencyGraph::SetNodeState(NodeId id, NodeState state) {
 }
 
 void DependencyGraph::InvalidateDependentCaches(NodeId id) {
-  for (const Edge& e : nodes_[id].out) {
+  for (const Edge& e : out_pool_.span(id)) {
     nodes_[e.node].cache.valid = false;
     ++nodes_[e.node].gen;
   }
@@ -138,52 +204,51 @@ void DependencyGraph::InvalidateDependentCaches(NodeId id) {
 
 NodeId DependencyGraph::FindRefPair(RefId r1, RefId r2) const {
   if (r1 == r2) return kInvalidNode;
-  auto it = ref_pair_index_.find(PairKey(r1, r2));
-  return it == ref_pair_index_.end() ? kInvalidNode : it->second;
+  return ref_pair_index_.Find(PairKey(r1, r2));
 }
 
 NodeId DependencyGraph::FindValuePair(ValueId v1, ValueId v2) const {
   if (v1 == v2) return kInvalidNode;
-  auto it = value_pair_index_.find(PairKey(v1, v2));
-  return it == value_pair_index_.end() ? kInvalidNode : it->second;
+  return value_pair_index_.Find(PairKey(v1, v2));
 }
 
 void DependencyGraph::DetachEdge(NodeId source, NodeId target,
                                  DependencyKind kind, int16_t evidence) {
-  auto& out = nodes_[source].out;
-  for (size_t i = 0; i < out.size(); ++i) {
-    if (out[i].node == target && out[i].kind == kind &&
-        out[i].evidence == evidence) {
-      out[i] = out.back();
-      out.pop_back();
-      --num_edges_;
-      return;
-    }
+  const bool found =
+      out_pool_.RemoveFirst(source, [&](const Edge& e) {
+        return e.node == target && e.kind == kind && e.evidence == evidence;
+      });
+  if (!found) {
+    RECON_LOG(Fatal) << "DetachEdge: edge " << source << " -> " << target
+                     << " not found";
   }
-  RECON_LOG(Fatal) << "DetachEdge: edge " << source << " -> " << target
-                   << " not found";
+  --num_edges_;
 }
 
 bool DependencyGraph::FoldInto(NodeId from, NodeId into) {
   RECON_CHECK_NE(from, into);
-  Node& src = nodes_[from];
-  Node& dst = nodes_[into];
-  RECON_CHECK(!src.dead && !dst.dead);
-  const float old_sim = dst.sim;
+  RECON_CHECK(!nodes_[from].dead && !nodes_[into].dead);
+  const float old_sim = nodes_[into].sim;
   // The fold rewrites dst's inputs wholesale (in-edges, statics, sim);
   // one conservative bump covers every mutation below that targets dst.
-  ++dst.gen;
+  ++nodes_[into].gen;
 
   bool gained = false;
-  // Reconnect incoming dependencies: x -> from becomes x -> into.
-  for (const Edge& e : src.in) {
+  // Reconnect incoming dependencies: x -> from becomes x -> into. The
+  // span must be copied first: AddEdge below appends into the same pools
+  // and would invalidate it mid-iteration.
+  {
+    const auto src_in = in_pool_.span(from);
+    scratch_edges_.assign(src_in.begin(), src_in.end());
+  }
+  for (const Edge& e : scratch_edges_) {
     DetachEdge(e.node, from, e.kind, e.evidence);
     if (e.node == into) continue;  // Would be a self loop.
-    const size_t before = dst.in.size();
+    const uint32_t before = in_pool_.count(into);
     AddEdge(e.node, into, e.kind, e.evidence);
-    if (dst.in.size() > before) gained = true;
+    if (in_pool_.count(into) > before) gained = true;
   }
-  src.in.clear();
+  in_pool_.Clear(from);
 
   // Reconnect outgoing dependencies: from -> y becomes into -> y.
   //
@@ -193,18 +258,18 @@ bool DependencyGraph::FoldInto(NodeId from, NodeId into) {
   // genuinely new into -> y edge pushes dst's contribution via AddEdge,
   // and dst's own sim raise / demotion is reconciled at the end below.
   bool dst_lost_input = false;
-  for (const Edge& e : src.out) {
+  {
+    const auto src_out = out_pool_.span(from);
+    scratch_edges_.assign(src_out.begin(), src_out.end());
+  }
+  for (const Edge& e : scratch_edges_) {
     // Remove the y.in record for `from`.
-    auto& target_in = nodes_[e.node].in;
-    for (size_t i = 0; i < target_in.size(); ++i) {
-      if (target_in[i].node == from && target_in[i].kind == e.kind &&
-          target_in[i].evidence == e.evidence) {
-        target_in[i] = target_in.back();
-        target_in.pop_back();
-        --num_edges_;
-        ++nodes_[e.node].gen;  // Lost an input.
-        break;
-      }
+    if (in_pool_.RemoveFirst(e.node, [&](const Edge& back) {
+          return back.node == from && back.kind == e.kind &&
+                 back.evidence == e.evidence;
+        })) {
+      --num_edges_;
+      ++nodes_[e.node].gen;  // Lost an input.
     }
     if (e.node == into) {
       // dst loses src's own real-valued contribution; its cached channel
@@ -214,14 +279,16 @@ bool DependencyGraph::FoldInto(NodeId from, NodeId into) {
     }
     AddEdge(into, e.node, e.kind, e.evidence);
   }
-  src.out.clear();
+  out_pool_.Clear(from);
 
   // Static evidence accumulates: the surviving node represents the union
   // of both pairs' information. AddStaticReal maintains dst's cache; the
   // boolean base counts are delta-bumped to match.
-  for (const auto& [evidence, sim] : src.static_real) {
-    dst.AddStaticReal(evidence, sim);
+  for (const StaticReal& entry : static_pool_.span(from)) {
+    AddStaticReal(into, entry.type, entry.sim);
   }
+  Node& src = nodes_[from];
+  Node& dst = nodes_[into];
   if (src.static_strong > dst.static_strong) {
     if (dst.cache.valid) {
       dst.cache.strong_merged += src.static_strong - dst.static_strong;
@@ -261,11 +328,12 @@ bool DependencyGraph::FoldInto(NodeId from, NodeId into) {
     InvalidateDependentCaches(into);
   } else if (dst.sim != old_sim) {
     // Monotone raise outside the solver loop: push it like Step would.
-    for (const Edge& e : dst.out) {
+    const float dst_sim = dst.sim;
+    for (const Edge& e : out_pool_.span(into)) {
       if (e.kind != DependencyKind::kRealValued) continue;
       ++nodes_[e.node].gen;
       EvidenceCache& cache = nodes_[e.node].cache;
-      if (cache.valid) cache.Offer(e.evidence, dst.sim);
+      if (cache.valid) cache.Offer(e.evidence, dst_sim);
     }
   }
   return gained;
@@ -275,14 +343,8 @@ void DependencyGraph::RemoveFromRefLists(NodeId id) {
   const Node& node = nodes_[id];
   for (const RefId r : {static_cast<RefId>(node.a),
                         static_cast<RefId>(node.b)}) {
-    auto& list = nodes_of_ref_[r];
-    for (size_t i = 0; i < list.size(); ++i) {
-      if (list[i] == id) {
-        list[i] = list.back();
-        list.pop_back();
-        break;
-      }
-    }
+    ref_pool_.RemoveFirst(static_cast<size_t>(r),
+                          [id](NodeId n) { return n == id; });
   }
 }
 
@@ -290,9 +352,12 @@ MergeRefsResult DependencyGraph::MergeReferences(RefId keep, RefId gone) {
   RECON_CHECK_NE(keep, gone);
   MergeRefsResult result;
 
-  // Copy: folding mutates nodes_of_ref_.
-  const std::vector<NodeId> affected = nodes_of_ref_[gone];
-  for (const NodeId n : affected) {
+  // Copy: folding mutates the ref lists.
+  {
+    const auto gone_span = ref_pool_.span(static_cast<size_t>(gone));
+    scratch_refs_.assign(gone_span.begin(), gone_span.end());
+  }
+  for (const NodeId n : scratch_refs_) {
     Node& node = nodes_[n];
     if (node.dead) continue;
     if (!node.IsRefPair()) continue;
@@ -302,7 +367,7 @@ MergeRefsResult DependencyGraph::MergeReferences(RefId keep, RefId gone) {
     // stay in place as evidence sources and must not be renamed or folded.
     if (node.state == NodeState::kMerged) continue;
 
-    ref_pair_index_.erase(PairKey(node.a, node.b));
+    ref_pair_index_.Erase(PairKey(node.a, node.b));
     const NodeId target = FindRefPair(keep, other);
     if (target != kInvalidNode && target != n && !nodes_[target].dead) {
       // Fold (gone, other) into (keep, other).
@@ -315,15 +380,15 @@ MergeRefsResult DependencyGraph::MergeReferences(RefId keep, RefId gone) {
       RemoveFromRefLists(n);
       node.a = std::min(keep, other);
       node.b = std::max(keep, other);
-      ref_pair_index_[PairKey(keep, other)] = n;
-      nodes_of_ref_[keep].push_back(n);
-      nodes_of_ref_[other].push_back(n);
+      ref_pair_index_.InsertOrAssign(PairKey(keep, other), n);
+      ref_pool_.Append(static_cast<size_t>(keep), n);
+      ref_pool_.Append(static_cast<size_t>(other), n);
       // The renamed node now compares enriched elements; it should be
       // reconsidered even though its edge set did not change.
       result.gained_inputs.push_back(n);
     }
   }
-  nodes_of_ref_[gone].clear();
+  ref_pool_.Clear(static_cast<size_t>(gone));
   return result;
 }
 

@@ -1,15 +1,24 @@
 // The dependency graph (paper §3.1): unique similarity nodes per element
 // pair, typed directed dependency edges, and the local node-folding
 // operation that implements reference enrichment (§3.3).
+//
+// Storage is a flat CSR layout (DESIGN.md §13): one dense node array plus
+// shared range pools for in-edges, out-edges, per-reference node lists,
+// and static evidence, and open-addressed flat pair indexes. Compact()
+// packs the pools tight after bulk construction; incremental extension
+// appends into slack / relocates and re-compacts on flush.
 
 #ifndef RECON_GRAPH_DEP_GRAPH_H_
 #define RECON_GRAPH_DEP_GRAPH_H_
 
 #include <cstdint>
-#include <unordered_map>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "graph/node.h"
+#include "graph/pair_index.h"
+#include "graph/range_pool.h"
 #include "graph/value_pool.h"
 #include "model/reference.h"
 
@@ -23,11 +32,24 @@ struct MergeRefsResult {
   std::vector<NodeId> folded;
 };
 
+/// Heap footprint of the graph's CSR storage (ReconcileStats::graph_*).
+struct GraphBytes {
+  size_t nodes = 0;    ///< Node array + pooled static evidence.
+  size_t edges = 0;    ///< In- and out-edge pools (buffers + range tables).
+  size_t indices = 0;  ///< Pair indexes + per-reference node lists.
+  size_t total() const { return nodes + edges + indices; }
+};
+
 /// Similarity dependency graph over references and attribute values.
 ///
 /// The graph owns node/edge storage and the pair -> node indexes. It is
 /// policy-free: which nodes and edges exist, and how similarities are
 /// computed, is decided by the graph builder and the reconciler.
+///
+/// Span accessors (in_edges/out_edges/static_real/NodesOfRef) view the
+/// shared pools directly and are invalidated by any mutation of the same
+/// pool (AddEdge, folds, Compact) — copy first when mutating while
+/// iterating.
 class DependencyGraph {
  public:
   /// `num_references` fixes the RefId universe (for per-reference node
@@ -38,7 +60,7 @@ class DependencyGraph {
   /// reconciliation adds references to an existing graph).
   void AddReferences(int count) {
     RECON_CHECK_GE(count, 0);
-    nodes_of_ref_.resize(nodes_of_ref_.size() + count);
+    ref_pool_.EnsureSlots(ref_pool_.num_slots() + count);
   }
 
   DependencyGraph(const DependencyGraph&) = delete;
@@ -60,6 +82,20 @@ class DependencyGraph {
   /// on from's). Duplicate (from, to, kind, evidence) edges are ignored.
   void AddEdge(NodeId from, NodeId to, DependencyKind kind, int evidence);
 
+  /// Records `sim` as static evidence for (`id`, `evidence`), keeping the
+  /// max, and absorbs it into `id`'s evidence cache.
+  void AddStaticReal(NodeId id, int evidence, double sim);
+
+  /// Sizes the node array, pools, and pair indexes for a build expected to
+  /// stage about `expected_pairs` reference pairs (satellite: cuts rehash
+  /// and relocation churn during SeedPairs).
+  void ReserveBuild(size_t expected_pairs);
+
+  /// Packs every pool into tight CSR form (ranges back to back, no slack,
+  /// no garbage from folds/relocations). Call after bulk construction and
+  /// after incremental flushes; spans are invalidated.
+  void Compact();
+
   // ---- Lookup -----------------------------------------------------------
 
   NodeId FindRefPair(RefId r1, RefId r2) const;
@@ -67,6 +103,15 @@ class DependencyGraph {
 
   const Node& node(NodeId id) const { return nodes_[id]; }
   Node& mutable_node(NodeId id) { return nodes_[id]; }
+
+  std::span<const Edge> in_edges(NodeId id) const { return in_pool_.span(id); }
+  std::span<const Edge> out_edges(NodeId id) const {
+    return out_pool_.span(id);
+  }
+  int in_degree(NodeId id) const { return static_cast<int>(in_pool_.count(id)); }
+  std::span<const StaticReal> static_real(NodeId id) const {
+    return static_pool_.span(id);
+  }
 
   /// Sets `id`'s processing state, invalidating dependents' evidence
   /// caches when the transition changes how `id` contributes evidence
@@ -83,14 +128,17 @@ class DependencyGraph {
   void InvalidateDependentCaches(NodeId id);
 
   /// Live reference-pair nodes containing reference `r`.
-  const std::vector<NodeId>& NodesOfRef(RefId r) const {
-    return nodes_of_ref_[r];
+  std::span<const NodeId> NodesOfRef(RefId r) const {
+    return ref_pool_.span(static_cast<size_t>(r));
   }
 
   int num_nodes() const { return static_cast<int>(nodes_.size()); }
   /// Nodes not yet folded away (Table 6 reports this).
   int num_live_nodes() const { return num_live_nodes_; }
   int num_edges() const { return num_edges_; }
+
+  /// Current heap footprint of the CSR storage, by pool family.
+  GraphBytes bytes() const;
 
   // ---- Enrichment (§3.3) ------------------------------------------------
 
@@ -111,21 +159,32 @@ class DependencyGraph {
            static_cast<uint32_t>(b);
   }
 
+  /// Appends a node and opens its pool slots.
+  NodeId PushNode(Node&& node);
+
   /// Moves all of `from`'s edges onto `into` (dropping would-be self
   /// loops), marks `from` dead. Returns true if `into` gained at least one
   /// new incoming edge.
   bool FoldInto(NodeId from, NodeId into);
 
-  /// Removes the (source -> target) entry from source.out and target.in.
+  /// Removes the (source -> target) entry from source's out list and
+  /// target's in list.
   void DetachEdge(NodeId source, NodeId target, DependencyKind kind,
                   int16_t evidence);
 
   void RemoveFromRefLists(NodeId id);
 
   std::vector<Node> nodes_;
-  std::unordered_map<uint64_t, NodeId> ref_pair_index_;
-  std::unordered_map<uint64_t, NodeId> value_pair_index_;
-  std::vector<std::vector<NodeId>> nodes_of_ref_;
+  RangePool<Edge> in_pool_;
+  RangePool<Edge> out_pool_;
+  RangePool<StaticReal> static_pool_;
+  /// Slot per RefId: the live pair nodes containing that reference.
+  RangePool<NodeId> ref_pool_;
+  FlatPairIndex ref_pair_index_;
+  FlatPairIndex value_pair_index_;
+  /// Fold scratch (FoldInto must copy edge spans before pool mutation).
+  std::vector<Edge> scratch_edges_;
+  std::vector<NodeId> scratch_refs_;
   int num_live_nodes_ = 0;
   int num_edges_ = 0;
 };

@@ -7,7 +7,6 @@
 
 #include <array>
 #include <cstdint>
-#include <vector>
 
 #include "sim/evidence.h"
 
@@ -103,16 +102,11 @@ struct Node {
   /// computes to 1 regardless of evidence.
   bool forced_merge = false;
 
-  std::vector<Edge> in;
-  std::vector<Edge> out;
-
-  /// Static evidence needs no neighbor node: it is fixed at build time and
-  /// merged (max / or) when nodes fold during reference enrichment.
-  /// Real-valued evidence from *equal* attribute values (evidence type ->
-  /// comparator score on the shared value), kept sorted by evidence type.
-  std::vector<std::pair<int16_t, float>> static_real;
   /// Count of identical shared association targets acting as merged
   /// strong-/weak-boolean neighbors (paper: the self node (a, a)).
+  /// (Static real-valued evidence and the in/out edge lists live in the
+  /// DependencyGraph's shared CSR pools, not in the node: see
+  /// DependencyGraph::in_edges/out_edges/static_real.)
   int16_t static_strong = 0;
   int16_t static_weak = 0;
 
@@ -132,28 +126,16 @@ struct Node {
   /// mutation site and solver commit bumps conservatively.
   uint32_t gen = 0;
 
-  /// Records `sim` as static evidence for `evidence`, keeping the max.
-  void AddStaticReal(int evidence, double sim);
-
   bool IsRefPair() const { return kind == NodeKind::kReferencePair; }
   int32_t Other(int32_t element) const { return element == a ? b : a; }
 };
 
-inline void Node::AddStaticReal(int evidence, double sim) {
-  // Statics feed the cached summary through the same max, so the cache
-  // absorbs the new value directly and stays valid. The node's own score
-  // inputs changed, so its generation moves.
-  ++gen;
-  cache.Offer(evidence, static_cast<float>(sim));
-  const int16_t ev = static_cast<int16_t>(evidence);
-  for (auto& [type, value] : static_real) {
-    if (type == ev) {
-      if (sim > value) value = static_cast<float>(sim);
-      return;
-    }
-  }
-  static_real.emplace_back(ev, static_cast<float>(sim));
-}
+/// One static real-valued evidence entry (evidence type -> comparator
+/// score on a shared attribute value), pooled per node by the graph.
+struct StaticReal {
+  int16_t type;
+  float sim;
+};
 
 }  // namespace recon
 

@@ -1,0 +1,147 @@
+// Slotted range pool: the storage primitive behind the CSR dependency
+// graph layout (DESIGN.md §13). Every slot (a node's in-edge list, a
+// node's out-edge list, a reference's node list, a node's static
+// evidence) owns a contiguous [begin, begin+count) range of one shared
+// buffer instead of its own heap-allocated std::vector. After the graph
+// settles, Compact() rewrites the buffer into true CSR form: ranges laid
+// out back to back in slot order with zero slack.
+//
+// Mutation keeps vector semantics on a shared buffer:
+//  - Append writes into the range's slack when it has any, and otherwise
+//    relocates the range to the end of the buffer with doubled capacity
+//    (the old bytes become garbage until the next Compact). Element order
+//    is preserved, so iteration order — which the solver's determinism
+//    leans on — is exactly what per-slot vectors would produce.
+//  - RemoveFirst swap-deletes (moves the last element into the hole),
+//    matching the graph's historical removal idiom.
+//
+// Spans returned by span()/mutable_span() are invalidated by any Append
+// or Compact on the same pool, like vector iterators on push_back.
+
+#ifndef RECON_GRAPH_RANGE_POOL_H_
+#define RECON_GRAPH_RANGE_POOL_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace recon {
+
+template <typename T>
+class RangePool {
+ public:
+  /// Grows the slot array to at least `n` slots (new slots are empty).
+  void EnsureSlots(size_t n) {
+    if (slots_.size() < n) slots_.resize(n);
+  }
+  size_t num_slots() const { return slots_.size(); }
+
+  uint32_t count(size_t slot) const { return slots_[slot].count; }
+
+  std::span<const T> span(size_t slot) const {
+    const Range& r = slots_[slot];
+    return {data_.data() + r.begin, r.count};
+  }
+  std::span<T> mutable_span(size_t slot) {
+    Range& r = slots_[slot];
+    return {data_.data() + r.begin, r.count};
+  }
+
+  void Append(size_t slot, const T& value) {
+    Range& r = slots_[slot];
+    if (r.count == r.cap) Grow(r);
+    data_[r.begin + r.count] = value;
+    ++r.count;
+  }
+
+  /// Swap-deletes the first element matching `pred`; returns whether one
+  /// was found. The freed tail element stays as slack for later appends.
+  template <typename Pred>
+  bool RemoveFirst(size_t slot, Pred pred) {
+    Range& r = slots_[slot];
+    T* base = data_.data() + r.begin;
+    for (uint32_t i = 0; i < r.count; ++i) {
+      if (pred(base[i])) {
+        base[i] = base[r.count - 1];
+        --r.count;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Empties a slot. Its buffer range becomes garbage until Compact().
+  void Clear(size_t slot) {
+    Range& r = slots_[slot];
+    r.count = 0;
+    r.cap = 0;
+    r.begin = 0;
+  }
+
+  /// Rebuilds the buffer as tight CSR: ranges back to back in slot order,
+  /// cap == count, no garbage. O(live elements).
+  void Compact() {
+    std::vector<T> packed;
+    packed.reserve(TotalCount());
+    for (Range& r : slots_) {
+      const uint32_t begin = static_cast<uint32_t>(packed.size());
+      packed.insert(packed.end(), data_.begin() + r.begin,
+                    data_.begin() + r.begin + r.count);
+      r.begin = begin;
+      r.cap = r.count;
+    }
+    data_ = std::move(packed);
+    // ReserveSlots sizes the range table from a pair-count estimate; now
+    // that the true slot count is known, release the over-estimate slack
+    // (the data buffer is already exact — `packed` was reserved to count).
+    slots_.shrink_to_fit();
+  }
+
+  void ReserveSlots(size_t n) { slots_.reserve(n); }
+  void ReserveData(size_t n) { data_.reserve(n); }
+
+  size_t TotalCount() const {
+    size_t total = 0;
+    for (const Range& r : slots_) total += r.count;
+    return total;
+  }
+  /// Heap bytes held by the shared buffer.
+  size_t data_bytes() const { return data_.capacity() * sizeof(T); }
+  /// Heap bytes held by the per-slot range table.
+  size_t slot_bytes() const { return slots_.capacity() * sizeof(Range); }
+
+ private:
+  struct Range {
+    uint32_t begin = 0;
+    uint32_t count = 0;
+    uint32_t cap = 0;
+  };
+
+  void Grow(Range& r) {
+    const uint32_t new_cap = r.cap == 0 ? 2 : r.cap * 2;
+    // A range already at the buffer's end extends in place.
+    if (r.begin + r.cap == data_.size()) {
+      data_.resize(data_.size() + (new_cap - r.cap));
+      r.cap = new_cap;
+      return;
+    }
+    const uint32_t new_begin = static_cast<uint32_t>(data_.size());
+    RECON_CHECK(data_.size() + new_cap <
+                static_cast<size_t>(UINT32_MAX));
+    data_.resize(data_.size() + new_cap);
+    for (uint32_t i = 0; i < r.count; ++i) {
+      data_[new_begin + i] = data_[r.begin + i];
+    }
+    r.begin = new_begin;
+    r.cap = new_cap;
+  }
+
+  std::vector<Range> slots_;
+  std::vector<T> data_;
+};
+
+}  // namespace recon
+
+#endif  // RECON_GRAPH_RANGE_POOL_H_

@@ -237,7 +237,7 @@ TEST_F(Figure1Test, BuilderCreatesVenueValuePropagation) {
   // The venue pair must have a strong-boolean edge to its name value pair
   // (Fig. 2's m5 -> n6).
   bool found = false;
-  for (const Edge& e : built.graph->node(venue_pair).out) {
+  for (const Edge& e : built.graph->out_edges(venue_pair)) {
     if (e.kind == DependencyKind::kStrongBoolean &&
         !built.graph->node(e.node).IsRefPair()) {
       found = true;
@@ -265,7 +265,7 @@ TEST_F(Figure1Test, AttrWiseLevelBuildsNoAssociationEdges) {
   BuiltGraph built = BuildDependencyGraph(data_, options);
   for (NodeId id = 0; id < built.graph->num_nodes(); ++id) {
     const Node& node = built.graph->node(id);
-    for (const Edge& e : node.in) {
+    for (const Edge& e : built.graph->in_edges(id)) {
       // No reference pair may depend on another reference pair.
       if (node.IsRefPair()) {
         EXPECT_FALSE(built.graph->node(e.node).IsRefPair());

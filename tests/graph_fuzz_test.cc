@@ -24,8 +24,8 @@ void CheckInvariants(const DependencyGraph& graph, int num_refs) {
     const Node& node = graph.node(id);
     if (node.dead) {
       // Dead nodes must be fully detached.
-      EXPECT_TRUE(node.in.empty()) << id;
-      EXPECT_TRUE(node.out.empty()) << id;
+      EXPECT_TRUE(graph.in_edges(id).empty()) << id;
+      EXPECT_TRUE(graph.out_edges(id).empty()) << id;
       continue;
     }
     EXPECT_LE(node.a, node.b);
@@ -39,11 +39,11 @@ void CheckInvariants(const DependencyGraph& graph, int num_refs) {
     }
     // Edge symmetry: every out edge has a matching in record and
     // vice versa; no edges touch dead nodes; no self loops.
-    for (const Edge& e : node.out) {
+    for (const Edge& e : graph.out_edges(id)) {
       EXPECT_NE(e.node, id);
       EXPECT_FALSE(graph.node(e.node).dead);
       bool found = false;
-      for (const Edge& back : graph.node(e.node).in) {
+      for (const Edge& back : graph.in_edges(e.node)) {
         if (back.node == id && back.kind == e.kind &&
             back.evidence == e.evidence) {
           found = true;
@@ -51,7 +51,7 @@ void CheckInvariants(const DependencyGraph& graph, int num_refs) {
       }
       EXPECT_TRUE(found) << "missing in-record for " << id << "->" << e.node;
     }
-    for (const Edge& e : node.in) {
+    for (const Edge& e : graph.in_edges(id)) {
       EXPECT_FALSE(graph.node(e.node).dead);
     }
   }
@@ -145,7 +145,7 @@ TEST(GraphFuzzTest, FoldedEvidenceNeverDisappears) {
   // (1,2) folded into (0,2): both value edges now feed (0,2).
   EXPECT_TRUE(graph.node(p12).dead);
   std::set<NodeId> sources;
-  for (const Edge& e : graph.node(p02).in) sources.insert(e.node);
+  for (const Edge& e : graph.in_edges(p02)) sources.insert(e.node);
   EXPECT_TRUE(sources.count(v1));
   EXPECT_TRUE(sources.count(v2));
   (void)rng;

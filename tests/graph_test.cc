@@ -55,29 +55,30 @@ TEST_F(DepGraphTest, EdgesAreDirectedAndDeduplicated) {
   graph_.AddEdge(n, m, DependencyKind::kRealValued, kEvPersonName);  // Dup.
   graph_.AddEdge(n, m, DependencyKind::kWeakBoolean, kEvPersonName);
   EXPECT_EQ(graph_.num_edges(), 2);
-  EXPECT_EQ(graph_.node(n).out.size(), 2u);
-  EXPECT_EQ(graph_.node(m).in.size(), 2u);
-  EXPECT_EQ(graph_.node(m).in[0].node, n);
+  EXPECT_EQ(graph_.out_edges(n).size(), 2u);
+  EXPECT_EQ(graph_.in_edges(m).size(), 2u);
+  EXPECT_EQ(graph_.in_edges(m)[0].node, n);
 }
 
 TEST_F(DepGraphTest, NodesOfRefTracksMembership) {
   const NodeId m1 = graph_.AddRefPairNode(0, 1, 2);
   const NodeId m2 = graph_.AddRefPairNode(0, 1, 3);
-  const auto& nodes = graph_.NodesOfRef(1);
+  const auto nodes = graph_.NodesOfRef(1);
   EXPECT_EQ(nodes.size(), 2u);
-  EXPECT_EQ(graph_.NodesOfRef(2), (std::vector<NodeId>{m1}));
-  EXPECT_EQ(graph_.NodesOfRef(3), (std::vector<NodeId>{m2}));
+  ASSERT_EQ(graph_.NodesOfRef(2).size(), 1u);
+  EXPECT_EQ(graph_.NodesOfRef(2)[0], m1);
+  ASSERT_EQ(graph_.NodesOfRef(3).size(), 1u);
+  EXPECT_EQ(graph_.NodesOfRef(3)[0], m2);
 }
 
 TEST_F(DepGraphTest, StaticRealKeepsMax) {
   const NodeId m = graph_.AddRefPairNode(0, 1, 2);
-  Node& node = graph_.mutable_node(m);
-  node.AddStaticReal(kEvPersonName, 0.5);
-  node.AddStaticReal(kEvPersonName, 0.8);
-  node.AddStaticReal(kEvPersonName, 0.3);
-  node.AddStaticReal(kEvPersonEmail, 1.0);
-  ASSERT_EQ(node.static_real.size(), 2u);
-  EXPECT_FLOAT_EQ(node.static_real[0].second, 0.8f);
+  graph_.AddStaticReal(m, kEvPersonName, 0.5);
+  graph_.AddStaticReal(m, kEvPersonName, 0.8);
+  graph_.AddStaticReal(m, kEvPersonName, 0.3);
+  graph_.AddStaticReal(m, kEvPersonEmail, 1.0);
+  ASSERT_EQ(graph_.static_real(m).size(), 2u);
+  EXPECT_FLOAT_EQ(graph_.static_real(m)[0].sim, 0.8f);
 }
 
 // Enrichment: (gone, x) folds into (keep, x) with edges reconnected.
@@ -99,9 +100,9 @@ TEST_F(DepGraphTest, MergeReferencesFoldsParallelPairs) {
   EXPECT_TRUE(graph_.node(pair23).dead);
   EXPECT_EQ(graph_.num_live_nodes(), 3);
   // The value evidence that backed (2,3) now feeds (1,3).
-  ASSERT_EQ(graph_.node(pair13).in.size(), 1u);
-  EXPECT_EQ(graph_.node(pair13).in[0].node, value);
-  EXPECT_EQ(graph_.node(value).out[0].node, pair13);
+  ASSERT_EQ(graph_.in_edges(pair13).size(), 1u);
+  EXPECT_EQ(graph_.in_edges(pair13)[0].node, value);
+  EXPECT_EQ(graph_.out_edges(value)[0].node, pair13);
   // Index: (2,3) is gone; (1,3) still resolvable.
   EXPECT_EQ(graph_.FindRefPair(2, 3), kInvalidNode);
   EXPECT_EQ(graph_.FindRefPair(1, 3), pair13);
@@ -151,13 +152,13 @@ TEST_F(DepGraphTest, FoldAccumulatesStaticEvidence) {
   const NodeId pair13 = graph_.AddRefPairNode(0, 1, 3);
   const NodeId pair23 = graph_.AddRefPairNode(0, 2, 3);
   graph_.mutable_node(graph_.FindRefPair(1, 2)).state = NodeState::kMerged;
-  graph_.mutable_node(pair23).AddStaticReal(kEvPersonEmail, 1.0);
+  graph_.AddStaticReal(pair23, kEvPersonEmail, 1.0);
   graph_.mutable_node(pair23).static_weak = 2;
 
   graph_.MergeReferences(1, 2);
   const Node& survivor = graph_.node(pair13);
-  ASSERT_EQ(survivor.static_real.size(), 1u);
-  EXPECT_FLOAT_EQ(survivor.static_real[0].second, 1.0f);
+  ASSERT_EQ(graph_.static_real(pair13).size(), 1u);
+  EXPECT_FLOAT_EQ(graph_.static_real(pair13)[0].sim, 1.0f);
   EXPECT_EQ(survivor.static_weak, 2);
 }
 

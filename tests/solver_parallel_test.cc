@@ -1,12 +1,14 @@
 // The parallel wavefront solver (ReconcilerOptions::parallel_fixed_point)
-// must be undetectable in the output: at 2/4/8 threads the partitions,
+// must be undetectable in the output: at 1/2/4/8 threads the partitions,
 // merged pairs, and every non-timing stat — including the in-edge scan and
 // cache counters — are byte-identical to the sequential drain, across
 // datasets, constraints on/off, enrichment on/off, and evidence_cache
-// on/off. The wavefront's own counters (rounds, hits, serial re-scores)
-// must themselves be deterministic across thread counts: hit-or-miss is
-// decided by generation stamps along the canonical commit order, never by
-// scheduling. Runs under ThreadSanitizer via the ctest `tsan` label.
+// on/off. The wavefront's own counters (rounds, hits, serial re-scores,
+// commit waves/regions/deferrals) must themselves be deterministic across
+// thread counts: hit-or-miss, region boundaries, and wave membership are
+// decided by generation stamps and the claim table along the canonical
+// commit order, never by scheduling. Runs under ThreadSanitizer via the
+// ctest `tsan` label.
 
 #include <gtest/gtest.h>
 
@@ -84,14 +86,17 @@ void SweepDataset(const Dataset& dataset, const std::string& dataset_name) {
         // Force wavefront rounds even on these deliberately small graphs.
         options.parallel_frontier_min = 4;
 
+        // Reference: the plain sequential drain, wavefront off entirely.
         options.num_threads = 1;
+        options.parallel_fixed_point = false;
         const ReconcileResult serial = Reconciler(options).Run(dataset);
         EXPECT_EQ(serial.stats.num_solver_rounds, 0);
         EXPECT_EQ(serial.stats.num_parallel_scored, 0);
+        options.parallel_fixed_point = true;
 
         ReconcileStats first_parallel;
         bool have_first = false;
-        for (const int threads : {2, 4, 8}) {
+        for (const int threads : {1, 2, 4, 8}) {
           SCOPED_TRACE(dataset_name + " threads=" + std::to_string(threads) +
                        " cache=" + std::to_string(evidence_cache) +
                        " constraints=" + std::to_string(constraints) +
@@ -110,8 +115,9 @@ void SweepDataset(const Dataset& dataset, const std::string& dataset_name) {
           EXPECT_EQ(static_cast<int64_t>(parallel.stats.solve_rounds.size()),
                     parallel.stats.num_solver_rounds);
 
-          // Hit-or-miss is a function of the canonical commit order, not
-          // of scheduling: the counters agree at every thread count.
+          // Hit-or-miss, region boundaries, and wave membership are a
+          // function of the canonical commit order and the claim table,
+          // not of scheduling: the counters agree at every thread count.
           if (have_first) {
             EXPECT_EQ(first_parallel.num_solver_rounds,
                       parallel.stats.num_solver_rounds);
@@ -123,6 +129,14 @@ void SweepDataset(const Dataset& dataset, const std::string& dataset_name) {
                       parallel.stats.num_serial_rescores);
             EXPECT_EQ(first_parallel.num_score_discards,
                       parallel.stats.num_score_discards);
+            EXPECT_EQ(first_parallel.num_commit_waves,
+                      parallel.stats.num_commit_waves);
+            EXPECT_EQ(first_parallel.num_commit_regions,
+                      parallel.stats.num_commit_regions);
+            EXPECT_EQ(first_parallel.num_wave_commits,
+                      parallel.stats.num_wave_commits);
+            EXPECT_EQ(first_parallel.num_commit_deferrals,
+                      parallel.stats.num_commit_deferrals);
           }
           first_parallel = parallel.stats;
           have_first = true;
@@ -137,6 +151,11 @@ TEST(SolverParallelTest, PimSweep) { SweepDataset(SmallPim(), "PIM-A"); }
 TEST(SolverParallelTest, CoraSweep) { SweepDataset(SmallCora(), "Cora"); }
 
 TEST(SolverParallelTest, GateFallsBackToSequential) {
+  // parallel_fixed_point=false is the only gate: it disables rounds at any
+  // thread count. One thread with the gate open runs the same wavefront
+  // schedule inline — rounds engage, phase timers tick, and the output is
+  // byte-identical to the plain drain (the perf bench's threads=1 row
+  // measures the identical code path as threads=N).
   const Dataset dataset = SmallPim();
   ReconcilerOptions options = ReconcilerOptions::DepGraph();
   options.num_threads = 4;
@@ -148,10 +167,14 @@ TEST(SolverParallelTest, GateFallsBackToSequential) {
   EXPECT_EQ(gated.stats.solve_score_seconds, 0.0);
 
   options.parallel_fixed_point = true;
-  options.num_threads = 1;  // One thread: rounds never engage either.
+  options.num_threads = 1;
   const ReconcileResult single = Reconciler(options).Run(dataset);
-  EXPECT_EQ(single.stats.num_solver_rounds, 0);
+  EXPECT_GT(single.stats.num_solver_rounds, 0);
+  EXPECT_GT(single.stats.num_parallel_scored, 0);
+  EXPECT_GT(single.stats.solve_score_seconds, 0.0);
   EXPECT_EQ(gated.cluster, single.cluster);
+  EXPECT_EQ(gated.merged_pairs, single.merged_pairs);
+  EXPECT_EQ(gated.stats.num_recomputations, single.stats.num_recomputations);
 }
 
 TEST(SolverParallelTest, WavefrontEngagesAtDefaultFloor) {

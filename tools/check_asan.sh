@@ -3,8 +3,10 @@
 # §10–§11): budget exhaustion / cancellation / fault-injected degradation,
 # the malformed-input extraction paths (truncated BibTeX, garbled email,
 # NUL-ridden CSV), the value-store / similarity-memo degradation modes
-# (shard eviction and bypass under tiny byte bounds), and the service
-# smoke test (a live daemon on an ephemeral loopback port serving query,
+# (shard eviction and bypass under tiny byte bounds), the CSR-graph
+# determinism sweep (datasets × threads × cache/constraints/budgets
+# against committed golden fingerprints, rollback-and-replay and frozen
+# budget stops included), and the service smoke test (a live daemon on an ephemeral loopback port serving query,
 # ingest, and malformed-request traffic end-to-end over HTTP):
 #
 #   1. configures and builds build-asan/ with

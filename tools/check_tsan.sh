@@ -37,7 +37,7 @@ echo
 if [[ -d "${NATIVE_DIR}/tests" ]]; then
   echo "== [3/3] determinism sweeps in native build ${NATIVE_DIR}"
   ctest --test-dir "${NATIVE_DIR}" \
-    -R 'SolverParallelTest|ValueStoreTest|ServiceTest' \
+    -R 'SolverParallelTest|GraphCsrTest|ValueStoreTest|ServiceTest' \
     --output-on-failure
 else
   echo "== [3/3] skipped: ${NATIVE_DIR} not built"

@@ -82,12 +82,12 @@ int main(int argc, char** argv) {
     if (ga == gb || shown++ >= 8) continue;
     printf("WRONG MERGE sim=%.3f\n  %s\n  %s\n", n.sim,
            describe(n.a).c_str(), describe(n.b).c_str());
-    for (const auto& [t, s] : n.static_real) {
+    for (const auto& [t, s] : g.static_real(id)) {
       printf("  static ev=%s sim=%.2f\n", EvidenceName(t), s);
     }
     int strong = 0;
     int weak = 0;
-    for (const auto& e : n.in) {
+    for (const auto& e : g.in_edges(id)) {
       const Node& src = g.node(e.node);
       if (e.kind == DependencyKind::kRealValued) {
         printf("  in ev=%s sim=%.2f%s\n", EvidenceName(e.evidence), src.sim,

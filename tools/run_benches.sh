@@ -2,13 +2,27 @@
 # Runs every perf_* bench with --json and collects BENCH_<name>.json files
 # so perf trajectories can be tracked across commits.
 #
-# Usage: tools/run_benches.sh [build_dir] [out_dir]
+# Usage: tools/run_benches.sh [--gate-speedup] [build_dir] [out_dir]
 #   build_dir  defaults to build (must already be built)
 #   out_dir    defaults to the current directory
+#
+# --gate-speedup: after the run, assert from BENCH_scaling.json that the
+#   solve commit phase speeds up by more than 1.3x at 4 threads. The gate
+#   auto-skips when the hardware-metadata row the benches emit reports
+#   nprocs_online <= 2 (e.g. the 1-CPU container the committed baselines
+#   were recorded on) — a machine that cannot run 4 threads concurrently
+#   cannot express the speedup, and a failure there would only measure
+#   scheduler noise.
 #
 # Honors RECON_BENCH_SCALE / RECON_BENCH_THREADS like the benches do.
 
 set -euo pipefail
+
+GATE_SPEEDUP=0
+if [[ "${1:-}" == "--gate-speedup" ]]; then
+  GATE_SPEEDUP=1
+  shift
+fi
 
 BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-.}"
@@ -41,5 +55,38 @@ for bench in "${BENCH_DIR}"/perf_*; do
     status=1
   fi
 done
+
+if [[ ${GATE_SPEEDUP} -eq 1 && ${status} -eq 0 ]]; then
+  scaling="${OUT_DIR}/BENCH_scaling.json"
+  echo "== gate: commit speedup > 1.3x at 4 threads (${scaling})"
+  if ! python3 - "${scaling}" <<'PYEOF'
+import json, sys
+
+rows = json.load(open(sys.argv[1]))
+meta = next((r for r in rows if "nprocs_online" in r), None)
+if meta is None:
+    sys.exit("gate: no hardware-metadata row in BENCH_scaling.json")
+nprocs = int(meta["nprocs_online"])
+if nprocs <= 2:
+    print(f"gate: SKIPPED — nprocs_online={nprocs}; a machine with <= 2 "
+          "online CPUs cannot run the 4-thread commit concurrently, so the "
+          "speedup gate would only measure scheduler noise")
+    sys.exit(0)
+solve4 = [r for r in rows
+          if r.get("section") == "solve" and r.get("threads") == 4]
+if not solve4:
+    sys.exit("gate: no threads=4 solve row in BENCH_scaling.json")
+worst = min(float(r["commit_speedup"]) for r in solve4)
+if worst > 1.3:
+    print(f"gate: PASS — commit speedup {worst:.2f}x > 1.3x at 4 threads "
+          f"(nprocs_online={nprocs})")
+else:
+    sys.exit(f"gate: FAIL — commit speedup {worst:.2f}x <= 1.3x at 4 "
+             f"threads (nprocs_online={nprocs})")
+PYEOF
+  then
+    status=1
+  fi
+fi
 
 exit ${status}
