@@ -90,6 +90,7 @@ int main(int argc, char** argv) {
       json.Add("build_seconds", best_seconds);
       json.Add("speedup", serial_seconds / best_seconds);
       json.Add("candidates_per_sec", num_candidates / best_seconds);
+      json.Add("references_per_sec", dataset.num_references() / best_seconds);
       json.Add("identical",
                identical ? std::string("true") : std::string("false"));
       if (!identical) {
@@ -166,6 +167,7 @@ int main(int argc, char** argv) {
       json.Add("speedup", serial_seconds / best_seconds);
       json.Add("commit_speedup",
                serial_commit_seconds / s.solve_commit_seconds);
+      json.Add("references_per_sec", dataset.num_references() / best_seconds);
       json.Add("identical",
                identical ? std::string("true") : std::string("false"));
       if (!identical) {

@@ -93,6 +93,70 @@ FeatureIndex BuildIndex(const Dataset& dataset,
   return index;
 }
 
+/// The sequential center sweep over one class. Returns false if a budget
+/// stop truncated the sweep (serial mode probes per center; parallel mode
+/// passes an abandonment predicate instead). The sweep order is inherent:
+/// each center consumes the not-yet-removed candidate set in id order, so
+/// only whole classes parallelize, never the centers within one.
+template <typename StopFn>
+bool SweepClass(const FeatureIndex& index, const CanopyOptions& options,
+                StopFn&& should_stop, CandidateList* out) {
+  const size_t n = index.refs.size();
+  std::vector<char> removed(n, 0);  // Within tight threshold of a center.
+  std::vector<double> shared(n, 0.0);
+  std::vector<int> touched;
+  std::unordered_set<uint64_t> seen;
+
+  for (size_t center = 0; center < n; ++center) {
+    if (removed[center]) continue;
+    // One stop check per canopy center; a stop truncates the sweep to a
+    // prefix of the deterministic center order.
+    if (should_stop()) return false;
+    // Sparse IDF-weighted overlap with every reference sharing a token.
+    touched.clear();
+    for (const int token : index.tokens_of[center]) {
+      for (const int other : index.refs_of_token[token]) {
+        if (shared[other] == 0.0) touched.push_back(other);
+        shared[other] += index.idf[token];
+      }
+    }
+    // Collect the canopy.
+    std::vector<int> canopy;
+    for (const int other : touched) {
+      // Overlap coefficient in IDF mass: shared / min(norms).
+      const double denom =
+          std::max(1e-9, std::min(index.norm[center], index.norm[other]));
+      const double sim = shared[other] / denom;
+      shared[other] = 0.0;
+      if (static_cast<size_t>(other) == center) {
+        continue;
+      }
+      if (sim >= options.loose_threshold) {
+        canopy.push_back(other);
+        if (sim >= options.tight_threshold) removed[other] = 1;
+      }
+    }
+    removed[center] = 1;
+    if (static_cast<int>(canopy.size()) + 1 > options.max_canopy_size) {
+      continue;  // Ubiquitous-feature canopy: skip, like huge blocks.
+    }
+    // Pairs: center with members, and members among themselves. The seen
+    // set is per class — classes partition the references, so no pair can
+    // recur across classes.
+    canopy.push_back(static_cast<int>(center));
+    for (size_t i = 0; i < canopy.size(); ++i) {
+      for (size_t j = i + 1; j < canopy.size(); ++j) {
+        const RefId a = index.refs[canopy[i]];
+        const RefId b = index.refs[canopy[j]];
+        if (seen.insert(PackPair(a, b)).second) {
+          out->emplace_back(std::min(a, b), std::max(a, b));
+        }
+      }
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 CandidateList GenerateCanopyCandidates(const Dataset& dataset,
@@ -102,68 +166,60 @@ CandidateList GenerateCanopyCandidates(const Dataset& dataset,
                                        const ValuePool* pool,
                                        const ValueStore* store) {
   RECON_CHECK_GE(options.tight_threshold, options.loose_threshold);
-  CandidateList out;
-  std::unordered_set<uint64_t> seen;
-  bool stopped = false;
+  const int num_classes = dataset.schema().num_classes();
+  const int lanes = runtime::ResolveNumThreads(options.num_threads);
+  std::vector<CandidateList> per_class(num_classes);
 
-  for (int class_id = 0;
-       class_id < dataset.schema().num_classes() && !stopped; ++class_id) {
-    const FeatureIndex index =
-        BuildIndex(dataset, binding, class_id, options.num_threads, budget,
-                   pool, store);
-    const size_t n = index.refs.size();
-    std::vector<char> removed(n, 0);  // Within tight threshold of a center.
-    std::vector<double> shared(n, 0.0);
-    std::vector<int> touched;
-
-    for (size_t center = 0; center < n; ++center) {
-      if (removed[center]) continue;
-      // One probe per canopy center; a stop truncates the sweep to a
-      // prefix of the deterministic center order.
-      if (budget != nullptr && budget->Probe(ProbePoint::kCanopy)) {
-        stopped = true;
-        break;
-      }
-      // Sparse IDF-weighted overlap with every reference sharing a token.
-      touched.clear();
-      for (const int token : index.tokens_of[center]) {
-        for (const int other : index.refs_of_token[token]) {
-          if (shared[other] == 0.0) touched.push_back(other);
-          shared[other] += index.idf[token];
-        }
-      }
-      // Collect the canopy.
-      std::vector<int> canopy;
-      for (const int other : touched) {
-        // Overlap coefficient in IDF mass: shared / min(norms).
-        const double denom =
-            std::max(1e-9, std::min(index.norm[center], index.norm[other]));
-        const double sim = shared[other] / denom;
-        shared[other] = 0.0;
-        if (static_cast<size_t>(other) == center) {
-          continue;
-        }
-        if (sim >= options.loose_threshold) {
-          canopy.push_back(other);
-          if (sim >= options.tight_threshold) removed[other] = 1;
-        }
-      }
-      removed[center] = 1;
-      if (static_cast<int>(canopy.size()) + 1 > options.max_canopy_size) {
-        continue;  // Ubiquitous-feature canopy: skip, like huge blocks.
-      }
-      // Pairs: center with members, and members among themselves.
-      canopy.push_back(static_cast<int>(center));
-      for (size_t i = 0; i < canopy.size(); ++i) {
-        for (size_t j = i + 1; j < canopy.size(); ++j) {
-          const RefId a = index.refs[canopy[i]];
-          const RefId b = index.refs[canopy[j]];
-          if (seen.insert(PackPair(a, b)).second) {
-            out.emplace_back(std::min(a, b), std::max(a, b));
-          }
-        }
-      }
+  if (lanes <= 1 || num_classes <= 1) {
+    // Serial: budget probes fire per canopy center (the deterministic
+    // truncation contract of DESIGN.md §10); a stop also skips the
+    // remaining classes.
+    bool stopped = false;
+    for (int class_id = 0; class_id < num_classes && !stopped; ++class_id) {
+      const FeatureIndex index =
+          BuildIndex(dataset, binding, class_id, options.num_threads, budget,
+                     pool, store);
+      stopped = !SweepClass(
+          index, options,
+          [&] {
+            return budget != nullptr && budget->Probe(ProbePoint::kCanopy);
+          },
+          &per_class[class_id]);
     }
+  } else {
+    // Parallel: one lane per class; each class's center sweep stays
+    // sequential (centers consume the candidate set in order). The final
+    // sorted list is identical to the serial path's because classes
+    // partition the references — no pair crosses classes, so concatenation
+    // order washes out in the sort. Probe() is serial-only; lanes poll the
+    // async stop flag per center instead, exactly like the other parallel
+    // phases (runtime/parallel.h).
+    runtime::ParallelFor(
+        options.num_threads, 0, num_classes, /*grain=*/1,
+        [&](int64_t class_id) {
+          if (budget != nullptr && budget->ShouldAbandonParallelWork()) {
+            return;
+          }
+          const FeatureIndex index =
+              BuildIndex(dataset, binding, static_cast<int>(class_id),
+                         options.num_threads, budget, pool, store);
+          SweepClass(
+              index, options,
+              [&] {
+                return budget != nullptr &&
+                       budget->ShouldAbandonParallelWork();
+              },
+              &per_class[class_id]);
+        });
+    if (budget != nullptr) budget->ResolveAsyncStop();
+  }
+
+  CandidateList out;
+  size_t total = 0;
+  for (const CandidateList& list : per_class) total += list.size();
+  out.reserve(total);
+  for (CandidateList& list : per_class) {
+    out.insert(out.end(), list.begin(), list.end());
   }
   std::sort(out.begin(), out.end());
   return out;

@@ -29,9 +29,11 @@ struct CanopyOptions {
   /// Canopies larger than this contribute no pairs (ubiquitous-token
   /// safety valve, like max_block_size for blocking).
   int max_canopy_size = 2000;
-  /// Threads for feature extraction (see ReconcilerOptions::num_threads).
-  /// The canopy sweep itself is inherently sequential (centers consume the
-  /// candidate set in order) and unaffected.
+  /// Threads for feature extraction and the per-class canopy sweeps (see
+  /// ReconcilerOptions::num_threads). Classes sweep in parallel, one lane
+  /// each; the center sweep within a class is inherently sequential
+  /// (centers consume the candidate set in order) and stays so. The
+  /// sorted candidate list is identical for every thread count.
   int num_threads = 1;
 };
 

@@ -14,6 +14,7 @@
 #include "strsim/person_name.h"
 #include "util/logging.h"
 #include "util/string_util.h"
+#include "util/timer.h"
 
 namespace recon {
 
@@ -94,9 +95,10 @@ constexpr int64_t kBuildChunk = 256;
 class GraphBuilder {
  public:
   GraphBuilder(const Dataset& dataset, const ReconcilerOptions& options,
-               BudgetTracker* budget)
+               BudgetTracker* budget, const BuildOverrides& overrides = {})
       : dataset_(dataset),
         options_(options),
+        overrides_(overrides),
         binding_(SchemaBinding::Resolve(dataset.schema())),
         own_budget_(budget == nullptr
                         ? std::make_unique<BudgetTracker>(Budget{})
@@ -128,8 +130,13 @@ class GraphBuilder {
     InternAtomicValues(/*first_ref=*/0);
     if (store_ != nullptr) store_->Sync(*values_);
 
-    const CandidateList candidates = GenerateCandidates(
-        dataset_, binding_, options_, budget_, values_, store_);
+    CandidateList generated;
+    if (overrides_.candidates == nullptr) {
+      generated = GenerateCandidates(dataset_, binding_, options_, budget_,
+                                     values_, store_);
+    }
+    const CandidateList& candidates =
+        overrides_.candidates != nullptr ? *overrides_.candidates : generated;
     out.num_candidates = static_cast<int>(candidates.size());
 
     // Step 1 (§3.1): atomic-attribute comparison, node seeding, and
@@ -139,7 +146,9 @@ class GraphBuilder {
     SeedPairs(candidates);
     // Constraint 1: authors of one article are distinct persons. Creates
     // non-merge nodes even where no atomic similarity exists (§3.4).
-    if (options_.constraints) MarkCoAuthorConstraints(/*first_ref=*/0);
+    if (options_.constraints && overrides_.mark_coauthor_constraints) {
+      MarkCoAuthorConstraints(/*first_ref=*/0);
+    }
 
     // User feedback (§7): confirmed matches and non-matches become forced
     // and non-merge nodes respectively.
@@ -236,13 +245,40 @@ class GraphBuilder {
   /// the resulting graph is identical to seeding one pair at a time. A
   /// budget stop truncates the apply loop at a chunk boundary: the graph
   /// then holds a prefix of the canonical pair order, which is
-  /// structurally consistent (every applied pair is complete).
+  /// structurally consistent (every applied pair is complete). With a
+  /// shard plan (DESIGN.md §14) the staging order changes — shard-major,
+  /// per-shard budget epochs, then the cross-shard boundary pass — but
+  /// staging is pure and the apply order is unchanged, so the graph stays
+  /// byte-identical to the monolithic build's.
   void SeedPairs(const std::vector<std::pair<RefId, RefId>>& pairs) {
+    const int64_t n = static_cast<int64_t>(pairs.size());
+    std::vector<StagedPair> staged(pairs.size());
+    if (overrides_.shard_plan != nullptr &&
+        overrides_.shard_plan->num_shards > 1) {
+      StageSharded(pairs, *overrides_.shard_plan, &staged);
+    } else {
+      StageBlocked(pairs, &staged);
+    }
+    if (store_ != nullptr) {
+      built_->num_value_analyses = store_->num_analyses();
+    }
+    for (int64_t i = 0; i < n; ++i) {
+      if (i % kBuildChunk == 0) {
+        ReportGraphMemory();
+        if (budget_->Probe(ProbePoint::kBuild)) return;
+      }
+      ApplyStagedPair(staged[i]);
+    }
+    ReportGraphMemory();
+  }
+
+  /// Monolithic staging: blocked lanes over the candidate order.
+  void StageBlocked(const std::vector<std::pair<RefId, RefId>>& pairs,
+                    std::vector<StagedPair>* staged) {
     const int64_t n = static_cast<int64_t>(pairs.size());
     const runtime::BlockPlan plan =
         runtime::PlanBlocks(options_.num_threads, 0, n, /*grain=*/0);
     std::vector<StageScratch> scratch(plan.num_lanes);
-    std::vector<StagedPair> staged(pairs.size());
     runtime::ParallelForBlocked(
         options_.num_threads, 0, n, plan.grain,
         [&](const runtime::Block& block) {
@@ -256,7 +292,7 @@ class GraphBuilder {
               return;
             }
             StagePair(pairs[i].first, pairs[i].second, lane_scratch,
-                      &staged[i]);
+                      &(*staged)[i]);
           }
         });
     budget_->ResolveAsyncStop();
@@ -269,17 +305,108 @@ class GraphBuilder {
       built_->num_sim_memo_hits += lane.memo_hits;
       built_->num_sim_memo_misses += lane.memo_misses;
     }
-    if (store_ != nullptr) {
-      built_->num_value_analyses = store_->num_analyses();
-    }
+  }
+
+  /// Shard-major staging: every intra-shard pair is staged on its shard's
+  /// lane under that shard's budget epoch (one lane per shard, shards in
+  /// parallel on the pool), then the cross-shard boundary pairs are staged
+  /// blocked under the build's own budget. Pure staging in a different
+  /// grouping; the staged array is indexed by candidate position either
+  /// way.
+  void StageSharded(const std::vector<std::pair<RefId, RefId>>& pairs,
+                    const ShardStagePlan& plan,
+                    std::vector<StagedPair>* staged) {
+    const int64_t n = static_cast<int64_t>(pairs.size());
+    const int k = plan.num_shards;
+    const std::vector<int>& shard_of = *plan.shard_of;
+    // Bucket candidate positions: shard s for intra pairs, slot k for the
+    // boundary.
+    std::vector<std::vector<int64_t>> bucket(k + 1);
     for (int64_t i = 0; i < n; ++i) {
-      if (i % kBuildChunk == 0) {
-        ReportGraphMemory();
-        if (budget_->Probe(ProbePoint::kBuild)) return;
-      }
-      ApplyStagedPair(staged[i]);
+      const int s1 = shard_of[pairs[i].first];
+      const int s2 = shard_of[pairs[i].second];
+      bucket[s1 == s2 ? s1 : k].push_back(i);
     }
-    ReportGraphMemory();
+
+    std::vector<StageScratch> shard_scratch(k);
+    std::vector<double> lane_seconds(k, 0);
+    Timer phase_timer;
+    runtime::ParallelFor(
+        options_.num_threads, 0, k, /*grain=*/1, [&](int64_t s) {
+          Timer lane_timer;
+          BudgetTracker* epoch =
+              s < static_cast<int64_t>(plan.shard_budgets.size())
+                  ? plan.shard_budgets[s]
+                  : nullptr;
+          StageScratch& scratch = shard_scratch[s];
+          const std::vector<int64_t>& mine = bucket[s];
+          for (size_t j = 0; j < mine.size(); ++j) {
+            if (j % 64 == 0 &&
+                ((epoch != nullptr && epoch->ShouldAbandonParallelWork()) ||
+                 budget_->ShouldAbandonParallelWork())) {
+              return;
+            }
+            const int64_t i = mine[j];
+            StagePair(pairs[i].first, pairs[i].second, scratch,
+                      &(*staged)[i]);
+          }
+          lane_seconds[s] = lane_timer.ElapsedSeconds();
+        });
+    for (BudgetTracker* epoch : plan.shard_budgets) {
+      if (epoch != nullptr) epoch->ResolveAsyncStop();
+    }
+    const double shard_phase_seconds = phase_timer.ElapsedSeconds();
+
+    // Boundary pass: the pairs whose members landed in different shards,
+    // staged blocked across the full pool under the build's budget.
+    const std::vector<int64_t>& boundary = bucket[k];
+    const int64_t nb = static_cast<int64_t>(boundary.size());
+    const runtime::BlockPlan bplan =
+        runtime::PlanBlocks(options_.num_threads, 0, nb, /*grain=*/0);
+    std::vector<StageScratch> boundary_scratch(bplan.num_lanes);
+    Timer boundary_timer;
+    runtime::ParallelForBlocked(
+        options_.num_threads, 0, nb, bplan.grain,
+        [&](const runtime::Block& block) {
+          StageScratch& lane_scratch = boundary_scratch[block.lane];
+          for (int64_t j = block.begin; j < block.end; ++j) {
+            if ((j - block.begin) % 64 == 0 &&
+                budget_->ShouldAbandonParallelWork()) {
+              return;
+            }
+            const int64_t i = boundary[j];
+            StagePair(pairs[i].first, pairs[i].second, lane_scratch,
+                      &(*staged)[i]);
+          }
+        });
+    budget_->ResolveAsyncStop();
+    const double boundary_seconds = boundary_timer.ElapsedSeconds();
+
+    // Shard order then boundary lane order: deterministic totals.
+    for (const StageScratch& scratch : shard_scratch) {
+      built_->num_pair_comparisons += scratch.pair_comparisons;
+      built_->num_value_analyses += scratch.value_analyses;
+      built_->num_sim_memo_hits += scratch.memo_hits;
+      built_->num_sim_memo_misses += scratch.memo_misses;
+    }
+    for (const StageScratch& scratch : boundary_scratch) {
+      built_->num_pair_comparisons += scratch.pair_comparisons;
+      built_->num_value_analyses += scratch.value_analyses;
+      built_->num_sim_memo_hits += scratch.memo_hits;
+      built_->num_sim_memo_misses += scratch.memo_misses;
+    }
+
+    if (plan.stats != nullptr) {
+      plan.stats->shard_pairs.assign(k, 0);
+      for (int s = 0; s < k; ++s) {
+        plan.stats->shard_pairs[s] =
+            static_cast<int64_t>(bucket[s].size());
+      }
+      plan.stats->shard_lane_seconds = lane_seconds;
+      plan.stats->shard_phase_seconds = shard_phase_seconds;
+      plan.stats->boundary_pairs = nb;
+      plan.stats->boundary_seconds = boundary_seconds;
+    }
   }
 
   void StagePair(RefId r1, RefId r2, StageScratch& scratch,
@@ -893,6 +1020,8 @@ class GraphBuilder {
 
   const Dataset& dataset_;
   const ReconcilerOptions& options_;
+  /// By value: the caller's default `{}` temporary dies at the ctor.
+  BuildOverrides overrides_;
   SchemaBinding binding_;
   /// Fallback unlimited tracker for callers that pass none, so the build
   /// has exactly one budget code path.
@@ -934,8 +1063,9 @@ void InternReferenceValues(const Dataset& dataset, RefId first_ref,
 
 BuiltGraph BuildDependencyGraph(const Dataset& dataset,
                                 const ReconcilerOptions& options,
-                                BudgetTracker* budget) {
-  return GraphBuilder(dataset, options, budget).Build();
+                                BudgetTracker* budget,
+                                const BuildOverrides& overrides) {
+  return GraphBuilder(dataset, options, budget, overrides).Build();
 }
 
 std::vector<NodeId> ExtendDependencyGraph(

@@ -122,6 +122,18 @@ struct ReconcilerOptions {
   /// DESIGN.md §9).
   int num_threads = 1;
 
+  /// Canopy-sharded reconciliation (src/shard/, DESIGN.md §14): partition
+  /// the references by blocking key into this many shards, stage every
+  /// intra-shard candidate pair's evidence shard-parallel on the runtime
+  /// pool (per-shard budget epochs), stage the cross-shard pairs in a
+  /// boundary pass, then solve in the single canonical order — output is
+  /// byte-identical to the monolithic run for every shard and thread
+  /// count. 1 (default) = the monolithic staging layout. Only honored by
+  /// entry points that route through shard::ShardedReconcile
+  /// (reconcile_cli --shards, bench/perf_shard, tests); Reconciler::Run
+  /// itself never shards.
+  int num_shards = 1;
+
   /// Parallel wavefront execution of the fixed-point solve (DESIGN.md §9):
   /// each round snapshots the active queue, recomputes the frontier's
   /// similarities in parallel (a pure read), then applies merges,

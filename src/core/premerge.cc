@@ -28,6 +28,12 @@ PremergeResult PremergeEqualEmails(const Dataset& dataset,
     }
   }
 
+  return CondenseByGroups(dataset, groups);
+}
+
+PremergeResult CondenseByGroups(const Dataset& dataset, UnionFind& groups) {
+  const int n = dataset.num_references();
+  RECON_CHECK_EQ(groups.size(), n);
   PremergeResult out{Dataset(dataset.schema()), {}, {}};
   out.condensed_of.assign(n, kInvalidRef);
 

@@ -1037,9 +1037,17 @@ std::vector<int> FixedPointSolver::Closure(
       }
     }
   }
+  // Canonicalize every cluster to its smallest member. Raw union-find
+  // representatives depend on union order (union by size), so equivalent
+  // merge sequences could label the same partition differently; the
+  // minimum member is a stable, order-independent id that byte-identity
+  // contracts (src/shard/, incremental flushes) can compare directly.
   std::vector<int> cluster(dataset_.num_references());
+  std::vector<int> canonical(dataset_.num_references(), -1);
   for (int i = 0; i < dataset_.num_references(); ++i) {
-    cluster[i] = closure.Find(i);
+    const int root = closure.Find(i);
+    if (canonical[root] < 0) canonical[root] = i;  // Ascending i: minimum.
+    cluster[i] = canonical[root];
   }
   return cluster;
 }

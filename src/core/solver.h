@@ -87,8 +87,10 @@ class FixedPointSolver {
   /// reconciler must propagate in full.
   void PropagateNegativeEvidence(bool closure_only = false);
 
-  /// Transitive closure over merged pairs. Also reports the directly
-  /// merged pairs when `merged_pairs` is non-null.
+  /// Transitive closure over merged pairs. Each reference maps to its
+  /// cluster's smallest member id (canonical, independent of merge order).
+  /// Also reports the directly merged pairs when `merged_pairs` is
+  /// non-null.
   std::vector<int> Closure(
       std::vector<std::pair<RefId, RefId>>* merged_pairs) const;
 

@@ -83,7 +83,9 @@ PimConfig PimConfigB();
 PimConfig PimConfigC();
 PimConfig PimConfigD();
 
-/// Returns a small variant of `config` (scaled by `factor` < 1) for tests.
+/// Returns `config` with every population count scaled by `factor`:
+/// `factor` < 1 shrinks it for tests, `factor` > 1 grows it past the
+/// paper's corpus (bench/perf_shard reaches 1M+ references this way).
 PimConfig ScaleConfig(PimConfig config, double factor);
 
 /// Generates the dataset (references + gold labels + provenance).

@@ -283,8 +283,14 @@ bool DependencyGraph::FoldInto(NodeId from, NodeId into) {
 
   // Static evidence accumulates: the surviving node represents the union
   // of both pairs' information. AddStaticReal maintains dst's cache; the
-  // boolean base counts are delta-bumped to match.
-  for (const StaticReal& entry : static_pool_.span(from)) {
+  // boolean base counts are delta-bumped to match. The span must be copied
+  // first: AddStaticReal appends to the same pool, and growth reallocates
+  // the storage under a live span.
+  {
+    const auto src_static = static_pool_.span(from);
+    scratch_statics_.assign(src_static.begin(), src_static.end());
+  }
+  for (const StaticReal& entry : scratch_statics_) {
     AddStaticReal(into, entry.type, entry.sim);
   }
   Node& src = nodes_[from];

@@ -185,6 +185,7 @@ class DependencyGraph {
   /// Fold scratch (FoldInto must copy edge spans before pool mutation).
   std::vector<Edge> scratch_edges_;
   std::vector<NodeId> scratch_refs_;
+  std::vector<StaticReal> scratch_statics_;
   int num_live_nodes_ = 0;
   int num_edges_ = 0;
 };

@@ -1,0 +1,90 @@
+#include "shard/partitioner.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "core/candidates.h"
+#include "runtime/parallel.h"
+
+namespace recon::shard {
+
+ShardPartition PartitionByBlockingKey(const Dataset& dataset,
+                                      const SchemaBinding& binding,
+                                      int num_shards, int num_threads) {
+  const int n = dataset.num_references();
+  ShardPartition out;
+  out.num_shards = std::max(1, num_shards);
+  out.shard_of.assign(n, 0);
+  if (out.num_shards == 1 || n == 0) return out;
+
+  // Key extraction is pure per-reference work: fan it out with indexed
+  // writes. Everything after this loop is serial, so the partition is a
+  // deterministic function of (dataset, num_shards).
+  std::vector<std::vector<std::string>> keys(n);
+  runtime::ParallelFor(num_threads, 0, n, /*grain=*/256, [&](int64_t i) {
+    keys[i] = BlockingKeys(dataset, static_cast<RefId>(i), binding);
+  });
+
+  std::unordered_map<std::string, int64_t> block_size;
+  for (const auto& ref_keys : keys) {
+    for (const std::string& key : ref_keys) ++block_size[key];
+  }
+
+  // Primary key = rarest key: the most discriminative block a reference
+  // belongs to is the one most likely to pair it with its true duplicates,
+  // so co-locating that block keeps those pairs intra-shard.
+  std::unordered_map<std::string, std::vector<RefId>> groups;
+  for (RefId id = 0; id < n; ++id) {
+    const std::string* primary = nullptr;
+    int64_t primary_size = 0;
+    for (const std::string& key : keys[id]) {
+      const int64_t size = block_size[key];
+      if (primary == nullptr || size < primary_size ||
+          (size == primary_size && key < *primary)) {
+        primary = &key;
+        primary_size = size;
+      }
+    }
+    if (primary == nullptr) {
+      out.shard_of[id] = static_cast<int>(id % out.num_shards);
+      ++out.num_keyless;
+    } else {
+      groups[*primary].push_back(id);
+    }
+  }
+
+  // Greedy balance: largest group first onto the least-loaded shard.
+  // Sorted by (size desc, key asc) so the placement never depends on hash
+  // iteration order.
+  std::vector<std::pair<const std::string*, const std::vector<RefId>*>>
+      ordered;
+  ordered.reserve(groups.size());
+  for (const auto& [key, refs] : groups) ordered.emplace_back(&key, &refs);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& x, const auto& y) {
+              if (x.second->size() != y.second->size()) {
+                return x.second->size() > y.second->size();
+              }
+              return *x.first < *y.first;
+            });
+
+  std::vector<int64_t> load(out.num_shards, 0);
+  // Keyless references already count toward their shard's load.
+  for (RefId id = 0; id < n; ++id) {
+    if (keys[id].empty()) ++load[out.shard_of[id]];
+  }
+  for (const auto& [key, refs] : ordered) {
+    int best = 0;
+    for (int s = 1; s < out.num_shards; ++s) {
+      if (load[s] < load[best]) best = s;
+    }
+    for (const RefId id : *refs) out.shard_of[id] = best;
+    load[best] += static_cast<int64_t>(refs->size());
+  }
+  return out;
+}
+
+}  // namespace recon::shard

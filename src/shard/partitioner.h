@@ -1,0 +1,39 @@
+// Canopy/blocking-key sharding of a dataset's references (DESIGN.md §14):
+// each reference is assigned to one shard by its rarest blocking key, so
+// that the pairs a discriminative block generates stay within one shard and
+// the cross-shard residual stays small.
+
+#ifndef RECON_SHARD_PARTITIONER_H_
+#define RECON_SHARD_PARTITIONER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/schema_binding.h"
+#include "model/dataset.h"
+
+namespace recon::shard {
+
+/// Assignment of every reference to one of `num_shards` shards.
+struct ShardPartition {
+  int num_shards = 1;
+  /// Per RefId: owning shard in [0, num_shards).
+  std::vector<int> shard_of;
+  /// References that produced no blocking key (assigned id % num_shards).
+  int64_t num_keyless = 0;
+};
+
+/// Partitions references by blocking key: every reference picks its rarest
+/// key (smallest block; ties to the lexicographically smaller key) as its
+/// primary key, references sharing a primary key form a group, and groups
+/// are placed greedily — largest group first, onto the least-loaded shard
+/// (ties to the lowest shard index). Keyless references go to id %
+/// num_shards. Key extraction runs on `num_threads` lanes; the assignment
+/// itself is serial and deterministic for a given dataset and shard count.
+ShardPartition PartitionByBlockingKey(const Dataset& dataset,
+                                      const SchemaBinding& binding,
+                                      int num_shards, int num_threads);
+
+}  // namespace recon::shard
+
+#endif  // RECON_SHARD_PARTITIONER_H_

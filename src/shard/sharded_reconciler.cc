@@ -1,0 +1,191 @@
+#include "shard/sharded_reconciler.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/candidates.h"
+#include "core/graph_builder.h"
+#include "core/premerge.h"
+#include "core/reconciler.h"
+#include "shard/partitioner.h"
+#include "util/budget.h"
+#include "util/timer.h"
+
+namespace recon::shard {
+namespace {
+
+/// Severity order for combining stop reasons across budget epochs:
+/// cancellation dominates (the caller asked), then the wall clock, then
+/// the resource budgets.
+int Severity(StopReason r) {
+  switch (r) {
+    case StopReason::kConverged: return 0;
+    case StopReason::kMergeBudget: return 1;
+    case StopReason::kIterationBudget: return 2;
+    case StopReason::kMemoryBudget: return 3;
+    case StopReason::kDeadline: return 4;
+    case StopReason::kCancelled: return 5;
+  }
+  return 0;
+}
+
+StopReason WorseOf(StopReason a, StopReason b) {
+  return Severity(a) >= Severity(b) ? a : b;
+}
+
+/// Remaps feedback pairs through `map` (original -> condensed ids),
+/// dropping out-of-range pairs and pairs that fell into the same group —
+/// the identical filtering Reconciler::Run applies around its premerge.
+void RemapPairs(const std::vector<std::pair<int32_t, int32_t>>& in,
+                const std::vector<RefId>& map,
+                std::vector<std::pair<int32_t, int32_t>>* out) {
+  const int32_t n = static_cast<int32_t>(map.size());
+  for (const auto& [a, b] : in) {
+    if (a < 0 || b < 0 || a >= n || b >= n) continue;
+    const RefId ca = map[a];
+    const RefId cb = map[b];
+    if (ca != cb) out->emplace_back(ca, cb);
+  }
+}
+
+}  // namespace
+
+ReconcileResult ShardedReconcile(const Dataset& dataset,
+                                 const ReconcilerOptions& options) {
+  const int k = std::max(1, options.num_shards);
+  // One tracker for the whole run, exactly as Reconciler::Run wires it:
+  // the deadline covers candidate generation, partitioning, the build, and
+  // the solve together (DESIGN.md §10).
+  BudgetTracker tracker(options.budget, options.cancel, options.probe_hook);
+  const SchemaBinding binding = SchemaBinding::Resolve(dataset.schema());
+
+  // Key-attribute premerge once, globally — the same condensation the
+  // monolithic path performs before it builds (core/premerge).
+  PremergeResult premerge{Dataset(dataset.schema()), {}, {}};
+  bool premerged = false;
+  if (options.premerge_equal_emails) {
+    premerge = PremergeEqualEmails(dataset, binding);
+    premerged =
+        premerge.condensed.num_references() < dataset.num_references();
+  }
+  const Dataset& d0 = premerged ? premerge.condensed : dataset;
+
+  ReconcilerOptions opts0 = options;
+  if (premerged) {
+    opts0.feedback = Feedback{};
+    RemapPairs(options.feedback.same, premerge.condensed_of,
+               &opts0.feedback.same);
+    RemapPairs(options.feedback.distinct, premerge.condensed_of,
+               &opts0.feedback.distinct);
+  }
+
+  // Global candidate generation, then the canopy/blocking-key partition.
+  // The candidate list is the one the monolithic build would generate for
+  // itself; the partition only decides which staging lane computes each
+  // pair's evidence.
+  const CandidateList candidates =
+      GenerateCandidates(d0, binding, opts0, &tracker);
+  const ShardPartition part =
+      PartitionByBlockingKey(d0, binding, k, options.num_threads);
+
+  // Per-shard budget epochs: each shard's staging runs under its own
+  // tracker carrying the run's remaining wall clock, the same soft memory
+  // cap, and the shared cancellation token. Deterministic execution caps
+  // (iteration / merge limits) are solver-side contracts and are honored
+  // exactly by the canonical solve below, so they do not constrain the
+  // staging epochs. The probe hook is a serial-only test seam and stays
+  // with the run tracker.
+  std::vector<std::unique_ptr<BudgetTracker>> epochs;
+  std::vector<BudgetTracker*> epoch_ptrs;
+  epochs.reserve(k);
+  for (int s = 0; s < k; ++s) {
+    Budget budget = options.budget;
+    budget.max_solver_iterations = 0;
+    budget.max_merges = 0;
+    if (budget.HasDeadline()) {
+      budget.deadline_ms =
+          std::max(0.001, budget.deadline_ms - tracker.ElapsedMillis());
+    }
+    epochs.push_back(
+        std::make_unique<BudgetTracker>(budget, options.cancel, nullptr));
+    epoch_ptrs.push_back(epochs.back().get());
+  }
+
+  // Shard-staged build: intra-shard pairs are staged shard-parallel, the
+  // cross-shard pairs in the boundary pass, and the staged evidence is
+  // applied in canonical candidate order — the graph is byte-identical to
+  // the monolithic build's (see BuildOverrides::shard_plan).
+  ShardStageStats stage_stats;
+  ShardStagePlan plan;
+  plan.shard_of = &part.shard_of;
+  plan.num_shards = k;
+  plan.shard_budgets = epoch_ptrs;
+  plan.stats = &stage_stats;
+  BuildOverrides overrides;
+  overrides.candidates = &candidates;
+  overrides.shard_plan = &plan;
+  Timer build_timer;
+  BuiltGraph built = BuildDependencyGraph(d0, opts0, &tracker, overrides);
+  const double build_seconds = build_timer.ElapsedSeconds();
+
+  // Canonical fixed point over the assembled graph — the same solver, the
+  // same queue, the same commit order as the monolithic run.
+  ReconcileResult result =
+      Reconciler(opts0).RunOnGraph(d0, built, &tracker);
+  result.stats.build_seconds = build_seconds;
+
+  // Classify the committed reference-pair merges by where the partition
+  // put the pair: merges whose evidence was staged inside one shard
+  // versus merges the boundary pass carried. Folded nodes keep their
+  // merged state, so the scan sees every surviving merge decision.
+  int64_t shard_merges = 0;
+  int64_t boundary_merges = 0;
+  const int total_nodes = built.graph->num_nodes();
+  for (NodeId id = 0; id < total_nodes; ++id) {
+    const Node& node = built.graph->node(id);
+    if (!node.IsRefPair() || node.state != NodeState::kMerged) continue;
+    if (part.shard_of[node.a] == part.shard_of[node.b]) {
+      ++shard_merges;
+    } else {
+      ++boundary_merges;
+    }
+  }
+
+  ReconcileStats& st = result.stats;
+  st.num_shards = k;
+  st.num_boundary_pairs = stage_stats.boundary_pairs;
+  st.num_shard_merges = shard_merges;
+  st.num_boundary_merges = boundary_merges;
+  st.shard_seconds = stage_stats.shard_phase_seconds;
+  st.boundary_seconds = stage_stats.boundary_seconds;
+  StopReason stop = st.stop_reason;
+  for (const auto& epoch : epochs) {
+    st.num_budget_probes += epoch->num_probes();
+    stop = WorseOf(stop, epoch->stop_reason());
+  }
+  st.stop_reason = stop;
+
+  if (!premerged) return result;
+
+  // Lift back to the original reference space, mirroring the monolithic
+  // path's expansion (including the premerge's own key merges).
+  ReconcileResult lifted;
+  lifted.stats = result.stats;
+  lifted.cluster = ExpandClusters(premerge, result.cluster);
+  lifted.merged_pairs.reserve(result.merged_pairs.size());
+  for (const auto& [a, b] : result.merged_pairs) {
+    lifted.merged_pairs.emplace_back(premerge.original_rep[a],
+                                     premerge.original_rep[b]);
+  }
+  for (RefId id = 0;
+       id < static_cast<RefId>(premerge.condensed_of.size()); ++id) {
+    const RefId rep = premerge.original_rep[premerge.condensed_of[id]];
+    if (rep != id) lifted.merged_pairs.emplace_back(rep, id);
+  }
+  return lifted;
+}
+
+}  // namespace recon::shard

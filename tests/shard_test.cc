@@ -1,0 +1,292 @@
+// Canopy-sharded reconciliation (src/shard/, DESIGN.md §14) must be
+// undetectable in the output: for every tested (shards × threads)
+// combination — budget epochs on or off, execution caps binding or not —
+// the partition AND the merged-pair sequence ShardedReconcile produces
+// equal the monolithic Reconciler::Run output on the same dataset. Runs
+// under AddressSanitizer and ThreadSanitizer via the ctest `asan` /
+// `tsan` labels.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/candidates.h"
+#include "core/reconciler.h"
+#include "datagen/cora_generator.h"
+#include "datagen/pim_generator.h"
+#include "model/dataset.h"
+#include "shard/partitioner.h"
+#include "shard/sharded_reconciler.h"
+#include "util/union_find.h"
+
+namespace recon {
+namespace {
+
+Dataset SmallPimB() {
+  datagen::PimConfig config = datagen::PimConfigB();
+  config = datagen::ScaleConfig(config, 0.12);
+  return datagen::GeneratePim(config);
+}
+
+Dataset SmallCora() {
+  datagen::CoraConfig config;
+  config.num_papers = 30;
+  config.num_citations = 300;
+  config.num_authors = 60;
+  config.num_venue_series = 12;
+  return datagen::GenerateCora(config);
+}
+
+/// FNV-1a over the cluster vector: the golden fingerprint of a partition.
+uint64_t Fingerprint(const std::vector<int>& cluster) {
+  uint64_t h = 1469598103934665603ull;
+  for (const int c : cluster) {
+    h ^= static_cast<uint64_t>(static_cast<uint32_t>(c));
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// The partition the merged pairs induce under transitive closure,
+/// canonicalized to smallest member (matching FixedPointSolver::Closure).
+std::vector<int> ClosureOfPairs(
+    int n, const std::vector<std::pair<RefId, RefId>>& pairs) {
+  UnionFind uf(n);
+  for (const auto& [a, b] : pairs) uf.Union(a, b);
+  std::vector<int> cluster(n);
+  std::vector<int> canonical(n, -1);
+  for (int i = 0; i < n; ++i) {
+    const int root = uf.Find(i);
+    if (canonical[root] < 0) canonical[root] = i;
+    cluster[i] = canonical[root];
+  }
+  return cluster;
+}
+
+void ExpectSameResult(const Dataset& dataset, const ReconcileResult& mono,
+                      const ReconcileResult& sharded,
+                      const std::string& what) {
+  EXPECT_EQ(Fingerprint(mono.cluster), Fingerprint(sharded.cluster)) << what;
+  EXPECT_EQ(mono.cluster, sharded.cluster) << what;
+  // Byte-identical includes the merged-pair sequence: the sharded path
+  // runs the same canonical solve, so even the commit order matches.
+  EXPECT_EQ(mono.merged_pairs, sharded.merged_pairs) << what;
+  // And the reported pairs must close to the reported partition.
+  EXPECT_EQ(ClosureOfPairs(dataset.num_references(), sharded.merged_pairs),
+            sharded.cluster)
+      << what;
+}
+
+void SweepDataset(const Dataset& dataset, const std::string& name) {
+  ReconcilerOptions base;
+  const ReconcileResult mono = Reconciler(base).Run(dataset);
+  for (const int shards : {1, 2, 4, 8}) {
+    for (const int threads : {1, 2, 4, 8}) {
+      ReconcilerOptions options = base;
+      options.num_shards = shards;
+      options.num_threads = threads;
+      const ReconcileResult sharded =
+          shard::ShardedReconcile(dataset, options);
+      const std::string what = name + " shards=" + std::to_string(shards) +
+                               " threads=" + std::to_string(threads);
+      ExpectSameResult(dataset, mono, sharded, what);
+      EXPECT_EQ(sharded.stats.num_shards, shards) << what;
+      if (shards > 1) {
+        // The rarest-key partition cannot keep every shared block
+        // intact, so boundary pairs exist and both phases commit merges.
+        EXPECT_GT(sharded.stats.num_boundary_pairs, 0) << what;
+        EXPECT_GT(sharded.stats.num_shard_merges, 0) << what;
+      }
+    }
+  }
+}
+
+TEST(ShardEquivalenceTest, PimBMatchesMonolithicAcrossShardsAndThreads) {
+  SweepDataset(SmallPimB(), "pim-b");
+}
+
+TEST(ShardEquivalenceTest, CoraMatchesMonolithicAcrossShardsAndThreads) {
+  SweepDataset(SmallCora(), "cora");
+}
+
+// Budget epochs on: a generous soft memory cap (never trips, but every
+// shard runs a live budget epoch and probes fire) plus a deliberately tiny
+// similarity-memo bound (binding: constant evictions/bypasses). Both are
+// byte-identical knobs by design, so the output must still match.
+TEST(ShardEquivalenceTest, BindingMemoAndLiveBudgetEpochs) {
+  const Dataset dataset = SmallPimB();
+  ReconcilerOptions base;
+  base.budget.soft_max_memory_bytes = int64_t{4} << 30;
+  base.sim_memo_max_bytes = 1 << 12;
+  const ReconcileResult mono = Reconciler(base).Run(dataset);
+  for (const int shards : {2, 4}) {
+    for (const int threads : {1, 4}) {
+      ReconcilerOptions options = base;
+      options.num_shards = shards;
+      options.num_threads = threads;
+      const ReconcileResult sharded =
+          shard::ShardedReconcile(dataset, options);
+      ExpectSameResult(dataset, mono, sharded,
+                       "budget shards=" + std::to_string(shards) +
+                           " threads=" + std::to_string(threads));
+      EXPECT_EQ(sharded.stats.stop_reason, StopReason::kConverged);
+    }
+  }
+}
+
+// Deterministic execution caps (iteration / merge limits) are contracts
+// over the canonical merge sequence — which is exactly the sequence the
+// sharded path runs, so a binding cap truncates it identically.
+TEST(ShardEquivalenceTest, BindingExecutionCapsStayByteIdentical) {
+  const Dataset dataset = SmallCora();
+  ReconcilerOptions base;
+  base.budget.max_solver_iterations = 500;  // Binding: freezes mid-solve.
+  const ReconcileResult mono = Reconciler(base).Run(dataset);
+  EXPECT_EQ(mono.stats.stop_reason, StopReason::kIterationBudget);
+  ReconcilerOptions options = base;
+  options.num_shards = 4;
+  options.num_threads = 4;
+  const ReconcileResult sharded = shard::ShardedReconcile(dataset, options);
+  ExpectSameResult(dataset, mono, sharded, "iteration cap");
+  EXPECT_EQ(sharded.stats.stop_reason, StopReason::kIterationBudget);
+  EXPECT_EQ(sharded.stats.num_shards, 4);
+}
+
+// ---- Boundary pass ------------------------------------------------------
+
+/// Two references of one person engineered to straddle two shards:
+/// "Jonathan Strudelmeyer" vs "Jonathan Strudelmayer" share only the
+/// (common) first-name block; each last name is its own rarer block,
+/// anchored by filler references so the rarest-key partition sends the two
+/// spellings to different shards. Their candidate pair is then a boundary
+/// pair: only the boundary staging pass computes its evidence.
+Dataset StraddlingDataset(RefId* left, RefId* right) {
+  Dataset data(BuildPimSchema());
+  const Schema& s = data.schema();
+  const int kPerson = s.RequireClass("Person");
+  const int kName = s.RequireAttribute(kPerson, "name");
+
+  auto person = [&](int gold, const std::string& name) {
+    const RefId id = data.NewReference(kPerson, gold);
+    data.mutable_reference(id).AddAtomicValue(kName, name);
+    return id;
+  };
+
+  *left = person(0, "Jonathan Strudelmeyer");
+  *right = person(0, "Jonathan Strudelmayer");
+  // Filler entities anchoring each last-name block (distinct persons),
+  // plus enough other Jonathans that the shared first-name block is never
+  // any reference's rarest key.
+  person(1, "Augusta Strudelmeyer");
+  person(2, "Bertram Strudelmeyer");
+  person(3, "Cordelia Strudelmayer");
+  person(4, "Dagobert Strudelmayer");
+  person(5, "Jonathan Quiggleworth");
+  person(6, "Jonathan Pfefferberg");
+  person(7, "Jonathan Ollivander");
+  person(8, "Jonathan Nimbleton");
+  return data;
+}
+
+TEST(ShardBoundaryTest, StraddlingEntityRecoveredByBoundaryPass) {
+  RefId left = kInvalidRef;
+  RefId right = kInvalidRef;
+  const Dataset dataset = StraddlingDataset(&left, &right);
+
+  ReconcilerOptions options;
+  options.premerge_equal_emails = false;
+  const ReconcileResult mono = Reconciler(options).Run(dataset);
+  ASSERT_EQ(mono.cluster[left], mono.cluster[right])
+      << "monolithic solve must reconcile the straddler";
+
+  options.num_shards = 2;
+  const ReconcileResult sharded = shard::ShardedReconcile(dataset, options);
+  ExpectSameResult(dataset, mono, sharded, "straddler");
+  // The pair must actually have crossed shards: its evidence was staged by
+  // the boundary pass and its merge is accounted as a boundary merge.
+  const SchemaBinding binding = SchemaBinding::Resolve(dataset.schema());
+  const shard::ShardPartition part =
+      shard::PartitionByBlockingKey(dataset, binding, 2, 1);
+  ASSERT_NE(part.shard_of[left], part.shard_of[right])
+      << "the engineered spellings must land in different shards";
+  EXPECT_GT(sharded.stats.num_boundary_pairs, 0);
+  EXPECT_GT(sharded.stats.num_boundary_merges, 0);
+}
+
+// ---- Partitioner --------------------------------------------------------
+
+TEST(PartitionerTest, SingleShardIsTrivial) {
+  const Dataset dataset = SmallCora();
+  const SchemaBinding binding = SchemaBinding::Resolve(dataset.schema());
+  const shard::ShardPartition part =
+      shard::PartitionByBlockingKey(dataset, binding, 1, 1);
+  EXPECT_EQ(part.num_shards, 1);
+  for (const int s : part.shard_of) EXPECT_EQ(s, 0);
+}
+
+TEST(PartitionerTest, CoversAllShardsAndIsThreadInvariant) {
+  const Dataset dataset = SmallPimB();
+  const SchemaBinding binding = SchemaBinding::Resolve(dataset.schema());
+  const shard::ShardPartition part =
+      shard::PartitionByBlockingKey(dataset, binding, 4, 1);
+  ASSERT_EQ(static_cast<int>(part.shard_of.size()),
+            dataset.num_references());
+  std::vector<int64_t> load(4, 0);
+  for (const int s : part.shard_of) {
+    ASSERT_GE(s, 0);
+    ASSERT_LT(s, 4);
+    ++load[s];
+  }
+  for (const int64_t l : load) EXPECT_GT(l, 0) << "every shard populated";
+
+  // The assignment is a pure function of (dataset, num_shards): the
+  // parallel key extraction must not leak scheduling into it.
+  for (const int threads : {2, 8}) {
+    const shard::ShardPartition again =
+        shard::PartitionByBlockingKey(dataset, binding, 4, threads);
+    EXPECT_EQ(part.shard_of, again.shard_of);
+  }
+}
+
+TEST(PartitionerTest, RareKeyGroupsStayIntact) {
+  // All references of one rare block land in one shard.
+  const Dataset dataset = SmallPimB();
+  const SchemaBinding binding = SchemaBinding::Resolve(dataset.schema());
+  const shard::ShardPartition part =
+      shard::PartitionByBlockingKey(dataset, binding, 4, 1);
+
+  // Recompute each reference's rarest key and check co-location.
+  const int n = dataset.num_references();
+  std::vector<std::vector<std::string>> keys(n);
+  std::unordered_map<std::string, int64_t> block_size;
+  for (RefId id = 0; id < n; ++id) {
+    keys[id] = BlockingKeys(dataset, id, binding);
+    for (const std::string& key : keys[id]) ++block_size[key];
+  }
+  std::unordered_map<std::string, int> shard_of_key;
+  for (RefId id = 0; id < n; ++id) {
+    const std::string* primary = nullptr;
+    int64_t primary_size = 0;
+    for (const std::string& key : keys[id]) {
+      const int64_t size = block_size[key];
+      if (primary == nullptr || size < primary_size ||
+          (size == primary_size && key < *primary)) {
+        primary = &key;
+        primary_size = size;
+      }
+    }
+    if (primary == nullptr) continue;
+    const auto [it, inserted] =
+        shard_of_key.try_emplace(*primary, part.shard_of[id]);
+    EXPECT_EQ(it->second, part.shard_of[id])
+        << "block '" << *primary << "' split across shards";
+  }
+}
+
+}  // namespace
+}  // namespace recon

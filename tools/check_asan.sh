@@ -6,7 +6,8 @@
 # (shard eviction and bypass under tiny byte bounds), the CSR-graph
 # determinism sweep (datasets × threads × cache/constraints/budgets
 # against committed golden fingerprints, rollback-and-replay and frozen
-# budget stops included), and the service smoke test (a live daemon on an ephemeral loopback port serving query,
+# budget stops included), the canopy-shard layer (shard-vs-monolithic
+# byte-identity across shards × threads, DESIGN.md §14), and the service smoke test (a live daemon on an ephemeral loopback port serving query,
 # ingest, and malformed-request traffic end-to-end over HTTP):
 #
 #   1. configures and builds build-asan/ with

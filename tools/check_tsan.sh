@@ -7,7 +7,9 @@
 #      (runtime primitives, evidence-cache parity, the shared value-store /
 #      similarity-memo sweep with the store on and off, the
 #      parallel-solver sweep that asserts byte-identical output at
-#      1/2/4/8 threads, and the service-layer sweep where query threads
+#      1/2/4/8 threads, the canopy-shard sweep (shard-parallel staging
+#      must stay byte-identical to the monolithic run, DESIGN.md §14),
+#      and the service-layer sweep where query threads
 #      race a live ingest/flush loop against the snapshot swap),
 #   3. re-runs the determinism sweeps in the regular (uninstrumented) build
 #      when one exists — TSan's memory model can hide orderings that the
@@ -37,7 +39,7 @@ echo
 if [[ -d "${NATIVE_DIR}/tests" ]]; then
   echo "== [3/3] determinism sweeps in native build ${NATIVE_DIR}"
   ctest --test-dir "${NATIVE_DIR}" \
-    -R 'SolverParallelTest|GraphCsrTest|ValueStoreTest|ServiceTest' \
+    -R 'SolverParallelTest|GraphCsrTest|ValueStoreTest|ServiceTest|ShardEquivalenceTest' \
     --output-on-failure
 else
   echo "== [3/3] skipped: ${NATIVE_DIR} not built"

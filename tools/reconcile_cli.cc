@@ -32,6 +32,7 @@
 #include "extract/csv_import.h"
 #include "extract/extractor.h"
 #include "model/text_io.h"
+#include "shard/sharded_reconciler.h"
 #include "util/string_util.h"
 #include "util/version.h"
 
@@ -59,6 +60,10 @@ void PrintUsage(std::ostream& out) {
          "participant\n"
          "  --demo <out file>       write a small synthetic PIM dataset and "
          "exit\n"
+         "  --scale X               size multiplier for the --demo generator\n"
+         "                          (default 0.03; 1 = the paper's PIM "
+         "corpus,\n"
+         "                          larger values scale past it)\n"
          "\n"
          "algorithm:\n"
          "  --algo depgraph|indepdec|fs   (default depgraph)\n"
@@ -71,6 +76,10 @@ void PrintUsage(std::ostream& out) {
          "  --threads N             worker threads (0 = all hardware "
          "threads);\n"
          "                          output is byte-identical for every N\n"
+         "  --shards N              canopy-sharded staging (depgraph only,\n"
+         "                          DESIGN.md §14): stage evidence in N\n"
+         "                          shards + a boundary pass, then solve\n"
+         "                          canonically; byte-identical for every N\n"
          "\n"
          "execution budget (DESIGN.md §10) — on exhaustion the run "
          "never aborts;\n"
@@ -84,9 +93,9 @@ void PrintUsage(std::ostream& out) {
          "  --version               print version and exit\n";
 }
 
-int Demo(const std::string& path) {
+int Demo(const std::string& path, double scale) {
   recon::datagen::PimConfig config = recon::datagen::PimConfigA();
-  config = recon::datagen::ScaleConfig(config, 0.03);
+  config = recon::datagen::ScaleConfig(config, scale);
   const recon::Dataset data = recon::datagen::GeneratePim(config);
   const recon::Status status = recon::SaveDatasetToFile(data, path);
   if (!status.ok()) {
@@ -216,6 +225,8 @@ int main(int argc, char** argv) {
   std::string path;
   std::string algo = "depgraph";
   std::string import_kind;
+  std::string demo_path;
+  double demo_scale = 0.03;
   ReconcilerOptions options = ReconcilerOptions::DepGraph();
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -227,8 +238,21 @@ int main(int argc, char** argv) {
       std::cout << recon::ReconBuildInfo() << "\n";
       return kExitOk;
     }
-    if (arg == "--demo" && i + 1 < argc) return Demo(argv[++i]);
-    if (arg == "--algo" && i + 1 < argc) {
+    if (arg == "--demo" && i + 1 < argc) {
+      demo_path = argv[++i];
+    } else if (arg == "--scale" && i + 1 < argc) {
+      if (!ParsePositive("--scale", argv[++i], &demo_scale)) {
+        return kExitUsage;
+      }
+    } else if (arg == "--shards" && i + 1 < argc) {
+      char* end = nullptr;
+      options.num_shards = static_cast<int>(std::strtol(argv[++i], &end, 10));
+      if (end == argv[i] || *end != '\0' || options.num_shards < 1) {
+        std::cerr << "--shards needs a count >= 1, got \"" << argv[i]
+                  << "\"\n";
+        return kExitUsage;
+      }
+    } else if (arg == "--algo" && i + 1 < argc) {
       algo = argv[++i];
     } else if (arg == "--no-constraints") {
       options.constraints = false;
@@ -286,6 +310,7 @@ int main(int argc, char** argv) {
       return kExitUsage;
     }
   }
+  if (!demo_path.empty()) return Demo(demo_path, demo_scale);
   if (path.empty()) {
     PrintUsage(std::cerr);
     return kExitUsage;
@@ -329,8 +354,12 @@ int main(int argc, char** argv) {
     const IndepDec reconciler(options);
     result = reconciler.Run(data);
   } else if (algo == "depgraph") {
-    const Reconciler reconciler(options);
-    result = reconciler.Run(data);
+    if (options.num_shards > 1) {
+      result = shard::ShardedReconcile(data, options);
+    } else {
+      const Reconciler reconciler(options);
+      result = reconciler.Run(data);
+    }
   } else if (algo == "fs") {
     FellegiSunterOptions fs_options;
     fs_options.blocking = options;
@@ -359,6 +388,15 @@ int main(int argc, char** argv) {
             << result.stats.num_merges << " merges; build "
             << result.stats.build_seconds << "s solve "
             << result.stats.solve_seconds << "s\n";
+  if (result.stats.num_shards > 1) {
+    std::cout << "Shards: " << result.stats.num_shards << " shards, "
+              << result.stats.num_boundary_pairs << " boundary pairs; "
+              << result.stats.num_shard_merges << " shard merges + "
+              << result.stats.num_boundary_merges
+              << " boundary merges; staging "
+              << result.stats.shard_seconds << "s + boundary "
+              << result.stats.boundary_seconds << "s\n";
+  }
   if (result.stats.num_solver_rounds > 0) {
     std::cout << "Solve: " << result.stats.num_solver_rounds
               << " wavefront rounds; score "

@@ -2,7 +2,8 @@
 # Runs every perf_* bench with --json and collects BENCH_<name>.json files
 # so perf trajectories can be tracked across commits.
 #
-# Usage: tools/run_benches.sh [--gate-speedup] [build_dir] [out_dir]
+# Usage: tools/run_benches.sh [--gate-speedup] [--gate-shard] [build_dir]
+#        [out_dir]
 #   build_dir  defaults to build (must already be built)
 #   out_dir    defaults to the current directory
 #
@@ -14,15 +15,25 @@
 #   cannot express the speedup, and a failure there would only measure
 #   scheduler noise.
 #
+# --gate-shard: after the run, assert from BENCH_shard.json that (a) every
+#   sharded run's output was byte-identical to the monolithic run — checked
+#   on every machine, no exceptions — and (b) the 4-shard run at 4 threads
+#   beat the monolithic run by more than 1.3x. The speedup half follows the
+#   same convention as --gate-speedup: it auto-skips when nprocs_online <= 2.
+#
 # Honors RECON_BENCH_SCALE / RECON_BENCH_THREADS like the benches do.
 
 set -euo pipefail
 
 GATE_SPEEDUP=0
-if [[ "${1:-}" == "--gate-speedup" ]]; then
-  GATE_SPEEDUP=1
+GATE_SHARD=0
+while [[ "${1:-}" == --gate-* ]]; do
+  case "$1" in
+    --gate-speedup) GATE_SPEEDUP=1 ;;
+    --gate-shard) GATE_SHARD=1 ;;
+  esac
   shift
-fi
+done
 
 BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-.}"
@@ -83,6 +94,51 @@ if worst > 1.3:
 else:
     sys.exit(f"gate: FAIL — commit speedup {worst:.2f}x <= 1.3x at 4 "
              f"threads (nprocs_online={nprocs})")
+PYEOF
+  then
+    status=1
+  fi
+fi
+
+if [[ ${GATE_SHARD} -eq 1 && ${status} -eq 0 ]]; then
+  shard="${OUT_DIR}/BENCH_shard.json"
+  echo "== gate: shard identity (always) + speedup > 1.3x at 4 shards (${shard})"
+  if ! python3 - "${shard}" <<'PYEOF'
+import json, sys
+
+rows = json.load(open(sys.argv[1]))
+shard_rows = [r for r in rows if r.get("section") == "shard"]
+if not shard_rows:
+    sys.exit("gate: no shard rows in BENCH_shard.json")
+
+# Identity is unconditional: a machine that cannot express the speedup can
+# still (and must) produce the byte-identical output.
+broken = [r for r in shard_rows if r.get("identical") != "true"]
+if broken:
+    sys.exit("gate: FAIL — sharded output differed from the monolithic run "
+             f"at shards={[r.get('shards') for r in broken]}")
+print(f"gate: identity PASS — {len(shard_rows)} sharded runs byte-identical")
+
+meta = next((r for r in rows if "nprocs_online" in r), None)
+if meta is None:
+    sys.exit("gate: no hardware-metadata row in BENCH_shard.json")
+nprocs = int(meta["nprocs_online"])
+if nprocs <= 2:
+    print(f"gate: speedup SKIPPED — nprocs_online={nprocs}; a machine with "
+          "<= 2 online CPUs cannot run the shard lanes concurrently, so the "
+          "speedup gate would only measure scheduler noise")
+    sys.exit(0)
+four = [r for r in shard_rows
+        if r.get("shards") == 4 and r.get("threads") == 4]
+if not four:
+    sys.exit("gate: no shards=4 threads=4 row in BENCH_shard.json")
+worst = min(float(r["shard_speedup"]) for r in four)
+if worst > 1.3:
+    print(f"gate: speedup PASS — shard speedup {worst:.2f}x > 1.3x at 4 "
+          f"shards (nprocs_online={nprocs})")
+else:
+    sys.exit(f"gate: FAIL — shard speedup {worst:.2f}x <= 1.3x at 4 shards "
+             f"(nprocs_online={nprocs})")
 PYEOF
   then
     status=1
