@@ -1,7 +1,11 @@
 // Service throughput/latency bench: sustained mixed query + ingest traffic
 // against the reconciliation service, driven in-process through the exact
 // HTTP handler path (request parsing, snapshot scoring, JSON rendering) —
-// no sockets, so the numbers isolate the service, not the kernel.
+// no sockets, so the numbers isolate the service, not the kernel. The
+// identical traffic then runs a second time against a durable service
+// (WAL + checkpoints in a scratch dir, fsync every-flush) to price
+// durability, and an overload burst hammers a real socket server at 4x
+// its admission bound to prove saturation degrades to clean 503s.
 //
 // Traffic: query threads POST /reconcile batches (each batch pins one
 // snapshot) while one ingest thread POSTs held-out references through
@@ -11,23 +15,38 @@
 //   * zero failed requests — every response is HTTP 200;
 //   * oracle equivalence — after ingest stops, each query batch rendered by
 //     the handler is byte-identical to a direct library-call oracle
-//     (Snapshot::Query + RenderReconcileBody) on the same snapshot.
+//     (Snapshot::Query + RenderReconcileBody) on the same snapshot;
+//   * durability equivalence — the durable service renders byte-identical
+//     query responses after the same traffic (DESIGN.md §15: the WAL is
+//     invisible to results);
+//   * durability overhead — durable query p50 within max(5%, 3 ms) of the
+//     in-memory p50 (the absolute floor absorbs 1-CPU container jitter);
+//   * overload burst — 4x max-inflight concurrent clients see only 200s
+//     and 503s, zero transport errors (no hangs, no resets), and every
+//     200 body is byte-identical to the oracle.
 //
-// `--json <path>` writes throughput, p50/p99 latency, and snapshot
-// generation counts via the shared JsonLog.
+// `--json <path>` writes throughput, p50/p99 latency, durability overhead,
+// and burst counters via the shared JsonLog.
+
+#include <sys/stat.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_common.h"
 #include "core/schema_binding.h"
+#include "service/checkpoint.h"
 #include "service/handlers.h"
+#include "service/http.h"
 #include "service/service.h"
 #include "util/json.h"
 
@@ -44,6 +63,9 @@ using recon::service::ServiceHandler;
 constexpr int kQueryThreads = 2;
 constexpr int kBatchesPerThread = 40;
 constexpr int kIngestBatchSize = 8;
+constexpr int kBurstMaxInflight = 2;
+constexpr int kBurstClients = 4 * kBurstMaxInflight;
+constexpr int kBurstRequestsPerClient = 25;
 
 double MsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double, std::milli>(
@@ -65,13 +87,23 @@ HttpRequest PostJson(const std::string& path, std::string body) {
   return req;
 }
 
+struct TrafficResult {
+  double p50 = 0;
+  double p99 = 0;
+  double traffic_ms = 0;
+  int64_t batches = 0;
+  int64_t failed = 0;
+  uint64_t final_generation = 0;
+  int64_t generations_published = 0;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace recon;
   bench::ParseArgs(argc, argv);
   bench::PrintHeader("Service under mixed query + ingest load",
-                     "service layer (DESIGN.md §12); not from the paper");
+                     "service layer (DESIGN.md §12, §15); not from the paper");
 
   // A scaled PIM dataset; the last tenth is held out and re-ingested live.
   datagen::PimConfig config =
@@ -97,17 +129,20 @@ int main(int argc, char** argv) {
     }
     return ref;
   };
-  Dataset initial(full.schema());
-  for (RefId id = 0; id < split; ++id) {
-    initial.AddReference(truncated(id), full.gold_entity(id),
-                         full.provenance(id));
-  }
+  auto build_initial = [&] {
+    Dataset initial(full.schema());
+    for (RefId id = 0; id < split; ++id) {
+      initial.AddReference(truncated(id), full.gold_entity(id),
+                           full.provenance(id));
+    }
+    return initial;
+  };
 
   service::ServiceOptions options;
   options.reconciler = bench::WithBenchThreads(ReconcilerOptions::DepGraph());
 
   const auto build_start = std::chrono::steady_clock::now();
-  ReconService service(std::move(initial), options);
+  ReconService service(build_initial(), options);
   const double initial_ms = MsSince(build_start);
   ServiceHandler handler(&service);
   std::cout << "Initial snapshot: " << service.snapshot()->num_entities()
@@ -165,84 +200,106 @@ int main(int argc, char** argv) {
   std::cout << batch_bodies.size() << " distinct query batches, "
             << full.num_references() - split << " references to ingest.\n";
 
-  // ---- Mixed traffic -------------------------------------------------------
-  std::atomic<int64_t> failed{0};
-  std::atomic<bool> ingest_done{false};
-  std::vector<std::vector<double>> latencies(kQueryThreads);
-  std::vector<uint64_t> generations_seen;
-
-  const auto traffic_start = std::chrono::steady_clock::now();
-  std::vector<std::thread> query_threads;
-  for (int t = 0; t < kQueryThreads; ++t) {
-    query_threads.emplace_back([&, t] {
-      int batch = 0;
-      // At least kBatchesPerThread batches, and keep going while ingest
-      // still publishes new snapshots so the mix is genuinely concurrent.
-      while (batch < kBatchesPerThread ||
-             !ingest_done.load(std::memory_order_acquire)) {
-        const std::string& body =
-            batch_bodies[(t + batch) % batch_bodies.size()];
-        const auto start = std::chrono::steady_clock::now();
-        const HttpResponse res = handler.Handle(PostJson("/reconcile", body));
-        latencies[t].push_back(MsSince(start));
-        if (res.status != 200) failed.fetch_add(1);
-        ++batch;
-      }
-    });
-  }
-
-  std::thread ingest_thread([&] {
-    for (RefId id = split; id < full.num_references();) {
-      json::Value doc = json::Value::Object();
-      json::Value refs = json::Value::Array();
-      const RefId end = std::min<RefId>(id + kIngestBatchSize,
-                                        full.num_references());
-      for (; id < end; ++id) {
-        const Reference src = truncated(id);
-        const ClassDef& class_def =
-            full.schema().class_def(src.class_id());
-        json::Value ref_doc = json::Value::Object();
-        ref_doc.Set("class", class_def.name);
-        json::Value values = json::Value::Object();
-        json::Value links = json::Value::Object();
-        for (int attr = 0; attr < src.num_attributes(); ++attr) {
-          if (class_def.attributes[attr].kind == AttrKind::kAtomic) {
-            if (src.atomic_values(attr).empty()) continue;
-            json::Value list = json::Value::Array();
-            for (const std::string& v : src.atomic_values(attr)) {
-              list.Append(v);
-            }
-            values.Set(class_def.attributes[attr].name, std::move(list));
-          } else if (!src.associations(attr).empty()) {
-            json::Value list = json::Value::Array();
-            for (const RefId target : src.associations(attr)) {
-              list.Append(target);
-            }
-            links.Set(class_def.attributes[attr].name, std::move(list));
+  // Renders one held-out ingest batch as the /ingest JSON body.
+  auto ingest_body = [&](RefId id, RefId end) {
+    json::Value doc = json::Value::Object();
+    json::Value refs = json::Value::Array();
+    for (; id < end; ++id) {
+      const Reference src = truncated(id);
+      const ClassDef& class_def = full.schema().class_def(src.class_id());
+      json::Value ref_doc = json::Value::Object();
+      ref_doc.Set("class", class_def.name);
+      json::Value values = json::Value::Object();
+      json::Value links = json::Value::Object();
+      for (int attr = 0; attr < src.num_attributes(); ++attr) {
+        if (class_def.attributes[attr].kind == AttrKind::kAtomic) {
+          if (src.atomic_values(attr).empty()) continue;
+          json::Value list = json::Value::Array();
+          for (const std::string& v : src.atomic_values(attr)) {
+            list.Append(v);
           }
+          values.Set(class_def.attributes[attr].name, std::move(list));
+        } else if (!src.associations(attr).empty()) {
+          json::Value list = json::Value::Array();
+          for (const RefId target : src.associations(attr)) {
+            list.Append(target);
+          }
+          links.Set(class_def.attributes[attr].name, std::move(list));
         }
-        ref_doc.Set("values", std::move(values));
-        ref_doc.Set("links", std::move(links));
-        ref_doc.Set("gold", full.gold_entity(id));
-        refs.Append(std::move(ref_doc));
       }
-      doc.Set("references", std::move(refs));
-      doc.Set("flush", true);
-      const HttpResponse res = handler.Handle(PostJson("/ingest", doc.Dump()));
-      if (res.status != 200) {
-        failed.fetch_add(1);
-      } else {
-        const auto parsed = json::Parse(res.body);
-        generations_seen.push_back(
-            static_cast<uint64_t>(parsed.value().at("generation").AsInt()));
-      }
+      ref_doc.Set("values", std::move(values));
+      ref_doc.Set("links", std::move(links));
+      ref_doc.Set("gold", full.gold_entity(id));
+      refs.Append(std::move(ref_doc));
     }
-    ingest_done.store(true, std::memory_order_release);
-  });
+    doc.Set("references", std::move(refs));
+    doc.Set("flush", true);
+    return doc.Dump();
+  };
 
-  ingest_thread.join();
-  for (std::thread& t : query_threads) t.join();
-  const double traffic_ms = MsSince(traffic_start);
+  // ---- Mixed traffic (reused for the in-memory and durable runs) -----------
+  auto run_traffic = [&](ServiceHandler& h, ReconService& svc) {
+    std::atomic<int64_t> failed{0};
+    std::atomic<bool> ingest_done{false};
+    std::vector<std::vector<double>> latencies(kQueryThreads);
+    std::atomic<int64_t> generations{0};
+
+    const auto traffic_start = std::chrono::steady_clock::now();
+    std::vector<std::thread> query_threads;
+    for (int t = 0; t < kQueryThreads; ++t) {
+      query_threads.emplace_back([&, t] {
+        int batch = 0;
+        // At least kBatchesPerThread batches, and keep going while ingest
+        // still publishes new snapshots so the mix is genuinely concurrent.
+        while (batch < kBatchesPerThread ||
+               !ingest_done.load(std::memory_order_acquire)) {
+          const std::string& body =
+              batch_bodies[(t + batch) % batch_bodies.size()];
+          const auto start = std::chrono::steady_clock::now();
+          const HttpResponse res = h.Handle(PostJson("/reconcile", body));
+          latencies[t].push_back(MsSince(start));
+          if (res.status != 200) failed.fetch_add(1);
+          ++batch;
+        }
+      });
+    }
+
+    std::thread ingest_thread([&] {
+      for (RefId id = split; id < full.num_references();) {
+        const RefId end =
+            std::min<RefId>(id + kIngestBatchSize, full.num_references());
+        const HttpResponse res =
+            h.Handle(PostJson("/ingest", ingest_body(id, end)));
+        id = end;
+        if (res.status != 200) {
+          failed.fetch_add(1);
+        } else {
+          generations.fetch_add(1);
+        }
+      }
+      ingest_done.store(true, std::memory_order_release);
+    });
+
+    ingest_thread.join();
+    for (std::thread& t : query_threads) t.join();
+
+    TrafficResult result;
+    result.traffic_ms = MsSince(traffic_start);
+    std::vector<double> all;
+    for (const auto& thread_lat : latencies) {
+      all.insert(all.end(), thread_lat.begin(), thread_lat.end());
+    }
+    std::sort(all.begin(), all.end());
+    result.batches = static_cast<int64_t>(all.size());
+    result.p50 = Percentile(all, 0.50);
+    result.p99 = Percentile(all, 0.99);
+    result.failed = failed.load();
+    result.final_generation = svc.snapshot()->generation();
+    result.generations_published = generations.load();
+    return result;
+  };
+
+  const TrafficResult plain = run_traffic(handler, service);
 
   // ---- Gates ---------------------------------------------------------------
   // Oracle equivalence: with ingest stopped the snapshot is stable, so the
@@ -260,52 +317,158 @@ int main(int argc, char** argv) {
     if (served.status != 200 || served.body != oracle) ++oracle_mismatches;
   }
 
-  std::vector<double> all_latencies;
-  for (const auto& thread_lat : latencies) {
-    all_latencies.insert(all_latencies.end(), thread_lat.begin(),
-                         thread_lat.end());
+  // ---- The same traffic, durable (WAL + checkpoints, every-flush) ----------
+  char data_dir_tmpl[] = "/tmp/recon-bench-XXXXXX";
+  const char* data_dir = ::mkdtemp(data_dir_tmpl);
+  TrafficResult durable;
+  int durability_mismatches = 0;
+  int64_t wal_bytes = 0;
+  {
+    service::ServiceOptions durable_options = options;
+    durable_options.durability.data_dir = data_dir;
+    durable_options.durability.fsync = service::FsyncPolicy::kEveryFlush;
+    durable_options.durability.checkpoint_every = 16;
+    auto opened = ReconService::Open(build_initial(), durable_options);
+    if (!opened.ok()) {
+      std::cerr << "FAILED: durable open: " << opened.status().ToString()
+                << "\n";
+      return 1;
+    }
+    ReconService& durable_service = *opened.value();
+    ServiceHandler durable_handler(&durable_service);
+    durable = run_traffic(durable_handler, durable_service);
+    wal_bytes = durable_service.durability_stats().wal_bytes;
+    // Durability must be invisible to results: after identical traffic,
+    // both services render byte-identical query responses.
+    for (const std::string& body : batch_bodies) {
+      const HttpResponse a = handler.Handle(PostJson("/reconcile", body));
+      const HttpResponse b =
+          durable_handler.Handle(PostJson("/reconcile", body));
+      if (a.status != b.status || a.body != b.body) ++durability_mismatches;
+    }
   }
-  std::sort(all_latencies.begin(), all_latencies.end());
-  const int64_t batches = static_cast<int64_t>(all_latencies.size());
-  const auto& counters = service.counters();
-  const double p50 = Percentile(all_latencies, 0.50);
-  const double p99 = Percentile(all_latencies, 0.99);
-  const uint64_t final_generation = service.snapshot()->generation();
+  if (data_dir != nullptr) {
+    StatusOr<service::DataDirState> state = service::ScanDataDir(data_dir);
+    if (state.ok()) {
+      for (const auto& p : state.value().checkpoint_paths) ::unlink(p.c_str());
+      for (const auto& p : state.value().wal_paths) ::unlink(p.c_str());
+      for (const auto& p : state.value().tmp_paths) ::unlink(p.c_str());
+    }
+    ::rmdir(data_dir);
+  }
+  // Overhead gate: within 5%, with a 3 ms absolute floor so scheduler
+  // noise on 1-CPU containers cannot fail a sub-millisecond p50.
+  const double p50_budget = std::max(plain.p50 * 1.05, plain.p50 + 3.0);
+  const bool durability_too_slow = durable.p50 > p50_budget;
 
-  std::cout << "Traffic: " << batches << " query batches ("
-            << counters.queries.load() << " queries) + "
-            << counters.ingested_references.load() << " ingested references "
-            << "in " << traffic_ms << " ms.\n"
-            << "Latency: p50 " << p50 << " ms, p99 " << p99 << " ms; "
-            << "throughput " << batches / (traffic_ms / 1000.0)
-            << " batches/s.\n"
-            << "Snapshots: " << generations_seen.size()
-            << " generations published (final " << final_generation << "); "
-            << counters.degraded_queries.load() << " degraded queries.\n"
-            << "Gates: failed_requests=" << failed.load()
-            << " oracle_mismatches=" << oracle_mismatches << "\n";
+  // ---- Overload burst through a real socket server -------------------------
+  // 4x max-inflight concurrent clients; the accept loop must shed the
+  // excess with 503 + Retry-After, never hang or reset, and every admitted
+  // response must match the oracle bytes.
+  std::vector<std::string> burst_oracles;
+  for (const std::string& body : batch_bodies) {
+    burst_oracles.push_back(handler.Handle(PostJson("/reconcile", body)).body);
+  }
+  std::atomic<int64_t> burst_200{0}, burst_503{0}, burst_errors{0};
+  std::atomic<int64_t> burst_mismatches{0};
+  {
+    service::HttpServerOptions server_options;
+    server_options.num_threads = kBurstMaxInflight;
+    server_options.max_inflight = kBurstMaxInflight;
+    service::HttpServer server(
+        [&](const HttpRequest& req) { return handler.Handle(req); },
+        server_options);
+    const Status started = server.Start(0);
+    if (!started.ok()) {
+      std::cerr << "FAILED: burst server: " << started.ToString() << "\n";
+      return 1;
+    }
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kBurstClients; ++c) {
+      clients.emplace_back([&, c] {
+        for (int r = 0; r < kBurstRequestsPerClient; ++r) {
+          const size_t pick = (c + r) % batch_bodies.size();
+          const auto res = service::HttpFetch(server.port(), "POST",
+                                              "/reconcile",
+                                              batch_bodies[pick]);
+          if (!res.ok()) {
+            burst_errors.fetch_add(1);
+          } else if (res.value().status == 200) {
+            burst_200.fetch_add(1);
+            if (res.value().body != burst_oracles[pick]) {
+              burst_mismatches.fetch_add(1);
+            }
+          } else if (res.value().status == 503) {
+            burst_503.fetch_add(1);
+          } else {
+            burst_errors.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    server.Stop();
+  }
+  const bool burst_bad =
+      burst_errors.load() != 0 || burst_mismatches.load() != 0 ||
+      burst_200.load() == 0;
+
+  const auto& counters = service.counters();
+  std::cout << "Traffic: " << plain.batches << " query batches + ingest in "
+            << plain.traffic_ms << " ms; p50 " << plain.p50 << " ms, p99 "
+            << plain.p99 << " ms; throughput "
+            << plain.batches / (plain.traffic_ms / 1000.0) << " batches/s.\n"
+            << "Durable: p50 " << durable.p50 << " ms (budget " << p50_budget
+            << "), p99 " << durable.p99 << " ms, " << wal_bytes
+            << " WAL bytes, " << durable.generations_published
+            << " generations.\n"
+            << "Burst: " << burst_200.load() << " x 200, " << burst_503.load()
+            << " x 503, " << burst_errors.load() << " transport errors, "
+            << burst_mismatches.load() << " body mismatches ("
+            << kBurstClients << " clients vs max-inflight "
+            << kBurstMaxInflight << ").\n"
+            << "Gates: failed_requests=" << plain.failed + durable.failed
+            << " oracle_mismatches=" << oracle_mismatches
+            << " durability_mismatches=" << durability_mismatches
+            << " durability_too_slow=" << durability_too_slow
+            << " burst_bad=" << burst_bad << "\n";
 
   JsonLog log;
   log.BeginRow();
   log.Add("bench", std::string("service_mixed_traffic"));
   log.Add("query_threads", kQueryThreads);
-  log.Add("query_batches", batches);
+  log.Add("query_batches", plain.batches);
   log.Add("queries", counters.queries.load());
   log.Add("ingested_references", counters.ingested_references.load());
-  log.Add("snapshot_generations", static_cast<int64_t>(final_generation));
-  log.Add("traffic_ms", traffic_ms);
+  log.Add("snapshot_generations",
+          static_cast<int64_t>(plain.final_generation));
+  log.Add("traffic_ms", plain.traffic_ms);
   log.Add("initial_reconcile_ms", initial_ms);
-  log.Add("latency_p50_ms", p50);
-  log.Add("latency_p99_ms", p99);
-  log.Add("batches_per_sec", batches / (traffic_ms / 1000.0));
+  log.Add("latency_p50_ms", plain.p50);
+  log.Add("latency_p99_ms", plain.p99);
+  log.Add("batches_per_sec", plain.batches / (plain.traffic_ms / 1000.0));
   log.Add("degraded_queries", counters.degraded_queries.load());
-  log.Add("failed_requests", failed.load());
+  log.Add("failed_requests", plain.failed);
   log.Add("oracle_mismatches", oracle_mismatches);
+  log.Add("durable_latency_p50_ms", durable.p50);
+  log.Add("durable_latency_p99_ms", durable.p99);
+  log.Add("durable_traffic_ms", durable.traffic_ms);
+  log.Add("durable_failed_requests", durable.failed);
+  log.Add("durability_mismatches", durability_mismatches);
+  log.Add("wal_bytes", wal_bytes);
+  log.Add("burst_200", burst_200.load());
+  log.Add("burst_503", burst_503.load());
+  log.Add("burst_errors", burst_errors.load());
+  log.Add("burst_mismatches", burst_mismatches.load());
   log.Write(bench::JsonPathFromArgs(argc, argv));
 
-  if (failed.load() != 0 || oracle_mismatches != 0) {
-    std::cerr << "FAILED: failed_requests=" << failed.load()
-              << " oracle_mismatches=" << oracle_mismatches << "\n";
+  if (plain.failed != 0 || durable.failed != 0 || oracle_mismatches != 0 ||
+      durability_mismatches != 0 || durability_too_slow || burst_bad) {
+    std::cerr << "FAILED: failed_requests=" << plain.failed + durable.failed
+              << " oracle_mismatches=" << oracle_mismatches
+              << " durability_mismatches=" << durability_mismatches
+              << " durability_too_slow=" << durability_too_slow
+              << " burst_bad=" << burst_bad << "\n";
     return 1;
   }
   std::cout << "OK\n";

@@ -1,0 +1,297 @@
+#include "service/checkpoint.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "service/wal.h"
+#include "util/crc32c.h"
+
+namespace recon::service {
+namespace {
+
+constexpr char kCkptMagic[8] = {'R', 'C', 'N', 'C', 'K', 'P', 'T', '1'};
+constexpr size_t kPrefixBytes = 8 + 4 + 4;  // magic | payload_len | crc.
+constexpr char kTmpName[] = "checkpoint.tmp";
+
+void PutU32(std::string& out, uint32_t v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void PutU64(std::string& out, uint64_t v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::string EncodePayload(const CheckpointData& data) {
+  std::string payload;
+  PutU64(payload, data.generation);
+  PutU32(payload, static_cast<uint32_t>(data.epoch_refs.size()));
+  for (const int64_t count : data.epoch_refs) {
+    PutU64(payload, static_cast<uint64_t>(count));
+  }
+  PutU64(payload, data.dataset_text.size());
+  payload.append(data.dataset_text);
+  PutU32(payload, static_cast<uint32_t>(data.clusters.size()));
+  for (const int32_t cluster : data.clusters) {
+    PutU32(payload, static_cast<uint32_t>(cluster));
+  }
+  return payload;
+}
+
+Status DecodePayload(const char* data, size_t size, CheckpointData& out) {
+  size_t pos = 0;
+  auto get = [&](void* dst, size_t n) {
+    if (pos + n > size) return false;
+    std::memcpy(dst, data + pos, n);
+    pos += n;
+    return true;
+  };
+  uint32_t num_epochs = 0;
+  if (!get(&out.generation, 8) || !get(&num_epochs, 4)) {
+    return Status::FailedPrecondition("checkpoint: truncated payload");
+  }
+  if (num_epochs != out.generation + 1 || num_epochs > size) {
+    return Status::FailedPrecondition("checkpoint: bad epoch table size");
+  }
+  out.epoch_refs.resize(num_epochs);
+  for (uint32_t g = 0; g < num_epochs; ++g) {
+    uint64_t count;
+    if (!get(&count, 8)) {
+      return Status::FailedPrecondition("checkpoint: truncated epoch table");
+    }
+    out.epoch_refs[g] = static_cast<int64_t>(count);
+    if (g > 0 && out.epoch_refs[g] < out.epoch_refs[g - 1]) {
+      return Status::FailedPrecondition("checkpoint: non-monotone epochs");
+    }
+  }
+  uint64_t text_len;
+  if (!get(&text_len, 8) || pos + text_len > size) {
+    return Status::FailedPrecondition("checkpoint: truncated dataset");
+  }
+  out.dataset_text.assign(data + pos, text_len);
+  pos += text_len;
+  uint32_t num_clusters;
+  if (!get(&num_clusters, 4) || pos + 4ull * num_clusters > size) {
+    return Status::FailedPrecondition("checkpoint: truncated clusters");
+  }
+  out.clusters.resize(num_clusters);
+  for (uint32_t i = 0; i < num_clusters; ++i) {
+    uint32_t cluster = 0;
+    if (!get(&cluster, 4)) {
+      return Status::FailedPrecondition("checkpoint: truncated clusters");
+    }
+    out.clusters[i] = static_cast<int32_t>(cluster);
+  }
+  if (pos != size) {
+    return Status::FailedPrecondition("checkpoint: trailing bytes");
+  }
+  if (!out.epoch_refs.empty() &&
+      out.epoch_refs.back() != static_cast<int64_t>(num_clusters)) {
+    return Status::FailedPrecondition(
+        "checkpoint: cluster count does not match final epoch");
+  }
+  return Status::Ok();
+}
+
+/// Parses "<stem>-<number><suffix>"; false when the name has another shape.
+bool ParseGenerationName(const std::string& name, const char* stem,
+                         const char* suffix, uint64_t& generation) {
+  const size_t stem_len = std::strlen(stem);
+  const size_t suffix_len = std::strlen(suffix);
+  if (name.size() <= stem_len + suffix_len) return false;
+  if (name.compare(0, stem_len, stem) != 0) return false;
+  if (name.compare(name.size() - suffix_len, suffix_len, suffix) != 0) {
+    return false;
+  }
+  generation = 0;
+  for (size_t i = stem_len; i < name.size() - suffix_len; ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    generation = generation * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string CheckpointFileName(uint64_t generation) {
+  return "checkpoint-" + std::to_string(generation) + ".ckpt";
+}
+
+std::string WalFileName(uint64_t generation) {
+  return "wal-" + std::to_string(generation) + ".log";
+}
+
+Status WriteCheckpointFile(const std::string& dir, const CheckpointData& data,
+                           IoFaultHook* hook, std::string* path_out) {
+  const std::string payload = EncodePayload(data);
+  std::string file(kCkptMagic, sizeof(kCkptMagic));
+  PutU32(file, static_cast<uint32_t>(payload.size()));
+  PutU32(file, Crc32cOf(payload));
+  file.append(payload);
+
+  const std::string tmp_path = dir + "/" + kTmpName;
+  const std::string final_path = dir + "/" + CheckpointFileName(data.generation);
+
+  // 1. Write the temp file.
+  switch (wal_internal::ConsultHook(hook, IoOp::kCheckpointWrite)) {
+    case IoFault::kNone: {
+      const int fd = ::open(tmp_path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+      if (fd < 0) {
+        return Status::Internal("create " + tmp_path + ": " +
+                                std::string(std::strerror(errno)));
+      }
+      const Status st = wal_internal::WriteAll(fd, file.data(), file.size());
+      if (!st.ok()) {
+        ::close(fd);
+        return st;
+      }
+      // 2. fsync the temp file before renaming: rename must never expose
+      // bytes that are not yet durable.
+      switch (wal_internal::ConsultHook(hook, IoOp::kCheckpointSync)) {
+        case IoFault::kNone:
+          break;
+        case IoFault::kError:
+          ::close(fd);
+          return Status::Internal("injected fsync error: " + tmp_path);
+        default:
+          ::close(fd);
+          return Status::Internal("injected crash at checkpoint-sync: " +
+                                  tmp_path);
+      }
+      if (::fsync(fd) < 0) {
+        const std::string err = std::strerror(errno);
+        ::close(fd);
+        return Status::Internal("fsync " + tmp_path + ": " + err);
+      }
+      ::close(fd);
+      break;
+    }
+    case IoFault::kTornWrite: {
+      // Half the file lands, then the "process dies".
+      const int fd = ::open(tmp_path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+      if (fd >= 0) {
+        (void)!wal_internal::WriteAll(fd, file.data(), file.size() / 2).ok();
+        ::close(fd);
+      }
+      return Status::Internal("injected torn write at checkpoint-write: " +
+                              tmp_path);
+    }
+    case IoFault::kError:
+      return Status::Internal("injected write error at checkpoint-write: " +
+                              tmp_path);
+    case IoFault::kCrash:
+      return Status::Internal("injected crash at checkpoint-write: " +
+                              tmp_path);
+  }
+
+  // 3. Atomic rename into place.
+  switch (wal_internal::ConsultHook(hook, IoOp::kCheckpointRename)) {
+    case IoFault::kNone:
+      break;
+    case IoFault::kError:
+      return Status::Internal("injected rename error: " + final_path);
+    default:
+      return Status::Internal("injected crash at checkpoint-rename: " +
+                              final_path);
+  }
+  if (::rename(tmp_path.c_str(), final_path.c_str()) < 0) {
+    return Status::Internal("rename " + tmp_path + " -> " + final_path + ": " +
+                            std::string(std::strerror(errno)));
+  }
+
+  // 4. fsync the directory so the new name survives a crash.
+  RECON_RETURN_IF_ERROR(wal_internal::SyncDir(dir, hook));
+  if (path_out != nullptr) *path_out = final_path;
+  return Status::Ok();
+}
+
+StatusOr<CheckpointData> ReadCheckpointFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::Internal("open " + path + ": " +
+                            std::string(std::strerror(errno)));
+  }
+  std::string raw;
+  char chunk[1 << 16];
+  while (true) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string err = std::strerror(errno);
+      ::close(fd);
+      return Status::Internal("read " + path + ": " + err);
+    }
+    if (n == 0) break;
+    raw.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  if (raw.size() < kPrefixBytes ||
+      std::memcmp(raw.data(), kCkptMagic, sizeof(kCkptMagic)) != 0) {
+    return Status::FailedPrecondition("checkpoint " + path +
+                                      ": missing or corrupt magic");
+  }
+  uint32_t payload_len, crc;
+  std::memcpy(&payload_len, raw.data() + 8, sizeof(payload_len));
+  std::memcpy(&crc, raw.data() + 12, sizeof(crc));
+  if (raw.size() != kPrefixBytes + payload_len) {
+    return Status::FailedPrecondition("checkpoint " + path +
+                                      ": truncated or oversized");
+  }
+  if (Crc32c(raw.data() + kPrefixBytes, payload_len) != crc) {
+    return Status::FailedPrecondition("checkpoint " + path + ": crc mismatch");
+  }
+  CheckpointData data;
+  Status st = DecodePayload(raw.data() + kPrefixBytes, payload_len, data);
+  if (!st.ok()) {
+    return Status::FailedPrecondition("checkpoint " + path + ": " +
+                                      st.message());
+  }
+  return data;
+}
+
+StatusOr<DataDirState> ScanDataDir(const std::string& dir) {
+  DataDirState state;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    if (errno == ENOENT) return state;  // exists = false.
+    return Status::Internal("opendir " + dir + ": " +
+                            std::string(std::strerror(errno)));
+  }
+  state.exists = true;
+  std::vector<std::pair<uint64_t, std::string>> ckpts, wals;
+  while (struct dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    uint64_t generation;
+    if (ParseGenerationName(name, "checkpoint-", ".ckpt", generation)) {
+      ckpts.emplace_back(generation, dir + "/" + name);
+    } else if (ParseGenerationName(name, "wal-", ".log", generation)) {
+      wals.emplace_back(generation, dir + "/" + name);
+    } else if (name == kTmpName) {
+      state.tmp_paths.push_back(dir + "/" + name);
+    }
+    // Unknown names are left alone: not ours to delete.
+  }
+  ::closedir(d);
+  std::sort(ckpts.rbegin(), ckpts.rend());  // Newest first.
+  std::sort(wals.rbegin(), wals.rend());
+  for (auto& [generation, path] : ckpts) {
+    state.checkpoint_generations.push_back(generation);
+    state.checkpoint_paths.push_back(std::move(path));
+  }
+  for (auto& [generation, path] : wals) {
+    state.wal_generations.push_back(generation);
+    state.wal_paths.push_back(std::move(path));
+  }
+  return state;
+}
+
+}  // namespace recon::service

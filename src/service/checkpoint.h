@@ -1,0 +1,90 @@
+// Checkpoints for the reconciliation service (DESIGN.md §15).
+//
+// A checkpoint is a compact, self-validating image of the service's
+// durable state at one flush generation g:
+//   * the epoch table — the cumulative flushed-reference count after every
+//     generation 0..g. Replay must reproduce the *exact* flush-epoch
+//     structure, not just the final reference set: the incremental
+//     reconciler's fixed point depends on where the epoch boundaries fell
+//     (batched insertion approximates — not equals — the one-shot batch
+//     result), so byte-identical recovery re-runs the same epochs through
+//     the normal staging path.
+//   * the full dataset at g (schema + references + golds + provenance),
+//     serialized with model/text_io.
+//   * the published entity clusters at g — not used to *compute* recovery
+//     (replay recomputes them) but compared against the replayed result as
+//     an end-to-end integrity gate: any divergence means corrupt state or
+//     a broken determinism invariant, and recovery refuses to serve it.
+//
+// Atomicity protocol: write checkpoint.tmp, fsync it, rename(2) to
+// checkpoint-<g>.ckpt, fsync the directory. Readers only ever see a fully
+// written checkpoint or none; a crash mid-write leaves a tmp file that the
+// next recovery deletes. After a successful checkpoint the WAL rotates to
+// a fresh segment based at g and stale files are removed — so the WAL's
+// length is bounded by checkpoint_every epochs of traffic.
+//
+// File layout: magic "RCNCKPT1" | u32 payload_len | u32 crc32c(payload) |
+// payload (see checkpoint.cc). Host-endian, like the WAL.
+
+#ifndef RECON_SERVICE_CHECKPOINT_H_
+#define RECON_SERVICE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/fault_injection.h"
+#include "util/status.h"
+
+namespace recon::service {
+
+/// One checkpoint, decoded. `dataset_text` stays serialized at this layer
+/// (model/text_io format); the service parses it during recovery.
+struct CheckpointData {
+  uint64_t generation = 0;
+  /// epoch_refs[g] = references flushed as of generation g; size is
+  /// generation + 1 (epoch 0 is the initial load).
+  std::vector<int64_t> epoch_refs;
+  std::string dataset_text;
+  /// Published cluster id per reference at `generation`.
+  std::vector<int32_t> clusters;
+};
+
+/// File name for generation `g` within a data dir ("checkpoint-<g>.ckpt").
+std::string CheckpointFileName(uint64_t generation);
+/// WAL segment name based at generation `g` ("wal-<g>.log").
+std::string WalFileName(uint64_t generation);
+
+/// Writes `data` into `dir` under the atomic tmp+rename protocol.
+/// On success `*path_out` (if non-null) is the final path.
+Status WriteCheckpointFile(const std::string& dir, const CheckpointData& data,
+                           IoFaultHook* hook, std::string* path_out);
+
+/// Reads and validates one checkpoint file (magic + CRC + structure).
+StatusOr<CheckpointData> ReadCheckpointFile(const std::string& path);
+
+/// What a scan of the data dir found. Checkpoints are listed newest-first;
+/// recovery tries them in order and treats the rest as stale.
+struct DataDirState {
+  bool exists = false;
+  /// Full paths of checkpoint files, descending by generation.
+  std::vector<std::string> checkpoint_paths;
+  std::vector<uint64_t> checkpoint_generations;  ///< Parallel to paths.
+  /// Full paths of WAL segments, with their base generations.
+  std::vector<std::string> wal_paths;
+  std::vector<uint64_t> wal_generations;  ///< Parallel to wal_paths.
+  /// Leftover temp files (crashed checkpoint writes), safe to delete.
+  std::vector<std::string> tmp_paths;
+
+  bool empty() const {
+    return checkpoint_paths.empty() && wal_paths.empty();
+  }
+};
+
+/// Lists the durability files in `dir`. Not finding the dir is not an
+/// error (exists=false); unreadable dirs are.
+StatusOr<DataDirState> ScanDataDir(const std::string& dir);
+
+}  // namespace recon::service
+
+#endif  // RECON_SERVICE_CHECKPOINT_H_

@@ -333,7 +333,17 @@ HttpResponse ServiceHandler::Ingest(const HttpRequest& req) const {
   const bool flush = doc.value().at("flush").AsBool(true);
   StatusOr<IngestReport> report =
       service_->Ingest(std::move(refs), std::move(golds), flush);
-  if (!report.ok()) return ErrorResponse(400, report.status().message());
+  if (!report.ok()) {
+    // Durability failures (WAL unusable, service read-only) are a server
+    // condition, not a client error: 503 with a retry hint. Bad input
+    // stays 400.
+    if (report.status().code() == StatusCode::kFailedPrecondition) {
+      HttpResponse res = ErrorResponse(503, report.status().message());
+      res.extra_headers.emplace_back("Retry-After", "1");
+      return res;
+    }
+    return ErrorResponse(400, report.status().message());
+  }
 
   json::Value out = json::Value::Object();
   out.Set("added", report.value().added);
@@ -427,6 +437,24 @@ HttpResponse ServiceHandler::Stats() const {
   c.Set("ingested_references", counters.ingested_references.load());
   c.Set("flushes", counters.flushes.load());
   doc.Set("counters", std::move(c));
+  const DurabilityStats durability = service_->durability_stats();
+  json::Value d = json::Value::Object();
+  d.Set("enabled", durability.enabled);
+  if (durability.enabled) {
+    d.Set("durable_generation", durability.durable_generation);
+    d.Set("wal_records", durability.wal_records);
+    d.Set("wal_bytes", durability.wal_bytes);
+    d.Set("checkpoints_written", durability.checkpoints_written);
+    d.Set("checkpoint_generation", durability.checkpoint_generation);
+    d.Set("checkpoint_failures", durability.checkpoint_failures);
+    d.Set("recovered", durability.recovered);
+    d.Set("recovered_clean", durability.recovered_clean);
+    d.Set("replayed_epochs", durability.replayed_epochs);
+    d.Set("replayed_references", durability.replayed_references);
+    d.Set("wal_truncated_bytes", durability.wal_truncated_bytes);
+    d.Set("write_failed", durability.write_failed);
+  }
+  doc.Set("durability", std::move(d));
   HttpResponse res = JsonResponse(200, doc);
   res.extra_headers.emplace_back("X-Snapshot-Generation",
                                  std::to_string(snapshot->generation()));

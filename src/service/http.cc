@@ -18,21 +18,27 @@ namespace recon::service {
 namespace {
 
 constexpr size_t kMaxHeaderBytes = 64 * 1024;
-constexpr size_t kMaxBodyBytes = 8 * 1024 * 1024;
-/// Per-connection socket read timeout; a stalled client cannot park a
-/// worker forever.
-constexpr int kRecvTimeoutSec = 10;
+/// Client-side response cap for HttpFetch (the server body bound is
+/// HttpServerOptions::max_body_bytes).
+constexpr size_t kMaxFetchBytes = 8 * 1024 * 1024;
 
 std::string ToLower(std::string s) {
   for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
   return s;
 }
 
-void SetRecvTimeout(int fd) {
+void SetRecvTimeoutMs(int fd, int timeout_ms) {
   struct timeval tv;
-  tv.tv_sec = kRecvTimeoutSec;
-  tv.tv_usec = 0;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
   ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+void SetSendTimeoutMs(int fd, int timeout_ms) {
+  struct timeval tv;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
 }
 
 /// Writes all of `data`; false on error. MSG_NOSIGNAL so a peer that hung
@@ -157,9 +163,21 @@ const char* HttpStatusText(int status) {
   }
 }
 
-HttpServer::HttpServer(Handler handler, int num_threads)
+HttpServer::HttpServer(Handler handler, HttpServerOptions options)
     : handler_(std::move(handler)),
-      pool_(std::make_unique<runtime::ThreadPool>(num_threads)) {}
+      options_(options),
+      pool_(std::make_unique<runtime::ThreadPool>(
+          options.num_threads < 1 ? 1 : options.num_threads)) {
+  if (options_.recv_timeout_ms < 1) options_.recv_timeout_ms = 1;
+  if (options_.listen_backlog < 1) options_.listen_backlog = 1;
+}
+
+HttpServer::HttpServer(Handler handler, int num_threads)
+    : HttpServer(std::move(handler), [num_threads] {
+        HttpServerOptions options;
+        options.num_threads = num_threads;
+        return options;
+      }()) {}
 
 HttpServer::~HttpServer() { Stop(); }
 
@@ -180,7 +198,7 @@ Status HttpServer::Start(int port) {
     ::close(fd);
     return Status::Internal("bind port " + std::to_string(port) + ": " + err);
   }
-  if (::listen(fd, 128) < 0) {
+  if (::listen(fd, options_.listen_backlog) < 0) {
     const std::string err = std::strerror(errno);
     ::close(fd);
     return Status::Internal("listen: " + err);
@@ -221,12 +239,67 @@ void HttpServer::AcceptLoop() {
       if (stopping_.load(std::memory_order_acquire)) return;
       continue;
     }
-    pool_->Submit([this, fd] { ServeConnection(fd); });
+    // Bounded admission: claim an in-flight slot or shed right here.
+    // Shedding on the accept thread keeps the worker pool for admitted
+    // work and bounds memory — a shed connection never buffers a body.
+    if (options_.max_inflight > 0) {
+      int current = inflight_.load(std::memory_order_relaxed);
+      bool admitted = false;
+      while (current < options_.max_inflight) {
+        if (inflight_.compare_exchange_weak(current, current + 1,
+                                            std::memory_order_relaxed)) {
+          admitted = true;
+          break;
+        }
+      }
+      if (!admitted) {
+        shed_.fetch_add(1, std::memory_order_relaxed);
+        ShedConnection(fd);
+        continue;
+      }
+    } else {
+      inflight_.fetch_add(1, std::memory_order_relaxed);
+    }
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    pool_->Submit([this, fd] {
+      ServeConnection(fd);
+      inflight_.fetch_sub(1, std::memory_order_relaxed);
+    });
   }
 }
 
+void HttpServer::ShedConnection(int fd) {
+  // Tight timeouts: this runs on the accept thread, so a hostile peer may
+  // stall it at most ~250ms, while a well-behaved loopback client costs
+  // microseconds.
+  SetRecvTimeoutMs(fd, 250);
+  SetSendTimeoutMs(fd, 250);
+  HttpResponse res;
+  res.status = 503;
+  res.body = "{\"error\":\"overloaded: " +
+             std::to_string(options_.max_inflight) +
+             " requests in flight\"}";
+  res.extra_headers.emplace_back("Retry-After",
+                                 std::to_string(options_.retry_after_s));
+  SendAll(fd, RenderResponse(res));
+  // Close without an RST: the client may still be sending its request; if
+  // we close with unread bytes in the receive queue the kernel resets the
+  // connection and the client can lose the 503. Half-close our side, then
+  // drain (bounded) until the client sees the response and closes.
+  ::shutdown(fd, SHUT_WR);
+  char sink[4096];
+  size_t drained = 0;
+  while (drained < 64 * 1024) {
+    const ssize_t n = ::recv(fd, sink, sizeof(sink), 0);
+    if (n <= 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // EOF, timeout, or error: done either way.
+    drained += static_cast<size_t>(n);
+  }
+  ::close(fd);
+}
+
 void HttpServer::ServeConnection(int fd) {
-  SetRecvTimeout(fd);
+  SetRecvTimeoutMs(fd, options_.recv_timeout_ms);
   std::string buf;
   HttpRequest req;
   const ssize_t header_end = ReadHeaders(fd, buf);
@@ -247,8 +320,9 @@ void HttpServer::ServeConnection(int fd) {
     errno = 0;
     char* end = nullptr;
     const unsigned long long v = std::strtoull(cl.c_str(), &end, 10);
-    if (errno != 0 || end == cl.c_str() || *end != '\0' || v > kMaxBodyBytes) {
-      res.status = v > kMaxBodyBytes ? 413 : 400;
+    if (errno != 0 || end == cl.c_str() || *end != '\0' ||
+        v > options_.max_body_bytes) {
+      res.status = v > options_.max_body_bytes ? 413 : 400;
       res.body = "{\"error\":\"bad content-length\"}";
       SendAll(fd, RenderResponse(res));
       ::close(fd);
@@ -286,7 +360,7 @@ StatusOr<HttpResponse> HttpFetch(int port, const std::string& method,
                                  const std::vector<std::string>& headers) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return Status::Internal("socket: " + std::string(std::strerror(errno)));
-  SetRecvTimeout(fd);
+  SetRecvTimeoutMs(fd, 10'000);
 
   struct sockaddr_in addr;
   std::memset(&addr, 0, sizeof(addr));
@@ -322,7 +396,7 @@ StatusOr<HttpResponse> HttpFetch(int port, const std::string& method,
     }
     if (n == 0) break;
     raw.append(chunk, static_cast<size_t>(n));
-    if (raw.size() > kMaxBodyBytes + kMaxHeaderBytes) break;
+    if (raw.size() > kMaxFetchBytes + kMaxHeaderBytes) break;
   }
   ::close(fd);
 

@@ -41,11 +41,34 @@ struct HttpResponse {
 /// Standard reason phrase for the handful of statuses the service uses.
 const char* HttpStatusText(int status);
 
+/// Server tuning knobs (DESIGN.md §15 shedding policy).
+struct HttpServerOptions {
+  /// Request-handling workers (clamped to >= 1).
+  int num_threads = 1;
+  /// Admission bound: connections handed to workers but not yet answered.
+  /// Above it the accept loop sheds with `503 + Retry-After` immediately
+  /// instead of queueing without bound — saturation degrades to fast,
+  /// honest rejections, never to stalled readers. 0 = unbounded.
+  int max_inflight = 0;
+  /// Per-connection socket read timeout; a stalled client cannot park a
+  /// worker forever.
+  int recv_timeout_ms = 10'000;
+  /// Largest accepted request body (413 above it).
+  size_t max_body_bytes = 8u * 1024 * 1024;
+  /// Retry-After hint attached to shed responses, seconds.
+  int retry_after_s = 1;
+  /// listen(2) backlog: the kernel-side accept queue is the second
+  /// backpressure stage behind max_inflight.
+  int listen_backlog = 128;
+};
+
 class HttpServer {
  public:
   using Handler = std::function<HttpResponse(const HttpRequest&)>;
 
-  /// `num_threads` request-handling workers (clamped to >= 1).
+  HttpServer(Handler handler, HttpServerOptions options);
+
+  /// `num_threads` request-handling workers, defaults elsewhere.
   HttpServer(Handler handler, int num_threads);
 
   /// Stops and joins (see Stop()).
@@ -66,16 +89,31 @@ class HttpServer {
   /// in-flight request tasks. Idempotent.
   void Stop();
 
+  /// Connections admitted to workers / shed with 503 (monotone counters).
+  int64_t accepted_requests() const {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+  int64_t shed_requests() const {
+    return shed_.load(std::memory_order_relaxed);
+  }
+
  private:
   void AcceptLoop();
   void ServeConnection(int fd);
+  /// Answers 503 + Retry-After on the accept thread, then closes without
+  /// triggering an RST (short bounded drain of unread request bytes).
+  void ShedConnection(int fd);
 
   Handler handler_;
+  HttpServerOptions options_;
   std::unique_ptr<runtime::ThreadPool> pool_;
   std::thread accept_thread_;
   int listen_fd_ = -1;
   int port_ = 0;
   std::atomic<bool> stopping_{false};
+  std::atomic<int> inflight_{0};
+  std::atomic<int64_t> accepted_{0};
+  std::atomic<int64_t> shed_{0};
 };
 
 /// Minimal loopback HTTP client for tests and tools: sends one request to

@@ -24,7 +24,9 @@
 #include <vector>
 
 #include "core/incremental.h"
+#include "service/checkpoint.h"
 #include "service/snapshot.h"
+#include "service/wal.h"
 #include "util/atomic_shared_ptr.h"
 #include "util/status.h"
 
@@ -40,6 +42,30 @@ struct ServiceOptions {
   double query_deadline_ms = 0;
   /// Default result-list bound when a query does not give one.
   int default_limit = 10;
+  /// WAL + checkpoint configuration (DESIGN.md §15). Only honored through
+  /// ReconService::Open(); the plain constructor requires it unset.
+  DurabilityOptions durability;
+};
+
+/// Durability-subsystem telemetry (all under the ingest mutex).
+struct DurabilityStats {
+  bool enabled = false;
+  /// Last generation whose flush record is durable per the fsync policy.
+  uint64_t durable_generation = 0;
+  int64_t wal_records = 0;
+  int64_t wal_bytes = 0;
+  int64_t checkpoints_written = 0;
+  uint64_t checkpoint_generation = 0;  ///< Generation of the newest one.
+  /// Failed checkpoint attempts (service continues on the old WAL).
+  int64_t checkpoint_failures = 0;
+  bool recovered = false;        ///< This process recovered from disk.
+  bool recovered_clean = false;  ///< ... and the WAL carried a seal.
+  int64_t replayed_epochs = 0;
+  int64_t replayed_references = 0;
+  int64_t wal_truncated_bytes = 0;  ///< Torn tail dropped during recovery.
+  /// Sticky: a WAL write or sync failed; ingest is rejected (503), queries
+  /// keep serving the last published snapshot.
+  bool write_failed = false;
 };
 
 /// Monotonically increasing service counters (all thread-safe).
@@ -72,7 +98,25 @@ struct IngestReport {
 class ReconService {
  public:
   /// Reconciles `initial` in full and publishes snapshot generation 0.
+  /// In-memory only: options.durability.data_dir must be empty (use Open()
+  /// for a durable service).
   ReconService(Dataset initial, ServiceOptions options);
+
+  /// Opens a durable service (or an in-memory one when
+  /// options.durability.data_dir is empty).
+  ///
+  ///   * Fresh data dir (or none yet): reconciles `initial`, publishes
+  ///     generation 0, writes checkpoint-0 and starts wal-0.
+  ///   * Existing state: `initial` is IGNORED except for sanity checks —
+  ///     the service rebuilds from the newest valid checkpoint by
+  ///     replaying its epoch table through the normal incremental staging
+  ///     path, then replays the WAL tail (same path), truncating any torn
+  ///     tail. The rebuilt clusters are verified against the checkpoint's
+  ///     stored clusters; divergence or corruption beyond recovery fails
+  ///     with kFailedPrecondition (callers map this to a distinct exit
+  ///     code).
+  static StatusOr<std::unique_ptr<ReconService>> Open(Dataset initial,
+                                                      ServiceOptions options);
 
   ReconService(const ReconService&) = delete;
   ReconService& operator=(const ReconService&) = delete;
@@ -92,12 +136,23 @@ class ReconService {
   /// exists or precedes the reference within this batch) and, when
   /// `flush` is set, reconciles them and publishes a new snapshot.
   /// `golds` is parallel to `refs` (-1 = unlabeled) or empty.
+  ///
+  /// With durability on, the batch (and the flush boundary) is appended to
+  /// the WAL — fsync'd per policy — *before* anything is staged in memory:
+  /// an acknowledged call is replayable, a failed one left no memory-only
+  /// state. After a WAL failure the service is read-only and ingest
+  /// returns kFailedPrecondition (handlers map it to 503).
   StatusOr<IngestReport> Ingest(std::vector<Reference> refs,
                                 std::vector<int> golds, bool flush);
 
   /// Flushes staged references (if any) and publishes a new snapshot.
-  /// Returns the generation afterwards. Serializes with Ingest.
-  uint64_t Flush();
+  /// Returns the generation afterwards. Serializes with Ingest. Fails
+  /// only when durability is on and the WAL is (or goes) unusable.
+  StatusOr<uint64_t> Flush();
+
+  /// Appends the clean-shutdown seal to the WAL and syncs it (graceful
+  /// drain). No-op without durability.
+  Status Seal();
 
   /// Schema of the served dataset (fixed for the service lifetime).
   const Schema& schema() const { return schema_; }
@@ -105,11 +160,24 @@ class ReconService {
   const ServiceCounters& counters() const { return counters_; }
   /// References staged but not yet reconciled into a snapshot.
   int staged_references() const;
+  /// Durability telemetry (locks; safe from any thread).
+  DurabilityStats durability_stats() const;
 
  private:
-  /// Rebuilds + publishes a snapshot from the reconciler's current state.
-  /// Caller must hold ingest_mu_.
+  /// Rebuilds + publishes a snapshot from the reconciler's current state,
+  /// then writes a checkpoint + rotates the WAL every checkpoint_every
+  /// generations. Caller must hold ingest_mu_.
   uint64_t PublishLocked();
+  /// One flush epoch without a snapshot build or checkpoint — the replay
+  /// fast path. Caller must hold ingest_mu_.
+  void ReplayEpochLocked();
+  /// Fresh data dir: writes checkpoint-<generation_> and starts a WAL.
+  Status InitFreshDurabilityLocked();
+  /// Existing data dir: rebuild from checkpoint + WAL tail (see Open()).
+  Status RecoverLocked(const DataDirState& dir_state);
+  /// Serializes current state into a checkpoint, rotates the WAL, removes
+  /// stale files. Failures leave the old WAL in service.
+  Status WriteCheckpointLocked();
 
   ServiceOptions options_;
   Schema schema_;
@@ -118,6 +186,15 @@ class ReconService {
   mutable std::mutex ingest_mu_;
   IncrementalReconciler reconciler_;  // Guarded by ingest_mu_.
   uint64_t generation_ = 0;           // Guarded by ingest_mu_.
+
+  // ---- Durability (all guarded by ingest_mu_) ----
+  std::unique_ptr<WriteAheadLog> wal_;  ///< Null = in-memory service.
+  /// epoch_refs_[g] = references flushed as of generation g — the epoch
+  /// table checkpoints persist and recovery replays.
+  std::vector<int64_t> epoch_refs_;
+  bool wal_failed_ = false;   ///< Sticky; see Ingest().
+  std::string wal_error_;     ///< First failure, for error messages.
+  DurabilityStats durability_stats_storage_;
 
   AtomicSharedPtr<const Snapshot> snapshot_;
 };

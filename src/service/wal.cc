@@ -1,0 +1,489 @@
+#include "service/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/crc32c.h"
+
+namespace recon::service {
+namespace {
+
+constexpr char kWalMagic[8] = {'R', 'C', 'N', 'W', 'A', 'L', '1', '\n'};
+constexpr size_t kHeaderBytes = 8 + 8 + 4;  // magic | base_generation | crc.
+/// A record frame never legitimately exceeds this; a larger length prefix
+/// in a tail means the prefix itself is garbage.
+constexpr uint32_t kMaxRecordBytes = 256u * 1024 * 1024;
+
+// ---- Buffer put/get -------------------------------------------------------
+
+void PutU32(std::string& out, uint32_t v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void PutU64(std::string& out, uint64_t v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void PutI32(std::string& out, int32_t v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void PutString(std::string& out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out.append(s);
+}
+
+/// Bounds-checked forward cursor over a decoded payload.
+struct Cursor {
+  const char* data;
+  size_t size;
+  size_t pos = 0;
+
+  bool GetBytes(void* out, size_t n) {
+    if (pos + n > size) return false;
+    std::memcpy(out, data + pos, n);
+    pos += n;
+    return true;
+  }
+  bool GetU32(uint32_t& v) { return GetBytes(&v, sizeof(v)); }
+  bool GetU64(uint64_t& v) { return GetBytes(&v, sizeof(v)); }
+  bool GetI32(int32_t& v) { return GetBytes(&v, sizeof(v)); }
+  bool GetU8(uint8_t& v) { return GetBytes(&v, sizeof(v)); }
+  bool GetString(std::string& s) {
+    uint32_t len;
+    if (!GetU32(len) || pos + len > size) return false;
+    s.assign(data + pos, len);
+    pos += len;
+    return true;
+  }
+  bool AtEnd() const { return pos == size; }
+};
+
+// ---- Record payload encode/decode -----------------------------------------
+
+void EncodeReference(std::string& out, const Reference& ref, int gold,
+                     Provenance provenance) {
+  PutI32(out, ref.class_id());
+  PutI32(out, gold);
+  out.push_back(static_cast<char>(provenance));
+  const int num_attrs = ref.num_attributes();
+  PutU32(out, static_cast<uint32_t>(num_attrs));
+  for (int attr = 0; attr < num_attrs; ++attr) {
+    const auto& values = ref.atomic_values(attr);
+    PutU32(out, static_cast<uint32_t>(values.size()));
+    for (const std::string& v : values) PutString(out, v);
+  }
+  for (int attr = 0; attr < num_attrs; ++attr) {
+    const auto& targets = ref.associations(attr);
+    PutU32(out, static_cast<uint32_t>(targets.size()));
+    for (const RefId t : targets) PutI32(out, t);
+  }
+}
+
+bool DecodeReference(Cursor& cur, WalRecord& record) {
+  int32_t class_id, gold;
+  uint8_t provenance;
+  uint32_t num_attrs;
+  if (!cur.GetI32(class_id) || !cur.GetI32(gold) || !cur.GetU8(provenance) ||
+      !cur.GetU32(num_attrs)) {
+    return false;
+  }
+  if (provenance > static_cast<uint8_t>(Provenance::kOther) ||
+      num_attrs > 4096) {
+    return false;
+  }
+  Reference ref(class_id, static_cast<int>(num_attrs));
+  for (uint32_t attr = 0; attr < num_attrs; ++attr) {
+    uint32_t n;
+    if (!cur.GetU32(n) || n > cur.size) return false;
+    for (uint32_t i = 0; i < n; ++i) {
+      std::string v;
+      if (!cur.GetString(v)) return false;
+      ref.AddAtomicValue(static_cast<int>(attr), std::move(v));
+    }
+  }
+  for (uint32_t attr = 0; attr < num_attrs; ++attr) {
+    uint32_t n;
+    if (!cur.GetU32(n) || n > cur.size) return false;
+    for (uint32_t i = 0; i < n; ++i) {
+      int32_t target;
+      if (!cur.GetI32(target)) return false;
+      ref.AddAssociation(static_cast<int>(attr), target);
+    }
+  }
+  record.refs.push_back(std::move(ref));
+  record.golds.push_back(gold);
+  record.provenances.push_back(static_cast<Provenance>(provenance));
+  return true;
+}
+
+/// Decodes one record payload. False = structurally invalid (treated the
+/// same as a CRC mismatch: the tail is cut before this record).
+bool DecodePayload(const char* data, size_t size, WalRecord& record) {
+  Cursor cur{data, size};
+  uint8_t type;
+  if (!cur.GetU8(type)) return false;
+  switch (type) {
+    case WalRecord::kBatch: {
+      record.type = WalRecord::kBatch;
+      uint32_t nrefs;
+      if (!cur.GetU32(nrefs) || nrefs > cur.size) return false;
+      record.refs.reserve(nrefs);
+      for (uint32_t i = 0; i < nrefs; ++i) {
+        if (!DecodeReference(cur, record)) return false;
+      }
+      return cur.AtEnd();
+    }
+    case WalRecord::kFlush:
+    case WalRecord::kSeal:
+      record.type = static_cast<WalRecord::Type>(type);
+      return cur.GetU64(record.generation) && cur.AtEnd();
+    default:
+      return false;
+  }
+}
+
+std::string FrameRecord(const std::string& payload) {
+  std::string frame;
+  frame.reserve(8 + payload.size());
+  PutU32(frame, static_cast<uint32_t>(payload.size()));
+  PutU32(frame, Crc32cOf(payload));
+  frame.append(payload);
+  return frame;
+}
+
+std::string HeaderBytes(uint64_t base_generation) {
+  std::string header(kWalMagic, sizeof(kWalMagic));
+  PutU64(header, base_generation);
+  PutU32(header, Crc32cOf(header));
+  return header;
+}
+
+}  // namespace
+
+// ---- Shared helpers -------------------------------------------------------
+
+namespace wal_internal {
+
+IoFault ConsultHook(IoFaultHook* hook, IoOp op) {
+  return hook != nullptr ? hook->OnIo(op) : IoFault::kNone;
+}
+
+Status WriteAll(int fd, const char* data, size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal("write: " + std::string(std::strerror(errno)));
+    }
+    data += n;
+    len -= static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status SyncDir(const std::string& dir, IoFaultHook* hook) {
+  switch (ConsultHook(hook, IoOp::kDirSync)) {
+    case IoFault::kNone:
+      break;
+    case IoFault::kError:
+      return Status::Internal("injected dir-sync error: " + dir);
+    default:
+      return Status::Internal("injected crash at dir-sync: " + dir);
+  }
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::Internal("open dir " + dir + ": " +
+                            std::string(std::strerror(errno)));
+  }
+  const int rc = ::fsync(fd);
+  const int saved_errno = errno;
+  ::close(fd);
+  if (rc < 0) {
+    return Status::Internal("fsync dir " + dir + ": " +
+                            std::string(std::strerror(saved_errno)));
+  }
+  return Status::Ok();
+}
+
+Status RemoveFile(const std::string& path, IoFaultHook* hook) {
+  switch (ConsultHook(hook, IoOp::kRemove)) {
+    case IoFault::kNone:
+      break;
+    case IoFault::kError:
+      return Status::Internal("injected remove error: " + path);
+    default:
+      return Status::Internal("injected crash at remove: " + path);
+  }
+  if (::unlink(path.c_str()) < 0 && errno != ENOENT) {
+    return Status::Internal("unlink " + path + ": " +
+                            std::string(std::strerror(errno)));
+  }
+  return Status::Ok();
+}
+
+}  // namespace wal_internal
+
+// ---- Policy parsing -------------------------------------------------------
+
+StatusOr<FsyncPolicy> ParseFsyncPolicy(const std::string& text) {
+  if (text == "every-record") return FsyncPolicy::kEveryRecord;
+  if (text == "every-flush") return FsyncPolicy::kEveryFlush;
+  if (text == "none") return FsyncPolicy::kNone;
+  return Status::InvalidArgument(
+      "unknown fsync policy \"" + text +
+      "\" (expected every-record, every-flush, or none)");
+}
+
+const char* FsyncPolicyName(FsyncPolicy policy) {
+  switch (policy) {
+    case FsyncPolicy::kEveryRecord: return "every-record";
+    case FsyncPolicy::kEveryFlush: return "every-flush";
+    case FsyncPolicy::kNone: return "none";
+  }
+  return "unknown";
+}
+
+// ---- Reader ---------------------------------------------------------------
+
+StatusOr<WalContents> ReadWalFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::Internal("open " + path + ": " +
+                            std::string(std::strerror(errno)));
+  }
+  std::string raw;
+  char chunk[1 << 16];
+  while (true) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string err = std::strerror(errno);
+      ::close(fd);
+      return Status::Internal("read " + path + ": " + err);
+    }
+    if (n == 0) break;
+    raw.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  WalContents contents;
+  if (raw.size() < kHeaderBytes ||
+      std::memcmp(raw.data(), kWalMagic, sizeof(kWalMagic)) != 0) {
+    return Status::FailedPrecondition("wal " + path +
+                                      ": missing or corrupt header");
+  }
+  uint32_t header_crc;
+  std::memcpy(&header_crc, raw.data() + 16, sizeof(header_crc));
+  if (Crc32c(raw.data(), 16) != header_crc) {
+    return Status::FailedPrecondition("wal " + path + ": header crc mismatch");
+  }
+  std::memcpy(&contents.base_generation, raw.data() + 8, sizeof(uint64_t));
+
+  size_t pos = kHeaderBytes;
+  contents.append_offset = pos;
+  while (true) {
+    if (pos + 8 > raw.size()) break;  // No room for a frame prefix: tail.
+    uint32_t len, crc;
+    std::memcpy(&len, raw.data() + pos, sizeof(len));
+    std::memcpy(&crc, raw.data() + pos + 4, sizeof(crc));
+    if (len > kMaxRecordBytes || pos + 8 + len > raw.size()) break;
+    if (Crc32c(raw.data() + pos + 8, len) != crc) break;
+    WalRecord record;
+    if (!DecodePayload(raw.data() + pos + 8, len, record)) break;
+    pos += 8 + len;
+    if (record.type == WalRecord::kSeal) {
+      // A seal is only a clean-shutdown marker if nothing follows it; a
+      // reopened-and-appended log replays past a mid-log seal. Either way
+      // the seal itself carries no state and is not kept, and appends
+      // resume before it (append_offset is not advanced).
+      contents.sealed = pos >= raw.size();
+      if (contents.sealed) break;
+      continue;
+    }
+    contents.sealed = false;
+    contents.records.push_back(std::move(record));
+    contents.append_offset = pos;
+  }
+  contents.truncated_bytes =
+      raw.size() - (contents.sealed ? pos : contents.append_offset);
+  if (contents.sealed) contents.truncated_bytes = 0;
+  return contents;
+}
+
+// ---- Writer ---------------------------------------------------------------
+
+WriteAheadLog::~WriteAheadLog() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+StatusOr<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Create(
+    const std::string& dir, const std::string& path, uint64_t base_generation,
+    FsyncPolicy policy, std::shared_ptr<IoFaultHook> hook) {
+  switch (wal_internal::ConsultHook(hook.get(), IoOp::kWalCreate)) {
+    case IoFault::kNone:
+      break;
+    case IoFault::kError:
+      return Status::Internal("injected wal-create error: " + path);
+    default:
+      return Status::Internal("injected crash at wal-create: " + path);
+  }
+  const int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0) {
+    return Status::Internal("create " + path + ": " +
+                            std::string(std::strerror(errno)));
+  }
+  const std::string header = HeaderBytes(base_generation);
+  Status st = wal_internal::WriteAll(fd, header.data(), header.size());
+  if (st.ok() && ::fsync(fd) < 0) {
+    st = Status::Internal("fsync " + path + ": " +
+                          std::string(std::strerror(errno)));
+  }
+  if (!st.ok()) {
+    ::close(fd);
+    return st;
+  }
+  // Persist the file's existence too, or a crash could forget the name.
+  st = wal_internal::SyncDir(dir, hook.get());
+  if (!st.ok()) {
+    ::close(fd);
+    return st;
+  }
+  auto log = std::unique_ptr<WriteAheadLog>(
+      new WriteAheadLog(path, fd, base_generation, policy, std::move(hook)));
+  log->appended_bytes_ = static_cast<int64_t>(header.size());
+  return log;
+}
+
+StatusOr<std::unique_ptr<WriteAheadLog>> WriteAheadLog::OpenForAppend(
+    const std::string& path, uint64_t base_generation, uint64_t append_offset,
+    uint64_t durable_generation, FsyncPolicy policy,
+    std::shared_ptr<IoFaultHook> hook) {
+  const int fd = ::open(path.c_str(), O_WRONLY);
+  if (fd < 0) {
+    return Status::Internal("open " + path + ": " +
+                            std::string(std::strerror(errno)));
+  }
+  // Cut the torn tail (and any trailing seal) so the next append starts on
+  // a record boundary, and make the cut durable before trusting it.
+  if (::ftruncate(fd, static_cast<off_t>(append_offset)) < 0 ||
+      ::lseek(fd, 0, SEEK_END) < 0 || ::fsync(fd) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal("truncate " + path + ": " + err);
+  }
+  auto log = std::unique_ptr<WriteAheadLog>(
+      new WriteAheadLog(path, fd, base_generation, policy, std::move(hook)));
+  log->durable_generation_ = durable_generation;
+  log->appended_bytes_ = static_cast<int64_t>(append_offset);
+  return log;
+}
+
+Status WriteAheadLog::AppendFrame(const std::string& frame) {
+  if (failed_) {
+    return Status::FailedPrecondition("wal " + path_ +
+                                      ": unusable after earlier failure");
+  }
+  size_t write_bytes = frame.size();
+  bool poison = false;
+  Status injected = Status::Ok();
+  switch (wal_internal::ConsultHook(hook_.get(), IoOp::kWalAppend)) {
+    case IoFault::kNone:
+      break;
+    case IoFault::kCrash:
+      write_bytes = 0;
+      poison = true;
+      injected = Status::Internal("injected crash at wal-append: " + path_);
+      break;
+    case IoFault::kTornWrite:
+      write_bytes = frame.size() / 2;
+      poison = true;
+      injected = Status::Internal("injected torn write at wal-append: " + path_);
+      break;
+    case IoFault::kError:
+      // EIO-style short write: nothing durable landed, process lives. The
+      // log still goes unusable — after a failed append the file tail is
+      // unknowable without a re-scan.
+      poison = true;
+      injected = Status::Internal("injected write error at wal-append: " + path_);
+      write_bytes = 0;
+      break;
+  }
+  if (write_bytes > 0 || injected.ok()) {
+    const Status st = wal_internal::WriteAll(fd_, frame.data(), write_bytes);
+    if (!st.ok()) {
+      failed_ = true;
+      return st;
+    }
+  }
+  if (poison) {
+    failed_ = true;
+    return injected;
+  }
+  ++appended_records_;
+  appended_bytes_ += static_cast<int64_t>(frame.size());
+  return Status::Ok();
+}
+
+Status WriteAheadLog::Sync(IoOp op) {
+  switch (wal_internal::ConsultHook(hook_.get(), op)) {
+    case IoFault::kNone:
+      break;
+    case IoFault::kError:
+      failed_ = true;
+      return Status::Internal("injected fsync error: " + path_);
+    default:
+      failed_ = true;
+      return Status::Internal("injected crash at wal-sync: " + path_);
+  }
+  if (::fsync(fd_) < 0) {
+    // After a failed fsync the kernel may have dropped the dirty pages:
+    // the durable tail is unknowable, so the log is done (fsync-gate
+    // semantics). The service degrades to read-only.
+    failed_ = true;
+    return Status::Internal("fsync " + path_ + ": " +
+                            std::string(std::strerror(errno)));
+  }
+  return Status::Ok();
+}
+
+Status WriteAheadLog::AppendBatch(const std::vector<Reference>& refs,
+                                  const std::vector<int>& golds) {
+  std::string payload;
+  payload.push_back(static_cast<char>(WalRecord::kBatch));
+  PutU32(payload, static_cast<uint32_t>(refs.size()));
+  for (size_t i = 0; i < refs.size(); ++i) {
+    const int gold = golds.empty() ? -1 : golds[i];
+    EncodeReference(payload, refs[i], gold, Provenance::kOther);
+  }
+  RECON_RETURN_IF_ERROR(AppendFrame(FrameRecord(payload)));
+  if (policy_ == FsyncPolicy::kEveryRecord) {
+    return Sync(IoOp::kWalSync);
+  }
+  return Status::Ok();
+}
+
+Status WriteAheadLog::AppendFlush(uint64_t generation) {
+  std::string payload;
+  payload.push_back(static_cast<char>(WalRecord::kFlush));
+  PutU64(payload, generation);
+  RECON_RETURN_IF_ERROR(AppendFrame(FrameRecord(payload)));
+  if (policy_ != FsyncPolicy::kNone) {
+    RECON_RETURN_IF_ERROR(Sync(IoOp::kWalSync));
+  }
+  durable_generation_ = generation;
+  return Status::Ok();
+}
+
+Status WriteAheadLog::AppendSeal(uint64_t generation) {
+  std::string payload;
+  payload.push_back(static_cast<char>(WalRecord::kSeal));
+  PutU64(payload, generation);
+  RECON_RETURN_IF_ERROR(AppendFrame(FrameRecord(payload)));
+  return Sync(IoOp::kWalSync);
+}
+
+}  // namespace recon::service

@@ -1,0 +1,186 @@
+// Write-ahead log for the reconciliation service (DESIGN.md §15).
+//
+// The WAL is an append-only file of length-prefixed, CRC32C-checksummed
+// records, written by the ingest thread *before* references are staged in
+// memory (write-intent ordering): a record that is durable can always be
+// replayed, and a record that never finished writing was never acknowledged.
+// Three record types:
+//   * kBatch — one ingest batch: the serialized references + gold labels.
+//   * kFlush — a flush-epoch boundary carrying the generation the flush
+//     produces. Epoch boundaries are part of the log because the
+//     reconciler's output is a deterministic function of (initial dataset,
+//     batches, epoch boundaries) — replaying the same boundaries through
+//     the normal IncrementalReconciler staging path reproduces the
+//     partition byte-identically at any thread count (PR-8 canonical-order
+//     guarantees).
+//   * kSeal — clean-shutdown marker, written by ReconService::Seal() on
+//     graceful drain; recovery reports whether the log was sealed.
+//
+// A torn or corrupted tail (crash mid-append) is detected by the length
+// prefix + CRC and truncated on recovery; everything before it replays.
+// File layout:
+//   header:  magic "RCNWAL1\n" | u64 base_generation | u32 crc(header)
+//   record:  u32 payload_len | u32 crc32c(payload) | payload
+//   payload: u8 type | type-specific body (see wal.cc)
+// Integers are host-endian: the log is a single-machine durability
+// artifact, not an interchange format.
+
+#ifndef RECON_SERVICE_WAL_H_
+#define RECON_SERVICE_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/dataset.h"
+#include "util/fault_injection.h"
+#include "util/status.h"
+
+namespace recon::service {
+
+/// When the WAL calls fsync.
+enum class FsyncPolicy {
+  kEveryRecord,  ///< After every append — strongest, slowest.
+  kEveryFlush,   ///< After flush-epoch and seal records only (default):
+                 ///< an acknowledged flush is durable; a crash can lose
+                 ///< staged-but-unflushed batches of the current epoch.
+  kNone,         ///< Never (except file/dir creation). Survives process
+                 ///< crashes via the page cache, not power loss.
+};
+
+/// Parses "every-record" / "every-flush" / "none".
+StatusOr<FsyncPolicy> ParseFsyncPolicy(const std::string& text);
+const char* FsyncPolicyName(FsyncPolicy policy);
+
+/// Durability configuration for ReconService (part of ServiceOptions).
+struct DurabilityOptions {
+  /// Directory for WAL segments + checkpoints. Empty = durability off.
+  std::string data_dir;
+  FsyncPolicy fsync = FsyncPolicy::kEveryFlush;
+  /// Write a checkpoint (and rotate the WAL) every N flush epochs;
+  /// 0 = never checkpoint (the WAL grows without bound).
+  int checkpoint_every = 64;
+  /// Test-only I/O fault hook threaded through every WAL/checkpoint write.
+  std::shared_ptr<IoFaultHook> io_fault;
+};
+
+/// One decoded WAL record.
+struct WalRecord {
+  enum Type : uint8_t { kBatch = 1, kFlush = 2, kSeal = 3 };
+  Type type = kBatch;
+  // kBatch:
+  std::vector<Reference> refs;
+  std::vector<int> golds;                 ///< Parallel to refs (-1 = none).
+  std::vector<Provenance> provenances;    ///< Parallel to refs.
+  // kFlush: the generation this flush produced. kSeal: generation at seal.
+  uint64_t generation = 0;
+};
+
+/// Everything a WAL file held, after tail validation.
+struct WalContents {
+  uint64_t base_generation = 0;  ///< Generation of the checkpoint this
+                                 ///< segment extends.
+  std::vector<WalRecord> records;
+  bool sealed = false;           ///< Log ended with a clean-shutdown seal.
+  /// Offset just past the last valid record, excluding a trailing seal —
+  /// the position appends resume from on reopen.
+  uint64_t append_offset = 0;
+  /// Bytes dropped from a torn/corrupt tail (0 on a clean log).
+  uint64_t truncated_bytes = 0;
+};
+
+/// Reads and validates `path`. Fails only on open/read errors or a corrupt
+/// header; a bad tail is truncated into `truncated_bytes`, not an error.
+StatusOr<WalContents> ReadWalFile(const std::string& path);
+
+/// The append side. All methods are called by one thread (the service's
+/// ingest thread, under its mutex). Every failed append/sync leaves the
+/// log unusable for further writes — the caller goes read-only.
+class WriteAheadLog {
+ public:
+  ~WriteAheadLog();
+
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  /// Creates (truncating) `path`, writes the header, fsyncs it and `dir`.
+  static StatusOr<std::unique_ptr<WriteAheadLog>> Create(
+      const std::string& dir, const std::string& path,
+      uint64_t base_generation, FsyncPolicy policy,
+      std::shared_ptr<IoFaultHook> hook);
+
+  /// Reopens an existing segment for append: truncates to `append_offset`
+  /// (dropping any torn tail and any trailing seal) and positions there.
+  static StatusOr<std::unique_ptr<WriteAheadLog>> OpenForAppend(
+      const std::string& path, uint64_t base_generation,
+      uint64_t append_offset, uint64_t durable_generation, FsyncPolicy policy,
+      std::shared_ptr<IoFaultHook> hook);
+
+  /// Appends one ingest batch (golds parallel to refs or empty).
+  Status AppendBatch(const std::vector<Reference>& refs,
+                     const std::vector<int>& golds);
+
+  /// Appends a flush-epoch boundary and syncs per policy. On success the
+  /// epoch is durable: durable_generation() advances to `generation`.
+  Status AppendFlush(uint64_t generation);
+
+  /// Appends the clean-shutdown seal and always syncs.
+  Status AppendSeal(uint64_t generation);
+
+  /// Last generation whose flush record was appended and synced per the
+  /// policy (under kNone: appended; durable against process crash only).
+  uint64_t durable_generation() const { return durable_generation_; }
+  int64_t appended_records() const { return appended_records_; }
+  int64_t appended_bytes() const { return appended_bytes_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  WriteAheadLog(std::string path, int fd, uint64_t base_generation,
+                FsyncPolicy policy, std::shared_ptr<IoFaultHook> hook)
+      : path_(std::move(path)),
+        fd_(fd),
+        base_generation_(base_generation),
+        durable_generation_(base_generation),
+        policy_(policy),
+        hook_(std::move(hook)) {}
+
+  /// Consults the fault hook, then writes all of `frame`. A crash-kind
+  /// fault writes nothing (kCrash) or half the frame (kTornWrite) and
+  /// poisons the log.
+  Status AppendFrame(const std::string& frame);
+  /// fsync through the fault hook; poisons the log on failure.
+  Status Sync(IoOp op);
+
+  const std::string path_;
+  int fd_ = -1;
+  const uint64_t base_generation_;
+  uint64_t durable_generation_ = 0;
+  const FsyncPolicy policy_;
+  const std::shared_ptr<IoFaultHook> hook_;
+  int64_t appended_records_ = 0;
+  int64_t appended_bytes_ = 0;
+  bool failed_ = false;
+};
+
+// ---- Shared low-level helpers (used by checkpoint.cc too) -----------------
+
+namespace wal_internal {
+
+/// Consults `hook` (null = proceed) for `op`. Returns the fault to apply.
+IoFault ConsultHook(IoFaultHook* hook, IoOp op);
+
+/// write() loop handling EINTR/short writes; Status on error.
+Status WriteAll(int fd, const char* data, size_t len);
+
+/// fsync an open directory (persists renames and new file names).
+Status SyncDir(const std::string& dir, IoFaultHook* hook);
+
+/// unlink through the fault hook (kError → Status; crash kinds → Status).
+Status RemoveFile(const std::string& path, IoFaultHook* hook);
+
+}  // namespace wal_internal
+
+}  // namespace recon::service
+
+#endif  // RECON_SERVICE_WAL_H_

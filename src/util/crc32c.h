@@ -1,0 +1,57 @@
+// CRC32C (Castagnoli) checksums for the durability subsystem (DESIGN.md
+// §15): every WAL record and checkpoint payload carries one so recovery can
+// tell a torn or corrupted tail from valid data. Software table-driven
+// implementation — small, dependency-free, and fast enough for the record
+// sizes the service writes (the WAL is fsync-bound, not checksum-bound).
+
+#ifndef RECON_UTIL_CRC32C_H_
+#define RECON_UTIL_CRC32C_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace recon {
+
+namespace crc32c_internal {
+
+inline const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        // Reflected Castagnoli polynomial (0x1EDC6F41).
+        crc = (crc >> 1) ^ ((crc & 1u) ? 0x82F63B78u : 0u);
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace crc32c_internal
+
+/// CRC32C of `data`; `seed` chains multi-part checksums (pass a previous
+/// result to extend it).
+inline uint32_t Crc32c(const void* data, size_t size, uint32_t seed = 0) {
+  const auto& table = crc32c_internal::Table();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ table[(crc ^ bytes[i]) & 0xFFu];
+  }
+  return ~crc;
+}
+
+/// Named differently from the pointer overload: a `const char*` argument
+/// would otherwise be ambiguous between `const void*` and `string_view`.
+inline uint32_t Crc32cOf(std::string_view data, uint32_t seed = 0) {
+  return Crc32c(data.data(), data.size(), seed);
+}
+
+}  // namespace recon
+
+#endif  // RECON_UTIL_CRC32C_H_

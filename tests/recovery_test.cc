@@ -1,0 +1,680 @@
+// Crash-recovery tests for the service durability subsystem (DESIGN.md
+// §15): a deterministic workload is driven against a durable service with
+// an I/O fault injected at every individual WAL/checkpoint operation, the
+// "crashed" service is reopened, and the recovered partition must be
+// byte-identical to what the fault-free oracle published at the recovered
+// generation — at every fault point, every fault kind, and every thread
+// count. Resuming the remaining workload must then land on the oracle's
+// final state, so recovery is not just consistent but *continuable*.
+//
+// The determinism this leans on: the reconciler's state is a function of
+// (reference batches, flush-epoch boundaries) alone — PR-8's canonical
+// commit order makes it thread-count invariant — so "byte-identical" is a
+// meaningful, testable contract, not a statistical one.
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "model/dataset.h"
+#include "service/checkpoint.h"
+#include "service/service.h"
+#include "service/snapshot.h"
+#include "service/wal.h"
+#include "util/fault_injection.h"
+
+namespace recon::service {
+namespace {
+
+// ---- Scratch directories ---------------------------------------------------
+
+/// mkdtemp-backed scratch dir, recursively removed on destruction.
+class TempDir {
+ public:
+  TempDir() {
+    char tmpl[] = "/tmp/recon-recovery-XXXXXX";
+    char* made = ::mkdtemp(tmpl);
+    RECON_CHECK(made != nullptr);
+    path_ = made;
+  }
+  ~TempDir() {
+    // Only our own flat files live here; no recursion needed.
+    StatusOr<DataDirState> state = ScanDataDir(path_);
+    if (state.ok()) {
+      for (const auto& p : state.value().checkpoint_paths) ::remove(p.c_str());
+      for (const auto& p : state.value().wal_paths) ::remove(p.c_str());
+      for (const auto& p : state.value().tmp_paths) ::remove(p.c_str());
+    }
+    ::rmdir(path_.c_str());
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// ---- The deterministic workload --------------------------------------------
+
+/// One primitive durable operation, mirroring exactly one WAL record:
+/// either a staged batch (kBatch) or a flush boundary (kFlush). Driving
+/// the service with this stream reproduces the same WAL byte-for-byte, so
+/// any crash leaves a durable *prefix* of the stream and resumption is
+/// simply "replay the suffix".
+struct Op {
+  bool flush = false;
+  std::vector<Reference> refs;
+  std::vector<int> golds;
+};
+
+/// Initial dataset: four persons, two of them the same Alice (golds say
+/// so), checkpointed as generation 0.
+Dataset InitialDataset() {
+  Dataset data(BuildPimSchema());
+  const int person = data.schema().RequireClass("Person");
+  const int name = data.schema().RequireAttribute(person, "name");
+  const int email = data.schema().RequireAttribute(person, "email");
+  auto add = [&](const char* n, const char* e, int gold) {
+    const RefId id = data.NewReference(person, gold);
+    data.mutable_reference(id).AddAtomicValue(name, n);
+    data.mutable_reference(id).AddAtomicValue(email, e);
+  };
+  add("Alice Smith", "alice@x.edu", 0);
+  add("A. Smith", "alice@x.edu", 0);
+  add("Bob Jones", "bob@y.edu", 1);
+  add("Carla Ruiz", "carla@z.org", 2);
+  return data;
+}
+
+Reference Person(const Schema& schema, const std::string& name,
+                 const std::string& email,
+                 const std::vector<RefId>& contacts = {}) {
+  const int person = schema.RequireClass("Person");
+  Reference ref(person, schema.class_def(person).num_attributes());
+  ref.AddAtomicValue(schema.RequireAttribute(person, "name"), name);
+  if (!email.empty()) {
+    ref.AddAtomicValue(schema.RequireAttribute(person, "email"), email);
+  }
+  const int contact = schema.RequireAttribute(person, "emailContact");
+  for (const RefId target : contacts) ref.AddAssociation(contact, target);
+  return ref;
+}
+
+Reference Article(const Schema& schema, const std::string& title,
+                  const std::vector<RefId>& authors) {
+  const int article = schema.RequireClass("Article");
+  Reference ref(article, schema.class_def(article).num_attributes());
+  ref.AddAtomicValue(schema.RequireAttribute(article, "title"), title);
+  const int by = schema.RequireAttribute(article, "authoredBy");
+  for (const RefId target : authors) ref.AddAssociation(by, target);
+  return ref;
+}
+
+/// ~20 references over 7 batches and 6 flush boundaries: duplicate
+/// persons that must merge (same email, name variants), articles whose
+/// authoredBy associations feed the dependency graph, a batch left staged
+/// across a flush, and a final multi-batch epoch. RefIds are absolute
+/// (initial dataset holds 0..3), which keeps association targets valid on
+/// every replay.
+std::vector<Op> BuildWorkload(const Schema& schema) {
+  std::vector<Op> ops;
+  auto batch = [&](std::vector<Reference> refs, std::vector<int> golds = {}) {
+    Op op;
+    op.refs = std::move(refs);
+    op.golds = std::move(golds);
+    ops.push_back(std::move(op));
+  };
+  auto flush = [&]() {
+    Op op;
+    op.flush = true;
+    ops.push_back(std::move(op));
+  };
+
+  // Refs 4-5: another Alice spelling plus a fresh Dave.
+  batch({Person(schema, "Alice M. Smith", "alice@x.edu"),
+         Person(schema, "Dave Hill", "dave@w.net")});
+  flush();  // Generation 1.
+  // Refs 6-8: Bob duplicate, a contact edge onto Alice, unlabeled Erin.
+  batch({Person(schema, "Robert Jones", "bob@y.edu"),
+         Person(schema, "B. Jones", "bob@y.edu", /*contacts=*/{0}),
+         Person(schema, "Erin Woo", "erin@q.io")},
+        {-1, -1, -1});
+  flush();  // Generation 2.
+  // Refs 9-10: articles linking authors (dependency-graph evidence).
+  batch({Article(schema, "Reference Reconciliation in Complex Spaces",
+                 {0, 2}),
+         Article(schema, "Reference Reconciliation in Complex Spaces",
+                 {4, 6})});
+  flush();  // Generation 3.
+  // Refs 11-12: staged but not flushed yet...
+  batch({Person(schema, "Carla R.", "carla@z.org"),
+         Person(schema, "Dave Hill", "dave@w.net")});
+  // Refs 13-14: ...then a second batch joins the same epoch.
+  batch({Person(schema, "Frank Ma", "frank@p.edu", /*contacts=*/{5, 8}),
+         Article(schema, "Canopy Clustering at Scale", {8, 13})});
+  flush();  // Generation 4.
+  // Refs 15-16.
+  batch({Person(schema, "E. Woo", "erin@q.io"),
+         Person(schema, "Grace Liu", "grace@r.org")});
+  flush();  // Generation 5.
+  // Refs 17-19: one more epoch so several checkpoints happen at
+  // checkpoint_every=2.
+  batch({Person(schema, "G. Liu", "grace@r.org"),
+         Article(schema, "Canopy Clustering at Scale", {15, 17}),
+         Person(schema, "Hank Obi", "hank@s.edu")});
+  flush();  // Generation 6.
+  return ops;
+}
+
+int InitialRefs() { return 4; }
+
+// ---- Fingerprints and drivers ----------------------------------------------
+
+ServiceOptions MakeOptions(const std::string& data_dir, FsyncPolicy fsync,
+                           int checkpoint_every, int threads,
+                           std::shared_ptr<IoFaultHook> hook = nullptr) {
+  ServiceOptions options;
+  options.reconciler = ReconcilerOptions::DepGraph();
+  options.reconciler.num_threads = threads;
+  options.durability.data_dir = data_dir;
+  options.durability.fsync = fsync;
+  options.durability.checkpoint_every = checkpoint_every;
+  options.durability.io_fault = std::move(hook);
+  return options;
+}
+
+/// The byte-identity witness: generation plus the full ref -> entity map.
+std::string Fingerprint(const Snapshot& snapshot) {
+  std::string out = "g" + std::to_string(snapshot.generation()) + ":";
+  for (RefId id = 0; id < snapshot.num_references(); ++id) {
+    out += std::to_string(snapshot.EntityOfRef(id));
+    out += ',';
+  }
+  return out;
+}
+
+struct Oracle {
+  /// Fingerprint of the published snapshot at each generation 0..G.
+  std::map<uint64_t, std::string> by_generation;
+  std::string final_fingerprint;
+  int64_t total_io_ops = 0;
+};
+
+/// Drives the full workload fault-free and records the per-generation
+/// fingerprints the recovered states must reproduce, plus the total
+/// durable-op count that sizes the crash sweep.
+Oracle RunOracle(FsyncPolicy fsync, int checkpoint_every, int threads) {
+  TempDir dir;
+  auto counter = std::make_shared<IoFaultInjector>(IoFault::kNone, -1);
+  auto opened = ReconService::Open(
+      InitialDataset(),
+      MakeOptions(dir.path(), fsync, checkpoint_every, threads, counter));
+  RECON_CHECK(opened.ok()) << opened.status().ToString();
+  auto& service = *opened.value();
+  Oracle oracle;
+  oracle.by_generation[0] = Fingerprint(*service.snapshot());
+  for (const Op& op : BuildWorkload(service.schema())) {
+    if (op.flush) {
+      const auto generation = service.Flush();
+      RECON_CHECK(generation.ok());
+      oracle.by_generation[generation.value()] =
+          Fingerprint(*service.snapshot());
+    } else {
+      RECON_CHECK(service.Ingest(op.refs, op.golds, false).ok());
+    }
+  }
+  oracle.final_fingerprint = Fingerprint(*service.snapshot());
+  oracle.total_io_ops = counter->ops();
+  // The tiny workload must already exercise every durable-op kind, or the
+  // sweep below proves less than it claims.
+  for (int op = 0; op < kNumIoOps; ++op) {
+    RECON_CHECK(counter->seen(static_cast<IoOp>(op)) > 0)
+        << "workload never reaches " << IoOpName(static_cast<IoOp>(op));
+  }
+  return oracle;
+}
+
+struct CrashRun {
+  uint64_t acked_generation = 0;  ///< Last generation an OK call reported.
+  bool failed = false;            ///< The fault surfaced as an error.
+};
+
+/// Drives the workload until the injected fault kills it (destruction
+/// without Seal == the crash itself).
+CrashRun DriveWithFault(const std::string& data_dir, FsyncPolicy fsync,
+                        int checkpoint_every, int threads, IoFault fault,
+                        int64_t fire_at) {
+  auto injector = std::make_shared<IoFaultInjector>(fault, fire_at);
+  CrashRun run;
+  auto opened = ReconService::Open(
+      InitialDataset(),
+      MakeOptions(data_dir, fsync, checkpoint_every, threads, injector));
+  if (!opened.ok()) {
+    run.failed = true;  // Crashed during init; nothing was acknowledged.
+    return run;
+  }
+  auto& service = *opened.value();
+  for (const Op& op : BuildWorkload(service.schema())) {
+    if (op.flush) {
+      const auto generation = service.Flush();
+      if (!generation.ok()) {
+        run.failed = true;
+        break;
+      }
+      run.acked_generation = generation.value();
+    } else {
+      if (!service.Ingest(op.refs, op.golds, false).ok()) {
+        run.failed = true;
+        break;
+      }
+    }
+  }
+  return run;
+}
+
+/// Reopens the crashed directory fault-free, checks the recovered state
+/// against the oracle, resumes the un-applied suffix of the workload, and
+/// checks the final state. `recover_threads` may differ from the thread
+/// count that produced the WAL: recovery must be thread-count invariant.
+void RecoverAndVerify(const std::string& data_dir, const Oracle& oracle,
+                      const CrashRun& run, FsyncPolicy fsync,
+                      int checkpoint_every, int recover_threads,
+                      const std::string& context) {
+  // A crash before anything became durable leaves an empty dir; reopening
+  // is then a fresh init from the CLI dataset, not a recovery — and
+  // nothing can have been acknowledged.
+  StatusOr<DataDirState> pre = ScanDataDir(data_dir);
+  ASSERT_TRUE(pre.ok()) << context;
+  const bool had_state = !pre.value().empty();
+  if (!had_state) {
+    ASSERT_EQ(run.acked_generation, 0u) << context;
+  }
+  auto opened = ReconService::Open(
+      InitialDataset(),
+      MakeOptions(data_dir, fsync, checkpoint_every, recover_threads));
+  ASSERT_TRUE(opened.ok()) << context << ": " << opened.status().ToString();
+  auto& service = *opened.value();
+  const auto snapshot = service.snapshot();
+  const uint64_t generation = snapshot->generation();
+
+  // Acknowledged flushes must survive the crash (acked implies durable).
+  EXPECT_GE(generation, run.acked_generation) << context;
+
+  // The recovered snapshot is byte-identical to what the fault-free oracle
+  // published at this generation.
+  const auto expected = oracle.by_generation.find(generation);
+  ASSERT_TRUE(expected != oracle.by_generation.end())
+      << context << ": recovered unknown generation " << generation;
+  EXPECT_EQ(Fingerprint(*snapshot), expected->second) << context;
+
+  // The durable state is an exact prefix of the op stream: walk the
+  // workload until the observed (references, generation) pair is consumed.
+  const std::vector<Op> ops = BuildWorkload(service.schema());
+  const int present =
+      snapshot->num_references() + service.staged_references();
+  int refs = InitialRefs();
+  uint64_t flushed = 0;
+  size_t next = 0;
+  for (; next < ops.size(); ++next) {
+    if (ops[next].flush) {
+      if (flushed + 1 > generation) break;
+      ++flushed;
+    } else {
+      if (refs + static_cast<int>(ops[next].refs.size()) > present) break;
+      refs += static_cast<int>(ops[next].refs.size());
+    }
+  }
+  ASSERT_EQ(flushed, generation) << context << ": not a prefix of the stream";
+  ASSERT_EQ(refs, present) << context << ": not a prefix of the stream";
+
+  // Resume the suffix; the service must land exactly on the oracle's end
+  // state, proving the recovered WAL is fit for continued appends.
+  for (; next < ops.size(); ++next) {
+    if (ops[next].flush) {
+      ASSERT_TRUE(service.Flush().ok()) << context;
+    } else {
+      ASSERT_TRUE(service.Ingest(ops[next].refs, ops[next].golds, false).ok())
+          << context;
+    }
+  }
+  EXPECT_EQ(Fingerprint(*service.snapshot()), oracle.final_fingerprint)
+      << context;
+  EXPECT_EQ(service.durability_stats().recovered, had_state) << context;
+}
+
+/// One full crash-recover-resume cycle at one fault point.
+void SweepPoint(const Oracle& oracle, FsyncPolicy fsync, int checkpoint_every,
+                int drive_threads, int recover_threads, IoFault fault,
+                int64_t fire_at) {
+  TempDir dir;
+  const std::string context =
+      "fault=" + std::to_string(static_cast<int>(fault)) +
+      " fire_at=" + std::to_string(fire_at) +
+      " drive_threads=" + std::to_string(drive_threads) +
+      " recover_threads=" + std::to_string(recover_threads);
+  const CrashRun run = DriveWithFault(dir.path(), fsync, checkpoint_every,
+                                      drive_threads, fault, fire_at);
+  RecoverAndVerify(dir.path(), oracle, run, fsync, checkpoint_every,
+                   recover_threads, context);
+}
+
+// ---- The sweeps ------------------------------------------------------------
+
+constexpr int kCheckpointEvery = 2;
+
+TEST(RecoveryTest, CrashSweepEveryIoOp) {
+  // every-record: every acknowledged call is durable, and a crash at any
+  // single durable op must recover to a verified oracle state.
+  const Oracle oracle = RunOracle(FsyncPolicy::kEveryRecord, kCheckpointEvery,
+                                  /*threads=*/1);
+  ASSERT_GT(oracle.total_io_ops, 20);
+  for (int64_t at = 0; at < oracle.total_io_ops; ++at) {
+    SweepPoint(oracle, FsyncPolicy::kEveryRecord, kCheckpointEvery, 1, 1,
+               IoFault::kCrash, at);
+  }
+}
+
+TEST(RecoveryTest, TornWriteSweepEveryIoOp) {
+  const Oracle oracle = RunOracle(FsyncPolicy::kEveryRecord, kCheckpointEvery,
+                                  /*threads=*/1);
+  for (int64_t at = 0; at < oracle.total_io_ops; ++at) {
+    SweepPoint(oracle, FsyncPolicy::kEveryRecord, kCheckpointEvery, 1, 1,
+               IoFault::kTornWrite, at);
+  }
+}
+
+TEST(RecoveryTest, IoErrorSweepEveryIoOp) {
+  // kError: the op fails but the process survives read-only; we still
+  // "crash" it (destroy without seal) and recovery must hold.
+  const Oracle oracle = RunOracle(FsyncPolicy::kEveryRecord, kCheckpointEvery,
+                                  /*threads=*/1);
+  for (int64_t at = 0; at < oracle.total_io_ops; ++at) {
+    SweepPoint(oracle, FsyncPolicy::kEveryRecord, kCheckpointEvery, 1, 1,
+               IoFault::kError, at);
+  }
+}
+
+TEST(RecoveryTest, CrashSweepAcrossThreadCounts) {
+  // The oracle fingerprints were recorded at threads=1; driving, crashing,
+  // and recovering at 2/4/8 threads must reproduce them bit for bit
+  // (PR-8 canonical order). Strided so the three counts together still
+  // cover every fault index.
+  const Oracle oracle = RunOracle(FsyncPolicy::kEveryRecord, kCheckpointEvery,
+                                  /*threads=*/1);
+  const int threads[] = {2, 4, 8};
+  for (int t = 0; t < 3; ++t) {
+    for (int64_t at = t; at < oracle.total_io_ops; at += 3) {
+      SweepPoint(oracle, FsyncPolicy::kEveryRecord, kCheckpointEvery,
+                 threads[t], threads[(t + 1) % 3], IoFault::kCrash, at);
+    }
+  }
+}
+
+TEST(RecoveryTest, CrashSweepEveryFlushPolicy) {
+  // every-flush: batch records may be lost with the tail (only flush
+  // boundaries are sync barriers), but acked *generations* must survive
+  // and the recovered state must still be an oracle state. Op count
+  // differs from every-record (fewer syncs), so size its own sweep.
+  const Oracle oracle = RunOracle(FsyncPolicy::kEveryFlush, kCheckpointEvery,
+                                  /*threads=*/1);
+  for (int64_t at = 0; at < oracle.total_io_ops; ++at) {
+    SweepPoint(oracle, FsyncPolicy::kEveryFlush, kCheckpointEvery, 1, 1,
+               IoFault::kCrash, at);
+  }
+}
+
+// ---- Targeted scenarios ----------------------------------------------------
+
+TEST(RecoveryTest, CleanSealRestartIsCleanAndIdentical) {
+  const Oracle oracle = RunOracle(FsyncPolicy::kEveryFlush, kCheckpointEvery,
+                                  /*threads=*/1);
+  TempDir dir;
+  {
+    auto opened = ReconService::Open(
+        InitialDataset(),
+        MakeOptions(dir.path(), FsyncPolicy::kEveryFlush, kCheckpointEvery, 1));
+    ASSERT_TRUE(opened.ok());
+    auto& service = *opened.value();
+    for (const Op& op : BuildWorkload(service.schema())) {
+      if (op.flush) {
+        ASSERT_TRUE(service.Flush().ok());
+      } else {
+        ASSERT_TRUE(service.Ingest(op.refs, op.golds, false).ok());
+      }
+    }
+    ASSERT_TRUE(service.Seal().ok());
+  }
+  auto reopened = ReconService::Open(
+      InitialDataset(),
+      MakeOptions(dir.path(), FsyncPolicy::kEveryFlush, kCheckpointEvery, 4));
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  auto& service = *reopened.value();
+  EXPECT_EQ(Fingerprint(*service.snapshot()), oracle.final_fingerprint);
+  const DurabilityStats stats = service.durability_stats();
+  EXPECT_TRUE(stats.recovered);
+  EXPECT_TRUE(stats.recovered_clean);
+}
+
+TEST(RecoveryTest, TornTailIsTruncatedAndOverwritten) {
+  TempDir dir;
+  uint64_t generation = 0;
+  {
+    auto opened = ReconService::Open(
+        InitialDataset(), MakeOptions(dir.path(), FsyncPolicy::kEveryRecord,
+                                      /*checkpoint_every=*/0, 1));
+    ASSERT_TRUE(opened.ok());
+    auto& service = *opened.value();
+    std::vector<Reference> refs;
+    refs.push_back(Person(service.schema(), "Ida Novak", "ida@t.cz"));
+    ASSERT_TRUE(service.Ingest(std::move(refs), {}, true).ok());
+    generation = service.snapshot()->generation();
+  }
+  // Scribble a torn record onto the live WAL: a plausible length prefix
+  // followed by garbage, as a crash mid-append would leave.
+  StatusOr<DataDirState> state = ScanDataDir(dir.path());
+  ASSERT_TRUE(state.ok());
+  ASSERT_EQ(state.value().wal_paths.size(), 1u);
+  {
+    FILE* f = ::fopen(state.value().wal_paths[0].c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    const char garbage[] = "\x40\x00\x00\x00\xde\xad\xbe\xefxxxx";
+    ASSERT_EQ(::fwrite(garbage, 1, sizeof(garbage), f), sizeof(garbage));
+    ::fclose(f);
+  }
+  auto reopened = ReconService::Open(
+      InitialDataset(), MakeOptions(dir.path(), FsyncPolicy::kEveryRecord,
+                                    /*checkpoint_every=*/0, 1));
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  auto& service = *reopened.value();
+  EXPECT_EQ(service.snapshot()->generation(), generation);
+  EXPECT_GT(service.durability_stats().wal_truncated_bytes, 0);
+  // The truncated tail position is writable again: appends go through and
+  // survive another restart.
+  std::vector<Reference> refs;
+  refs.push_back(Person(service.schema(), "Jan Kowal", "jan@u.pl"));
+  ASSERT_TRUE(service.Ingest(std::move(refs), {}, true).ok());
+}
+
+TEST(RecoveryTest, FailedFsyncMakesServiceReadOnly) {
+  TempDir dir;
+  // Fire an I/O error on the 3rd WAL sync *after* startup settles; the
+  // exact op doesn't matter, only that it hits mid-workload.
+  auto injector = std::make_shared<IoFaultInjector>(IoFault::kError, 12);
+  auto opened = ReconService::Open(
+      InitialDataset(), MakeOptions(dir.path(), FsyncPolicy::kEveryRecord,
+                                    /*checkpoint_every=*/0, 1, injector));
+  ASSERT_TRUE(opened.ok());
+  auto& service = *opened.value();
+  uint64_t last_ok = 0;
+  bool failed = false;
+  for (const Op& op : BuildWorkload(service.schema())) {
+    if (op.flush) {
+      const auto generation = service.Flush();
+      if (!generation.ok()) {
+        EXPECT_EQ(generation.status().code(), StatusCode::kFailedPrecondition);
+        failed = true;
+        break;
+      }
+      last_ok = generation.value();
+    } else if (!service.Ingest(op.refs, op.golds, false).ok()) {
+      failed = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(failed);
+  // Sticky: later writes are refused without touching memory...
+  std::vector<Reference> refs;
+  refs.push_back(Person(service.schema(), "Kim Lee", "kim@v.kr"));
+  const auto rejected = service.Ingest(std::move(refs), {}, true);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(service.durability_stats().write_failed);
+  EXPECT_FALSE(service.Seal().ok());
+  // ...but reads keep serving the last published snapshot.
+  ReconQuery query;
+  query.text = "Alice Smith";
+  query.type = "Person";
+  EXPECT_FALSE(service.Reconcile({query}).results.empty());
+  EXPECT_GE(service.snapshot()->generation(), last_ok);
+}
+
+TEST(RecoveryTest, CheckpointsCompactTheDataDir) {
+  TempDir dir;
+  {
+    auto opened = ReconService::Open(
+        InitialDataset(), MakeOptions(dir.path(), FsyncPolicy::kEveryFlush,
+                                      /*checkpoint_every=*/1, 1));
+    ASSERT_TRUE(opened.ok());
+    auto& service = *opened.value();
+    for (const Op& op : BuildWorkload(service.schema())) {
+      if (op.flush) {
+        ASSERT_TRUE(service.Flush().ok());
+      } else {
+        ASSERT_TRUE(service.Ingest(op.refs, op.golds, false).ok());
+      }
+    }
+  }
+  // checkpoint_every=1: after every flush the WAL rotates and stale files
+  // are retired, so exactly one (checkpoint, wal) pair remains.
+  StatusOr<DataDirState> state = ScanDataDir(dir.path());
+  ASSERT_TRUE(state.ok());
+  ASSERT_EQ(state.value().checkpoint_paths.size(), 1u);
+  ASSERT_EQ(state.value().wal_paths.size(), 1u);
+  EXPECT_TRUE(state.value().tmp_paths.empty());
+  EXPECT_EQ(state.value().checkpoint_generations[0], 6u);
+  EXPECT_EQ(state.value().wal_generations[0], 6u);
+  // And that single pair carries the whole state.
+  const Oracle oracle = RunOracle(FsyncPolicy::kEveryFlush, 1, 1);
+  auto reopened = ReconService::Open(
+      InitialDataset(),
+      MakeOptions(dir.path(), FsyncPolicy::kEveryFlush, 1, 2));
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(Fingerprint(*reopened.value()->snapshot()),
+            oracle.final_fingerprint);
+}
+
+TEST(RecoveryTest, RecoveryIgnoresTheProvidedDataset) {
+  TempDir dir;
+  {
+    auto opened = ReconService::Open(
+        InitialDataset(),
+        MakeOptions(dir.path(), FsyncPolicy::kEveryFlush, 0, 1));
+    ASSERT_TRUE(opened.ok());
+    ASSERT_TRUE(opened.value()->Seal().ok());
+  }
+  // Reopen with a *different* (empty) dataset: state must come from disk.
+  Dataset unrelated(BuildPimSchema());
+  auto reopened = ReconService::Open(
+      std::move(unrelated),
+      MakeOptions(dir.path(), FsyncPolicy::kEveryFlush, 0, 1));
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened.value()->snapshot()->num_references(), InitialRefs());
+}
+
+TEST(RecoveryTest, CorruptCheckpointIsRefusedDistinctly) {
+  TempDir dir;
+  {
+    auto opened = ReconService::Open(
+        InitialDataset(),
+        MakeOptions(dir.path(), FsyncPolicy::kEveryFlush, 0, 1));
+    ASSERT_TRUE(opened.ok());
+  }
+  StatusOr<DataDirState> state = ScanDataDir(dir.path());
+  ASSERT_TRUE(state.ok());
+  ASSERT_EQ(state.value().checkpoint_paths.size(), 1u);
+  // Flip one payload byte: the CRC must catch it, and with no surviving
+  // checkpoint the service must refuse with kFailedPrecondition — the
+  // "corrupt beyond recovery" contract callers map to a distinct exit
+  // code — rather than serve silently wrong clusters.
+  {
+    FILE* f = ::fopen(state.value().checkpoint_paths[0].c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(::fseek(f, 64, SEEK_SET), 0);
+    const int c = ::fgetc(f);
+    ASSERT_EQ(::fseek(f, 64, SEEK_SET), 0);
+    ::fputc(c ^ 0xFF, f);
+    ::fclose(f);
+  }
+  auto reopened = ReconService::Open(
+      InitialDataset(),
+      MakeOptions(dir.path(), FsyncPolicy::kEveryFlush, 0, 1));
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(RecoveryTest, WalOutlivingEveryCheckpointIsRefused) {
+  TempDir dir;
+  std::string checkpoint0;  // checkpoint-0 bytes, saved before rotation.
+  {
+    auto opened = ReconService::Open(
+        InitialDataset(), MakeOptions(dir.path(), FsyncPolicy::kEveryFlush,
+                                      /*checkpoint_every=*/1, 1));
+    ASSERT_TRUE(opened.ok());
+    auto& service = *opened.value();
+    {
+      FILE* f = ::fopen((dir.path() + "/" + CheckpointFileName(0)).c_str(),
+                        "rb");
+      ASSERT_NE(f, nullptr);
+      char chunk[4096];
+      size_t n;
+      while ((n = ::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+        checkpoint0.append(chunk, n);
+      }
+      ::fclose(f);
+    }
+    std::vector<Reference> refs;
+    refs.push_back(Person(service.schema(), "Lena Mars", "lena@o.de"));
+    ASSERT_TRUE(service.Ingest(std::move(refs), {}, true).ok());
+  }
+  // Rotation left (checkpoint-1, wal-1). Delete checkpoint-1 and put the
+  // stale checkpoint-0 back: wal-1 now outlives every usable checkpoint,
+  // its base state is gone, and recovery must refuse rather than guess.
+  StatusOr<DataDirState> state = ScanDataDir(dir.path());
+  ASSERT_TRUE(state.ok());
+  ASSERT_EQ(state.value().wal_generations[0], 1u);
+  ASSERT_EQ(state.value().checkpoint_generations[0], 1u);
+  ASSERT_EQ(::remove(state.value().checkpoint_paths[0].c_str()), 0);
+  {
+    FILE* f = ::fopen((dir.path() + "/" + CheckpointFileName(0)).c_str(),
+                      "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(::fwrite(checkpoint0.data(), 1, checkpoint0.size(), f),
+              checkpoint0.size());
+    ::fclose(f);
+  }
+  auto reopened = ReconService::Open(
+      InitialDataset(),
+      MakeOptions(dir.path(), FsyncPolicy::kEveryFlush, 1, 1));
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace recon::service

@@ -2,17 +2,31 @@
 // HTTP: an in-process HttpServer on an ephemeral port, a raw-socket client
 // (HttpFetch), and the full route surface — manifest, reconcile (three
 // transports), ingest with a generation bump, entity lookup, health,
-// stats, and the error paths. Labeled `asan` (tools/check_asan.sh): the
-// request parsing and connection handling must hold up under
-// -DRECON_SANITIZE=address-undefined.
+// stats, the error paths, overload shedding, and (against the real
+// reconcile_serve binary) SIGTERM graceful drain + WAL seal. Labeled
+// `asan` (tools/check_asan.sh): the request parsing and connection
+// handling must hold up under -DRECON_SANITIZE=address-undefined.
 
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include <gtest/gtest.h>
 
+#include "service/checkpoint.h"
 #include "service/handlers.h"
 #include "service/http.h"
 #include "service/service.h"
+#include "service/wal.h"
 #include "util/json.h"
 
 namespace recon::service {
@@ -177,6 +191,159 @@ TEST_F(ServiceSmokeTest, ResponsesCarrySnapshotGenerationHeader) {
     if (name == "x-snapshot-generation") found = !value.empty();
   }
   EXPECT_TRUE(found);
+}
+
+TEST_F(ServiceSmokeTest, IngestMalformedJsonReportsByteOffset) {
+  // The parser's position must reach the client — "bad request" alone
+  // sends the caller grepping megabyte payloads by hand.
+  const auto res = HttpFetch(server_->port(), "POST", "/ingest",
+                             R"({"references": [}])");
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_EQ(res.value().status, 400);
+  EXPECT_NE(res.value().body.find("at byte"), std::string::npos)
+      << res.value().body;
+}
+
+// ---- Overload shedding (DESIGN.md §15) -------------------------------------
+
+TEST(HttpOverloadTest, ShedsWith503AndRetryAfterWhenSaturated) {
+  // A handler parked on a latch pins the single admission slot, making
+  // "saturated" a deterministic state instead of a race to be won.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<int> entered{0};
+  HttpServerOptions options;
+  options.num_threads = 2;
+  options.max_inflight = 1;
+  HttpServer server(
+      [&](const HttpRequest&) {
+        entered.fetch_add(1);
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return release; });
+        HttpResponse res;
+        res.body = R"({"ok": true})";
+        return res;
+      },
+      options);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  std::thread slow([&server] {
+    const auto res = HttpFetch(server.port(), "GET", "/slow");
+    // The admitted request is never shed, even while later ones are.
+    EXPECT_TRUE(res.ok()) << res.status().ToString();
+    if (res.ok()) EXPECT_EQ(res.value().status, 200);
+  });
+  while (entered.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // The slot is pinned: every further request is shed on the accept
+  // thread with 503 + Retry-After, and the client still reads the
+  // response (no connection reset).
+  for (int i = 0; i < 3; ++i) {
+    const auto shed = HttpFetch(server.port(), "GET", "/healthz");
+    ASSERT_TRUE(shed.ok()) << shed.status().ToString();
+    EXPECT_EQ(shed.value().status, 503);
+    bool retry_after = false;
+    for (const auto& [name, value] : shed.value().extra_headers) {
+      if (name == "retry-after") retry_after = !value.empty();
+    }
+    EXPECT_TRUE(retry_after);
+  }
+  EXPECT_GE(server.shed_requests(), 3);
+  EXPECT_EQ(server.accepted_requests(), 1);
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  slow.join();
+  server.Stop();
+}
+
+// ---- Graceful shutdown of the real daemon ----------------------------------
+
+/// mkdtemp-backed scratch dir for the daemon's --data-dir.
+class TempDir {
+ public:
+  TempDir() {
+    char tmpl[] = "/tmp/recon-smoke-XXXXXX";
+    char* made = ::mkdtemp(tmpl);
+    RECON_CHECK(made != nullptr);
+    path_ = made;
+  }
+  ~TempDir() {
+    StatusOr<DataDirState> state = ScanDataDir(path_);
+    if (state.ok()) {
+      for (const auto& p : state.value().checkpoint_paths) ::remove(p.c_str());
+      for (const auto& p : state.value().wal_paths) ::remove(p.c_str());
+      for (const auto& p : state.value().tmp_paths) ::remove(p.c_str());
+    }
+    ::rmdir(path_.c_str());
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(ReconcileServeTest, SigtermDrainsInFlightSealsWalAndExitsZero) {
+  TempDir dir;
+  int out_pipe[2];
+  ASSERT_EQ(::pipe(out_pipe), 0);
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    ::dup2(out_pipe[1], STDOUT_FILENO);
+    ::close(out_pipe[0]);
+    ::close(out_pipe[1]);
+    ::execl(RECON_SERVE_BINARY, RECON_SERVE_BINARY, "--demo", "--port", "0",
+            "--threads", "2", "--data-dir", dir.path().c_str(),
+            static_cast<char*>(nullptr));
+    ::_exit(127);
+  }
+  ::close(out_pipe[1]);
+  FILE* out = ::fdopen(out_pipe[0], "r");
+  ASSERT_NE(out, nullptr);
+  int port = 0;
+  char line[512];
+  while (::fgets(line, sizeof(line), out) != nullptr) {
+    if (std::sscanf(line, "listening on port %d", &port) == 1) break;
+  }
+  ASSERT_GT(port, 0) << "daemon never reported its port";
+
+  // An ingest is in flight when the signal lands; the drain must let it
+  // finish (200), not cut the connection.
+  std::thread inflight([port] {
+    const auto res = HttpFetch(
+        port, "POST", "/ingest",
+        R"({"references": [{"class": "Person",
+                            "values": {"name": ["Leslie Lamport"],
+                                       "email": ["lamport@msr.com"]}}],
+            "flush": true})");
+    EXPECT_TRUE(res.ok()) << res.status().ToString();
+    if (res.ok()) EXPECT_EQ(res.value().status, 200) << res.value().body;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  ASSERT_EQ(::kill(pid, SIGTERM), 0);
+  inflight.join();
+
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+  ::fclose(out);
+
+  // The drain sealed the WAL: the next start sees a clean shutdown.
+  StatusOr<DataDirState> state = ScanDataDir(dir.path());
+  ASSERT_TRUE(state.ok());
+  ASSERT_EQ(state.value().wal_paths.size(), 1u);
+  StatusOr<WalContents> wal = ReadWalFile(state.value().wal_paths[0]);
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  EXPECT_TRUE(wal.value().sealed);
+  EXPECT_EQ(wal.value().truncated_bytes, 0u);
 }
 
 }  // namespace

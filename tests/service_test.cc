@@ -150,7 +150,7 @@ TEST(ServiceTest, IngestWithoutFlushStagesOnly) {
   // The published snapshot is untouched until a flush.
   EXPECT_EQ(service.snapshot().get(), before.get());
 
-  EXPECT_EQ(service.Flush(), 1u);
+  EXPECT_EQ(service.Flush().value(), 1u);
   EXPECT_EQ(service.staged_references(), 0);
   EXPECT_EQ(service.snapshot()->generation(), 1u);
   EXPECT_EQ(service.snapshot()->num_references(), 4);

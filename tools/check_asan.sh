@@ -7,8 +7,13 @@
 # determinism sweep (datasets × threads × cache/constraints/budgets
 # against committed golden fingerprints, rollback-and-replay and frozen
 # budget stops included), the canopy-shard layer (shard-vs-monolithic
-# byte-identity across shards × threads, DESIGN.md §14), and the service smoke test (a live daemon on an ephemeral loopback port serving query,
-# ingest, and malformed-request traffic end-to-end over HTTP):
+# byte-identity across shards × threads, DESIGN.md §14), the service smoke
+# test (a live daemon on an ephemeral loopback port serving query, ingest,
+# malformed-request, and overload traffic end-to-end over HTTP, plus a
+# SIGTERM drain of the real binary), and the crash-recovery sweep (WAL +
+# checkpoint recovery across every injected I/O fault point, fault kind,
+# and thread count, DESIGN.md §15 — tools/check_crash.sh adds a live
+# kill -9 soak on top):
 #
 #   1. configures and builds build-asan/ with
 #      -DRECON_SANITIZE=address-undefined (ASan + UBSan together),

@@ -9,8 +9,10 @@
 #      parallel-solver sweep that asserts byte-identical output at
 #      1/2/4/8 threads, the canopy-shard sweep (shard-parallel staging
 #      must stay byte-identical to the monolithic run, DESIGN.md §14),
-#      and the service-layer sweep where query threads
-#      race a live ingest/flush loop against the snapshot swap),
+#      the service-layer sweep where query threads
+#      race a live ingest/flush loop against the snapshot swap, and the
+#      crash-recovery sweep whose replay must stay byte-identical across
+#      recovery thread counts, DESIGN.md §15),
 #   3. re-runs the determinism sweeps in the regular (uninstrumented) build
 #      when one exists — TSan's memory model can hide orderings that the
 #      native build exhibits, so both must pass.
@@ -39,7 +41,7 @@ echo
 if [[ -d "${NATIVE_DIR}/tests" ]]; then
   echo "== [3/3] determinism sweeps in native build ${NATIVE_DIR}"
   ctest --test-dir "${NATIVE_DIR}" \
-    -R 'SolverParallelTest|GraphCsrTest|ValueStoreTest|ServiceTest|ShardEquivalenceTest' \
+    -R 'SolverParallelTest|GraphCsrTest|ValueStoreTest|ServiceTest|ShardEquivalenceTest|RecoveryTest' \
     --output-on-failure
 else
   echo "== [3/3] skipped: ${NATIVE_DIR} not built"
