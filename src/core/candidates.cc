@@ -5,7 +5,6 @@
 #include <algorithm>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
 
 #include "runtime/parallel.h"
 #include "sim/value_store.h"
@@ -168,12 +167,6 @@ void AppendVenueKeys(const Dataset& dataset, RefId ref,
   }
 }
 
-uint64_t PackPair(RefId a, RefId b) {
-  if (a > b) std::swap(a, b);
-  return (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
-         static_cast<uint32_t>(b);
-}
-
 }  // namespace
 
 std::vector<std::string> BlockingKeys(const Dataset& dataset, RefId ref,
@@ -260,7 +253,6 @@ CandidateList GenerateCandidates(const Dataset& dataset,
 
   const int lanes = runtime::ResolveNumThreads(options.num_threads);
   if (lanes <= 1) {
-    std::unordered_set<uint64_t> seen;
     int64_t block_index = 0;
     for (const auto& [key, members] : blocks) {
       // Batch boundary: one probe per 64 blocks expanded.
@@ -271,15 +263,17 @@ CandidateList GenerateCandidates(const Dataset& dataset,
       if (static_cast<int>(members.size()) > options.max_block_size) continue;
       for (size_t i = 0; i < members.size(); ++i) {
         for (size_t j = i + 1; j < members.size(); ++j) {
-          if (seen.insert(PackPair(members[i], members[j])).second) {
-            out.emplace_back(std::min(members[i], members[j]),
-                             std::max(members[i], members[j]));
-          }
+          out.emplace_back(std::min(members[i], members[j]),
+                           std::max(members[i], members[j]));
         }
       }
     }
-    // Deterministic order regardless of hash iteration.
+    // Deterministic order regardless of hash iteration. Emit-all then
+    // sort + unique: a pair sharing several blocks collapses here, for a
+    // fraction of the cost of a hash probe per emitted pair, and a budget
+    // stop truncates to a block prefix either way.
     std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
     return out;
   }
 
@@ -339,7 +333,8 @@ CandidateList CandidateIndex::AddReferences(const Dataset& dataset,
   touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
 
   // Pairs: each new member against every other member of its blocks.
-  std::unordered_set<uint64_t> seen;
+  // Duplicates (a pair meeting in several touched blocks) collapse in the
+  // final sort + unique instead of a per-pair hash probe.
   CandidateList out;
   for (const std::string& key : touched) {
     const std::vector<RefId>& members = blocks_.at(key);
@@ -348,13 +343,12 @@ CandidateList CandidateIndex::AddReferences(const Dataset& dataset,
       if (a < first) continue;  // Old members pair only with new ones.
       for (const RefId b : members) {
         if (b >= a) break;  // Members are in insertion (= id) order.
-        if (seen.insert(PackPair(a, b)).second) {
-          out.emplace_back(std::min(a, b), std::max(a, b));
-        }
+        out.emplace_back(b, a);
       }
     }
   }
   std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
 }
 

@@ -4,7 +4,6 @@
 #include <cmath>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
 
 #include "runtime/parallel.h"
 #include "util/logging.h"
@@ -12,12 +11,6 @@
 namespace recon {
 
 namespace {
-
-uint64_t PackPair(RefId a, RefId b) {
-  if (a > b) std::swap(a, b);
-  return (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
-         static_cast<uint32_t>(b);
-}
 
 /// Per-class cheap-feature index: references as sets of token ids with
 /// IDF weights, plus an inverted index for sparse similarity queries.
@@ -105,13 +98,23 @@ bool SweepClass(const FeatureIndex& index, const CanopyOptions& options,
   std::vector<char> removed(n, 0);  // Within tight threshold of a center.
   std::vector<double> shared(n, 0.0);
   std::vector<int> touched;
-  std::unordered_set<uint64_t> seen;
+  // Pairs recurring across the class's canopies collapse in one sort +
+  // unique at sweep exit instead of a hash probe per emitted pair. The
+  // dedup is per class — classes partition the references, so no pair can
+  // recur across classes — and a truncated sweep dedups the same prefix
+  // of centers, so the stop contract is unchanged.
+  const size_t first = out->size();
+  auto finish = [&](bool complete) {
+    std::sort(out->begin() + first, out->end());
+    out->erase(std::unique(out->begin() + first, out->end()), out->end());
+    return complete;
+  };
 
   for (size_t center = 0; center < n; ++center) {
     if (removed[center]) continue;
     // One stop check per canopy center; a stop truncates the sweep to a
     // prefix of the deterministic center order.
-    if (should_stop()) return false;
+    if (should_stop()) return finish(false);
     // Sparse IDF-weighted overlap with every reference sharing a token.
     touched.clear();
     for (const int token : index.tokens_of[center]) {
@@ -140,21 +143,17 @@ bool SweepClass(const FeatureIndex& index, const CanopyOptions& options,
     if (static_cast<int>(canopy.size()) + 1 > options.max_canopy_size) {
       continue;  // Ubiquitous-feature canopy: skip, like huge blocks.
     }
-    // Pairs: center with members, and members among themselves. The seen
-    // set is per class — classes partition the references, so no pair can
-    // recur across classes.
+    // Pairs: center with members, and members among themselves.
     canopy.push_back(static_cast<int>(center));
     for (size_t i = 0; i < canopy.size(); ++i) {
       for (size_t j = i + 1; j < canopy.size(); ++j) {
         const RefId a = index.refs[canopy[i]];
         const RefId b = index.refs[canopy[j]];
-        if (seen.insert(PackPair(a, b)).second) {
-          out->emplace_back(std::min(a, b), std::max(a, b));
-        }
+        out->emplace_back(std::min(a, b), std::max(a, b));
       }
     }
   }
-  return true;
+  return finish(true);
 }
 
 }  // namespace

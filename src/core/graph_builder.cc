@@ -12,6 +12,8 @@
 #include "sim/value_store.h"
 #include "strsim/email.h"
 #include "strsim/person_name.h"
+#include "strsim/signature.h"
+#include "strsim/simd_dispatch.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 #include "util/timer.h"
@@ -81,16 +83,70 @@ struct FallbackName {
 struct StageScratch {
   std::unordered_map<std::string, FallbackName> name_cache;
   std::unordered_map<std::string, strsim::EmailAddress> email_cache;
-  std::unordered_map<uint64_t, float> sim_cache;
+  std::unordered_map<MemoKey, float, MemoKeyHash> sim_cache;
   int64_t pair_comparisons = 0;
   int64_t value_analyses = 0;
   int64_t memo_hits = 0;
   int64_t memo_misses = 0;
+  int64_t prefilter_skips = 0;
+  int64_t prefilter_exact = 0;
 };
 
 /// Staged pairs are applied (and association wiring probed) in chunks of
 /// this many items; each chunk boundary is one kBuild budget probe.
 constexpr int64_t kBuildChunk = 256;
+
+// ---- Blocked batch scoring (store-on path; DESIGN.md §16) ---------------
+//
+// With the value store on, lanes no longer score pair-at-a-time. Each lane
+// gathers the ValueId cross products of up to kScoreBlock candidate pairs
+// into per-evidence task arrays (scratch reused across the lane's blocks —
+// zero steady-state allocation), sweeps each evidence kind over the whole
+// block (title tasks pass the signature prefilter first, skipping pairs
+// that provably cannot reach the seed), and then assembles every pair's
+// StagedEvidence in exactly the order the per-pair path produces. The
+// gated article/venue secondary channels gather in a second wave after
+// wave-1 assembly, so the "primary evidence required" semantics and the
+// comparison counts are unchanged. Byte-identical by construction.
+
+constexpr int kScoreBlock = 256;
+
+/// One cross-product comparison gathered for a block sweep.
+struct SimTask {
+  ValueId v1 = kInvalidValue;
+  ValueId v2 = kInvalidValue;
+  float memo_sim = 0;     ///< Non-static result (memo float rounding).
+  double static_sim = 0;  ///< v1 == v2 result at double precision.
+  bool is_static = false;
+  bool skipped = false;   ///< Title prefilter: provably below seed.
+};
+
+/// Half-open range into a per-evidence task array.
+struct TaskRange {
+  int32_t begin = 0;
+  int32_t end = 0;
+};
+
+/// Wave-1 gather record for one candidate pair in a block.
+struct PairPlan {
+  int64_t out_index = -1;  ///< Position in the staged[] array.
+  RefId r1 = kInvalidRef;
+  RefId r2 = kInvalidRef;
+  int class_id = -1;
+  TaskRange name, email, ne_ab, ne_ba;  ///< Person channels.
+  TaskRange primary;                    ///< Article title / venue name.
+  TaskRange secondary1, secondary2;     ///< Year+pages / year+location.
+  bool both_have_names = false;
+};
+
+/// Per-lane batch scratch: task arrays per evidence kind, the block's
+/// pair plans, and the flat signature words the prefilter sweep XORs.
+struct BatchLane {
+  std::vector<SimTask> tasks[kNumEvidence];
+  std::vector<PairPlan> plan;
+  std::vector<uint64_t> gram_a, gram_b, tok_a, tok_b;
+  std::vector<int32_t> gram_pop, tok_pop, title_task;
+};
 
 class GraphBuilder {
  public:
@@ -279,10 +335,19 @@ class GraphBuilder {
     const runtime::BlockPlan plan =
         runtime::PlanBlocks(options_.num_threads, 0, n, /*grain=*/0);
     std::vector<StageScratch> scratch(plan.num_lanes);
+    std::vector<BatchLane> batch(store_ != nullptr ? plan.num_lanes : 0);
     runtime::ParallelForBlocked(
         options_.num_threads, 0, n, plan.grain,
         [&](const runtime::Block& block) {
           StageScratch& lane_scratch = scratch[block.lane];
+          if (store_ != nullptr) {
+            StageSpanBatched(
+                pairs, block.end - block.begin,
+                [&](int64_t t) { return block.begin + t; },
+                [&] { return budget_->ShouldAbandonParallelWork(); },
+                lane_scratch, batch[block.lane], staged);
+            return;
+          }
           for (int64_t i = block.begin; i < block.end; ++i) {
             // A default-constructed StagedPair applies as a no-op, so
             // abandoning a block mid-way (cancel / deadline already
@@ -300,11 +365,18 @@ class GraphBuilder {
     // the store on, analyses happen in Sync (one per distinct value), so
     // the cumulative store count is authoritative instead of the lanes.
     for (const StageScratch& lane : scratch) {
-      built_->num_pair_comparisons += lane.pair_comparisons;
-      built_->num_value_analyses += lane.value_analyses;
-      built_->num_sim_memo_hits += lane.memo_hits;
-      built_->num_sim_memo_misses += lane.memo_misses;
+      AccumulateScratch(lane);
     }
+  }
+
+  /// Lane counters roll into the build totals serially, in lane order.
+  void AccumulateScratch(const StageScratch& lane) {
+    built_->num_pair_comparisons += lane.pair_comparisons;
+    built_->num_value_analyses += lane.value_analyses;
+    built_->num_sim_memo_hits += lane.memo_hits;
+    built_->num_sim_memo_misses += lane.memo_misses;
+    built_->num_prefilter_skips += lane.prefilter_skips;
+    built_->num_prefilter_exact += lane.prefilter_exact;
   }
 
   /// Shard-major staging: every intra-shard pair is staged on its shard's
@@ -329,6 +401,7 @@ class GraphBuilder {
     }
 
     std::vector<StageScratch> shard_scratch(k);
+    std::vector<BatchLane> shard_batch(store_ != nullptr ? k : 0);
     std::vector<double> lane_seconds(k, 0);
     Timer phase_timer;
     runtime::ParallelFor(
@@ -340,10 +413,19 @@ class GraphBuilder {
                   : nullptr;
           StageScratch& scratch = shard_scratch[s];
           const std::vector<int64_t>& mine = bucket[s];
+          auto abandon = [&] {
+            return (epoch != nullptr && epoch->ShouldAbandonParallelWork()) ||
+                   budget_->ShouldAbandonParallelWork();
+          };
+          if (store_ != nullptr) {
+            StageSpanBatched(pairs, static_cast<int64_t>(mine.size()),
+                             [&](int64_t t) { return mine[t]; }, abandon,
+                             scratch, shard_batch[s], staged);
+            lane_seconds[s] = lane_timer.ElapsedSeconds();
+            return;
+          }
           for (size_t j = 0; j < mine.size(); ++j) {
-            if (j % 64 == 0 &&
-                ((epoch != nullptr && epoch->ShouldAbandonParallelWork()) ||
-                 budget_->ShouldAbandonParallelWork())) {
+            if (j % 64 == 0 && abandon()) {
               return;
             }
             const int64_t i = mine[j];
@@ -364,11 +446,21 @@ class GraphBuilder {
     const runtime::BlockPlan bplan =
         runtime::PlanBlocks(options_.num_threads, 0, nb, /*grain=*/0);
     std::vector<StageScratch> boundary_scratch(bplan.num_lanes);
+    std::vector<BatchLane> boundary_batch(store_ != nullptr ? bplan.num_lanes
+                                                            : 0);
     Timer boundary_timer;
     runtime::ParallelForBlocked(
         options_.num_threads, 0, nb, bplan.grain,
         [&](const runtime::Block& block) {
           StageScratch& lane_scratch = boundary_scratch[block.lane];
+          if (store_ != nullptr) {
+            StageSpanBatched(
+                pairs, block.end - block.begin,
+                [&](int64_t t) { return boundary[block.begin + t]; },
+                [&] { return budget_->ShouldAbandonParallelWork(); },
+                lane_scratch, boundary_batch[block.lane], staged);
+            return;
+          }
           for (int64_t j = block.begin; j < block.end; ++j) {
             if ((j - block.begin) % 64 == 0 &&
                 budget_->ShouldAbandonParallelWork()) {
@@ -384,16 +476,10 @@ class GraphBuilder {
 
     // Shard order then boundary lane order: deterministic totals.
     for (const StageScratch& scratch : shard_scratch) {
-      built_->num_pair_comparisons += scratch.pair_comparisons;
-      built_->num_value_analyses += scratch.value_analyses;
-      built_->num_sim_memo_hits += scratch.memo_hits;
-      built_->num_sim_memo_misses += scratch.memo_misses;
+      AccumulateScratch(scratch);
     }
     for (const StageScratch& scratch : boundary_scratch) {
-      built_->num_pair_comparisons += scratch.pair_comparisons;
-      built_->num_value_analyses += scratch.value_analyses;
-      built_->num_sim_memo_hits += scratch.memo_hits;
-      built_->num_sim_memo_misses += scratch.memo_misses;
+      AccumulateScratch(scratch);
     }
 
     if (plan.stats != nullptr) {
@@ -732,6 +818,389 @@ class GraphBuilder {
     }
   }
 
+  // ---- Blocked batch scoring (store-on lanes) ----------------------------
+
+  /// Seed threshold for an evidence channel — the same per-channel values
+  /// the per-pair StageAtomic call sites pass.
+  double SeedFor(int evidence) const {
+    const SimParams& p = options_.params;
+    switch (evidence) {
+      case kEvPersonName:
+        return p.person_name_seed;
+      case kEvPersonEmail:
+        return p.person_email_seed;
+      case kEvPersonNameEmail:
+        return p.name_email_seed;
+      case kEvArticleTitle:
+        return p.article_title_seed;
+      case kEvArticleYear:
+      case kEvVenueYear:
+        return p.year_seed;
+      case kEvArticlePages:
+        return p.pages_seed;
+      case kEvVenueName:
+        return p.venue_name_seed;
+      case kEvVenueLocation:
+        return p.location_seed;
+      default:
+        return 0.0;
+    }
+  }
+
+  /// Records one channel's value cross product as tasks, counting each
+  /// comparison exactly where the per-pair path counts it.
+  TaskRange GatherAtomic(const std::vector<std::string>& values1,
+                         const std::vector<std::string>& values2,
+                         ValueDomain domain1, ValueDomain domain2,
+                         int evidence, StageScratch& scratch,
+                         BatchLane& lane) const {
+    std::vector<SimTask>& tasks = lane.tasks[evidence];
+    TaskRange range;
+    range.begin = static_cast<int32_t>(tasks.size());
+    for (const std::string& raw1 : values1) {
+      const ValueId v1 = values_->Find(domain1, raw1);
+      RECON_CHECK_NE(v1, kInvalidValue);
+      for (const std::string& raw2 : values2) {
+        const ValueId v2 = values_->Find(domain2, raw2);
+        RECON_CHECK_NE(v2, kInvalidValue);
+        ++scratch.pair_comparisons;
+        SimTask t;
+        t.v1 = v1;
+        t.v2 = v2;
+        t.is_static = (v1 == v2);
+        tasks.push_back(t);
+      }
+    }
+    range.end = static_cast<int32_t>(tasks.size());
+    return range;
+  }
+
+  /// Gathers every unconditional person channel (all four are staged by
+  /// StagePerson regardless of what earlier channels produced).
+  void GatherPerson(const Reference& a, const Reference& b,
+                    StageScratch& scratch, BatchLane& lane,
+                    PairPlan* plan) const {
+    const ValueDomain name_domain{binding_.person, binding_.person_name};
+    const ValueDomain email_domain{binding_.person, binding_.person_email};
+    if (binding_.person_name >= 0) {
+      plan->name = GatherAtomic(a.atomic_values(binding_.person_name),
+                                b.atomic_values(binding_.person_name),
+                                name_domain, name_domain, kEvPersonName,
+                                scratch, lane);
+      plan->both_have_names =
+          !a.atomic_values(binding_.person_name).empty() &&
+          !b.atomic_values(binding_.person_name).empty();
+    }
+    if (binding_.person_email >= 0) {
+      plan->email = GatherAtomic(a.atomic_values(binding_.person_email),
+                                 b.atomic_values(binding_.person_email),
+                                 email_domain, email_domain, kEvPersonEmail,
+                                 scratch, lane);
+    }
+    if (options_.evidence_level >= EvidenceLevel::kNameEmail &&
+        binding_.person_name >= 0 && binding_.person_email >= 0) {
+      plan->ne_ab = GatherAtomic(a.atomic_values(binding_.person_name),
+                                 b.atomic_values(binding_.person_email),
+                                 name_domain, email_domain,
+                                 kEvPersonNameEmail, scratch, lane);
+      plan->ne_ba = GatherAtomic(b.atomic_values(binding_.person_name),
+                                 a.atomic_values(binding_.person_email),
+                                 name_domain, email_domain,
+                                 kEvPersonNameEmail, scratch, lane);
+    }
+  }
+
+  /// Marks title tasks whose signature upper bound proves the exact
+  /// comparator cannot reach the seed. One flat XOR-popcount sweep per
+  /// signature kind covers the whole block. Skipping is sound because the
+  /// bound is an upper bound (tests/strsim_kernel_test.cc asserts it) and
+  /// the staging test is the strict `sim >= seed`: UB < seed implies
+  /// sim <= UB < seed, so the pair stages nothing either way. Inactive at
+  /// kScalar so `--no-simd` reproduces the exact legacy compute path.
+  void PrefilterTitleTasks(BatchLane& lane, StageScratch& scratch) const {
+    std::vector<SimTask>& tasks = lane.tasks[kEvArticleTitle];
+    if (tasks.empty()) return;
+    if (strsim::ActiveSimdLevel() == strsim::SimdLevel::kScalar) return;
+    const double seed = options_.params.article_title_seed;
+    // With a non-positive seed nothing can be proved skippable (the bound
+    // never goes below zero), so don't pay for the sweep.
+    if (seed <= 0.0) return;
+    lane.title_task.clear();
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      if (!tasks[i].is_static) {
+        lane.title_task.push_back(static_cast<int32_t>(i));
+      }
+    }
+    const int count = static_cast<int>(lane.title_task.size());
+    if (count == 0) return;
+    lane.gram_a.resize(4 * static_cast<size_t>(count));
+    lane.gram_b.resize(4 * static_cast<size_t>(count));
+    lane.tok_a.resize(4 * static_cast<size_t>(count));
+    lane.tok_b.resize(4 * static_cast<size_t>(count));
+    lane.gram_pop.resize(count);
+    lane.tok_pop.resize(count);
+    for (int j = 0; j < count; ++j) {
+      const SimTask& t = tasks[lane.title_task[j]];
+      const ValueFeatures& fa = store_->features(t.v1);
+      const ValueFeatures& fb = store_->features(t.v2);
+      std::copy(fa.title_gram_sig.w, fa.title_gram_sig.w + 4,
+                &lane.gram_a[4 * static_cast<size_t>(j)]);
+      std::copy(fb.title_gram_sig.w, fb.title_gram_sig.w + 4,
+                &lane.gram_b[4 * static_cast<size_t>(j)]);
+      std::copy(fa.title_token_sig.w, fa.title_token_sig.w + 4,
+                &lane.tok_a[4 * static_cast<size_t>(j)]);
+      std::copy(fb.title_token_sig.w, fb.title_token_sig.w + 4,
+                &lane.tok_b[4 * static_cast<size_t>(j)]);
+    }
+    strsim::BatchSigSymDiff(lane.gram_a.data(), lane.gram_b.data(), count,
+                            lane.gram_pop.data());
+    strsim::BatchSigSymDiff(lane.tok_a.data(), lane.tok_b.data(), count,
+                            lane.tok_pop.data());
+    for (int j = 0; j < count; ++j) {
+      SimTask& t = tasks[lane.title_task[j]];
+      const double ub = TitleSimilarityUpperBoundFromPops(
+          lane.gram_pop[j], lane.tok_pop[j], store_->features(t.v1),
+          store_->features(t.v2));
+      if (ub < seed) {
+        t.skipped = true;
+        ++scratch.prefilter_skips;
+      } else {
+        ++scratch.prefilter_exact;
+      }
+    }
+  }
+
+  /// Scores every gathered task of one evidence kind: equal values at
+  /// double precision, the rest through the shared memo with the same
+  /// float rounding the per-pair path applies. Skipped tasks cost nothing.
+  void SweepTasks(int evidence, StageScratch& scratch,
+                  BatchLane& lane) const {
+    for (SimTask& t : lane.tasks[evidence]) {
+      if (t.is_static) {
+        t.static_sim = FeaturePairSimilarity(
+            evidence, store_->features(t.v1), store_->features(t.v2));
+      } else if (!t.skipped) {
+        t.memo_sim = memo_->LookupOrCompute(
+            evidence, t.v1, t.v2,
+            [&] {
+              return FeaturePairSimilarity(evidence, store_->features(t.v1),
+                                           store_->features(t.v2));
+            },
+            &scratch.memo_hits, &scratch.memo_misses);
+      }
+    }
+  }
+
+  /// Replays one channel's swept tasks into the pair's staged evidence in
+  /// gather (= cross-product) order: statics for equal values, a value
+  /// node when the memoized similarity reaches the channel seed — the
+  /// exact appends StageAtomic makes.
+  void AssembleRange(const TaskRange& range, int evidence,
+                     bool propagate_merge, const BatchLane& lane,
+                     StagedEvidence* staged) const {
+    const std::vector<SimTask>& tasks = lane.tasks[evidence];
+    const double seed = SeedFor(evidence);
+    for (int32_t i = range.begin; i < range.end; ++i) {
+      const SimTask& t = tasks[i];
+      if (t.is_static) {
+        staged->statics.emplace_back(evidence, t.static_sim);
+        continue;
+      }
+      if (t.skipped) continue;
+      const double sim = t.memo_sim;
+      if (sim >= seed) {
+        staged->value_nodes.push_back(
+            {t.v1, t.v2, sim, evidence, propagate_merge});
+      }
+    }
+  }
+
+  /// Person assembly mirrors StagePerson line for line: name channel, the
+  /// explicit-zero static when both sides had names but none matched, the
+  /// email channel, the shared-email scan, the two name/email cross
+  /// channels, then the constraints.
+  void AssemblePerson(const PairPlan& plan, const BatchLane& lane,
+                      StageScratch& scratch, StagedPair* out) const {
+    StagedEvidence* staged = &out->evidence;
+    AssembleRange(plan.name, kEvPersonName, /*propagate_merge=*/false, lane,
+                  staged);
+    if (plan.both_have_names) {
+      bool any_name_evidence = false;
+      for (const auto& [evidence, sim] : staged->statics) {
+        if (evidence == kEvPersonName) any_name_evidence = true;
+      }
+      for (const auto& spec : staged->value_nodes) {
+        if (spec.evidence == kEvPersonName) any_name_evidence = true;
+      }
+      if (!any_name_evidence) {
+        staged->statics.emplace_back(kEvPersonName, 0.0);
+      }
+    }
+    AssembleRange(plan.email, kEvPersonEmail, /*propagate_merge=*/false,
+                  lane, staged);
+    bool shared_email = false;
+    for (const auto& [evidence, sim] : staged->statics) {
+      if (evidence == kEvPersonEmail && sim >= 1.0) shared_email = true;
+    }
+    for (const auto& spec : staged->value_nodes) {
+      if (spec.evidence == kEvPersonEmail && spec.sim >= 1.0) {
+        shared_email = true;
+      }
+    }
+    AssembleRange(plan.ne_ab, kEvPersonNameEmail, /*propagate_merge=*/false,
+                  lane, staged);
+    AssembleRange(plan.ne_ba, kEvPersonNameEmail, /*propagate_merge=*/false,
+                  lane, staged);
+    if (options_.constraints && !shared_email) {
+      out->non_merge =
+          ViolatesNameConstraint(dataset_.reference(plan.r1),
+                                 dataset_.reference(plan.r2), scratch) ||
+          ViolatesAccountConstraint(dataset_.reference(plan.r1),
+                                    dataset_.reference(plan.r2), scratch);
+    }
+  }
+
+  /// Stages `count` candidate pairs — positions `index(t)` for t in
+  /// [0, count) — through the blocked batch path. `abandon()` is the
+  /// lane's composite budget probe, checked every 64 gathered pairs just
+  /// like the per-pair loops; an abandon truncates the gather but the
+  /// pairs already gathered still sweep and assemble (both paths leave
+  /// "some prefix staged, the rest default no-ops").
+  template <typename IndexFn, typename AbandonFn>
+  void StageSpanBatched(const std::vector<std::pair<RefId, RefId>>& pairs,
+                        int64_t count, IndexFn index, AbandonFn abandon,
+                        StageScratch& scratch, BatchLane& lane,
+                        std::vector<StagedPair>* staged) const {
+    for (int64_t base = 0; base < count; base += kScoreBlock) {
+      const int64_t block_end = std::min(count, base + kScoreBlock);
+      for (auto& tasks : lane.tasks) tasks.clear();
+      lane.plan.clear();
+      bool abandoned = false;
+
+      // Wave 1: gather the channels every pair stages unconditionally —
+      // all four person channels, article titles, venue names.
+      for (int64_t t = base; t < block_end; ++t) {
+        if ((t - base) % 64 == 0 && abandon()) {
+          abandoned = true;
+          break;
+        }
+        const int64_t i = index(t);
+        StagedPair* out = &(*staged)[i];
+        out->r1 = pairs[i].first;
+        out->r2 = pairs[i].second;
+        out->class_id = dataset_.reference(out->r1).class_id();
+        PairPlan plan;
+        plan.out_index = i;
+        plan.r1 = out->r1;
+        plan.r2 = out->r2;
+        plan.class_id = out->class_id;
+        const Reference& a = dataset_.reference(plan.r1);
+        const Reference& b = dataset_.reference(plan.r2);
+        if (plan.class_id == binding_.person) {
+          GatherPerson(a, b, scratch, lane, &plan);
+        } else if (plan.class_id == binding_.article &&
+                   binding_.article_title >= 0) {
+          const ValueDomain domain{binding_.article, binding_.article_title};
+          plan.primary = GatherAtomic(
+              a.atomic_values(binding_.article_title),
+              b.atomic_values(binding_.article_title), domain, domain,
+              kEvArticleTitle, scratch, lane);
+        } else if (plan.class_id == binding_.venue &&
+                   binding_.venue_name >= 0) {
+          const ValueDomain domain{binding_.venue, binding_.venue_name};
+          plan.primary = GatherAtomic(a.atomic_values(binding_.venue_name),
+                                      b.atomic_values(binding_.venue_name),
+                                      domain, domain, kEvVenueName, scratch,
+                                      lane);
+        }
+        lane.plan.push_back(plan);
+      }
+
+      PrefilterTitleTasks(lane, scratch);
+      SweepTasks(kEvPersonName, scratch, lane);
+      SweepTasks(kEvPersonEmail, scratch, lane);
+      SweepTasks(kEvPersonNameEmail, scratch, lane);
+      SweepTasks(kEvArticleTitle, scratch, lane);
+      SweepTasks(kEvVenueName, scratch, lane);
+
+      // Wave-1 assembly, and wave-2 gather for the pairs that earned it:
+      // article year/pages and venue year/location are staged only when
+      // the primary channel produced evidence (the `staged->empty()`
+      // gates in StageArticle / StageVenue), so both the staged output
+      // and the comparison counts match the per-pair path.
+      for (PairPlan& plan : lane.plan) {
+        StagedPair* out = &(*staged)[plan.out_index];
+        if (plan.class_id == binding_.person) {
+          AssemblePerson(plan, lane, scratch, out);
+          continue;
+        }
+        const Reference& a = dataset_.reference(plan.r1);
+        const Reference& b = dataset_.reference(plan.r2);
+        if (plan.class_id == binding_.article) {
+          AssembleRange(plan.primary, kEvArticleTitle,
+                        /*propagate_merge=*/false, lane, &out->evidence);
+          if (out->evidence.empty()) continue;
+          if (binding_.article_year >= 0) {
+            const ValueDomain domain{binding_.article, binding_.article_year};
+            plan.secondary1 = GatherAtomic(
+                a.atomic_values(binding_.article_year),
+                b.atomic_values(binding_.article_year), domain, domain,
+                kEvArticleYear, scratch, lane);
+          }
+          if (binding_.article_pages >= 0) {
+            const ValueDomain domain{binding_.article,
+                                     binding_.article_pages};
+            plan.secondary2 = GatherAtomic(
+                a.atomic_values(binding_.article_pages),
+                b.atomic_values(binding_.article_pages), domain, domain,
+                kEvArticlePages, scratch, lane);
+          }
+        } else if (plan.class_id == binding_.venue) {
+          AssembleRange(plan.primary, kEvVenueName,
+                        /*propagate_merge=*/true, lane, &out->evidence);
+          if (out->evidence.empty()) continue;
+          if (binding_.venue_year >= 0) {
+            const ValueDomain domain{binding_.venue, binding_.venue_year};
+            plan.secondary1 = GatherAtomic(
+                a.atomic_values(binding_.venue_year),
+                b.atomic_values(binding_.venue_year), domain, domain,
+                kEvVenueYear, scratch, lane);
+          }
+          if (binding_.venue_location >= 0) {
+            const ValueDomain domain{binding_.venue,
+                                     binding_.venue_location};
+            plan.secondary2 = GatherAtomic(
+                a.atomic_values(binding_.venue_location),
+                b.atomic_values(binding_.venue_location), domain, domain,
+                kEvVenueLocation, scratch, lane);
+          }
+        }
+      }
+
+      SweepTasks(kEvArticleYear, scratch, lane);
+      SweepTasks(kEvArticlePages, scratch, lane);
+      SweepTasks(kEvVenueYear, scratch, lane);
+      SweepTasks(kEvVenueLocation, scratch, lane);
+
+      for (const PairPlan& plan : lane.plan) {
+        StagedEvidence* staged_ev = &(*staged)[plan.out_index].evidence;
+        if (plan.class_id == binding_.article) {
+          AssembleRange(plan.secondary1, kEvArticleYear,
+                        /*propagate_merge=*/false, lane, staged_ev);
+          AssembleRange(plan.secondary2, kEvArticlePages,
+                        /*propagate_merge=*/false, lane, staged_ev);
+        } else if (plan.class_id == binding_.venue) {
+          AssembleRange(plan.secondary1, kEvVenueYear,
+                        /*propagate_merge=*/false, lane, staged_ev);
+          AssembleRange(plan.secondary2, kEvVenueLocation,
+                        /*propagate_merge=*/false, lane, staged_ev);
+        }
+      }
+
+      if (abandoned) return;
+    }
+  }
+
   // ---- Constraint 1 ------------------------------------------------------
 
   void MarkCoAuthorConstraints(RefId first_ref) {
@@ -986,7 +1455,7 @@ class GraphBuilder {
                    Comparator& comparator, StageScratch& scratch) const {
     // Same-attribute comparators are symmetric and cross-attribute pairs
     // always arrive in (name, email) order, so the unordered key is safe.
-    const uint64_t key = SimMemo::PackKey(evidence, v1, v2);
+    const MemoKey key = SimMemo::MakeKey(evidence, v1, v2);
     auto [it, inserted] = scratch.sim_cache.try_emplace(key, 0.0f);
     if (inserted) {
       it->second = static_cast<float>(comparator(raw1, raw2));

@@ -47,6 +47,12 @@ struct BuiltGraph {
   int64_t num_value_analyses = 0;
   int64_t num_sim_memo_hits = 0;
   int64_t num_sim_memo_misses = 0;
+  /// Signature prefilter outcomes (DESIGN.md §16): title comparisons whose
+  /// upper bound proved them below seed (skipped without exact scoring)
+  /// versus those that fell through to the exact comparator. Both zero
+  /// when the store is off or the dispatch level is scalar.
+  int64_t num_prefilter_skips = 0;
+  int64_t num_prefilter_exact = 0;
 };
 
 /// Interns the atomic attribute values of references >= `first_ref` into

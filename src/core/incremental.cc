@@ -1,5 +1,6 @@
 #include "core/incremental.h"
 
+#include "strsim/simd_dispatch.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -110,7 +111,11 @@ ReconcileResult IncrementalReconciler::result() {
   }
   if (built_.feature_store != nullptr) {
     out.stats.value_store_bytes = built_.feature_store->approximate_bytes();
+    out.stats.signature_bytes = built_.feature_store->signature_bytes();
   }
+  out.stats.num_prefilter_skips = built_.num_prefilter_skips;
+  out.stats.num_prefilter_exact = built_.num_prefilter_exact;
+  out.stats.simd_dispatch = strsim::SimdLevelName(strsim::ActiveSimdLevel());
   return out;
 }
 

@@ -5,6 +5,7 @@
 
 #include "core/premerge.h"
 #include "core/solver.h"
+#include "strsim/simd_dispatch.h"
 #include "util/timer.h"
 
 namespace recon {
@@ -132,7 +133,12 @@ ReconcileResult Reconciler::RunOnGraph(const Dataset& dataset,
   }
   if (built.feature_store != nullptr) {
     result.stats.value_store_bytes = built.feature_store->approximate_bytes();
+    result.stats.signature_bytes = built.feature_store->signature_bytes();
   }
+  result.stats.num_prefilter_skips = built.num_prefilter_skips;
+  result.stats.num_prefilter_exact = built.num_prefilter_exact;
+  result.stats.simd_dispatch =
+      strsim::SimdLevelName(strsim::ActiveSimdLevel());
 
   Timer solve_timer;
   FixedPointSolver solver(dataset, built, options_, &result.stats, budget);

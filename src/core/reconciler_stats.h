@@ -73,6 +73,20 @@ struct ReconcileStats {
   int64_t sim_memo_bytes = 0;
   int64_t value_store_bytes = 0;
 
+  // Similarity-kernel counters (DESIGN.md §16). Observational: the
+  // prefilter only ever skips comparisons it proves cannot stage evidence,
+  // so results are byte-identical at every dispatch level.
+  /// Title comparisons skipped because the signature upper bound proved
+  /// them below seed, and those that fell through to the exact comparator.
+  /// Both zero with the store off or at the scalar dispatch level.
+  int64_t num_prefilter_skips = 0;
+  int64_t num_prefilter_exact = 0;
+  /// Bytes the value store spends on prefilter signatures.
+  int64_t signature_bytes = 0;
+  /// SIMD dispatch level the run's string kernels executed at
+  /// (strsim::SimdLevelName: "scalar", "generic", "sse42", "avx2").
+  const char* simd_dispatch = "scalar";
+
   // Parallel wavefront counters (ReconcilerOptions::parallel_fixed_point).
   // Deterministic for a given input at every thread count > 1; all zero on
   // the sequential drain. Like the cache counters, they are observational:

@@ -27,6 +27,7 @@
 #include "graph/value_pool.h"
 #include "strsim/email.h"
 #include "strsim/person_name.h"
+#include "strsim/signature.h"
 #include "strsim/tfidf.h"
 #include "strsim/title.h"
 #include "strsim/tokens.h"
@@ -79,6 +80,14 @@ struct ValueFeatures {
   strsim::PagesFeatures pages;      ///< kPages.
   strsim::LocationFeatures location;  ///< kLocation.
 
+  /// Title prefilter signatures (kTitle only; DESIGN.md §16): trigram
+  /// sketch of title.normalized, distinct-token sketch of title.tokens,
+  /// and the normalized length — everything TitleSimilarityUpperBound
+  /// needs to bound the title comparator without touching the strings.
+  strsim::BitSig256 title_gram_sig;
+  strsim::BitSig256 title_token_sig;
+  uint32_t title_norm_len = 0;
+
   /// Rough heap footprint of this record, for memory accounting.
   int64_t ApproximateBytes() const;
 };
@@ -121,6 +130,9 @@ class ValueStore {
   /// Rough heap footprint of the feature table.
   int64_t approximate_bytes() const { return approximate_bytes_; }
 
+  /// Bytes spent on prefilter signatures (title values only).
+  int64_t signature_bytes() const { return signature_bytes_; }
+
   /// Incremental TF-IDF model over every title value seen so far.
   const strsim::TfIdfModel& title_model() const { return title_model_; }
 
@@ -129,6 +141,7 @@ class ValueStore {
   std::vector<ValueFeatures> features_;
   strsim::TfIdfModel title_model_;
   int64_t approximate_bytes_ = 0;
+  int64_t signature_bytes_ = 0;
 };
 
 /// Scores a pair of analyzed values on an evidence channel. Exactly matches
@@ -140,9 +153,55 @@ class ValueStore {
 double FeaturePairSimilarity(int evidence, const ValueFeatures& a,
                              const ValueFeatures& b);
 
-/// Bounded, sharded memo of pairwise comparator results. Keys pack
-/// (evidence, min(ValueId), max(ValueId)) exactly like the per-lane caches
-/// it replaces, and values are stored as float to match their rounding.
+/// Sound upper bound on TitleFieldSimilarity(a, b) computed from the
+/// precomputed signatures alone (DESIGN.md §16). The title comparator is
+/// max(EditSimilarity(normalized), JaccardSimilarity(tokens)) clamped to
+/// [0, 1]; the gram signature lower-bounds the edit distance and the
+/// token signature upper-bounds the Jaccard, so the max of the two
+/// derived bounds can never fall below the exact similarity. Both inputs
+/// must be kTitle features from a completed Sync.
+double TitleSimilarityUpperBound(const ValueFeatures& a,
+                                 const ValueFeatures& b);
+
+/// Same bound from batch-precomputed XOR popcounts (the blocked scoring
+/// path sweeps BatchSigSymDiff over a block, then finishes per pair with
+/// this arithmetic).
+double TitleSimilarityUpperBoundFromPops(int gram_pop, int token_pop,
+                                         const ValueFeatures& a,
+                                         const ValueFeatures& b);
+
+/// Memo key holding the full (evidence, min(ValueId), max(ValueId))
+/// triple. The ids pack exactly into 64 bits (ValueId is 32-bit); the
+/// evidence channel lives in its own field rather than being folded into
+/// spare id bits — the previous single-uint64 packing XORed the evidence
+/// into bits 58+, which a ValueId >= 2^26 bled into, silently colliding
+/// entries across evidence kinds at large scale.
+struct MemoKey {
+  uint64_t pair = 0;      ///< (min << 32) | max.
+  uint32_t evidence = 0;
+
+  bool operator==(const MemoKey& o) const {
+    return pair == o.pair && evidence == o.evidence;
+  }
+};
+
+struct MemoKeyHash {
+  size_t operator()(const MemoKey& k) const {
+    // splitmix64-style finalizer over the triple.
+    uint64_t x =
+        k.pair + (static_cast<uint64_t>(k.evidence) + 1) * 0x9e3779b97f4a7c15ull;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return static_cast<size_t>(x);
+  }
+};
+
+/// Bounded, sharded memo of pairwise comparator results. Keys hold the
+/// full (evidence, min(ValueId), max(ValueId)) triple — no lossy packing —
+/// and values are stored as float to match their rounding.
 /// Compute runs under the shard lock, so the number of misses equals the
 /// number of distinct keys requested — deterministic across thread counts
 /// as long as nothing is evicted. When a shard would exceed its share of the
@@ -172,8 +231,8 @@ class SimMemo {
       bypasses_.fetch_add(1, std::memory_order_relaxed);
       return static_cast<float>(compute());
     }
-    const uint64_t key = PackKey(evidence, v1, v2);
-    Shard& shard = shards_[key % kNumShards];
+    const MemoKey key = MakeKey(evidence, v1, v2);
+    Shard& shard = shards_[MemoKeyHash{}(key) % kNumShards];
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.map.find(key);
     if (it != shard.map.end()) {
@@ -205,23 +264,25 @@ class SimMemo {
     return bypasses_.load(std::memory_order_relaxed);
   }
 
-  /// Same key packing as the per-lane caches this memo replaces.
-  static uint64_t PackKey(int evidence, ValueId v1, ValueId v2) {
-    const uint64_t lo = static_cast<uint64_t>(std::min(v1, v2));
+  /// Key for (evidence, v1, v2) with the ids order-normalized. Shared
+  /// with the per-lane raw caches so both memo layers key identically.
+  static MemoKey MakeKey(int evidence, ValueId v1, ValueId v2) {
+    const uint64_t lo = static_cast<uint64_t>(
+        static_cast<uint32_t>(std::min(v1, v2)));
     const uint64_t hi = static_cast<uint64_t>(
         static_cast<uint32_t>(std::max(v1, v2)));
-    return ((lo << 32) | hi) ^ (static_cast<uint64_t>(evidence) << 58);
+    return MemoKey{(lo << 32) | hi, static_cast<uint32_t>(evidence)};
   }
 
   /// Estimated heap cost of one map entry (node + bucket overhead).
-  static constexpr int64_t kEntryBytes = 48;
+  static constexpr int64_t kEntryBytes = 56;
 
  private:
   static constexpr int kNumShards = 64;
 
   struct Shard {
     std::mutex mu;
-    std::unordered_map<uint64_t, float> map;
+    std::unordered_map<MemoKey, float, MemoKeyHash> map;
   };
 
   Shard shards_[kNumShards];

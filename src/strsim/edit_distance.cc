@@ -4,9 +4,27 @@
 #include <cstdlib>
 #include <vector>
 
+#include "strsim/bitparallel.h"
+#include "strsim/simd_dispatch.h"
+
 namespace recon::strsim {
 
-int LevenshteinDistance(std::string_view a, std::string_view b) {
+namespace {
+
+// Row scratch for the scalar DP: a stack buffer covers the common case,
+// a thread-local vector the rest — no per-call heap allocation either way.
+constexpr int kStackRow = 128;
+
+int* RowScratch(int n, int* stack_row) {
+  if (n < kStackRow) return stack_row;
+  thread_local std::vector<int> row;
+  if (static_cast<int>(row.size()) < n + 1) row.resize(n + 1);
+  return row.data();
+}
+
+}  // namespace
+
+int ScalarLevenshteinDistance(std::string_view a, std::string_view b) {
   if (a.size() > b.size()) std::swap(a, b);
   const int n = static_cast<int>(a.size());
   const int m = static_cast<int>(b.size());
@@ -14,7 +32,8 @@ int LevenshteinDistance(std::string_view a, std::string_view b) {
 
   // Single-row DP; `row[j]` holds the distance between a-prefix (current i)
   // and b-prefix of length j.
-  std::vector<int> row(n + 1);
+  int stack_row[kStackRow];
+  int* row = RowScratch(n, stack_row);
   for (int j = 0; j <= n; ++j) row[j] = j;
   for (int i = 1; i <= m; ++i) {
     int diagonal = row[0];  // row[i-1][0]
@@ -29,15 +48,16 @@ int LevenshteinDistance(std::string_view a, std::string_view b) {
   return row[n];
 }
 
-int BoundedLevenshteinDistance(std::string_view a, std::string_view b,
-                               int bound) {
+int ScalarBoundedLevenshteinDistance(std::string_view a, std::string_view b,
+                                     int bound) {
   if (a.size() > b.size()) std::swap(a, b);
   const int n = static_cast<int>(a.size());
   const int m = static_cast<int>(b.size());
   if (m - n > bound) return bound + 1;
   if (n == 0) return m;
 
-  std::vector<int> row(n + 1);
+  int stack_row[kStackRow];
+  int* row = RowScratch(n, stack_row);
   for (int j = 0; j <= n; ++j) row[j] = j;
   for (int i = 1; i <= m; ++i) {
     int diagonal = row[0];
@@ -53,6 +73,21 @@ int BoundedLevenshteinDistance(std::string_view a, std::string_view b,
     if (row_min > bound) return bound + 1;
   }
   return std::min(row[n], bound + 1);
+}
+
+int LevenshteinDistance(std::string_view a, std::string_view b) {
+  if (ActiveSimdLevel() == SimdLevel::kScalar) {
+    return ScalarLevenshteinDistance(a, b);
+  }
+  return MyersLevenshteinDistance(a, b);
+}
+
+int BoundedLevenshteinDistance(std::string_view a, std::string_view b,
+                               int bound) {
+  if (ActiveSimdLevel() == SimdLevel::kScalar) {
+    return ScalarBoundedLevenshteinDistance(a, b, bound);
+  }
+  return MyersBoundedLevenshteinDistance(a, b, bound);
 }
 
 double EditSimilarity(std::string_view a, std::string_view b) {

@@ -1,4 +1,10 @@
 // Levenshtein edit distance and derived normalized similarity.
+//
+// The public entry points dispatch on the active SIMD level (DESIGN.md
+// §16): the Myers bit-parallel kernels at kGeneric and above, the scalar
+// row-DP reference below. The Scalar* variants are exported so the
+// differential tests and microbenches can pin the kernels against the
+// reference regardless of the active level.
 
 #ifndef RECON_STRSIM_EDIT_DISTANCE_H_
 #define RECON_STRSIM_EDIT_DISTANCE_H_
@@ -14,6 +20,13 @@ int LevenshteinDistance(std::string_view a, std::string_view b);
 /// distance provably exceeds `bound`. Useful for candidate filtering.
 int BoundedLevenshteinDistance(std::string_view a, std::string_view b,
                                int bound);
+
+/// Reference row-DP implementations (allocation-free: stack row for short
+/// strings, thread-local scratch beyond). Always available; the kernels
+/// must agree with these bit-for-bit.
+int ScalarLevenshteinDistance(std::string_view a, std::string_view b);
+int ScalarBoundedLevenshteinDistance(std::string_view a, std::string_view b,
+                                     int bound);
 
 /// Normalized edit similarity: 1 - distance / max(|a|, |b|); 1.0 when both
 /// strings are empty. Always in [0, 1].

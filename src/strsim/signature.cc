@@ -1,0 +1,158 @@
+#include "strsim/signature.h"
+
+#include <algorithm>
+#include <string_view>
+
+#include "strsim/simd_dispatch.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace recon::strsim {
+
+namespace {
+
+uint64_t Fnv1a(std::string_view s) {
+  uint64_t hash = 1469598103934665603ull;
+  for (const char c : s) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+inline void SetBit(BitSig256* sig, uint64_t hash) {
+  const unsigned bit = static_cast<unsigned>(hash & 255u);
+  sig->w[bit >> 6] |= 1ULL << (bit & 63u);
+}
+
+int GenericSymDiff(const BitSig256& a, const BitSig256& b) {
+  int pop = 0;
+  for (int i = 0; i < 4; ++i) {
+    pop += __builtin_popcountll(a.w[i] ^ b.w[i]);
+  }
+  return pop;
+}
+
+void GenericBatchSymDiff(const uint64_t* a, const uint64_t* b, int count,
+                         int32_t* out) {
+  for (int i = 0; i < count; ++i) {
+    const uint64_t* pa = a + 4 * i;
+    const uint64_t* pb = b + 4 * i;
+    out[i] = __builtin_popcountll(pa[0] ^ pb[0]) +
+             __builtin_popcountll(pa[1] ^ pb[1]) +
+             __builtin_popcountll(pa[2] ^ pb[2]) +
+             __builtin_popcountll(pa[3] ^ pb[3]);
+  }
+}
+
+#if defined(__x86_64__) || defined(__i386__)
+__attribute__((target("popcnt"))) int PopcntSymDiff(const BitSig256& a,
+                                                    const BitSig256& b) {
+  // With the popcnt target attribute the builtin lowers to the POPCNT
+  // instruction instead of the bit-twiddling fallback.
+  return static_cast<int>(__builtin_popcountll(a.w[0] ^ b.w[0]) +
+                          __builtin_popcountll(a.w[1] ^ b.w[1]) +
+                          __builtin_popcountll(a.w[2] ^ b.w[2]) +
+                          __builtin_popcountll(a.w[3] ^ b.w[3]));
+}
+
+__attribute__((target("popcnt"))) void PopcntBatchSymDiff(
+    const uint64_t* a, const uint64_t* b, int count, int32_t* out) {
+  for (int i = 0; i < count; ++i) {
+    const uint64_t* pa = a + 4 * i;
+    const uint64_t* pb = b + 4 * i;
+    out[i] = static_cast<int32_t>(__builtin_popcountll(pa[0] ^ pb[0]) +
+                                  __builtin_popcountll(pa[1] ^ pb[1]) +
+                                  __builtin_popcountll(pa[2] ^ pb[2]) +
+                                  __builtin_popcountll(pa[3] ^ pb[3]));
+  }
+}
+
+// One 256-bit XOR per record, popcounted with the classic nibble-LUT
+// VPSHUFB + VPSADBW reduction — no per-word extracts in the loop body.
+__attribute__((target("avx2"))) void Avx2BatchSymDiff(const uint64_t* a,
+                                                      const uint64_t* b,
+                                                      int count,
+                                                      int32_t* out) {
+  const __m256i lut =
+      _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+                       0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  for (int i = 0; i < count; ++i) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + 4 * i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + 4 * i));
+    const __m256i x = _mm256_xor_si256(va, vb);
+    const __m256i lo = _mm256_and_si256(x, low_mask);
+    const __m256i hi =
+        _mm256_and_si256(_mm256_srli_epi32(x, 4), low_mask);
+    const __m256i nibbles = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                            _mm256_shuffle_epi8(lut, hi));
+    const __m256i sums = _mm256_sad_epu8(nibbles, _mm256_setzero_si256());
+    const __m128i folded = _mm_add_epi64(_mm256_castsi256_si128(sums),
+                                         _mm256_extracti128_si256(sums, 1));
+    out[i] = static_cast<int32_t>(_mm_cvtsi128_si64(folded) +
+                                  _mm_extract_epi64(folded, 1));
+  }
+}
+#endif
+
+}  // namespace
+
+BitSig256 GramSignature(const NgramSet& grams) {
+  BitSig256 sig;
+  for (const auto& [hash, offset] : grams.grams) {
+    (void)offset;
+    SetBit(&sig, hash);
+  }
+  sig.set_size = static_cast<uint32_t>(grams.size());
+  return sig;
+}
+
+BitSig256 TokenSignature(const std::vector<std::string>& tokens) {
+  BitSig256 sig;
+  // Collapse duplicates by byte value, matching the std::set dedup in
+  // JaccardSimilarity, so set_size is the exact distinct count.
+  std::vector<std::string_view> distinct(tokens.begin(), tokens.end());
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                 distinct.end());
+  for (const std::string_view t : distinct) SetBit(&sig, Fnv1a(t));
+  sig.set_size = static_cast<uint32_t>(distinct.size());
+  return sig;
+}
+
+int SigSymDiffLowerBound(const BitSig256& a, const BitSig256& b) {
+#if defined(__x86_64__) || defined(__i386__)
+  if (ActiveSimdLevel() >= SimdLevel::kSse42) return PopcntSymDiff(a, b);
+#endif
+  return GenericSymDiff(a, b);
+}
+
+double SigJaccardUpperBound(const BitSig256& a, const BitSig256& b) {
+  return SigJaccardUpperBoundFromPop(SigSymDiffLowerBound(a, b),
+                                     a.set_size, b.set_size);
+}
+
+void BatchSigSymDiff(const uint64_t* a, const uint64_t* b, int count,
+                     int32_t* out) {
+#if defined(__x86_64__) || defined(__i386__)
+  const SimdLevel level = ActiveSimdLevel();
+  if (level >= SimdLevel::kAvx2) return Avx2BatchSymDiff(a, b, count, out);
+  if (level >= SimdLevel::kSse42) {
+    return PopcntBatchSymDiff(a, b, count, out);
+  }
+#endif
+  GenericBatchSymDiff(a, b, count, out);
+}
+
+int SigEditDistanceLowerBound(const BitSig256& a, const BitSig256& b,
+                              int len_a, int len_b, int q) {
+  return SigEditDistanceLowerBoundFromPop(SigSymDiffLowerBound(a, b),
+                                          len_a, len_b, q);
+}
+
+}  // namespace recon::strsim

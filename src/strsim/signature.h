@@ -1,0 +1,102 @@
+// Fixed-width bit signatures with provable set-similarity upper bounds
+// (DESIGN.md §16).
+//
+// A BitSig256 sketches a set of hashable elements: each element sets one
+// of 256 bits (hash mod 256) and `set_size` records the EXACT distinct
+// cardinality. The one inequality everything rests on:
+//
+//   popcount(sig_a XOR sig_b) <= |A Δ B|
+//
+// Every bit set in sig_a but not sig_b is witnessed by at least one
+// element of A \ B (no element of B maps there), distinct bits have
+// distinct witnesses (an element sets exactly one bit), and symmetrically
+// for the other side. Collisions only ever LOWER the popcount, so the
+// sketch under-counts the symmetric difference — which is exactly the
+// conservative direction:
+//
+//   Jaccard(A, B) = (|A| + |B| - |AΔB|) / (|A| + |B| + |AΔB|)
+//
+// is decreasing in |AΔB|, so substituting the popcount lower bound yields
+// an upper bound on Jaccard. Likewise one unit edit changes at most q
+// distinct q-grams on each side of the gram-set symmetric difference, so
+// |AΔB| <= 2q·d_edit gives a lower bound on edit distance and hence an
+// upper bound on normalized edit similarity. tests/strsim_kernel_test.cc
+// asserts both bound properties directly over randomized inputs.
+
+#ifndef RECON_STRSIM_SIGNATURE_H_
+#define RECON_STRSIM_SIGNATURE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "strsim/tokens.h"
+
+namespace recon::strsim {
+
+struct BitSig256 {
+  uint64_t w[4] = {0, 0, 0, 0};
+  /// Exact number of distinct elements the signature was built from.
+  uint32_t set_size = 0;
+};
+
+/// Signature of a prebuilt n-gram set (one bit per distinct gram, keyed
+/// by the set's FNV-1a gram hashes).
+BitSig256 GramSignature(const NgramSet& grams);
+
+/// Signature of a token list; duplicates are collapsed exactly as the
+/// std::set-based JaccardSimilarity collapses them.
+BitSig256 TokenSignature(const std::vector<std::string>& tokens);
+
+/// popcount(a XOR b): a lower bound on |A Δ B|. Uses the active SIMD
+/// dispatch level (hardware POPCNT at kSse42 and above).
+int SigSymDiffLowerBound(const BitSig256& a, const BitSig256& b);
+
+/// Bound arithmetic factored out so blocked callers can feed popcounts
+/// from a BatchSigSymDiff sweep: Jaccard upper bound from a symmetric-
+/// difference lower bound `pop` and exact set sizes.
+inline double SigJaccardUpperBoundFromPop(int pop, uint32_t sa,
+                                          uint32_t sb) {
+  if (sa == 0 && sb == 0) return 1.0;
+  const double a = sa;
+  const double b = sb;
+  const double diff_bound = (a + b - pop) / (a + b + pop);
+  const double size_bound =
+      (a < b ? a : b) / (a > b ? a : b);
+  const double bound = diff_bound < size_bound ? diff_bound : size_bound;
+  return bound < 0.0 ? 0.0 : bound;
+}
+
+/// Edit-distance lower bound from a gram-set symmetric-difference lower
+/// bound `pop` (q-gram lemma: one edit changes <= q grams per side).
+inline int SigEditDistanceLowerBoundFromPop(int pop, int len_a, int len_b,
+                                            int q) {
+  const int gram_bound = (pop + 2 * q - 1) / (2 * q);
+  const int len_bound = len_a > len_b ? len_a - len_b : len_b - len_a;
+  return gram_bound > len_bound ? gram_bound : len_bound;
+}
+
+/// Upper bound on Jaccard(A, B) = |A∩B| / |A∪B|, from the symmetric-
+/// difference lower bound combined with |A∩B| <= min(|A|,|B|) and
+/// |A∪B| >= max(|A|,|B|). Returns 1.0 when both sets are empty (the
+/// JaccardSimilarity convention). Always in [0, 1] and >= the exact
+/// Jaccard of the underlying sets.
+double SigJaccardUpperBound(const BitSig256& a, const BitSig256& b);
+
+/// Lower bound on the Levenshtein distance between the two strings whose
+/// q-gram sets produced `a` and `b` (lengths len_a / len_b):
+/// max(|len_a - len_b|, ceil(symdiff_lb / (2q))).
+int SigEditDistanceLowerBound(const BitSig256& a, const BitSig256& b,
+                              int len_a, int len_b, int q);
+
+/// Batch sweep for the blocked scoring path: out[i] = popcount of the
+/// XOR of the i-th 256-bit records of `a` and `b` (contiguous 4-word
+/// records, 32-byte stride). Dispatches to a 256-bit XOR + nibble-LUT
+/// popcount kernel at kAvx2, hardware POPCNT at kSse42, and portable
+/// builtins otherwise — all three produce identical results.
+void BatchSigSymDiff(const uint64_t* a, const uint64_t* b, int count,
+                     int32_t* out);
+
+}  // namespace recon::strsim
+
+#endif  // RECON_STRSIM_SIGNATURE_H_

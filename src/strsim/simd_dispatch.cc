@@ -1,0 +1,93 @@
+#include "strsim/simd_dispatch.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace recon::strsim {
+
+namespace {
+
+SimdLevel DetectOnce() {
+#if defined(__x86_64__) || defined(__i386__)
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_cpu_init();
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("popcnt")) {
+    return SimdLevel::kAvx2;
+  }
+  if (__builtin_cpu_supports("sse4.2") && __builtin_cpu_supports("popcnt")) {
+    return SimdLevel::kSse42;
+  }
+  return SimdLevel::kGeneric;
+#else
+  return SimdLevel::kGeneric;
+#endif
+#else
+  // Non-x86 (e.g. aarch64/NEON): the bit-parallel kernels are plain
+  // 64-bit integer code, so the generic level is always available.
+  return SimdLevel::kGeneric;
+#endif
+}
+
+SimdLevel ClampToDetected(SimdLevel level) {
+  const SimdLevel cap = DetectedSimdLevel();
+  return static_cast<int>(level) > static_cast<int>(cap) ? cap : level;
+}
+
+SimdLevel LevelFromEnv() {
+  SimdLevel level = DetectedSimdLevel();
+  if (const char* env = std::getenv("RECON_SIMD")) {
+    SimdLevel parsed;
+    if (ParseSimdLevelName(env, &parsed)) level = ClampToDetected(parsed);
+  }
+  return level;
+}
+
+std::atomic<int>& ActiveCell() {
+  static std::atomic<int> cell{static_cast<int>(LevelFromEnv())};
+  return cell;
+}
+
+}  // namespace
+
+SimdLevel DetectedSimdLevel() {
+  static const SimdLevel detected = DetectOnce();
+  return detected;
+}
+
+SimdLevel ActiveSimdLevel() {
+  return static_cast<SimdLevel>(
+      ActiveCell().load(std::memory_order_relaxed));
+}
+
+SimdLevel SetSimdLevel(SimdLevel level) {
+  const SimdLevel installed = ClampToDetected(level);
+  ActiveCell().store(static_cast<int>(installed), std::memory_order_relaxed);
+  return installed;
+}
+
+SimdLevel ReinitSimdLevelFromEnv() {
+  const SimdLevel level = LevelFromEnv();
+  ActiveCell().store(static_cast<int>(level), std::memory_order_relaxed);
+  return level;
+}
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar: return "scalar";
+    case SimdLevel::kGeneric: return "generic";
+    case SimdLevel::kSse42: return "sse42";
+    case SimdLevel::kAvx2: return "avx2";
+  }
+  return "?";
+}
+
+bool ParseSimdLevelName(std::string_view name, SimdLevel* out) {
+  if (name == "scalar") { *out = SimdLevel::kScalar; return true; }
+  if (name == "generic") { *out = SimdLevel::kGeneric; return true; }
+  if (name == "sse42") { *out = SimdLevel::kSse42; return true; }
+  if (name == "avx2") { *out = SimdLevel::kAvx2; return true; }
+  if (name == "auto") { *out = DetectedSimdLevel(); return true; }
+  return false;
+}
+
+}  // namespace recon::strsim

@@ -1,0 +1,61 @@
+// Runtime CPU dispatch for the string-similarity kernels (DESIGN.md §16).
+//
+// One process-global level, detected once at startup and optionally
+// lowered (never raised) by the RECON_SIMD environment variable or
+// SetSimdLevel(). Every kernel call reads the active level with a relaxed
+// atomic load; the level is expected to be set before worker threads
+// start scoring (reconcile_cli --no-simd, test forcing), so there is no
+// ordering requirement beyond the value itself.
+//
+// Levels:
+//   kScalar  — reference row-DP kernels, prefilter off. This is the
+//              "kernels off" switch used by the differential tests and
+//              identity gates; no CPU lacks it.
+//   kGeneric — portable 64-bit bit-parallel kernels (Myers Levenshtein,
+//              builtin popcount signatures). The NEON-safe fallback:
+//              needs nothing beyond a 64-bit ALU.
+//   kSse42   — bit-parallel kernels + hardware POPCNT for the signature
+//              sweeps (x86 with SSE4.2/POPCNT).
+//   kAvx2    — adds the 256-bit XOR+popcount batch signature sweep.
+
+#ifndef RECON_STRSIM_SIMD_DISPATCH_H_
+#define RECON_STRSIM_SIMD_DISPATCH_H_
+
+#include <string_view>
+
+namespace recon::strsim {
+
+enum class SimdLevel : int {
+  kScalar = 0,
+  kGeneric = 1,
+  kSse42 = 2,
+  kAvx2 = 3,
+};
+
+/// Highest level the running CPU supports (computed once, cached).
+SimdLevel DetectedSimdLevel();
+
+/// The level kernels actually use. Initialized on first use to
+/// DetectedSimdLevel() clamped by RECON_SIMD (values: scalar, generic,
+/// sse42, avx2, auto; unknown values are ignored).
+SimdLevel ActiveSimdLevel();
+
+/// Forces the active level, clamped to DetectedSimdLevel(). Returns the
+/// level actually installed. Intended for startup flags (--no-simd) and
+/// the differential tests; not thread-safe against in-flight scoring.
+SimdLevel SetSimdLevel(SimdLevel level);
+
+/// Re-reads RECON_SIMD and resets the active level accordingly (tests).
+SimdLevel ReinitSimdLevelFromEnv();
+
+/// "scalar" / "generic" / "sse42" / "avx2".
+const char* SimdLevelName(SimdLevel level);
+
+/// Parses a level name (as accepted by RECON_SIMD). Returns false and
+/// leaves `out` untouched on unknown input. "auto" parses to the
+/// detected level.
+bool ParseSimdLevelName(std::string_view name, SimdLevel* out);
+
+}  // namespace recon::strsim
+
+#endif  // RECON_STRSIM_SIMD_DISPATCH_H_

@@ -33,6 +33,7 @@
 #include "extract/extractor.h"
 #include "model/text_io.h"
 #include "shard/sharded_reconciler.h"
+#include "strsim/simd_dispatch.h"
 #include "util/string_util.h"
 #include "util/version.h"
 
@@ -73,6 +74,12 @@ void PrintUsage(std::ostream& out) {
          "  --no-value-store        score from raw strings instead of the\n"
          "                          interned value store (DESIGN.md §11);\n"
          "                          output is byte-identical either way\n"
+         "  --no-simd               force the scalar string kernels and\n"
+         "                          disable the signature prefilter\n"
+         "                          (DESIGN.md §16); output is\n"
+         "                          byte-identical either way. RECON_SIMD\n"
+         "                          =scalar|generic|sse42|avx2 also clamps\n"
+         "                          the dispatch level\n"
          "  --threads N             worker threads (0 = all hardware "
          "threads);\n"
          "                          output is byte-identical for every N\n"
@@ -260,6 +267,8 @@ int main(int argc, char** argv) {
       options.use_canopies = true;
     } else if (arg == "--no-value-store") {
       options.value_store = false;
+    } else if (arg == "--no-simd") {
+      recon::strsim::SetSimdLevel(recon::strsim::SimdLevel::kScalar);
     } else if (arg == "--import" && i + 1 < argc) {
       import_kind = argv[++i];
       if (import_kind != "csv" && import_kind != "bibtex" &&
@@ -424,6 +433,17 @@ int main(int argc, char** argv) {
               << " hits / " << result.stats.num_sim_memo_misses
               << " misses (" << result.stats.sim_memo_bytes
               << " B, store " << result.stats.value_store_bytes << " B)\n";
+    std::cout << "Kernels: " << result.stats.simd_dispatch << " dispatch";
+    if (result.stats.num_prefilter_skips +
+            result.stats.num_prefilter_exact > 0) {
+      std::cout << "; prefilter skipped " << result.stats.num_prefilter_skips
+                << " of "
+                << result.stats.num_prefilter_skips +
+                       result.stats.num_prefilter_exact
+                << " title comparisons (signatures "
+                << result.stats.signature_bytes << " B)";
+    }
+    std::cout << "\n";
   }
   if (algo == "depgraph") {
     std::cout << "Stop: " << StopReasonToString(result.stats.stop_reason)

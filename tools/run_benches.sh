@@ -2,8 +2,8 @@
 # Runs every perf_* bench with --json and collects BENCH_<name>.json files
 # so perf trajectories can be tracked across commits.
 #
-# Usage: tools/run_benches.sh [--gate-speedup] [--gate-shard] [build_dir]
-#        [out_dir]
+# Usage: tools/run_benches.sh [--gate-speedup] [--gate-shard]
+#        [--gate-kernels] [build_dir] [out_dir]
 #   build_dir  defaults to build (must already be built)
 #   out_dir    defaults to the current directory
 #
@@ -21,16 +21,26 @@
 #   beat the monolithic run by more than 1.3x. The speedup half follows the
 #   same convention as --gate-speedup: it auto-skips when nprocs_online <= 2.
 #
+# --gate-kernels: after the run, assert from BENCH_strsim.json that the
+#   Myers bit-parallel Levenshtein kernel is at least 2x faster than the
+#   scalar row DP on the recorded title-length workload. Auto-skips when
+#   the bench's simd_dispatch context reports "scalar" (the kernels are
+#   compiled out or forced off there, so the rows measure the same code).
+#   Unlike the thread gates this one is single-threaded, so it runs fine
+#   on 1-CPU machines.
+#
 # Honors RECON_BENCH_SCALE / RECON_BENCH_THREADS like the benches do.
 
 set -euo pipefail
 
 GATE_SPEEDUP=0
 GATE_SHARD=0
+GATE_KERNELS=0
 while [[ "${1:-}" == --gate-* ]]; do
   case "$1" in
     --gate-speedup) GATE_SPEEDUP=1 ;;
     --gate-shard) GATE_SHARD=1 ;;
+    --gate-kernels) GATE_KERNELS=1 ;;
   esac
   shift
 done
@@ -139,6 +149,49 @@ if worst > 1.3:
 else:
     sys.exit(f"gate: FAIL — shard speedup {worst:.2f}x <= 1.3x at 4 shards "
              f"(nprocs_online={nprocs})")
+PYEOF
+  then
+    status=1
+  fi
+fi
+
+if [[ ${GATE_KERNELS} -eq 1 && ${status} -eq 0 ]]; then
+  strsim="${OUT_DIR}/BENCH_strsim.json"
+  echo "== gate: bit-parallel Levenshtein >= 2x scalar (${strsim})"
+  if ! python3 - "${strsim}" <<'PYEOF'
+import json, sys
+
+doc = json.load(open(sys.argv[1]))
+context = doc.get("context", {})
+dispatch = context.get("simd_dispatch")
+if dispatch is None:
+    sys.exit("gate: no simd_dispatch entry in BENCH_strsim.json context")
+if dispatch == "scalar":
+    print("gate: SKIPPED — simd_dispatch=scalar (detected "
+          f"{context.get('simd_detected', 'unknown')}); the bit-parallel "
+          "kernels are not active at this dispatch level, so the rows "
+          "measure the same reference code")
+    sys.exit(0)
+
+def cpu_time(name):
+    rows = [b for b in doc.get("benchmarks", [])
+            if b.get("name") == name and b.get("run_type", "iteration") ==
+            "iteration"]
+    if not rows:
+        sys.exit(f"gate: no {name} row in BENCH_strsim.json")
+    return min(float(r["cpu_time"]) for r in rows)
+
+scalar = cpu_time("BM_LevenshteinScalar")
+bitpar = cpu_time("BM_LevenshteinBitParallel")
+speedup = scalar / bitpar if bitpar > 0 else float("inf")
+if speedup >= 2.0:
+    print(f"gate: PASS — bit-parallel Levenshtein {speedup:.2f}x faster "
+          f"than scalar ({scalar:.0f} ns vs {bitpar:.0f} ns, "
+          f"dispatch={dispatch})")
+else:
+    sys.exit(f"gate: FAIL — bit-parallel Levenshtein only {speedup:.2f}x "
+             f"faster than scalar ({scalar:.0f} ns vs {bitpar:.0f} ns, "
+             f"dispatch={dispatch}; need >= 2x)")
 PYEOF
   then
     status=1
